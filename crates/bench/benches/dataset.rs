@@ -1,0 +1,37 @@
+//! Disk-to-disk model benchmarks: cost of one objective evaluation (it runs
+//! once per control epoch online, and hundreds of times per offline search).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xferopt_dataset::{climate_dataset, hep_dataset, DiskModel, DiskTransfer};
+
+fn bench_throughput_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_throughput_eval");
+    let cases = [
+        ("climate_2000_files", climate_dataset(1)),
+        ("hep_200_files", hep_dataset(1)),
+    ];
+    for (name, dataset) in cases {
+        let xfer = DiskTransfer::new(dataset, DiskModel::parallel_fs(), DiskModel::parallel_fs());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &xfer, |b, xfer| {
+            let mut k = 0u32;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(xfer.throughput_mbs(1 + k % 32, 1 + k % 8, 1 + k % 16))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("generate_climate_dataset", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(climate_dataset(seed).total_mb())
+        })
+    });
+}
+
+criterion_group!(benches, bench_throughput_eval, bench_dataset_generation);
+criterion_main!(benches);

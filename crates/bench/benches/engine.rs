@@ -1,0 +1,52 @@
+//! Raw discrete-event engine throughput: schedule/pop cycles per second.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xferopt_simcore::{Engine, SimDuration};
+
+fn bench_event_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for pending in [16usize, 1024, 65_536] {
+        group.bench_with_input(
+            BenchmarkId::new("push_pop", pending),
+            &pending,
+            |b, &pending| {
+                // Pre-fill a queue of `pending` events, then measure a
+                // steady-state push+pop cycle.
+                let mut engine: Engine<u64> = Engine::new();
+                for i in 0..pending {
+                    engine.schedule_in(SimDuration::from_micros(i as i64), i as u64);
+                }
+                b.iter(|| {
+                    let (t, ev) = engine.pop().expect("queue never empties");
+                    engine.schedule_at(t + SimDuration::from_millis(1), ev);
+                    black_box(ev)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_run_until(c: &mut Criterion) {
+    c.bench_function("engine/run_until_1k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut e: Engine<u32> = Engine::new();
+                for i in 0..1000 {
+                    e.schedule_in(SimDuration::from_micros(i), i as u32);
+                }
+                e
+            },
+            |mut e| {
+                let n = e.run_until(xferopt_simcore::SimTime::from_secs(1), |_, _, ev| {
+                    black_box(ev);
+                });
+                black_box(n)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_event_cycle, bench_run_until);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Scaling of the weighted max–min progressive-filling solver in the number
+//! of flows — it runs on every world step, so it must stay cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xferopt_net::{max_min_allocate, FlowDemand};
+
+fn problem(n_flows: usize) -> (Vec<f64>, Vec<FlowDemand>) {
+    // A NIC shared by all flows plus four WAN segments.
+    let caps = vec![5000.0, 2500.0, 2500.0, 5000.0, 1000.0];
+    let flows = (0..n_flows)
+        .map(|i| FlowDemand {
+            weight: 1.0 + (i % 64) as f64,
+            demand_cap: if i % 3 == 0 { f64::INFINITY } else { 50.0 + i as f64 },
+            links: vec![0, 1 + i % 4],
+        })
+        .collect();
+    (caps, flows)
+}
+
+fn bench_fairness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min_allocate");
+    for n in [4usize, 32, 256, 1024] {
+        let (caps, flows) = problem(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| max_min_allocate(black_box(&caps), black_box(&flows)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fairness);
+criterion_main!(benches);

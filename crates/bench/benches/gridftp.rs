@@ -1,0 +1,57 @@
+//! GridFTP protocol benchmarks: EBLOCK encode/decode throughput and
+//! end-to-end striped put rates on real localhost sockets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xferopt_gridftp::block::{Block, BlockDecoder};
+use xferopt_gridftp::client::{put, PutConfig};
+use xferopt_gridftp::server::GridFtpServer;
+
+fn bench_block_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eblock_codec");
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        let payload = bytes::Bytes::from(vec![7u8; size]);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
+            b.iter(|| black_box(Block::data(0, payload.clone()).encode()))
+        });
+        let wire = Block::data(123, payload.clone()).encode();
+        group.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
+            b.iter(|| {
+                let mut dec = BlockDecoder::new();
+                dec.feed(&wire);
+                black_box(dec.next_block().unwrap().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_striped_put(c: &mut Criterion) {
+    let server = GridFtpServer::start().expect("server");
+    let addr = server.control_addr();
+    let size = 8 * 1024 * 1024u64;
+    let mut group = c.benchmark_group("gridftp_put_8mb");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(size));
+    for np in [1u32, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(np), &np, |b, &np| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let r = put(
+                    addr,
+                    PutConfig::new(format!("bench{np}-{i}"), size)
+                        .with_parallelism(np)
+                        .with_block_bytes(256 * 1024),
+                )
+                .expect("put");
+                assert!(r.complete);
+                black_box(r.throughput_mbs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_codec, bench_striped_put);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Throughput of the dynamic per-stream AIMD window simulation: simulated
+//! seconds per wall second at various stream counts, and a comparison of the
+//! TCP variants' growth kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xferopt_net::dynamic::DynamicSim;
+use xferopt_net::{CongestionControl, Link, Network, Path};
+
+fn build(streams: u32, cc: CongestionControl) -> (Network, DynamicSim) {
+    let mut net = Network::new();
+    let nic = net.add_link(Link::new("nic", 5000.0));
+    let path = net.add_path(Path::new("p", vec![nic]).with_rtt_ms(33.0).with_loss(1e-5));
+    net.add_flow(path, streams, cc);
+    let mut sim = DynamicSim::new(42);
+    sim.sync_streams(&net);
+    (net, sim)
+}
+
+fn bench_dynamic_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_sim_step_50ms");
+    for streams in [16u32, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(streams),
+            &streams,
+            |b, &streams| {
+                let (net, mut sim) = build(streams, CongestionControl::HTcp);
+                b.iter(|| black_box(sim.step(&net, 0.05)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cc_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc_variant_step");
+    for cc in CongestionControl::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(cc.name()), &cc, |b, &cc| {
+            let (net, mut sim) = build(64, cc);
+            b.iter(|| black_box(sim.step(&net, 0.05)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic_step, bench_cc_variants);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Macro benchmarks: the cost of whole scenario runs (one Fig. 1 cell, one
+//! abbreviated tuned run), plus the design-choice ablations called out in
+//! DESIGN.md — control-epoch length and compass step size. The ablations
+//! report wall-cost here; the *throughput* effect of the same knobs is
+//! asserted in the integration tests and printed by the `all` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xferopt_scenarios::driver::{drive_transfer, DriveConfig, TuneDims};
+use xferopt_scenarios::{ExternalLoad, LoadSchedule, Route};
+use xferopt_simcore::SimDuration;
+use xferopt_scenarios::topology::PaperWorld;
+use xferopt_transfer::StreamParams;
+use xferopt_tuners::TunerKind;
+
+fn bench_fig1_cell(c: &mut Criterion) {
+    c.bench_function("scenario/fig1_cell_120s", |b| {
+        b.iter(|| {
+            let mut pw = PaperWorld::new(1);
+            let tid = pw.start_transfer(Route::UChicago, StreamParams::new(64, 1));
+            pw.world.step(SimDuration::from_secs(120));
+            black_box(pw.world.moved_mb(tid))
+        })
+    });
+}
+
+fn bench_tuned_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario/tuned_600s");
+    group.sample_size(10);
+    for kind in [TunerKind::Cd, TunerKind::Cs, TunerKind::Nm] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let cfg = DriveConfig::paper(
+                Route::UChicago,
+                kind,
+                TuneDims::NcOnly { np: 8 },
+                LoadSchedule::constant(ExternalLoad::new(0, 16)),
+            )
+            .with_duration_s(600.0);
+            b.iter(|| black_box(drive_transfer(&cfg)).total_mb())
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_ablation(c: &mut Criterion) {
+    // Wall-cost of a fixed 600 s run at different control-epoch lengths:
+    // shorter epochs = more tuner decisions + more restarts to simulate.
+    let mut group = c.benchmark_group("ablation/epoch_len");
+    group.sample_size(10);
+    for epoch_s in [10.0f64, 30.0, 60.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{epoch_s}s")),
+            &epoch_s,
+            |b, &epoch_s| {
+                let mut cfg = DriveConfig::paper(
+                    Route::UChicago,
+                    TunerKind::Nm,
+                    TuneDims::NcOnly { np: 8 },
+                    LoadSchedule::constant(ExternalLoad::NONE),
+                )
+                .with_duration_s(600.0);
+                cfg.epoch_s = epoch_s;
+                b.iter(|| black_box(drive_transfer(&cfg)).total_mb())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1_cell, bench_tuned_run, bench_epoch_ablation);
+criterion_main!(benches);

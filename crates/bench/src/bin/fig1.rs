@@ -1,0 +1,67 @@
+//! Regenerate Fig. 1: boxplot statistics of throughput vs concurrency
+//! (`np = 1`) on ANL→UChicago, (a) without external load and (b) with
+//! `ext.tfr = ext.cmp = 16`.
+//!
+//! Usage: `fig1 [--quick]` — `--quick` shrinks repeats/duration for smoke
+//! runs; the default matches the paper (5 repeats × 600 s).
+
+use xferopt_bench::{results_dir, write_result};
+use xferopt_scenarios::experiments::fig1;
+use xferopt_scenarios::Table;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (repeats, secs) = if quick { (2, 120.0) } else { (5, 600.0) };
+    eprintln!("fig1: {repeats} repeats x {secs} s per concurrency value");
+
+    let cells = fig1(repeats, secs, 0xF161);
+
+    let mut table = Table::new(vec![
+        "load", "nc", "min", "q1", "median", "q3", "max", "mean",
+    ]);
+    let mut csv = Table::new(vec![
+        "load", "nc", "min", "q1", "median", "q3", "max", "mean", "samples",
+    ]);
+    for c in &cells {
+        let s = &c.stats;
+        table.push_row(vec![
+            c.load.label(),
+            c.nc.to_string(),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.q1),
+            format!("{:.0}", s.median),
+            format!("{:.0}", s.q3),
+            format!("{:.0}", s.max),
+            format!("{:.0}", s.mean),
+        ]);
+        csv.push_row(vec![
+            c.load.label(),
+            c.nc.to_string(),
+            format!("{:.1}", s.min),
+            format!("{:.1}", s.q1),
+            format!("{:.1}", s.median),
+            format!("{:.1}", s.q3),
+            format!("{:.1}", s.max),
+            format!("{:.1}", s.mean),
+            s.count.to_string(),
+        ]);
+    }
+
+    println!("\n# Fig. 1: throughput vs concurrency (np=1), ANL->UChicago\n");
+    println!("{}", table.to_markdown());
+    write_result("fig1_boxplots.csv", &csv.to_csv());
+
+    // Critical points, the paper's headline observation.
+    for (label, filter) in [("no load", "tfr=0,cmp=0"), ("high load", "tfr=16,cmp=16")] {
+        let best = cells
+            .iter()
+            .filter(|c| c.load.label() == filter)
+            .max_by(|a, b| a.stats.median.partial_cmp(&b.stats.median).unwrap())
+            .unwrap();
+        println!(
+            "critical point under {label}: nc = {} (median {:.0} MB/s)",
+            best.nc, best.stats.median
+        );
+    }
+    println!("\nresults in {}", results_dir().display());
+}

@@ -1,0 +1,75 @@
+//! Regenerate Fig. 10: nm-tuner vs the existing heuristics — heur1 (Balman,
+//! additive) and heur2 (Yildirim, exponential) — tuning nc+np on ANL→TACC
+//! under varying external load.
+//!
+//! Usage: `fig10 [--quick]`.
+
+use xferopt_bench::{nc_series, np_series, observed_series, summary_table, write_result};
+use xferopt_scenarios::experiments::fig10;
+use xferopt_scenarios::report::multi_series_csv;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { 600.0 } else { 1800.0 };
+    eprintln!("fig10: ANL->TACC, nm vs heur1 vs heur2, {duration} s per run");
+
+    let runs = fig10(duration, 0xF170);
+
+    let panel: Vec<(&str, Vec<(f64, f64)>)> = runs
+        .iter()
+        .map(|r| (r.tuner.name(), observed_series(&r.log, duration)))
+        .collect();
+    write_result("fig10_observed.csv", &multi_series_csv("t_s", &panel));
+
+    for r in &runs {
+        let traj = multi_series_csv(
+            "t_s",
+            &[
+                ("nc", nc_series(&r.log, duration)),
+                ("np", np_series(&r.log, duration)),
+            ],
+        );
+        write_result(&format!("fig10_traj_{}.csv", r.tuner.name()), &traj);
+    }
+
+    println!("\n# Fig. 10 summary (ANL->TACC, nm vs existing heuristics)\n");
+    println!("{}", summary_table(&runs).to_markdown());
+
+    // Epochs to first reach 90% of each strategy's own steady throughput —
+    // the paper's "heur1 requires a larger number of control epochs" claim —
+    // plus the wasted bandwidth (regret) against the best steady level seen.
+    let opt = runs
+        .iter()
+        .filter_map(|r| r.log.mean_observed_between(duration * 2.0 / 3.0, duration + 1.0))
+        .fold(0.0f64, f64::max);
+    for r in &runs {
+        let steady = r
+            .log
+            .mean_observed_between(duration * 2.0 / 3.0, duration + 1.0)
+            .unwrap_or(0.0);
+        let reach = r
+            .log
+            .epochs
+            .iter()
+            .position(|e| e.observed_mbs >= 0.9 * steady)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        // Rebuild an OnlineTrajectory from the epoch log for regret analysis.
+        let mut traj = xferopt_tuners::OnlineTrajectory::default();
+        for (i, e) in r.log.epochs.iter().enumerate() {
+            traj.steps.push(xferopt_tuners::OnlineStep {
+                epoch: i,
+                x: vec![e.params.nc as i64, e.params.np as i64],
+                value: e.observed_mbs,
+            });
+        }
+        let regret = xferopt_tuners::summarize_regret(&traj, opt, 0.9, 30.0);
+        println!(
+            "{:8}: reaches 90% of steady ({:.0} MB/s) after {} epochs; wasted {:.0} GB vs best strategy",
+            r.tuner.name(),
+            steady,
+            reach,
+            regret.wasted / 1000.0
+        );
+    }
+}

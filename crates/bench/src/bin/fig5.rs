@@ -1,0 +1,24 @@
+//! Regenerate Figs. 5, 6 and 7 for ANL→UChicago: observed throughput
+//! (Fig. 5), adopted concurrency (Fig. 6) and best-case throughput (Fig. 7)
+//! over time, for default/cd/cs/nm under the five load conditions.
+//!
+//! Usage: `fig5 [--quick]`.
+
+use xferopt_bench::{bestcase_series, nc_series, observed_series, summary_table, write_tuner_panels};
+use xferopt_scenarios::experiments::fig5;
+use xferopt_scenarios::Route;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { 600.0 } else { 1800.0 };
+    eprintln!("fig5/6/7: ANL->UChicago, {duration} s per run");
+
+    let runs = fig5(Route::UChicago, duration, 0xF165);
+
+    write_tuner_panels("fig5_observed", &runs, duration, observed_series);
+    write_tuner_panels("fig6_nc", &runs, duration, nc_series);
+    write_tuner_panels("fig7_bestcase", &runs, duration, bestcase_series);
+
+    println!("\n# Figs. 5-7 steady-state summary (ANL->UChicago, np=8, tune nc)\n");
+    println!("{}", summary_table(&runs).to_markdown());
+}

@@ -1,0 +1,50 @@
+//! Regenerate Fig. 8: ANL→TACC, tuning concurrency *and* parallelism under
+//! varying external load (`tfr=64,cmp=16` → `tfr=16,cmp=16` at t = 1000 s),
+//! for default, cs-tuner and nm-tuner.
+//!
+//! Usage: `fig8 [--quick]`.
+
+use xferopt_bench::{nc_series, np_series, observed_series, summary_table, write_result};
+use xferopt_scenarios::experiments::fig8_9;
+use xferopt_scenarios::report::multi_series_csv;
+use xferopt_scenarios::Route;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { 600.0 } else { 1800.0 };
+    eprintln!("fig8: ANL->TACC, nc+np, varying load, {duration} s per run");
+
+    let runs = fig8_9(Route::Tacc, duration, 0xF168);
+
+    let panel: Vec<(&str, Vec<(f64, f64)>)> = runs
+        .iter()
+        .map(|r| (r.tuner.name(), observed_series(&r.log, duration)))
+        .collect();
+    write_result("fig8_observed.csv", &multi_series_csv("t_s", &panel));
+
+    for r in &runs {
+        let traj = multi_series_csv(
+            "t_s",
+            &[
+                ("nc", nc_series(&r.log, duration)),
+                ("np", np_series(&r.log, duration)),
+            ],
+        );
+        write_result(&format!("fig8_traj_{}.csv", r.tuner.name()), &traj);
+    }
+
+    println!("\n# Fig. 8 summary (ANL->TACC, tune nc+np, load change at 1000 s)\n");
+    println!("{}", summary_table(&runs).to_markdown());
+
+    // The paper's split improvements: 1.3x before the change, up to 10x after.
+    for r in &runs {
+        let before = r.log.mean_observed_between(duration * 0.3, 990.0_f64.min(duration));
+        let after = r.log.mean_observed_between(1200.0_f64.min(duration), duration);
+        println!(
+            "{:10}: mean before change = {:>6.0} MB/s, after = {:>6.0} MB/s",
+            r.tuner.name(),
+            before.unwrap_or(0.0),
+            after.unwrap_or(0.0),
+        );
+    }
+}

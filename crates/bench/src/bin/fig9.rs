@@ -1,0 +1,37 @@
+//! Regenerate Fig. 9: same protocol as Fig. 8 (tune nc+np under varying
+//! load) on the ANL→UChicago route.
+//!
+//! Usage: `fig9 [--quick]`.
+
+use xferopt_bench::{nc_series, np_series, observed_series, summary_table, write_result};
+use xferopt_scenarios::experiments::fig8_9;
+use xferopt_scenarios::report::multi_series_csv;
+use xferopt_scenarios::Route;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { 600.0 } else { 1800.0 };
+    eprintln!("fig9: ANL->UChicago, nc+np, varying load, {duration} s per run");
+
+    let runs = fig8_9(Route::UChicago, duration, 0xF169);
+
+    let panel: Vec<(&str, Vec<(f64, f64)>)> = runs
+        .iter()
+        .map(|r| (r.tuner.name(), observed_series(&r.log, duration)))
+        .collect();
+    write_result("fig9_observed.csv", &multi_series_csv("t_s", &panel));
+
+    for r in &runs {
+        let traj = multi_series_csv(
+            "t_s",
+            &[
+                ("nc", nc_series(&r.log, duration)),
+                ("np", np_series(&r.log, duration)),
+            ],
+        );
+        write_result(&format!("fig9_traj_{}.csv", r.tuner.name()), &traj);
+    }
+
+    println!("\n# Fig. 9 summary (ANL->UChicago, tune nc+np, load change at 1000 s)\n");
+    println!("{}", summary_table(&runs).to_markdown());
+}

@@ -1,0 +1,24 @@
+//! Regenerate the Section IV-A ANL→TACC trend (the paper reports it in text
+//! rather than a figure): all tuners ≈ 1900 MB/s without load (best-case
+//! ≈ 2200 eaten by restart overhead), 1.5–10x improvements under load.
+//!
+//! Usage: `tacc [--quick]`.
+
+use xferopt_bench::{bestcase_series, nc_series, observed_series, summary_table, write_tuner_panels};
+use xferopt_scenarios::experiments::fig5;
+use xferopt_scenarios::Route;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { 600.0 } else { 1800.0 };
+    eprintln!("tacc: ANL->TACC, {duration} s per run");
+
+    let runs = fig5(Route::Tacc, duration, 0xF17A);
+
+    write_tuner_panels("tacc_observed", &runs, duration, observed_series);
+    write_tuner_panels("tacc_nc", &runs, duration, nc_series);
+    write_tuner_panels("tacc_bestcase", &runs, duration, bestcase_series);
+
+    println!("\n# ANL->TACC steady-state summary (np=8, tune nc)\n");
+    println!("{}", summary_table(&runs).to_markdown());
+}

@@ -1,0 +1,32 @@
+//! Calibration validation: re-run after editing any DESIGN.md §4 constant.
+//!
+//! Usage: `validate [--thorough] [--seed N]`
+
+use std::process::ExitCode;
+use xferopt_scenarios::validation::validate;
+
+fn main() -> ExitCode {
+    let thorough = std::env::args().any(|a| a == "--thorough");
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xCAFE);
+    let report = validate(seed, thorough);
+    for c in &report.checks {
+        println!(
+            "[{}] {:32} {} (expected: {})",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.name,
+            c.measured,
+            c.expectation
+        );
+    }
+    if report.all_passed() {
+        println!("\nall {} checks passed", report.checks.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("\n{} of {} checks FAILED", report.failures(), report.checks.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each `fig*` binary reproduces one table/figure of the paper: it runs the
+//! corresponding experiment from `xferopt-scenarios`, prints a markdown
+//! summary to stdout, and writes raw series as CSV under `results/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xferopt_scenarios::experiments::TunedRun;
+use xferopt_scenarios::report::multi_series_csv;
+use xferopt_scenarios::Table;
+use xferopt_transfer::TransferLog;
+
+/// Resolve the output directory (`results/` under the workspace root or the
+/// current directory), creating it if needed.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("cannot create results dir");
+    dir.to_path_buf()
+}
+
+/// Write `contents` to `results/<name>` and echo the path.
+pub fn write_result(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("cannot write result file");
+    println!("wrote {}", path.display());
+}
+
+/// Resample a log's observed-throughput series onto a uniform 30 s grid.
+pub fn observed_series(log: &TransferLog, duration_s: f64) -> Vec<(f64, f64)> {
+    resample(&log.observed, duration_s)
+}
+
+/// Resample a log's best-case-throughput series onto a uniform 30 s grid.
+pub fn bestcase_series(log: &TransferLog, duration_s: f64) -> Vec<(f64, f64)> {
+    resample(&log.bestcase, duration_s)
+}
+
+/// Resample a log's concurrency trajectory onto a uniform 30 s grid.
+pub fn nc_series(log: &TransferLog, duration_s: f64) -> Vec<(f64, f64)> {
+    use xferopt_simcore::{SimDuration, SimTime};
+    log.nc
+        .resample_hold(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(duration_s),
+            SimDuration::from_secs(30),
+        )
+        .into_iter()
+        .map(|(t, v)| (t.as_secs_f64(), v))
+        .collect()
+}
+
+/// Resample a log's parallelism trajectory onto a uniform 30 s grid.
+pub fn np_series(log: &TransferLog, duration_s: f64) -> Vec<(f64, f64)> {
+    use xferopt_simcore::{SimDuration, SimTime};
+    log.np
+        .resample_hold(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(duration_s),
+            SimDuration::from_secs(30),
+        )
+        .into_iter()
+        .map(|(t, v)| (t.as_secs_f64(), v))
+        .collect()
+}
+
+fn resample(series: &xferopt_simcore::TimeSeries, duration_s: f64) -> Vec<(f64, f64)> {
+    use xferopt_simcore::{SimDuration, SimTime};
+    series
+        .resample_hold(
+            SimTime::ZERO,
+            SimTime::from_secs_f64(duration_s),
+            SimDuration::from_secs(30),
+        )
+        .into_iter()
+        .map(|(t, v)| (t.as_secs_f64(), v))
+        .collect()
+}
+
+/// Write one CSV per load condition with a throughput column per tuner
+/// (the shape of the paper's Fig. 5/7 panels).
+pub fn write_tuner_panels(
+    prefix: &str,
+    runs: &[TunedRun],
+    duration_s: f64,
+    select: impl Fn(&TransferLog, f64) -> Vec<(f64, f64)>,
+) {
+    let mut loads = Vec::new();
+    for r in runs {
+        if !loads.contains(&r.load) {
+            loads.push(r.load);
+        }
+    }
+    for load in loads {
+        let panel: Vec<(&str, Vec<(f64, f64)>)> = runs
+            .iter()
+            .filter(|r| r.load == load)
+            .map(|r| (r.tuner.name(), select(&r.log, duration_s)))
+            .collect();
+        let csv = multi_series_csv("t_s", &panel);
+        write_result(
+            &format!("{prefix}_{}.csv", load.label().replace(',', "_")),
+            &csv,
+        );
+    }
+}
+
+/// Render steady-state summaries as a markdown table.
+pub fn summary_table(runs: &[TunedRun]) -> Table {
+    let summaries = xferopt_scenarios::experiments::summarize(runs);
+    let mut t = Table::new(vec![
+        "load", "tuner", "observed MB/s", "best-case MB/s", "final nc", "final np", "vs default",
+    ]);
+    for s in summaries {
+        t.push_row(vec![
+            s.load.label(),
+            s.tuner.name().to_string(),
+            format!("{:.0}", s.observed_mbs),
+            format!("{:.0}", s.bestcase_mbs),
+            s.final_nc.to_string(),
+            s.final_np.to_string(),
+            if s.improvement.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.1}x", s.improvement)
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xferopt_scenarios::experiments::fig5;
+    use xferopt_scenarios::Route;
+
+    #[test]
+    fn series_resampling_produces_uniform_grid() {
+        let runs = fig5(Route::UChicago, 300.0, 3);
+        let s = observed_series(&runs[0].log, 300.0);
+        assert_eq!(s.len(), 11); // 0..=300 step 30
+        for (i, (t, _)) in s.iter().enumerate() {
+            assert_eq!(*t, i as f64 * 30.0);
+        }
+        let nc = nc_series(&runs[1].log, 300.0);
+        assert_eq!(nc.len(), 11);
+    }
+
+    #[test]
+    fn summary_table_has_all_rows() {
+        let runs = fig5(Route::UChicago, 300.0, 3);
+        let t = summary_table(&runs);
+        assert_eq!(t.len(), runs.len());
+    }
+}

@@ -1,0 +1,45 @@
+//! Disk-to-disk datasets and storage models — the paper's future work #1.
+//!
+//! The paper's evaluation is memory-to-memory; its stated future work is
+//! "broadening the approach to enable disk-to-disk optimization over sets of
+//! transfers with different file sizes" (Section V), citing Yildirim et
+//! al.'s pipelining/parallelism/concurrency analysis. This crate builds that
+//! extension:
+//!
+//! * [`filespec`] — synthetic datasets drawn from the file-size
+//!   distributions real science archives exhibit (lognormal bulk, heavy
+//!   tail), plus mixed presets (climate-style many-small, HEP-style
+//!   few-huge).
+//! * [`disk`] — a parallel-file-system model: per-open latency, per-stream
+//!   sequential bandwidth, stripe-limited aggregate.
+//! * [`xfer`] — the disk-to-disk fluid transfer model combining network,
+//!   source/destination storage, and the **pipelining** parameter `pp`
+//!   (files in flight per channel, hiding per-file control-channel round
+//!   trips), exposing throughput as a function of `(nc, np, pp)` — a 3-D
+//!   objective the direct-search tuners optimize out of the box.
+//!
+//! # Example
+//!
+//! ```
+//! use xferopt_dataset::{climate_dataset, DiskModel, DiskTransfer};
+//!
+//! let dataset = climate_dataset(4242);
+//! let xfer = DiskTransfer::new(dataset, DiskModel::parallel_fs(), DiskModel::parallel_fs());
+//! // Many small files: pipelining matters more than parallelism.
+//! let shallow = xfer.throughput_mbs(4, 4, 1);
+//! let deep = xfer.throughput_mbs(4, 4, 16);
+//! assert!(deep > shallow);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod disk;
+pub mod filespec;
+pub mod online;
+pub mod xfer;
+
+pub use disk::DiskModel;
+pub use filespec::{climate_dataset, hep_dataset, Dataset, FileSizeDistribution, FileSpec};
+pub use online::{drive_disk_transfer, DiskEpoch, DiskSchedule};
+pub use xfer::{DiskTransfer, DiskTransferObjective};

@@ -1,0 +1,262 @@
+//! EBLOCK-mode data framing.
+//!
+//! GridFTP extended-block mode prefixes every payload with a descriptor so
+//! that blocks may be sent over any data channel and reassembled by offset:
+//!
+//! ```text
+//! +-------+-----------------+-----------------+----------------+
+//! | flags |  length (u64)   |  offset (u64)   |  payload ...   |
+//! +-------+-----------------+-----------------+----------------+
+//! ```
+//!
+//! We keep the real wire layout (1 + 8 + 8 byte header, big-endian) and the
+//! EOD flag that closes a channel.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Header flag: end of data on this channel (for the current transfer; the
+/// channel itself may be cached and reused by the next transfer).
+pub const FLAG_EOD: u8 = 0x08;
+
+/// Header flag: the sender is closing this data channel for good (no more
+/// transfers will reuse it).
+pub const FLAG_EOF: u8 = 0x40;
+
+/// Size of the fixed EBLOCK header in bytes.
+pub const HEADER_LEN: usize = 17;
+
+/// Largest payload a single block may carry (sanity bound against corrupted
+/// headers, 64 MiB).
+pub const MAX_BLOCK_LEN: u64 = 64 * 1024 * 1024;
+
+/// One EBLOCK frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Header flags ([`FLAG_EOD`] is the only one used here).
+    pub flags: u8,
+    /// Byte offset of the payload within the logical file.
+    pub offset: u64,
+    /// Payload bytes (zero-copy handle).
+    pub payload: Bytes,
+}
+
+impl Block {
+    /// A data block.
+    pub fn data(offset: u64, payload: Bytes) -> Self {
+        Block {
+            flags: 0,
+            offset,
+            payload,
+        }
+    }
+
+    /// An end-of-data marker (no payload).
+    pub fn eod() -> Self {
+        Block {
+            flags: FLAG_EOD,
+            offset: 0,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// An end-of-file marker: closes the channel permanently (no payload).
+    pub fn eof() -> Self {
+        Block {
+            flags: FLAG_EOF,
+            offset: 0,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// True when this block ends the current transfer on this channel.
+    pub fn is_eod(&self) -> bool {
+        self.flags & FLAG_EOD != 0
+    }
+
+    /// True when this block closes the channel permanently.
+    pub fn is_eof(&self) -> bool {
+        self.flags & FLAG_EOF != 0
+    }
+
+    /// Encode into a fresh buffer (header + payload).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.put_u8(self.flags);
+        buf.put_u64(self.payload.len() as u64);
+        buf.put_u64(self.offset);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+}
+
+/// Error from the streaming decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Declared block length exceeds [`MAX_BLOCK_LEN`].
+    OversizedBlock(u64),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::OversizedBlock(n) => write!(f, "block length {n} exceeds maximum"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Incremental decoder: feed arbitrary byte chunks, pop whole blocks.
+#[derive(Debug, Default)]
+pub struct BlockDecoder {
+    buf: BytesMut,
+}
+
+impl BlockDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        BlockDecoder::default()
+    }
+
+    /// Append raw bytes from the wire.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet decodable into a whole block.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete block, if any.
+    pub fn next_block(&mut self) -> Result<Option<Block>, DecodeError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        // Peek the header without consuming.
+        let flags = self.buf[0];
+        let len = u64::from_be_bytes(self.buf[1..9].try_into().expect("slice len"));
+        if len > MAX_BLOCK_LEN {
+            return Err(DecodeError::OversizedBlock(len));
+        }
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let mut frame = self.buf.split_to(total);
+        frame.advance(1 + 8);
+        let offset = frame.get_u64();
+        Ok(Some(Block {
+            flags,
+            offset,
+            payload: frame.freeze(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single_block() {
+        let b = Block::data(4096, Bytes::from_static(b"payload"));
+        let wire = b.encode();
+        assert_eq!(wire.len(), HEADER_LEN + 7);
+        let mut dec = BlockDecoder::new();
+        dec.feed(&wire);
+        let out = dec.next_block().unwrap().unwrap();
+        assert_eq!(out, b);
+        assert!(dec.next_block().unwrap().is_none());
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn eod_round_trip() {
+        let wire = Block::eod().encode();
+        let mut dec = BlockDecoder::new();
+        dec.feed(&wire);
+        let out = dec.next_block().unwrap().unwrap();
+        assert!(out.is_eod());
+        assert!(out.payload.is_empty());
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding() {
+        let blocks = vec![
+            Block::data(0, Bytes::from_static(b"aaaa")),
+            Block::data(4, Bytes::from_static(b"bb")),
+            Block::eod(),
+        ];
+        let mut wire = Vec::new();
+        for b in &blocks {
+            wire.extend_from_slice(&b.encode());
+        }
+        let mut dec = BlockDecoder::new();
+        let mut out = Vec::new();
+        for &byte in &wire {
+            dec.feed(&[byte]);
+            while let Some(b) = dec.next_block().unwrap() {
+                out.push(b);
+            }
+        }
+        assert_eq!(out, blocks);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut hdr = vec![0u8];
+        hdr.extend_from_slice(&(MAX_BLOCK_LEN + 1).to_be_bytes());
+        hdr.extend_from_slice(&0u64.to_be_bytes());
+        let mut dec = BlockDecoder::new();
+        dec.feed(&hdr);
+        assert_eq!(
+            dec.next_block(),
+            Err(DecodeError::OversizedBlock(MAX_BLOCK_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn partial_header_waits() {
+        let mut dec = BlockDecoder::new();
+        dec.feed(&[0, 0, 0]);
+        assert!(dec.next_block().unwrap().is_none());
+        assert_eq!(dec.pending(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_chunking_decodes_identically(
+            blocks in prop::collection::vec(
+                (any::<u64>(), prop::collection::vec(any::<u8>(), 0..256)),
+                1..10
+            ),
+            chunk_size in 1usize..64,
+        ) {
+            let blocks: Vec<Block> = blocks
+                .into_iter()
+                .map(|(off, data)| Block::data(off, Bytes::from(data)))
+                .collect();
+            let mut wire = Vec::new();
+            for b in &blocks {
+                wire.extend_from_slice(&b.encode());
+            }
+            let mut dec = BlockDecoder::new();
+            let mut out = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                dec.feed(chunk);
+                while let Some(b) = dec.next_block().unwrap() {
+                    out.push(b);
+                }
+            }
+            prop_assert_eq!(out, blocks);
+            prop_assert_eq!(dec.pending(), 0);
+        }
+    }
+}

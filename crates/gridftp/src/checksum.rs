@@ -1,0 +1,184 @@
+//! Order-independent stripe digests.
+//!
+//! EBLOCK blocks arrive on any channel in any order, so the receiver needs a
+//! digest it can fold block-by-block without buffering the whole transfer.
+//! We hash each block's `(offset, payload)` with FNV-1a and combine the
+//! per-block hashes with wrapping addition — commutative and associative, so
+//! any arrival order (and any chunking *at the same block boundaries*)
+//! yields the same digest. This is an integrity check against reassembly
+//! bugs, not a cryptographic MAC, and is documented as such.
+
+/// Order-independent digest of a set of `(offset, payload)` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StripeDigest(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice, seeded with the block offset.
+fn fnv1a(offset: u64, data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in offset.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    for &b in data {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl StripeDigest {
+    /// The digest of an empty transfer.
+    pub fn new() -> Self {
+        StripeDigest(0)
+    }
+
+    /// Fold one block into the digest.
+    pub fn add_block(&mut self, offset: u64, payload: &[u8]) {
+        self.0 = self.0.wrapping_add(fnv1a(offset, payload));
+    }
+
+    /// Combine with another partial digest (e.g. per-channel accumulators).
+    pub fn merge(&mut self, other: StripeDigest) {
+        self.0 = self.0.wrapping_add(other.0);
+    }
+
+    /// The digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Digest of a whole buffer split at `block` boundaries starting from
+    /// offset 0 — what a sender computes up front to compare with the
+    /// receiver's fold.
+    pub fn of_buffer(data: &[u8], block: usize) -> StripeDigest {
+        assert!(block > 0, "block size must be positive");
+        let mut d = StripeDigest::new();
+        let mut off = 0usize;
+        while off < data.len() {
+            let end = (off + block).min(data.len());
+            d.add_block(off as u64, &data[off..end]);
+            off = end;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_independent() {
+        let mut a = StripeDigest::new();
+        a.add_block(0, b"hello");
+        a.add_block(5, b"world");
+        let mut b = StripeDigest::new();
+        b.add_block(5, b"world");
+        b.add_block(0, b"hello");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensitive_to_content_and_offset() {
+        let mut a = StripeDigest::new();
+        a.add_block(0, b"hello");
+        let mut b = StripeDigest::new();
+        b.add_block(0, b"hellp");
+        assert_ne!(a, b);
+        let mut c = StripeDigest::new();
+        c.add_block(1, b"hello");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut whole = StripeDigest::new();
+        whole.add_block(0, b"aa");
+        whole.add_block(2, b"bb");
+        whole.add_block(4, b"cc");
+        let mut left = StripeDigest::new();
+        left.add_block(0, b"aa");
+        let mut right = StripeDigest::new();
+        right.add_block(2, b"bb");
+        right.add_block(4, b"cc");
+        left.merge(right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn of_buffer_matches_manual_fold() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let auto = StripeDigest::of_buffer(&data, 100);
+        let mut manual = StripeDigest::new();
+        manual.add_block(0, &data[0..100]);
+        manual.add_block(100, &data[100..200]);
+        manual.add_block(200, &data[200..256]);
+        assert_eq!(auto, manual);
+    }
+
+    #[test]
+    fn empty_buffer_digest_is_zero() {
+        assert_eq!(StripeDigest::of_buffer(&[], 64).value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        StripeDigest::of_buffer(b"x", 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_permutation_same_digest(
+            blocks in prop::collection::vec((0u64..1_000_000, prop::collection::vec(any::<u8>(), 0..64)), 1..16),
+            seed in any::<u64>(),
+        ) {
+            let mut a = StripeDigest::new();
+            for (off, data) in &blocks {
+                a.add_block(*off, data);
+            }
+            // Deterministic shuffle from the seed.
+            let mut shuffled = blocks.clone();
+            let mut state = seed | 1;
+            for i in (1..shuffled.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                shuffled.swap(i, j);
+            }
+            let mut b = StripeDigest::new();
+            for (off, data) in &shuffled {
+                b.add_block(*off, data);
+            }
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn split_accumulators_merge_correctly(
+            blocks in prop::collection::vec((0u64..100_000, prop::collection::vec(any::<u8>(), 0..32)), 0..12),
+            cut in 0usize..12,
+        ) {
+            let cut = cut.min(blocks.len());
+            let mut whole = StripeDigest::new();
+            for (off, data) in &blocks {
+                whole.add_block(*off, data);
+            }
+            let mut left = StripeDigest::new();
+            for (off, data) in &blocks[..cut] {
+                left.add_block(*off, data);
+            }
+            let mut right = StripeDigest::new();
+            for (off, data) in &blocks[cut..] {
+                right.add_block(*off, data);
+            }
+            left.merge(right);
+            prop_assert_eq!(left, whole);
+        }
+    }
+}

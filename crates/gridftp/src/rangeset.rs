@@ -1,0 +1,284 @@
+//! Coalescing sets of byte ranges.
+//!
+//! GridFTP restart markers are lists of received byte ranges; a receiver
+//! merges every arriving block's `[offset, offset+len)` into the set, and a
+//! resuming sender transmits the complement. The representation is a sorted
+//! vector of disjoint, non-adjacent half-open ranges.
+
+use std::fmt;
+
+/// A set of disjoint half-open byte ranges `[start, end)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// Sorted, disjoint, non-adjacent.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        RangeSet { ranges: Vec::new() }
+    }
+
+    /// Insert `[start, end)`, merging with any overlapping or adjacent
+    /// ranges. Empty ranges are ignored.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        // Find the insertion window: all ranges overlapping or adjacent to
+        // [start, end).
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let hi = self.ranges.partition_point(|&(s, _)| s <= end);
+        let (mut s, mut e) = (start, end);
+        if lo < hi {
+            s = s.min(self.ranges[lo].0);
+            e = e.max(self.ranges[hi - 1].1);
+        }
+        self.ranges.splice(lo..hi, [(s, e)]);
+    }
+
+    /// True when `[start, end)` is fully covered.
+    pub fn covers(&self, start: u64, end: u64) -> bool {
+        if end <= start {
+            return true;
+        }
+        match self.ranges.binary_search_by(|&(s, _)| s.cmp(&start)) {
+            Ok(i) => self.ranges[i].1 >= end,
+            Err(0) => false,
+            Err(i) => self.ranges[i - 1].0 <= start && self.ranges[i - 1].1 >= end,
+        }
+    }
+
+    /// Total bytes covered.
+    pub fn total(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Number of disjoint ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The disjoint ranges, sorted.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// The gaps in `[0, size)` not covered by the set (what a resuming
+    /// sender still has to transmit).
+    pub fn complement(&self, size: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = 0u64;
+        for &(s, e) in &self.ranges {
+            if s >= size {
+                break;
+            }
+            if s > cursor {
+                out.push((cursor, s.min(size)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < size {
+            out.push((cursor, size));
+        }
+        out
+    }
+
+    /// Serialize as the classic marker text: `0-1024,2048-4096`.
+    pub fn to_marker(&self) -> String {
+        self.ranges
+            .iter()
+            .map(|&(s, e)| format!("{s}-{e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parse marker text produced by [`RangeSet::to_marker`]. Returns `None`
+    /// on malformed input.
+    pub fn from_marker(s: &str) -> Option<RangeSet> {
+        let mut set = RangeSet::new();
+        if s.trim().is_empty() {
+            return Some(set);
+        }
+        for part in s.split(',') {
+            let (a, b) = part.trim().split_once('-')?;
+            let start: u64 = a.parse().ok()?;
+            let end: u64 = b.parse().ok()?;
+            if end < start {
+                return None;
+            }
+            set.insert(start, end);
+        }
+        Some(set)
+    }
+}
+
+impl fmt::Display for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_marker())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_merge() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(20, 30);
+        assert_eq!(r.ranges(), &[(0, 10), (20, 30)]);
+        // Bridge the gap.
+        r.insert(10, 20);
+        assert_eq!(r.ranges(), &[(0, 30)]);
+        assert_eq!(r.total(), 30);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let mut r = RangeSet::new();
+        r.insert(0, 5);
+        r.insert(5, 10);
+        assert_eq!(r.ranges(), &[(0, 10)]);
+    }
+
+    #[test]
+    fn overlapping_insert_extends() {
+        let mut r = RangeSet::new();
+        r.insert(5, 15);
+        r.insert(0, 8);
+        r.insert(12, 20);
+        assert_eq!(r.ranges(), &[(0, 20)]);
+    }
+
+    #[test]
+    fn empty_insert_ignored() {
+        let mut r = RangeSet::new();
+        r.insert(5, 5);
+        r.insert(7, 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn covers_checks() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(20, 30);
+        assert!(r.covers(0, 10));
+        assert!(r.covers(2, 8));
+        assert!(r.covers(20, 30));
+        assert!(!r.covers(0, 15));
+        assert!(!r.covers(10, 20));
+        assert!(!r.covers(19, 21));
+        assert!(r.covers(5, 5), "empty range trivially covered");
+    }
+
+    #[test]
+    fn complement_finds_gaps() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert_eq!(r.complement(50), vec![(0, 10), (20, 30), (40, 50)]);
+        assert_eq!(r.complement(40), vec![(0, 10), (20, 30)]);
+        assert_eq!(r.complement(15), vec![(0, 10)]);
+        assert_eq!(RangeSet::new().complement(5), vec![(0, 5)]);
+        let mut full = RangeSet::new();
+        full.insert(0, 100);
+        assert!(full.complement(100).is_empty());
+    }
+
+    #[test]
+    fn marker_round_trip() {
+        let mut r = RangeSet::new();
+        r.insert(0, 1024);
+        r.insert(2048, 4096);
+        let text = r.to_marker();
+        assert_eq!(text, "0-1024,2048-4096");
+        assert_eq!(RangeSet::from_marker(&text).unwrap(), r);
+        assert_eq!(RangeSet::from_marker("").unwrap(), RangeSet::new());
+        assert!(RangeSet::from_marker("10-5").is_none());
+        assert!(RangeSet::from_marker("abc").is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_ranges() -> impl Strategy<Value = Vec<(u64, u64)>> {
+        prop::collection::vec((0u64..1000, 1u64..100), 0..40)
+            .prop_map(|v| v.into_iter().map(|(s, l)| (s, s + l)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_hold(inserts in arb_ranges()) {
+            let mut r = RangeSet::new();
+            for &(s, e) in &inserts {
+                r.insert(s, e);
+            }
+            // Sorted, disjoint, non-adjacent.
+            for w in r.ranges().windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "not disjoint/sorted: {:?}", r.ranges());
+            }
+            for &(s, e) in r.ranges() {
+                prop_assert!(s < e);
+            }
+            // Every inserted range is covered.
+            for &(s, e) in &inserts {
+                prop_assert!(r.covers(s, e), "lost range {s}-{e}: {:?}", r.ranges());
+            }
+            // Total equals the measure of the union (brute force).
+            let max = inserts.iter().map(|&(_, e)| e).max().unwrap_or(0);
+            let mut cells = vec![false; max as usize];
+            for &(s, e) in &inserts {
+                for c in cells.iter_mut().take(e as usize).skip(s as usize) {
+                    *c = true;
+                }
+            }
+            let brute: u64 = cells.iter().filter(|&&b| b).count() as u64;
+            prop_assert_eq!(r.total(), brute);
+        }
+
+        #[test]
+        fn complement_partitions(inserts in arb_ranges(), size in 1u64..1200) {
+            let mut r = RangeSet::new();
+            for &(s, e) in &inserts {
+                r.insert(s, e);
+            }
+            let gaps = r.complement(size);
+            // Gaps and covered ranges together tile [0, size) exactly.
+            let covered_in_window: u64 = r
+                .ranges()
+                .iter()
+                .map(|&(s, e)| e.min(size).saturating_sub(s.min(size)))
+                .sum();
+            let gap_total: u64 = gaps.iter().map(|&(s, e)| e - s).sum();
+            prop_assert_eq!(covered_in_window + gap_total, size);
+            // No gap may intersect the set.
+            for &(s, e) in &gaps {
+                for &(rs, re) in r.ranges() {
+                    prop_assert!(e <= rs || s >= re, "gap {s}-{e} overlaps {rs}-{re}");
+                }
+            }
+        }
+
+        #[test]
+        fn marker_round_trips(inserts in arb_ranges()) {
+            let mut r = RangeSet::new();
+            for &(s, e) in &inserts {
+                r.insert(s, e);
+            }
+            prop_assert_eq!(RangeSet::from_marker(&r.to_marker()).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! The striped receiver.
+//!
+//! One control listener; per `SPAS`, a set of ephemeral data listeners; per
+//! `STOR`, one reader thread per data channel folding EBLOCK frames into a
+//! shared `(RangeSet, StripeDigest, byte count)` — payloads are discarded
+//! (memory-to-memory, the paper's `/dev/null` destination). When every
+//! channel has signalled EOD the server replies `226` if the byte ranges
+//! cover the declared size, or a `111` restart marker if they do not (the
+//! client may reconnect and send the complement).
+
+use crate::block::BlockDecoder;
+use crate::checksum::StripeDigest;
+use crate::proto::{Command, Reply};
+use crate::rangeset::RangeSet;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accumulated state of one named logical file (persists across sessions so
+/// transfers can resume).
+#[derive(Debug, Default, Clone)]
+pub struct TransferState {
+    /// Byte ranges received so far.
+    pub ranges: RangeSet,
+    /// Order-independent digest of received blocks.
+    pub digest: StripeDigest,
+    /// Total payload bytes received (including any duplicate retransmits).
+    pub bytes: u64,
+    /// Declared size from the most recent `STOR`.
+    pub size: u64,
+}
+
+impl TransferState {
+    /// True when `[0, size)` is fully covered.
+    pub fn is_complete(&self) -> bool {
+        self.size > 0 && self.ranges.covers(0, self.size)
+    }
+}
+
+type Registry = Arc<Mutex<HashMap<String, TransferState>>>;
+
+/// A running GridFTP-style server on an ephemeral localhost port.
+#[derive(Debug)]
+pub struct GridFtpServer {
+    control_addr: SocketAddr,
+    registry: Registry,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GridFtpServer {
+    /// Bind the control listener and start serving sessions.
+    pub fn start() -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let control_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let reg = Arc::clone(&registry);
+        let stop = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("gridftp-accept".into())
+            .spawn(move || {
+                let mut sessions = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let reg = Arc::clone(&reg);
+                            let stop = Arc::clone(&stop);
+                            sessions.push(std::thread::spawn(move || {
+                                let _ = serve_session(stream, reg, stop);
+                            }));
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for s in sessions {
+                    let _ = s.join();
+                }
+            })?;
+
+        Ok(GridFtpServer {
+            control_addr,
+            registry,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The control-channel address clients connect to.
+    pub fn control_addr(&self) -> SocketAddr {
+        self.control_addr
+    }
+
+    /// Snapshot of a named transfer's state, if any blocks have arrived.
+    pub fn transfer_state(&self, name: &str) -> Option<TransferState> {
+        self.registry.lock().get(name).cloned()
+    }
+}
+
+impl Drop for GridFtpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn send_reply(w: &mut impl Write, reply: &Reply) -> std::io::Result<()> {
+    writeln!(w, "{reply}")?;
+    w.flush()
+}
+
+/// One control session: command loop until QUIT or disconnect.
+fn serve_session(stream: TcpStream, registry: Registry, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    send_reply(&mut writer, &Reply { code: 220, text: "xferopt GridFTP ready".into() })?;
+
+    let mut parallelism: u32 = 1;
+    let mut data_listeners: Vec<TcpListener> = Vec::new();
+    // Cached data channels: established connections kept open across
+    // transfers (GridFTP data-channel caching), so repeat STORs skip the
+    // TCP handshakes entirely.
+    let mut cached: Vec<TcpStream> = Vec::new();
+    let mut current_name: Option<String> = None;
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client went away
+        }
+        let cmd = match line.parse::<Command>() {
+            Ok(c) => c,
+            Err(e) => {
+                send_reply(&mut writer, &Reply::error(e.to_string()))?;
+                continue;
+            }
+        };
+        match cmd {
+            Command::OptsParallelism(np) => {
+                parallelism = np;
+                send_reply(&mut writer, &Reply::ok(format!("Parallelism set to {np}")))?;
+            }
+            Command::Spas => {
+                // Renegotiation drops any cached channels.
+                cached.clear();
+                data_listeners.clear();
+                let mut ports = Vec::new();
+                for _ in 0..parallelism {
+                    let l = TcpListener::bind("127.0.0.1:0")?;
+                    ports.push(l.local_addr()?.port());
+                    data_listeners.push(l);
+                }
+                send_reply(&mut writer, &Reply::spas(&ports))?;
+            }
+            Command::Stor { name, size } => {
+                if data_listeners.is_empty() && cached.is_empty() {
+                    send_reply(&mut writer, &Reply::error("SPAS required before STOR"))?;
+                    continue;
+                }
+                current_name = Some(name.clone());
+                registry.lock().entry(name.clone()).or_default().size = size;
+                send_reply(
+                    &mut writer,
+                    &Reply { code: 150, text: "Opening striped data connection".into() },
+                )?;
+                let conns = if cached.is_empty() {
+                    let listeners = std::mem::take(&mut data_listeners);
+                    accept_channels(listeners, &stop)?
+                } else {
+                    std::mem::take(&mut cached)
+                };
+                cached = drain_channels(conns, &registry, &name, &stop)?
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let state = registry.lock().get(&name).cloned().unwrap_or_default();
+                if state.is_complete() {
+                    send_reply(
+                        &mut writer,
+                        &Reply::complete(state.ranges.total(), state.digest.value()),
+                    )?;
+                } else {
+                    send_reply(&mut writer, &Reply::marker(&state.ranges))?;
+                }
+            }
+            Command::Retr { name, size } => {
+                if data_listeners.is_empty() && cached.is_empty() {
+                    send_reply(&mut writer, &Reply::error("SPAS required before RETR"))?;
+                    continue;
+                }
+                current_name = Some(name.clone());
+                send_reply(
+                    &mut writer,
+                    &Reply { code: 150, text: "Opening striped data connection".into() },
+                )?;
+                let conns = if cached.is_empty() {
+                    let listeners = std::mem::take(&mut data_listeners);
+                    accept_channels(listeners, &stop)?
+                } else {
+                    std::mem::take(&mut cached)
+                };
+                let (survivors, digest, sent) = send_stripes(conns, size, &stop)?;
+                cached = survivors;
+                send_reply(&mut writer, &Reply::complete(sent, digest.value()))?;
+            }
+            Command::MarkerRequest => match &current_name {
+                Some(name) => {
+                    let ranges = registry
+                        .lock()
+                        .get(name)
+                        .map(|s| s.ranges.clone())
+                        .unwrap_or_default();
+                    send_reply(&mut writer, &Reply::marker(&ranges))?;
+                }
+                None => send_reply(&mut writer, &Reply::error("no transfer in session"))?,
+            },
+            Command::Quit => {
+                send_reply(&mut writer, &Reply { code: 221, text: "Goodbye".into() })?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Accept one connection per listener (bounded wait).
+fn accept_channels(
+    listeners: Vec<TcpListener>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<Vec<TcpStream>> {
+    let mut conns = Vec::with_capacity(listeners.len());
+    for listener in &listeners {
+        listener.set_nonblocking(true)?;
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match listener.accept() {
+                Ok((c, _)) => {
+                    conns.push(c);
+                    break;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if stop.load(Ordering::Relaxed) || std::time::Instant::now() > deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(conns)
+}
+
+/// Drain blocks on every channel until EOD (transfer over; channel is
+/// returned for caching), EOF (sender closed the channel; dropped), or a
+/// disconnect/corruption (dropped — the partial data leaves a resumable
+/// marker).
+fn drain_channels(
+    conns: Vec<TcpStream>,
+    registry: &Registry,
+    name: &str,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<Vec<Option<TcpStream>>> {
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for mut conn in conns {
+            let registry = Arc::clone(registry);
+            let stop = Arc::clone(stop);
+            handles.push(scope.spawn(move |_| -> std::io::Result<Option<TcpStream>> {
+                conn.set_read_timeout(Some(Duration::from_millis(100)))?;
+                let mut decoder = BlockDecoder::new();
+                let mut buf = vec![0u8; 256 * 1024];
+                // Local accumulators folded into the registry at the end —
+                // one lock per channel, not per block.
+                let mut local_ranges = Vec::new();
+                let mut local_digest = StripeDigest::new();
+                let mut local_bytes = 0u64;
+                // keep: Some(conn) on EOD, None on EOF/close/corruption.
+                let mut keep = false;
+                'outer: loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match conn.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            decoder.feed(&buf[..n]);
+                            loop {
+                                match decoder.next_block() {
+                                    Ok(Some(b)) => {
+                                        if b.is_eof() {
+                                            break 'outer;
+                                        }
+                                        if b.is_eod() {
+                                            keep = true;
+                                            break 'outer;
+                                        }
+                                        local_digest.add_block(b.offset, &b.payload);
+                                        local_bytes += b.payload.len() as u64;
+                                        local_ranges
+                                            .push((b.offset, b.offset + b.payload.len() as u64));
+                                    }
+                                    Ok(None) => break,
+                                    Err(_) => break 'outer, // corrupted stream: drop the channel
+                                }
+                            }
+                        }
+                        Err(ref e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let mut reg = registry.lock();
+                let state = reg.entry(name.to_string()).or_default();
+                for (s, e) in local_ranges {
+                    state.ranges.insert(s, e);
+                }
+                state.digest.merge(local_digest);
+                state.bytes += local_bytes;
+                Ok(if keep { Some(conn) } else { None })
+            }));
+        }
+        let mut out = Vec::new();
+        for h in handles {
+            out.push(h.join().expect("stripe thread panicked")?);
+        }
+        Ok(out)
+    })
+    .expect("crossbeam scope failed")
+}
+
+/// Send `size` synthetic bytes as EBLOCK frames round-robined over the
+/// channels (the server side of `RETR`). Returns the surviving channels
+/// (cached for the next transfer), the digest, and the bytes sent.
+fn send_stripes(
+    conns: Vec<TcpStream>,
+    size: u64,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<(Vec<TcpStream>, StripeDigest, u64)> {
+    use crate::block::Block;
+    use std::sync::atomic::AtomicU64;
+    const BLOCK: usize = 256 * 1024;
+    let n_blocks = size.div_ceil(BLOCK as u64);
+    let cursor = Arc::new(AtomicU64::new(0));
+    let sent = Arc::new(AtomicU64::new(0));
+    let out = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for mut conn in conns {
+            let cursor = Arc::clone(&cursor);
+            let sent = Arc::clone(&sent);
+            let stop = Arc::clone(stop);
+            handles.push(scope.spawn(
+                move |_| -> std::io::Result<(TcpStream, StripeDigest)> {
+                    let mut local_digest = StripeDigest::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_blocks {
+                            break;
+                        }
+                        let offset = idx * BLOCK as u64;
+                        let len = ((size - offset) as usize).min(BLOCK);
+                        let payload = crate::client::payload_block(offset, len);
+                        local_digest.add_block(offset, &payload);
+                        conn.write_all(&Block::data(offset, payload).encode())?;
+                        sent.fetch_add(len as u64, Ordering::Relaxed);
+                    }
+                    conn.write_all(&Block::eod().encode())?;
+                    conn.flush()?;
+                    Ok((conn, local_digest))
+                },
+            ));
+        }
+        let mut survivors = Vec::new();
+        let mut digest = StripeDigest::new();
+        for h in handles {
+            let (c, d) = h.join().expect("send thread panicked")?;
+            survivors.push(c);
+            digest.merge(d);
+        }
+        Ok::<_, std::io::Error>((survivors, digest))
+    })
+    .expect("crossbeam scope failed")?;
+    let (survivors, digest) = out;
+    Ok((survivors, digest, sent.load(Ordering::Relaxed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use bytes::Bytes;
+
+    fn connect_control(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).unwrap();
+        assert!(greeting.starts_with("220"), "greeting: {greeting}");
+        (reader, writer)
+    }
+
+    fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, cmd: &Command) -> Reply {
+        writeln!(writer, "{cmd}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.parse().unwrap()
+    }
+
+    #[test]
+    fn handshake_and_quit() {
+        let server = GridFtpServer::start().unwrap();
+        let (mut r, mut w) = connect_control(server.control_addr());
+        let reply = roundtrip(&mut r, &mut w, &Command::OptsParallelism(4));
+        assert!(reply.is_success());
+        let reply = roundtrip(&mut r, &mut w, &Command::Quit);
+        assert_eq!(reply.code, 221);
+    }
+
+    #[test]
+    fn spas_opens_parallelism_many_ports() {
+        let server = GridFtpServer::start().unwrap();
+        let (mut r, mut w) = connect_control(server.control_addr());
+        roundtrip(&mut r, &mut w, &Command::OptsParallelism(3));
+        let reply = roundtrip(&mut r, &mut w, &Command::Spas);
+        let ports = reply.parse_spas_ports().unwrap();
+        assert_eq!(ports.len(), 3);
+        let unique: std::collections::HashSet<_> = ports.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn stor_without_spas_is_rejected() {
+        let server = GridFtpServer::start().unwrap();
+        let (mut r, mut w) = connect_control(server.control_addr());
+        let reply = roundtrip(
+            &mut r,
+            &mut w,
+            &Command::Stor { name: "x".into(), size: 10 },
+        );
+        assert!(!reply.is_success());
+    }
+
+    #[test]
+    fn malformed_command_gets_error_not_disconnect() {
+        let server = GridFtpServer::start().unwrap();
+        let (mut r, mut w) = connect_control(server.control_addr());
+        writeln!(w, "BOGUS THINGS").unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        let reply: Reply = line.parse().unwrap();
+        assert!(!reply.is_success());
+        // Session still alive:
+        let reply = roundtrip(&mut r, &mut w, &Command::Quit);
+        assert_eq!(reply.code, 221);
+    }
+
+    #[test]
+    fn single_channel_transfer_completes_and_digests() {
+        let server = GridFtpServer::start().unwrap();
+        let (mut r, mut w) = connect_control(server.control_addr());
+        roundtrip(&mut r, &mut w, &Command::OptsParallelism(1));
+        let ports = roundtrip(&mut r, &mut w, &Command::Spas)
+            .parse_spas_ports()
+            .unwrap();
+
+        let payload = b"0123456789".to_vec();
+        writeln!(w, "{}", Command::Stor { name: "f".into(), size: 10 }).unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(line.starts_with("150"), "line: {line}");
+
+        let mut data = TcpStream::connect(("127.0.0.1", ports[0])).unwrap();
+        data.write_all(&Block::data(0, Bytes::from(payload.clone())).encode())
+            .unwrap();
+        data.write_all(&Block::eod().encode()).unwrap();
+        drop(data);
+
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        let reply: Reply = line.parse().unwrap();
+        let (bytes, digest) = reply.parse_complete().unwrap();
+        assert_eq!(bytes, 10);
+        let expected = StripeDigest::of_buffer(&payload, 10).value();
+        assert_eq!(digest, expected);
+
+        let state = server.transfer_state("f").unwrap();
+        assert!(state.is_complete());
+    }
+
+    #[test]
+    fn incomplete_transfer_returns_marker() {
+        let server = GridFtpServer::start().unwrap();
+        let (mut r, mut w) = connect_control(server.control_addr());
+        roundtrip(&mut r, &mut w, &Command::OptsParallelism(1));
+        let ports = roundtrip(&mut r, &mut w, &Command::Spas)
+            .parse_spas_ports()
+            .unwrap();
+        writeln!(w, "{}", Command::Stor { name: "g".into(), size: 20 }).unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap(); // 150
+
+        // Send only the second half, then EOD.
+        let mut data = TcpStream::connect(("127.0.0.1", ports[0])).unwrap();
+        data.write_all(&Block::data(10, Bytes::from(vec![7u8; 10])).encode())
+            .unwrap();
+        data.write_all(&Block::eod().encode()).unwrap();
+        drop(data);
+
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        let reply: Reply = line.parse().unwrap();
+        let marker = reply.parse_marker().unwrap();
+        assert_eq!(marker.ranges(), &[(10, 20)]);
+        assert_eq!(marker.complement(20), vec![(0, 10)]);
+    }
+}

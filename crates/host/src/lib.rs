@@ -1,0 +1,37 @@
+//! Endpoint host model: cores, fair-share scheduling, process startup costs.
+//!
+//! The paper's central empirical finding (Section III-A) is that the
+//! *critical* number of parallel streams depends on **external load at the
+//! source endpoint**: running `ext.cmp` dgemm hogs or `ext.tfr` competing
+//! transfer streams both move the throughput-vs-streams peak right and pull
+//! it down. The mechanism is the OS fair-share scheduler: transfer threads
+//! and compute threads split CPU time roughly per-thread, so a transfer that
+//! spawns *more* threads claims a *larger* share of a loaded machine — up to
+//! the point where context-switch overhead dominates.
+//!
+//! This crate models exactly that:
+//!
+//! * [`cpu::CpuModel`] — cores, per-core transfer bandwidth, per-thread
+//!   fair-share weights (CPU-bound hogs weigh more than I/O-bound transfer
+//!   threads), and a superlinear context-switch efficiency penalty.
+//! * [`startup::StartupModel`] — the cost of (re)starting a
+//!   `globus-url-copy`-like process: executable load, buffer allocation, and
+//!   thread spawning, stretched under CPU contention. This is the paper's
+//!   "restart overhead" separating Fig. 5 (observed) from Fig. 7 (best-case).
+//! * [`host::Host`] — a registry of transfer applications and compute jobs on
+//!   one machine, combining the two models.
+//! * [`presets`] — the paper's machines: the ANL Nehalem source, the
+//!   UChicago Sandy Bridge destination, and a TACC Stampede node.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cpu;
+pub mod host;
+pub mod presets;
+pub mod startup;
+
+pub use cpu::CpuModel;
+pub use host::{AppId, AppLoad, Host};
+pub use presets::{modern_dtn, nehalem, sandybridge_uchicago, stampede_tacc, HostSpec};
+pub use startup::StartupModel;

@@ -1,0 +1,167 @@
+//! The client side: `nc × np` real TCP streams pushing bytes for one epoch.
+//!
+//! Mirrors the paper's wrapper around `globus-url-copy`: `nc` worker groups
+//! (processes, there; thread groups, here) each drive `np` TCP streams. All
+//! streams pull send-permits from the shared [`TokenBucket`], so they
+//! contend for one bottleneck exactly like parallel WAN streams do.
+
+use crate::shaper::TokenBucket;
+use bytes::Bytes;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Chunk size each stream writes per send (64 KiB, a typical GridFTP block).
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Run one control epoch: `nc × np` streams to `addr` for `epoch`, shaped by
+/// the shared `bucket`. Returns the aggregate throughput in MB/s.
+///
+/// Stream setup (connect) happens inside the epoch — the analogue of the
+/// paper's restart overhead: more streams cost more setup time out of the
+/// same epoch.
+///
+/// # Panics
+/// Panics if `nc` or `np` is zero or the epoch is zero-length.
+pub fn measure_epoch(
+    addr: SocketAddr,
+    nc: u32,
+    np: u32,
+    epoch: Duration,
+    bucket: Arc<TokenBucket>,
+) -> io::Result<f64> {
+    measure_epoch_with_stream_cap(addr, nc, np, epoch, bucket, None)
+}
+
+/// Like [`measure_epoch`], but each stream additionally throttles itself to
+/// `per_stream_mbs` — the real-socket analogue of a per-stream TCP window
+/// cap. With a per-stream cap well below the shared bucket, parallel
+/// streams genuinely pay, so the tuners' objective has the paper's rising
+/// segment on real sockets too.
+///
+/// # Panics
+/// Panics if `nc` or `np` is zero or the epoch is zero-length.
+pub fn measure_epoch_with_stream_cap(
+    addr: SocketAddr,
+    nc: u32,
+    np: u32,
+    epoch: Duration,
+    bucket: Arc<TokenBucket>,
+    per_stream_mbs: Option<f64>,
+) -> io::Result<f64> {
+    assert!(nc > 0 && np > 0, "need at least one stream");
+    assert!(!epoch.is_zero(), "epoch must be positive");
+    let streams = (nc * np) as usize;
+    let sent = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let deadline = start + epoch;
+    // Shared immutable payload: zero-copy clones per stream (`bytes::Bytes`).
+    let payload = Bytes::from(vec![0u8; CHUNK_BYTES]);
+
+    let result: Result<(), io::Error> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(streams);
+        for _ in 0..streams {
+            let sent = Arc::clone(&sent);
+            let bucket = Arc::clone(&bucket);
+            let payload = payload.clone();
+            let own_bucket = per_stream_mbs
+                .map(|mbs| TokenBucket::new(crate::shaper::ShaperConfig::rate_mbs(mbs)));
+            handles.push(scope.spawn(move |_| -> io::Result<()> {
+                let mut stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                stream.set_write_timeout(Some(Duration::from_millis(200)))?;
+                while Instant::now() < deadline {
+                    if let Some(b) = &own_bucket {
+                        b.acquire(payload.len());
+                    }
+                    bucket.acquire(payload.len());
+                    match stream.write_all(&payload) {
+                        Ok(()) => {
+                            sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        }
+                        Err(ref e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("stream thread panicked")?;
+        }
+        Ok(())
+    })
+    .expect("crossbeam scope failed");
+    result?;
+
+    let secs = start.elapsed().as_secs_f64();
+    Ok(sent.load(Ordering::Relaxed) as f64 / secs / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SinkServer;
+    use crate::shaper::ShaperConfig;
+
+    #[test]
+    fn single_stream_moves_bytes() {
+        let server = SinkServer::start().unwrap();
+        let bucket = Arc::new(TokenBucket::new(ShaperConfig::unshaped()));
+        let mbs = measure_epoch(server.addr(), 1, 1, Duration::from_millis(200), bucket).unwrap();
+        assert!(mbs > 1.0, "loopback single stream should move >1 MB/s: {mbs}");
+    }
+
+    #[test]
+    fn aggregate_respects_shared_bucket() {
+        let server = SinkServer::start().unwrap();
+        let bucket = Arc::new(TokenBucket::new(ShaperConfig::rate_mbs(30.0)));
+        let mbs = measure_epoch(server.addr(), 2, 4, Duration::from_millis(500), bucket).unwrap();
+        assert!(mbs < 90.0, "8 streams share one 30 MB/s bucket: {mbs}");
+        assert!(mbs > 5.0, "but they should still move data: {mbs}");
+    }
+
+    #[test]
+    fn per_stream_cap_makes_parallelism_pay() {
+        // With a 10 MB/s per-stream cap under an ample shared bucket, four
+        // streams must clearly beat one — the rising segment, on sockets.
+        let server = SinkServer::start().unwrap();
+        let bucket = Arc::new(TokenBucket::new(ShaperConfig::rate_mbs(500.0)));
+        let one = measure_epoch_with_stream_cap(
+            server.addr(), 1, 1, Duration::from_millis(400), Arc::clone(&bucket), Some(10.0),
+        )
+        .unwrap();
+        let four = measure_epoch_with_stream_cap(
+            server.addr(), 4, 1, Duration::from_millis(400), bucket, Some(10.0),
+        )
+        .unwrap();
+        assert!(
+            four > 2.0 * one,
+            "parallelism must pay under per-stream caps: {one:.1} -> {four:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stream")]
+    fn zero_streams_rejected() {
+        let server = SinkServer::start().unwrap();
+        let bucket = Arc::new(TokenBucket::new(ShaperConfig::unshaped()));
+        let _ = measure_epoch(server.addr(), 0, 1, Duration::from_millis(10), bucket);
+    }
+
+    #[test]
+    fn connect_failure_is_reported() {
+        // A port with (almost certainly) no listener.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let bucket = Arc::new(TokenBucket::new(ShaperConfig::unshaped()));
+        let r = measure_epoch(addr, 1, 1, Duration::from_millis(10), bucket);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic compute hogs: the paper's `ext.cmp` dgemm copies.
+//!
+//! Each hog is a spin thread doing dense floating-point work (a small
+//! matrix-multiply kernel, the same arithmetic shape as `dgemm`), consuming
+//! its whole quantum — so the OS scheduler treats it exactly like the
+//! paper's MKL hogs treat the transfer streams.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Matrix dimension of the spin kernel.
+const N: usize = 64;
+
+/// A set of running CPU hogs; dropped = stopped.
+#[derive(Debug)]
+pub struct CpuHogs {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<f64>>,
+}
+
+impl CpuHogs {
+    /// Spawn `count` hog threads. Zero is allowed (no-op).
+    pub fn spawn(count: u32) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads = (0..count)
+            .map(|i| {
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("xferopt-hog-{i}"))
+                    .spawn(move || spin_dgemm(&stop))
+                    .expect("failed to spawn hog")
+            })
+            .collect();
+        CpuHogs { stop, threads }
+    }
+
+    /// Number of hog threads.
+    pub fn count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Stop all hogs and wait for them (also done on drop).
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CpuHogs {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Repeated small matrix multiplies until asked to stop. Returns a checksum
+/// so the optimizer cannot elide the work.
+fn spin_dgemm(stop: &AtomicBool) -> f64 {
+    let a = vec![1.000_1f64; N * N];
+    let b = vec![0.999_9f64; N * N];
+    let mut c = vec![0.0f64; N * N];
+    let mut checksum = 0.0;
+    while !stop.load(Ordering::Relaxed) {
+        for i in 0..N {
+            for k in 0..N {
+                let aik = a[i * N + k];
+                for j in 0..N {
+                    c[i * N + j] += aik * b[k * N + j];
+                }
+            }
+        }
+        checksum += c[0];
+        // Keep values bounded.
+        if checksum > 1e12 {
+            c.iter_mut().for_each(|x| *x = 0.0);
+            checksum = 0.0;
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn hogs_start_and_stop() {
+        let hogs = CpuHogs::spawn(2);
+        assert_eq!(hogs.count(), 2);
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        hogs.stop();
+        assert!(t0.elapsed() < Duration::from_secs(2), "stop must be prompt");
+    }
+
+    #[test]
+    fn zero_hogs_is_fine() {
+        let hogs = CpuHogs::spawn(0);
+        assert_eq!(hogs.count(), 0);
+    }
+
+    #[test]
+    fn drop_stops_hogs() {
+        let hogs = CpuHogs::spawn(1);
+        drop(hogs); // must not hang
+    }
+
+    #[test]
+    fn hogs_actually_consume_cpu() {
+        // Measure how much spinning a probe thread gets with and without
+        // hogs; with a full complement of hogs it should get less. This is
+        // inherently scheduling-dependent, so the assertion is loose.
+        let spin_count = |dur: Duration| {
+            let t0 = Instant::now();
+            let mut n = 0u64;
+            let mut x = 1.0001f64;
+            while t0.elapsed() < dur {
+                for _ in 0..1000 {
+                    x = x * 1.000001 % 10.0;
+                }
+                n += 1000;
+            }
+            std::hint::black_box(x);
+            n
+        };
+        let free = spin_count(Duration::from_millis(200));
+        let hogs = CpuHogs::spawn((std::thread::available_parallelism().unwrap().get() * 2) as u32);
+        let contended = spin_count(Duration::from_millis(200));
+        drop(hogs);
+        assert!(
+            contended < free,
+            "hogs must slow the probe: free={free} contended={contended}"
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! The assembled quasi-static network model.
+//!
+//! A [`Network`] owns links, paths, and flow groups, and exposes one core
+//! operation: [`Network::allocate`], which maps every registered flow group
+//! to its max–min fair goodput given current demands. Transfer harnesses
+//! re-run the allocation whenever membership changes (a tuner changed its
+//! stream count, external traffic appeared) and integrate bytes between
+//! changes — the standard fluid discrete-event pattern.
+
+use crate::fairness::{max_min_allocate, FlowDemand};
+use crate::flow::{FlowGroup, FlowId};
+use crate::link::{Link, LinkId, Path, PathId};
+use crate::tcp::{CongestionControl, DEFAULT_MSS_BYTES};
+use std::collections::BTreeMap;
+
+/// A network of links, paths, and active flow groups.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    links: Vec<Link>,
+    paths: Vec<Path>,
+    flows: BTreeMap<FlowId, FlowGroup>,
+    next_flow: u64,
+    mss_bytes: f64,
+}
+
+impl Network {
+    /// An empty network with the default MSS.
+    pub fn new() -> Self {
+        Network {
+            links: Vec::new(),
+            paths: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            mss_bytes: DEFAULT_MSS_BYTES,
+        }
+    }
+
+    /// Override the TCP maximum segment size in bytes (e.g. 8960 for jumbo
+    /// frames, common on data-transfer nodes).
+    ///
+    /// # Panics
+    /// Panics if `mss` is not strictly positive.
+    pub fn set_mss_bytes(&mut self, mss: f64) {
+        assert!(mss > 0.0, "MSS must be positive");
+        self.mss_bytes = mss;
+    }
+
+    /// The configured MSS in bytes.
+    pub fn mss_bytes(&self) -> f64 {
+        self.mss_bytes
+    }
+
+    /// Register a link and return its id.
+    pub fn add_link(&mut self, link: Link) -> LinkId {
+        self.links.push(link);
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Register a path and return its id.
+    ///
+    /// # Panics
+    /// Panics if the path references an unknown link.
+    pub fn add_path(&mut self, path: Path) -> PathId {
+        for &l in &path.links {
+            assert!(l.0 < self.links.len(), "path references unknown link {l:?}");
+        }
+        self.paths.push(path);
+        PathId(self.paths.len() - 1)
+    }
+
+    /// Register a flow group of `streams` parallel `cc` streams on `path`.
+    ///
+    /// # Panics
+    /// Panics if the path id is unknown.
+    pub fn add_flow(&mut self, path: PathId, streams: u32, cc: CongestionControl) -> FlowId {
+        assert!(path.0 < self.paths.len(), "unknown path {path:?}");
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(id, FlowGroup::new(path, streams, cc));
+        id
+    }
+
+    /// Change the stream count of an existing flow group.
+    ///
+    /// # Panics
+    /// Panics if the flow id is unknown.
+    pub fn set_streams(&mut self, flow: FlowId, streams: u32) {
+        self.flows
+            .get_mut(&flow)
+            .unwrap_or_else(|| panic!("unknown flow {flow:?}"))
+            .streams = streams;
+    }
+
+    /// Remove a flow group. Removing an unknown id is a no-op (idempotent
+    /// teardown).
+    pub fn remove_flow(&mut self, flow: FlowId) {
+        self.flows.remove(&flow);
+    }
+
+    /// Access a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Access a path.
+    pub fn path(&self, id: PathId) -> &Path {
+        &self.paths[id.0]
+    }
+
+    /// Access a flow group, if it exists.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowGroup> {
+        self.flows.get(&id)
+    }
+
+    /// Number of registered flow groups.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of registered links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Link capacities in MB/s, indexed by `LinkId.0`.
+    pub fn link_capacities(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.capacity_mbs).collect()
+    }
+
+    /// Ids of all registered flow groups, in id order.
+    pub fn flow_ids(&self) -> Vec<FlowId> {
+        self.flows.keys().copied().collect()
+    }
+
+    /// Aggregate demand cap of one flow in MB/s (before fair sharing).
+    ///
+    /// # Panics
+    /// Panics if the flow id is unknown.
+    pub fn flow_demand_mbs(&self, id: FlowId) -> f64 {
+        let f = &self.flows[&id];
+        let p = &self.paths[f.path.0];
+        f.demand_mbs(p.rtt_s, p.loss, p.wmax_bytes, self.mss_bytes)
+    }
+
+    /// Total TCP streams crossing each link, indexed by `LinkId.0`.
+    pub fn streams_per_link(&self) -> Vec<f64> {
+        let mut n = vec![0.0f64; self.links.len()];
+        for f in self.flows.values() {
+            for &l in &self.paths[f.path.0].links {
+                n[l.0] += f.streams as f64;
+            }
+        }
+        n
+    }
+
+    /// Compute the max–min fair goodput allocation for every registered flow
+    /// group, in MB/s.
+    ///
+    /// Link capacities are first derated to their *effective* values given
+    /// the total stream count multiplexed onto each link (see
+    /// [`Link::effective_capacity_mbs`]), then shared max–min fairly with
+    /// stream counts as weights and TCP-model demand caps.
+    pub fn allocate(&self) -> BTreeMap<FlowId, f64> {
+        let streams = self.streams_per_link();
+        let caps: Vec<f64> = self
+            .links
+            .iter()
+            .zip(&streams)
+            .map(|(l, &n)| l.effective_capacity_mbs(n))
+            .collect();
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let demands: Vec<FlowDemand> = ids
+            .iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                let p = &self.paths[f.path.0];
+                FlowDemand {
+                    weight: f.streams as f64,
+                    demand_cap: f.demand_mbs(p.rtt_s, p.loss, p.wmax_bytes, self.mss_bytes),
+                    links: p.links.iter().map(|l| l.0).collect(),
+                }
+            })
+            .collect();
+        let alloc = max_min_allocate(&caps, &demands);
+        ids.into_iter().zip(alloc).collect()
+    }
+
+    /// Convenience: the allocation of a single flow (other flows still
+    /// contend), in MB/s.
+    ///
+    /// # Panics
+    /// Panics if the flow id is unknown.
+    pub fn allocation_of(&self, id: FlowId) -> f64 {
+        assert!(self.flows.contains_key(&id), "unknown flow {id:?}");
+        self.allocate()[&id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the paper's ANL source topology: 5000 MB/s NIC, a 5000 MB/s WAN
+    /// to UChicago and a 2500 MB/s WAN to TACC.
+    fn anl_topology() -> (Network, PathId, PathId) {
+        let mut net = Network::new();
+        let nic = net.add_link(Link::from_gbps("anl-nic", 40.0));
+        let wan_uc = net.add_link(Link::from_gbps("wan-uc", 40.0));
+        let wan_tacc = net.add_link(Link::from_gbps("wan-tacc", 20.0));
+        let p_uc = net.add_path(
+            Path::new("anl->uc", vec![nic, wan_uc])
+                .with_rtt_ms(2.0)
+                .with_loss(2e-4),
+        );
+        let p_tacc = net.add_path(
+            Path::new("anl->tacc", vec![nic, wan_tacc])
+                .with_rtt_ms(33.0)
+                .with_loss(1e-5),
+        );
+        (net, p_uc, p_tacc)
+    }
+
+    #[test]
+    fn single_stream_cannot_saturate_lossy_path() {
+        let (mut net, p_uc, _) = anl_topology();
+        let f = net.add_flow(p_uc, 1, CongestionControl::HTcp);
+        let rate = net.allocation_of(f);
+        assert!(rate > 0.0);
+        assert!(
+            rate < 1000.0,
+            "one stream should be far below the 5000 MB/s NIC, got {rate}"
+        );
+    }
+
+    #[test]
+    fn more_streams_more_throughput_until_saturation() {
+        let (mut net, p_uc, _) = anl_topology();
+        let f = net.add_flow(p_uc, 1, CongestionControl::HTcp);
+        let mut last = 0.0;
+        let mut saturated_at = None;
+        for k in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+            net.set_streams(f, k);
+            let r = net.allocation_of(f);
+            assert!(r >= last - 1e-9, "throughput must not fall in pure net model");
+            if r >= 4999.0 && saturated_at.is_none() {
+                saturated_at = Some(k);
+            }
+            last = r;
+        }
+        let k = saturated_at.expect("some stream count should saturate the NIC");
+        assert!(k >= 16, "saturation too early (k={k}); loss calibration off");
+    }
+
+    #[test]
+    fn competing_traffic_shifts_shares() {
+        let (mut net, p_uc, _) = anl_topology();
+        let ours = net.add_flow(p_uc, 64, CongestionControl::HTcp);
+        let theirs = net.add_flow(p_uc, 64, CongestionControl::HTcp);
+        let a = net.allocate();
+        assert!((a[&ours] - a[&theirs]).abs() < 1e-6, "equal weights, equal split");
+        // Quadrupling our streams quadruples our weight.
+        net.set_streams(ours, 256);
+        let a = net.allocate();
+        assert!(a[&ours] > 3.0 * a[&theirs], "a={a:?}");
+    }
+
+    #[test]
+    fn fig11_shared_nic_coupling() {
+        let (mut net, p_uc, p_tacc) = anl_topology();
+        let f_uc = net.add_flow(p_uc, 64, CongestionControl::HTcp);
+        let f_tacc = net.add_flow(p_tacc, 64, CongestionControl::HTcp);
+        let a = net.allocate();
+        let total = a[&f_uc] + a[&f_tacc];
+        assert!(total <= 5000.0 + 1e-6, "NIC bound violated: {total}");
+        // Raising UC streams must reduce the TACC share (shared NIC).
+        let before_tacc = a[&f_tacc];
+        net.set_streams(f_uc, 256);
+        let a = net.allocate();
+        assert!(a[&f_tacc] < before_tacc, "shared NIC should couple the transfers");
+    }
+
+    #[test]
+    fn remove_flow_restores_bandwidth() {
+        let (mut net, p_uc, _) = anl_topology();
+        let a = net.add_flow(p_uc, 64, CongestionControl::HTcp);
+        let b = net.add_flow(p_uc, 64, CongestionControl::HTcp);
+        let with_b = net.allocation_of(a);
+        net.remove_flow(b);
+        let without_b = net.allocation_of(a);
+        assert!(without_b > with_b);
+        assert_eq!(net.flow_count(), 1);
+        net.remove_flow(b); // idempotent
+    }
+
+    #[test]
+    fn flow_demand_reflects_tcp_model() {
+        let (mut net, _, p_tacc) = anl_topology();
+        let f = net.add_flow(p_tacc, 10, CongestionControl::HTcp);
+        let d = net.flow_demand_mbs(f);
+        let p = net.path(p_tacc);
+        let per = CongestionControl::HTcp
+            .steady_rate_mbs(p.rtt_s, p.loss, net.mss_bytes())
+            .min(CongestionControl::window_cap_mbs(p.rtt_s, p.wmax_bytes));
+        assert!((d - 10.0 * per).abs() < 1e-9);
+    }
+
+    /// Topology with the paper-calibrated AIMD derating on the shared NIC.
+    fn derated_topology() -> (Network, PathId) {
+        let mut net = Network::new();
+        let nic = net.add_link(Link::from_gbps("anl-nic", 40.0).with_half_streams(16.0));
+        let wan = net.add_link(Link::from_gbps("wan-uc", 40.0).with_half_streams(16.0));
+        let p = net.add_path(
+            Path::new("anl->uc", vec![nic, wan])
+                .with_rtt_ms(2.0)
+                .with_loss(1e-5),
+        );
+        (net, p)
+    }
+
+    #[test]
+    fn derated_link_matches_paper_default() {
+        // Globus default = 16 streams: 5000·16/32 = 2500 MB/s, the paper's
+        // observed default throughput on ANL->UChicago.
+        let (mut net, p) = derated_topology();
+        let f = net.add_flow(p, 16, CongestionControl::HTcp);
+        let r = net.allocation_of(f);
+        assert!((r - 2500.0).abs() < 1.0, "r={r}");
+    }
+
+    #[test]
+    fn derated_link_concave_growth() {
+        let (mut net, p) = derated_topology();
+        let f = net.add_flow(p, 16, CongestionControl::HTcp);
+        let r16 = net.allocation_of(f);
+        net.set_streams(f, 64);
+        let r64 = net.allocation_of(f);
+        net.set_streams(f, 256);
+        let r256 = net.allocation_of(f);
+        assert!(r16 < r64 && r64 < r256, "monotone: {r16} {r64} {r256}");
+        // Diminishing returns: 4x streams gives far less than 4x throughput.
+        assert!(r64 < 2.0 * r16);
+        assert!(r256 < 5000.0);
+    }
+
+    #[test]
+    fn external_streams_on_shared_nic_match_paper_tfr_numbers() {
+        // Paper Fig. 5d/5e: default (16 streams) drops from 2500 to ~1400
+        // with ext.tfr=16 and ~900 with ext.tfr=64.
+        let (mut net, p) = derated_topology();
+        let ours = net.add_flow(p, 16, CongestionControl::HTcp);
+        let ext = net.add_flow(p, 16, CongestionControl::HTcp);
+        let r = net.allocation_of(ours);
+        assert!((1300.0..1900.0).contains(&r), "tfr=16: r={r}");
+        net.set_streams(ext, 64);
+        let r = net.allocation_of(ours);
+        assert!((700.0..1100.0).contains(&r), "tfr=64: r={r}");
+    }
+
+    #[test]
+    fn effective_capacity_edges() {
+        let ideal = Link::new("ideal", 100.0);
+        assert_eq!(ideal.effective_capacity_mbs(0.0), 100.0);
+        assert_eq!(ideal.effective_capacity_mbs(1e9), 100.0);
+        let derated = Link::new("d", 100.0).with_half_streams(10.0);
+        assert_eq!(derated.effective_capacity_mbs(0.0), 0.0);
+        assert!((derated.effective_capacity_mbs(10.0) - 50.0).abs() < 1e-9);
+        assert!(derated.effective_capacity_mbs(1e6) > 99.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow")]
+    fn set_streams_unknown_flow_panics() {
+        let (mut net, _, _) = anl_topology();
+        net.set_streams(FlowId(99), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "references unknown link")]
+    fn path_with_unknown_link_panics() {
+        let mut net = Network::new();
+        net.add_path(Path::new("bad", vec![LinkId(5)]));
+    }
+}

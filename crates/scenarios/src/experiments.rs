@@ -1,0 +1,536 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Each function returns structured data; the `fig*` binaries in
+//! `xferopt-bench` render it as CSV/markdown. Durations and repeat counts
+//! default to the paper's, but are parameters so tests can run abbreviated
+//! versions.
+
+use crate::driver::{drive_transfer, DriveConfig, MultiDriver, MultiSpec, TuneDims};
+use crate::load::{ExternalLoad, LoadSchedule};
+use crate::runner::run_repeats;
+use crate::topology::{PaperWorld, Route};
+use xferopt_simcore::{BoxplotStats, SimDuration};
+use xferopt_transfer::{StreamParams, TransferLog};
+use xferopt_tuners::TunerKind;
+
+/// One boxplot cell of Fig. 1: throughput distribution at a concurrency
+/// value under a load condition.
+#[derive(Debug, Clone)]
+pub struct Fig1Cell {
+    /// Concurrency (np is fixed at 1 in Fig. 1).
+    pub nc: u32,
+    /// External load condition.
+    pub load: ExternalLoad,
+    /// Throughput distribution over epochs × repeats (MB/s).
+    pub stats: BoxplotStats,
+}
+
+/// The concurrency values probed by Fig. 1.
+pub const FIG1_NC_VALUES: [u32; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Fig. 1: throughput vs concurrency (`np = 1`), (a) without and (b) with
+/// heavy external load (`ext.tfr = ext.cmp = 16`), `repeats` runs of
+/// `run_secs` each, sampled in 30 s windows.
+pub fn fig1(repeats: usize, run_secs: f64, seed: u64) -> Vec<Fig1Cell> {
+    let loads = [ExternalLoad::NONE, ExternalLoad::new(16, 16)];
+    let mut cells = Vec::new();
+    for load in loads {
+        for &nc in &FIG1_NC_VALUES {
+            let samples: Vec<Vec<f64>> = run_repeats(repeats, seed ^ nc as u64, |_, s| {
+                fig1_run(nc, load, run_secs, s)
+            });
+            let flat: Vec<f64> = samples.into_iter().flatten().collect();
+            let stats = BoxplotStats::from_samples(&flat).expect("no samples");
+            cells.push(Fig1Cell { nc, load, stats });
+        }
+    }
+    cells
+}
+
+/// One Fig. 1 run: fixed `nc` (np=1) under `load`, returning per-30 s-window
+/// throughput samples.
+fn fig1_run(nc: u32, load: ExternalLoad, run_secs: f64, seed: u64) -> Vec<f64> {
+    let mut pw = PaperWorld::new(seed);
+    let source = pw.source;
+    pw.world.set_compute_jobs(source, load.cmp);
+    if load.tfr > 0 {
+        let ext = xferopt_transfer::TransferConfig::memory_to_memory(source, pw.path_uchicago)
+            .with_params(StreamParams::new(load.tfr, 1));
+        pw.world.add_transfer(ext);
+    }
+    let tid = pw.start_transfer(Route::UChicago, StreamParams::new(nc, 1));
+    // Warm-up past startup.
+    pw.world.step(SimDuration::from_secs(30));
+    let windows = (run_secs / 30.0).max(1.0) as usize;
+    let mut samples = Vec::with_capacity(windows);
+    for _ in 0..windows {
+        let es = pw.world.begin_epoch(tid, StreamParams::new(nc, 1), false);
+        pw.world.step(SimDuration::from_secs(30));
+        samples.push(pw.world.end_epoch(es).observed_mbs);
+    }
+    samples
+}
+
+/// One tuned run of Figs. 5–7 (or the ANL→TACC variant).
+#[derive(Debug, Clone)]
+pub struct TunedRun {
+    /// Strategy used.
+    pub tuner: TunerKind,
+    /// Constant external load of the run.
+    pub load: ExternalLoad,
+    /// Full epoch history (observed + best-case + trajectories).
+    pub log: TransferLog,
+}
+
+/// The five load conditions of Fig. 5 (a–e).
+pub const FIG5_LOADS: [ExternalLoad; 5] = [
+    ExternalLoad::NONE,
+    ExternalLoad::new(0, 16),
+    ExternalLoad::new(0, 64),
+    ExternalLoad::new(16, 0),
+    ExternalLoad::new(64, 0),
+];
+
+/// The tuners compared in Figs. 5–7.
+pub const FIG5_TUNERS: [TunerKind; 4] = [
+    TunerKind::Default,
+    TunerKind::Cd,
+    TunerKind::Cs,
+    TunerKind::Nm,
+];
+
+/// Figs. 5, 6 and 7: tune concurrency (`np = 8`) on a route under each load
+/// condition for each tuner. One run covers all three figures: Fig. 5 plots
+/// `log.observed`, Fig. 6 `log.nc`, Fig. 7 `log.bestcase`.
+pub fn fig5(route: Route, duration_s: f64, seed: u64) -> Vec<TunedRun> {
+    let mut runs = Vec::new();
+    for load in FIG5_LOADS {
+        for tuner in FIG5_TUNERS {
+            let cfg = DriveConfig::paper(
+                route,
+                tuner,
+                TuneDims::NcOnly { np: 8 },
+                LoadSchedule::constant(load),
+            )
+            .with_duration_s(duration_s)
+            .with_seed(seed);
+            runs.push(TunedRun {
+                tuner,
+                load,
+                log: drive_transfer(&cfg),
+            });
+        }
+    }
+    runs
+}
+
+/// Figs. 8 (TACC) and 9 (UChicago): tune `nc` and `np` simultaneously under
+/// the varying load (`tfr=64,cmp=16` until t=1000 s, then `tfr=16,cmp=16`),
+/// for cs-tuner, nm-tuner and default.
+pub fn fig8_9(route: Route, duration_s: f64, seed: u64) -> Vec<TunedRun> {
+    [TunerKind::Default, TunerKind::Cs, TunerKind::Nm]
+        .into_iter()
+        .map(|tuner| {
+            let cfg = DriveConfig::paper(route, tuner, TuneDims::NcNp, LoadSchedule::paper_varying())
+                .with_duration_s(duration_s)
+                .with_seed(seed);
+            TunedRun {
+                tuner,
+                load: ExternalLoad::new(64, 16), // initial segment; see schedule
+                log: drive_transfer(&cfg),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 10: nm-tuner vs heur1 (Balman) vs heur2 (Yildirim) on ANL→TACC under
+/// the varying load, tuning `nc` and `np`.
+pub fn fig10(duration_s: f64, seed: u64) -> Vec<TunedRun> {
+    [TunerKind::Nm, TunerKind::Heur1, TunerKind::Heur2]
+        .into_iter()
+        .map(|tuner| {
+            let cfg = DriveConfig::paper(
+                Route::Tacc,
+                tuner,
+                TuneDims::NcNp,
+                LoadSchedule::paper_varying(),
+            )
+            .with_duration_s(duration_s)
+            .with_seed(seed);
+            TunedRun {
+                tuner,
+                load: ExternalLoad::new(64, 16),
+                log: drive_transfer(&cfg),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 11: two simultaneously tuned transfers (ANL→UChicago and ANL→TACC)
+/// sharing the source NIC, both driven by `tuner` (the paper shows nm and
+/// cs). Returns `(uchicago_log, tacc_log)`.
+pub fn fig11(tuner: TunerKind, duration_s: f64, seed: u64) -> (TransferLog, TransferLog) {
+    let specs = vec![
+        MultiSpec {
+            route: Route::UChicago,
+            tuner,
+            dims: TuneDims::NcNp,
+            x0: StreamParams::globus_default(),
+        },
+        MultiSpec {
+            route: Route::Tacc,
+            tuner,
+            dims: TuneDims::NcNp,
+            x0: StreamParams::globus_default(),
+        },
+    ];
+    let md = MultiDriver::new(
+        &specs,
+        LoadSchedule::constant(ExternalLoad::NONE),
+        30.0,
+        seed,
+    );
+    let mut logs = md.run(duration_s);
+    let tacc = logs.pop().expect("tacc log");
+    let uc = logs.pop().expect("uchicago log");
+    (uc, tacc)
+}
+
+/// Steady-state summary of a tuned run: mean observed and best-case
+/// throughput over the last third of the run, final parameters, and the
+/// improvement factor vs a baseline.
+#[derive(Debug, Clone)]
+pub struct SteadySummary {
+    /// Strategy.
+    pub tuner: TunerKind,
+    /// Load condition.
+    pub load: ExternalLoad,
+    /// Mean observed MB/s over the steady window.
+    pub observed_mbs: f64,
+    /// Mean best-case MB/s over the steady window.
+    pub bestcase_mbs: f64,
+    /// Final concurrency.
+    pub final_nc: u32,
+    /// Final parallelism.
+    pub final_np: u32,
+    /// observed / baseline-observed (the paper's "Nx improvement").
+    pub improvement: f64,
+}
+
+/// Summarize runs (grouped by load) against the `default` baseline in each
+/// group, using the steady window `[2/3·T, T)`.
+pub fn summarize(runs: &[TunedRun]) -> Vec<SteadySummary> {
+    let mut out = Vec::new();
+    let loads: Vec<ExternalLoad> = {
+        let mut seen = Vec::new();
+        for r in runs {
+            if !seen.contains(&r.load) {
+                seen.push(r.load);
+            }
+        }
+        seen
+    };
+    for load in loads {
+        let group: Vec<&TunedRun> = runs.iter().filter(|r| r.load == load).collect();
+        let t_end = group
+            .iter()
+            .map(|r| {
+                r.log
+                    .epochs
+                    .last()
+                    .map(|e| (e.start + e.duration).as_secs_f64())
+                    .unwrap_or(0.0)
+            })
+            .fold(0.0f64, f64::max);
+        let window = (t_end * 2.0 / 3.0, t_end + 1.0);
+        let baseline = group
+            .iter()
+            .find(|r| r.tuner == TunerKind::Default)
+            .and_then(|r| r.log.mean_observed_between(window.0, window.1));
+        for r in &group {
+            let observed = r
+                .log
+                .mean_observed_between(window.0, window.1)
+                .unwrap_or(0.0);
+            let bestcase = r
+                .log
+                .mean_bestcase_between(window.0, window.1)
+                .unwrap_or(0.0);
+            out.push(SteadySummary {
+                tuner: r.tuner,
+                load: r.load,
+                observed_mbs: observed,
+                bestcase_mbs: bestcase,
+                final_nc: r.log.final_nc().unwrap_or(0),
+                final_np: r.log.final_np().unwrap_or(0),
+                improvement: match baseline {
+                    Some(b) if b > 0.0 => observed / b,
+                    _ => f64::NAN,
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Extension experiment (the paper's future work #4): tune against a
+/// *destination*-loaded endpoint. The paper only loads the source; the same
+/// fair-share mechanism operates at the receiver, so adaptive concurrency
+/// recovers throughput there too. Runs default/cs/nm on ANL→UChicago with
+/// `dst_cmp` hogs on the UChicago node and nothing on the source.
+pub fn ext_destination_load(dst_cmp: u32, duration_s: f64, seed: u64) -> Vec<TunedRun> {
+    use crate::driver::TuneDims;
+    use xferopt_simcore::SimDuration;
+    [TunerKind::Default, TunerKind::Cs, TunerKind::Nm]
+        .into_iter()
+        .map(|tuner| {
+            // Hand-rolled drive loop over a world with a modelled destination.
+            let mut pw = PaperWorld::new(seed);
+            pw.world.set_compute_jobs(pw.dst_uchicago, dst_cmp);
+            let tid = pw.start_transfer_with_dst(Route::UChicago, StreamParams::globus_default());
+            let dims = TuneDims::NcOnly { np: 8 };
+            let mut t = tuner.build(dims.domain(), dims.to_point(StreamParams::globus_default()));
+            let restarts = tuner != TunerKind::Default;
+            let mut log = TransferLog::new();
+            let mut x = t.initial();
+            let epochs = (duration_s / 30.0).round() as usize;
+            for _ in 0..epochs {
+                let es = pw.world.begin_epoch(tid, dims.to_params(&x), restarts);
+                pw.world.step(SimDuration::from_secs(30));
+                let r = pw.world.end_epoch(es);
+                log.push(r);
+                x = t.observe(&x, r.observed_mbs);
+            }
+            TunedRun {
+                tuner,
+                load: ExternalLoad::NONE,
+                log,
+            }
+        })
+        .collect()
+}
+
+/// Result of the joint-vs-independent tuning comparison.
+#[derive(Debug, Clone)]
+pub struct JointComparison {
+    /// Aggregate steady throughput with one joint 4-D tuner, MB/s.
+    pub joint_total_mbs: f64,
+    /// Aggregate steady throughput with two independent tuners (Fig. 11), MB/s.
+    pub independent_total_mbs: f64,
+    /// Per-transfer joint logs (UChicago, TACC).
+    pub joint_logs: (TransferLog, TransferLog),
+    /// Per-transfer independent logs (UChicago, TACC).
+    pub independent_logs: (TransferLog, TransferLog),
+}
+
+/// Extension experiment (paper Section IV-D discussion): aggregate the two
+/// transfers at the shared endpoint and tune all four parameters
+/// `(nc_uc, np_uc, nc_tacc, np_tacc)` with **one** Nelder–Mead tuner
+/// maximizing the *sum* of throughputs, versus the paper's Fig. 11 setup of
+/// two mutually blind tuners.
+pub fn ext_joint_tuning(duration_s: f64, seed: u64) -> JointComparison {
+    use xferopt_simcore::SimDuration;
+    use xferopt_tuners::{Domain, NelderMeadTuner, OnlineTuner};
+
+    // --- Joint: one 4-D tuner over the sum. ---
+    let mut pw = PaperWorld::new(seed);
+    let uc = pw.start_transfer(Route::UChicago, StreamParams::globus_default());
+    let tacc = pw.start_transfer(Route::Tacc, StreamParams::globus_default());
+    let domain = Domain::new(&[(1, 256), (1, 32), (1, 256), (1, 32)]);
+    let mut tuner = NelderMeadTuner::new(domain, vec![2, 8, 2, 8], 5.0);
+    let mut x = tuner.initial();
+    let mut joint_uc = TransferLog::new();
+    let mut joint_tacc = TransferLog::new();
+    let epochs = (duration_s / 30.0).round() as usize;
+    for _ in 0..epochs {
+        let p_uc = StreamParams::new(x[0].max(1) as u32, x[1].max(1) as u32);
+        let p_tacc = StreamParams::new(x[2].max(1) as u32, x[3].max(1) as u32);
+        let es_uc = pw.world.begin_epoch(uc, p_uc, true);
+        let es_tacc = pw.world.begin_epoch(tacc, p_tacc, true);
+        pw.world.step(SimDuration::from_secs(30));
+        let r_uc = pw.world.end_epoch(es_uc);
+        let r_tacc = pw.world.end_epoch(es_tacc);
+        joint_uc.push(r_uc);
+        joint_tacc.push(r_tacc);
+        x = tuner.observe(&x, r_uc.observed_mbs + r_tacc.observed_mbs);
+    }
+
+    // --- Independent: the Fig. 11 protocol. ---
+    let (ind_uc, ind_tacc) = fig11(TunerKind::Nm, duration_s, seed);
+
+    let window = (duration_s * 2.0 / 3.0, duration_s + 1.0);
+    let steady = |log: &TransferLog| log.mean_observed_between(window.0, window.1).unwrap_or(0.0);
+    JointComparison {
+        joint_total_mbs: steady(&joint_uc) + steady(&joint_tacc),
+        independent_total_mbs: steady(&ind_uc) + steady(&ind_tacc),
+        joint_logs: (joint_uc, joint_tacc),
+        independent_logs: (ind_uc, ind_tacc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_no_load() {
+        // Abbreviated: 2 repeats × 120 s. The rising-then-falling shape and
+        // the paper's critical point around nc=64 must show.
+        let cells = fig1(2, 120.0, 11);
+        let no_load: Vec<&Fig1Cell> = cells
+            .iter()
+            .filter(|c| c.load == ExternalLoad::NONE)
+            .collect();
+        assert_eq!(no_load.len(), FIG1_NC_VALUES.len());
+        let median = |nc: u32| {
+            no_load
+                .iter()
+                .find(|c| c.nc == nc)
+                .map(|c| c.stats.median)
+                .unwrap()
+        };
+        assert!(median(1) < median(16), "rising segment");
+        assert!(median(16) < median(64), "rising to the critical point");
+        assert!(
+            median(512) < median(64),
+            "falling past the critical point: {} vs {}",
+            median(512),
+            median(64)
+        );
+    }
+
+    #[test]
+    fn fig1_critical_point_shifts_under_load() {
+        let cells = fig1(2, 120.0, 13);
+        let best_nc = |load: ExternalLoad| {
+            cells
+                .iter()
+                .filter(|c| c.load == load)
+                .max_by(|a, b| a.stats.median.partial_cmp(&b.stats.median).unwrap())
+                .unwrap()
+                .nc
+        };
+        let idle = best_nc(ExternalLoad::NONE);
+        let loaded = best_nc(ExternalLoad::new(16, 16));
+        assert!(
+            loaded > idle,
+            "paper: critical point rises with load ({idle} -> {loaded})"
+        );
+    }
+
+    #[test]
+    fn fig5_runs_cover_grid() {
+        let runs = fig5(Route::UChicago, 300.0, 17);
+        assert_eq!(runs.len(), FIG5_LOADS.len() * FIG5_TUNERS.len());
+        for r in &runs {
+            assert_eq!(r.log.epochs.len(), 10);
+        }
+    }
+
+    #[test]
+    fn summarize_improvements() {
+        let runs = fig5(Route::UChicago, 900.0, 19);
+        let summaries = summarize(&runs);
+        assert_eq!(summaries.len(), runs.len());
+        // default has improvement 1 by construction.
+        for s in summaries.iter().filter(|s| s.tuner == TunerKind::Default) {
+            assert!((s.improvement - 1.0).abs() < 1e-9);
+        }
+        // Under cmp=16 the direct-search tuners must beat default clearly.
+        let cs = summaries
+            .iter()
+            .find(|s| s.tuner == TunerKind::Cs && s.load == ExternalLoad::new(0, 16))
+            .unwrap();
+        assert!(
+            cs.improvement > 2.0,
+            "cs under cmp=16: improvement={}",
+            cs.improvement
+        );
+    }
+
+    #[test]
+    fn fig8_trajectories_respond_to_load_change() {
+        let runs = fig8_9(Route::Tacc, 1500.0, 23);
+        let nm = runs
+            .iter()
+            .find(|r| r.tuner == TunerKind::Nm)
+            .unwrap();
+        let before = nm.log.mean_observed_between(600.0, 990.0).unwrap();
+        let after = nm.log.mean_observed_between(1200.0, 1500.0).unwrap();
+        assert!(
+            after > before,
+            "lighter load after 1000 s should raise throughput: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn fig10_nm_beats_heur1() {
+        let runs = fig10(1200.0, 29);
+        let get = |k: TunerKind| {
+            runs.iter()
+                .find(|r| r.tuner == k)
+                .unwrap()
+                .log
+                .mean_observed_between(400.0, 1000.0)
+                .unwrap()
+        };
+        let nm = get(TunerKind::Nm);
+        let h1 = get(TunerKind::Heur1);
+        assert!(
+            nm > h1,
+            "paper: nm and heur2 significantly beat heur1 ({nm} vs {h1})"
+        );
+    }
+
+    #[test]
+    fn destination_load_extension_behaves() {
+        let runs = ext_destination_load(32, 900.0, 37);
+        let get = |k: TunerKind| {
+            runs.iter()
+                .find(|r| r.tuner == k)
+                .unwrap()
+                .log
+                .mean_observed_between(600.0, 901.0)
+                .unwrap()
+        };
+        let default = get(TunerKind::Default);
+        let nm = get(TunerKind::Nm);
+        assert!(
+            default < 1500.0,
+            "destination hogs must degrade default: {default}"
+        );
+        assert!(
+            nm > 1.5 * default,
+            "adaptive concurrency must recover destination share: {nm} vs {default}"
+        );
+    }
+
+    #[test]
+    fn joint_tuning_is_competitive() {
+        let cmp = ext_joint_tuning(900.0, 41);
+        assert!(cmp.joint_total_mbs > 0.0 && cmp.independent_total_mbs > 0.0);
+        // Joint tuning sees the aggregate objective, so it should not lose
+        // badly to blind mutual contention (allow noise-level slack).
+        assert!(
+            cmp.joint_total_mbs > 0.7 * cmp.independent_total_mbs,
+            "joint {:.0} vs independent {:.0}",
+            cmp.joint_total_mbs,
+            cmp.independent_total_mbs
+        );
+        // Both respect the shared NIC.
+        assert!(cmp.joint_total_mbs <= 5100.0);
+        assert!(cmp.independent_total_mbs <= 5100.0);
+    }
+
+    #[test]
+    fn fig11_shares_the_nic() {
+        let (uc, tacc) = fig11(TunerKind::Nm, 900.0, 31);
+        assert_eq!(uc.epochs.len(), 30);
+        assert_eq!(tacc.epochs.len(), 30);
+        let a = uc.mean_observed_between(450.0, 900.0).unwrap();
+        let b = tacc.mean_observed_between(450.0, 900.0).unwrap();
+        assert!(a + b < 5200.0, "NIC bound: {a}+{b}");
+        // The paper observes the UChicago transfer winning the larger share.
+        assert!(a > 0.0 && b > 0.0);
+    }
+}

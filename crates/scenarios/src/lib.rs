@@ -1,0 +1,41 @@
+//! Paper experiment presets, the online tuning driver, and report emission.
+//!
+//! This crate glues the workspace together into the experiments of the
+//! paper's Section IV:
+//!
+//! * [`topology`] — the production testbed as a simulated world: ANL Nehalem
+//!   source behind a 40 Gb/s NIC, UChicago (40 Gb/s, short RTT) and TACC
+//!   (20 Gb/s, 33 ms RTT) destinations, with the AIMD-derating and host
+//!   calibration documented in `DESIGN.md`.
+//! * [`load`] — external source load: `ext.tfr` competing transfer streams
+//!   and `ext.cmp` dgemm compute hogs, with piecewise schedules for the
+//!   "load changes at t = 1000 s" experiments.
+//! * [`driver`] — the control-epoch loop binding an
+//!   [`xferopt_tuners::OnlineTuner`] to a live transfer (the paper's
+//!   `runTransfer` wrapper): restart each epoch, observe, ask for the next
+//!   point. A multi-transfer variant drives the Fig. 11 simultaneous-tuning
+//!   experiment.
+//! * [`experiments`] — one function per table/figure, returning structured
+//!   series/rows.
+//! * [`runner`] — parallel scenario repeats (`crossbeam::scope`, one
+//!   deterministic world per thread).
+//! * [`report`] — markdown/CSV emission for the `fig*` binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod experiments;
+pub mod load;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+pub mod topology;
+pub mod validation;
+
+pub use driver::{drive_transfer, DriveConfig, MultiDriver, TuneDims};
+pub use load::{ExternalLoad, LoadSchedule};
+pub use report::Table;
+pub use topology::{PaperWorld, Route};
+pub use sweep::{throughput_surface, Surface, SweepCell};
+pub use validation::{validate, Check, ValidationReport};

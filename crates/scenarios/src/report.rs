@@ -1,0 +1,197 @@
+//! Markdown and CSV report emission for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// A simple rectangular table with headers.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the headers.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish: quotes around fields containing commas
+    /// or quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Format a `(time, value)` series as two-column CSV with the given headers.
+pub fn series_csv(t_name: &str, v_name: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("{t_name},{v_name}\n");
+    for (t, v) in series {
+        let _ = writeln!(out, "{t:.1},{v:.2}");
+    }
+    out
+}
+
+/// Format several aligned series as CSV: first column time, one column per
+/// named series. Series must have identical time grids.
+///
+/// # Panics
+/// Panics if series lengths or grids disagree.
+pub fn multi_series_csv(t_name: &str, series: &[(&str, Vec<(f64, f64)>)]) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series[0].1.len();
+    for (name, s) in series {
+        assert_eq!(s.len(), n, "series {name} has mismatched length");
+    }
+    let mut out = String::from(t_name);
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for i in 0..n {
+        let t = series[0].1[i].0;
+        for (name, s) in series {
+            assert!(
+                (s[i].0 - t).abs() < 1e-9,
+                "series {name} time grid mismatch at row {i}"
+            );
+        }
+        let _ = write!(out, "{t:.1}");
+        for (_, s) in series {
+            let _ = write!(out, ",{:.2}", s[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table() {
+        let mut t = Table::new(vec!["tuner", "MB/s"]);
+        t.push_row(vec!["default", "2500"]);
+        t.push_row(vec!["nm-tuner", "3500"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| tuner    | MB/s |"));
+        assert!(md.contains("| nm-tuner | 3500 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a"]);
+        t.push_row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let csv = series_csv("t_s", "mbs", &[(0.0, 100.0), (30.0, 200.5)]);
+        assert_eq!(csv, "t_s,mbs\n0.0,100.00\n30.0,200.50\n");
+    }
+
+    #[test]
+    fn multi_series_alignment() {
+        let a = vec![(0.0, 1.0), (30.0, 2.0)];
+        let b = vec![(0.0, 3.0), (30.0, 4.0)];
+        let csv = multi_series_csv("t", &[("x", a), ("y", b)]);
+        assert_eq!(csv, "t,x,y\n0.0,1.00,3.00\n30.0,2.00,4.00\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched length")]
+    fn multi_series_length_checked() {
+        multi_series_csv("t", &[("x", vec![(0.0, 1.0)]), ("y", vec![])]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Throughput-surface sweeps: measure the steady-state objective over a
+//! grid of `(nc, np)` values — the Fig. 1 generator as a reusable API.
+//!
+//! A sweep answers "what does the landscape the tuners search actually look
+//! like under this load?" — useful for calibration, for picking domains, and
+//! for sanity-checking that a tuner's answer sits near the grid optimum.
+//! Cells are independent worlds, so the sweep fans out across threads via
+//! [`crate::runner::run_repeats`].
+
+use crate::load::ExternalLoad;
+use crate::runner::run_repeats;
+use crate::topology::{PaperWorld, Route};
+use xferopt_simcore::SimDuration;
+use xferopt_transfer::{StreamParams, TransferConfig};
+
+/// One measured grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Concurrency.
+    pub nc: u32,
+    /// Parallelism.
+    pub np: u32,
+    /// Steady throughput, MB/s (noise-free world).
+    pub mbs: f64,
+}
+
+/// A measured throughput surface.
+#[derive(Debug, Clone, Default)]
+pub struct Surface {
+    /// All cells, in row-major `(np, nc)` order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl Surface {
+    /// The best cell, if any.
+    pub fn argmax(&self) -> Option<SweepCell> {
+        self.cells
+            .iter()
+            .copied()
+            .max_by(|a, b| a.mbs.partial_cmp(&b.mbs).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The cell at `(nc, np)`, if it was swept.
+    pub fn at(&self, nc: u32, np: u32) -> Option<SweepCell> {
+        self.cells.iter().copied().find(|c| c.nc == nc && c.np == np)
+    }
+
+    /// Render as CSV: `nc,np,mbs` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("nc,np,mbs\n");
+        for c in &self.cells {
+            out.push_str(&format!("{},{},{:.2}\n", c.nc, c.np, c.mbs));
+        }
+        out
+    }
+}
+
+/// Measure the noise-free steady throughput at every `(nc, np)` grid point
+/// on `route` under constant `load`, `secs` of steady measurement per cell
+/// (after a warm-up past startup). Deterministic from `seed`; cells run in
+/// parallel.
+///
+/// # Panics
+/// Panics if either value list is empty or `secs` is not positive.
+pub fn throughput_surface(
+    route: Route,
+    load: ExternalLoad,
+    nc_values: &[u32],
+    np_values: &[u32],
+    secs: f64,
+    seed: u64,
+) -> Surface {
+    assert!(!nc_values.is_empty() && !np_values.is_empty(), "empty grid");
+    assert!(secs > 0.0, "measurement window must be positive");
+    let grid: Vec<(u32, u32)> = np_values
+        .iter()
+        .flat_map(|&np| nc_values.iter().map(move |&nc| (nc, np)))
+        .collect();
+    let cells = run_repeats(grid.len(), seed, |i, cell_seed| {
+        let (nc, np) = grid[i];
+        let mbs = measure_cell(route, load, StreamParams::new(nc, np), secs, cell_seed);
+        SweepCell { nc, np, mbs }
+    });
+    Surface { cells }
+}
+
+fn measure_cell(
+    route: Route,
+    load: ExternalLoad,
+    params: StreamParams,
+    secs: f64,
+    seed: u64,
+) -> f64 {
+    let mut pw = PaperWorld::new(seed);
+    pw.world.set_compute_jobs(pw.source, load.cmp);
+    if load.tfr > 0 {
+        let ext = TransferConfig::memory_to_memory(pw.source, pw.path(route))
+            .with_params(StreamParams::new(load.tfr, 1))
+            .with_noise(0.0, 1.0);
+        pw.world.add_transfer(ext);
+    }
+    let tid = pw.start_quiet_transfer(route, params);
+    pw.world.step(SimDuration::from_secs(30)); // past startup
+    let es = pw.world.begin_epoch(tid, params, false);
+    pw.world.step(SimDuration::from_secs_f64(secs));
+    pw.world.end_epoch(es).observed_mbs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_has_interior_optimum_matching_fig1() {
+        let ncs = [1u32, 2, 4, 8, 16, 32, 64, 128, 256];
+        let s = throughput_surface(Route::UChicago, ExternalLoad::NONE, &ncs, &[1], 60.0, 1);
+        assert_eq!(s.cells.len(), ncs.len());
+        let best = s.argmax().unwrap();
+        assert!(
+            best.nc > 1 && best.nc < 256,
+            "interior optimum expected: {best:?}"
+        );
+        // Rising then falling around the peak.
+        assert!(s.at(1, 1).unwrap().mbs < best.mbs);
+        assert!(s.at(256, 1).unwrap().mbs < best.mbs);
+    }
+
+    #[test]
+    fn load_shifts_the_surface_optimum() {
+        let ncs = [2u32, 8, 32, 128];
+        let idle = throughput_surface(Route::UChicago, ExternalLoad::NONE, &ncs, &[8], 60.0, 2);
+        let loaded = throughput_surface(
+            Route::UChicago,
+            ExternalLoad::new(0, 16),
+            &ncs,
+            &[8],
+            60.0,
+            2,
+        );
+        let b_idle = idle.argmax().unwrap();
+        let b_loaded = loaded.argmax().unwrap();
+        assert!(b_loaded.nc >= b_idle.nc, "critical point must not move left");
+        assert!(b_loaded.mbs < b_idle.mbs, "peak must fall under load");
+    }
+
+    #[test]
+    fn tuner_answer_sits_near_the_grid_optimum() {
+        // Cross-check: nm-tuner's chosen nc under cmp=16 must be within the
+        // high plateau of the measured surface.
+        use crate::driver::{drive_transfer, DriveConfig, TuneDims};
+        use crate::load::LoadSchedule;
+        use xferopt_tuners::TunerKind;
+        let load = ExternalLoad::new(0, 16);
+        let ncs: Vec<u32> = (1..=10).map(|i| i * 8).collect();
+        let surface = throughput_surface(Route::UChicago, load, &ncs, &[8], 60.0, 3);
+        let best = surface.argmax().unwrap();
+        let cfg = DriveConfig::paper(
+            Route::UChicago,
+            TunerKind::Nm,
+            TuneDims::NcOnly { np: 8 },
+            LoadSchedule::constant(load),
+        )
+        .with_duration_s(1200.0)
+        .with_noise_sigma(0.0);
+        let log = drive_transfer(&cfg);
+        let chosen = log.final_nc().unwrap();
+        let chosen_mbs = surface
+            .cells
+            .iter()
+            .filter(|c| (c.nc as i64 - chosen as i64).unsigned_abs() <= 8)
+            .map(|c| c.mbs)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            chosen_mbs >= 0.8 * best.mbs,
+            "nm chose nc={chosen} whose neighborhood ({chosen_mbs:.0}) is far below the surface peak ({:.0} at nc={})",
+            best.mbs,
+            best.nc
+        );
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let s = Surface {
+            cells: vec![SweepCell { nc: 2, np: 8, mbs: 2500.125 }],
+        };
+        assert_eq!(s.to_csv(), "nc,np,mbs\n2,8,2500.12\n");
+        assert_eq!(s.at(2, 8).unwrap().mbs, 2500.125);
+        assert!(s.at(3, 8).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_rejected() {
+        throughput_surface(Route::Tacc, ExternalLoad::NONE, &[], &[1], 1.0, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The paper's testbed as a simulated world.
+//!
+//! ```text
+//!                    ┌────────────┐    40 Gb/s WAN, ~2 ms RTT   ┌───────────┐
+//!  ANL Nehalem ──────┤ 40 Gb/s NIC├──┬──────────────────────────┤ UChicago  │
+//!  (8 cores)         └────────────┘  │                          └───────────┘
+//!                                    │  20 Gb/s WAN, 33 ms RTT  ┌───────────┐
+//!                                    └──────────────────────────┤ TACC      │
+//!                                                               └───────────┘
+//! ```
+//!
+//! Calibration (see DESIGN.md §4 and the host/net crate tests):
+//! * NIC and UChicago WAN: 5000 MB/s, AIMD half-saturation `h = 16` streams
+//!   ⇒ Globus default (16 streams) lands at the paper's ~2500 MB/s and the
+//!   no-load optimum at ~4000 MB/s around 60–80 streams.
+//! * TACC WAN: 2500 MB/s, `h = 5`, plus the 33 ms RTT window cap
+//!   (4 MiB / 33 ms ≈ 121 MB/s per stream) ⇒ default ≈ 1900 MB/s, matching
+//!   the paper's ANL→TACC trend.
+
+use xferopt_host::{nehalem, sandybridge_uchicago, stampede_tacc};
+use xferopt_net::{CongestionControl, Link, Network, Path, PathId};
+use xferopt_transfer::world::HostId;
+use xferopt_transfer::{StreamParams, TransferConfig, TransferId, World};
+
+/// The two WAN routes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// ANL → UChicago: 40 Gb/s, short RTT, 5000 MB/s ceiling.
+    UChicago,
+    /// ANL → TACC: 20 Gb/s, 33 ms RTT, 2500 MB/s ceiling.
+    Tacc,
+}
+
+impl Route {
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::UChicago => "anl->uchicago",
+            Route::Tacc => "anl->tacc",
+        }
+    }
+}
+
+/// A built world with handles to the paper's routes and hosts.
+#[derive(Debug)]
+pub struct PaperWorld {
+    /// The simulation world.
+    pub world: World,
+    /// The ANL source host (all of the paper's load is exerted here).
+    pub source: HostId,
+    /// The UChicago destination host (uncontended in the paper; modelled for
+    /// the future-work destination experiments).
+    pub dst_uchicago: HostId,
+    /// The TACC destination host.
+    pub dst_tacc: HostId,
+    /// Path handle for ANL → UChicago.
+    pub path_uchicago: PathId,
+    /// Path handle for ANL → TACC.
+    pub path_tacc: PathId,
+}
+
+impl PaperWorld {
+    /// Build the testbed world, seeded for determinism.
+    pub fn new(seed: u64) -> Self {
+        let mut net = Network::new();
+        let nic = net.add_link(Link::from_gbps("anl-nic", 40.0).with_half_streams(16.0));
+        let wan_uc = net.add_link(Link::from_gbps("wan-uchicago", 40.0).with_half_streams(16.0));
+        let wan_tacc = net.add_link(Link::from_gbps("wan-tacc", 20.0).with_half_streams(5.0));
+        let path_uchicago = net.add_path(
+            Path::new("anl->uchicago", vec![nic, wan_uc])
+                .with_rtt_ms(2.0)
+                .with_loss(1e-5),
+        );
+        let path_tacc = net.add_path(
+            Path::new("anl->tacc", vec![nic, wan_tacc])
+                .with_rtt_ms(33.0)
+                .with_loss(1e-5),
+        );
+        let mut world = World::new(net, seed);
+        let source = world.add_host(nehalem());
+        let dst_uchicago = world.add_host(sandybridge_uchicago());
+        let dst_tacc = world.add_host(stampede_tacc());
+        PaperWorld {
+            world,
+            source,
+            dst_uchicago,
+            dst_tacc,
+            path_uchicago,
+            path_tacc,
+        }
+    }
+
+    /// Destination host handle for a route.
+    pub fn dst(&self, route: Route) -> HostId {
+        match route {
+            Route::UChicago => self.dst_uchicago,
+            Route::Tacc => self.dst_tacc,
+        }
+    }
+
+    /// Path handle for a route.
+    pub fn path(&self, route: Route) -> PathId {
+        match route {
+            Route::UChicago => self.path_uchicago,
+            Route::Tacc => self.path_tacc,
+        }
+    }
+
+    /// Start a memory-to-memory transfer on `route` with `params` and the
+    /// default noise.
+    pub fn start_transfer(&mut self, route: Route, params: StreamParams) -> TransferId {
+        let cfg = TransferConfig::memory_to_memory(self.source, self.path(route))
+            .with_params(params)
+            .with_cc(CongestionControl::HTcp);
+        self.world.add_transfer(cfg)
+    }
+
+    /// Start a noiseless transfer (for calibration tests and benches).
+    pub fn start_quiet_transfer(&mut self, route: Route, params: StreamParams) -> TransferId {
+        let cfg = TransferConfig::memory_to_memory(self.source, self.path(route))
+            .with_params(params)
+            .with_noise(0.0, 1.0)
+            .with_cc(CongestionControl::HTcp);
+        self.world.add_transfer(cfg)
+    }
+
+    /// Start a transfer with the destination endpoint modelled (future-work
+    /// extension: receiving costs destination CPU).
+    pub fn start_transfer_with_dst(&mut self, route: Route, params: StreamParams) -> TransferId {
+        let dst = self.dst(route);
+        let cfg = TransferConfig::memory_to_memory(self.source, self.path(route))
+            .with_params(params)
+            .with_dst_host(dst)
+            .with_cc(CongestionControl::HTcp);
+        self.world.add_transfer(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xferopt_simcore::SimDuration;
+
+    fn steady_rate(route: Route, params: StreamParams) -> f64 {
+        let mut pw = PaperWorld::new(7);
+        let tid = pw.start_quiet_transfer(route, params);
+        pw.world.step(SimDuration::from_secs(30)); // past startup
+        let es = pw.world.begin_epoch(tid, params, false);
+        pw.world.step(SimDuration::from_secs(120));
+        pw.world.end_epoch(es).observed_mbs
+    }
+
+    #[test]
+    fn uchicago_default_is_2500() {
+        let r = steady_rate(Route::UChicago, StreamParams::globus_default());
+        assert!((2200.0..2700.0).contains(&r), "r={r}");
+    }
+
+    #[test]
+    fn tacc_default_is_1900() {
+        let r = steady_rate(Route::Tacc, StreamParams::globus_default());
+        assert!((1700.0..2100.0).contains(&r), "paper: ~1900 MB/s, got {r}");
+    }
+
+    #[test]
+    fn uchicago_tuned_reaches_4000_bestcase() {
+        // The paper's Fig. 7 no-load best case: ~4000 MB/s around nc 5-10.
+        let best = (4..=12)
+            .map(|nc| steady_rate(Route::UChicago, StreamParams::new(nc, 8)))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((3400.0..4500.0).contains(&best), "best={best}");
+    }
+
+    #[test]
+    fn tacc_ceiling_is_2500() {
+        let r = steady_rate(Route::Tacc, StreamParams::new(40, 8));
+        assert!(r <= 2500.0, "TACC path capped at 20 Gb/s: {r}");
+        assert!(r > 1900.0, "many streams should beat the default: {r}");
+    }
+
+    #[test]
+    fn uchicago_has_interior_optimum() {
+        // Throughput must rise then fall as nc grows (np=8): the critical
+        // point phenomenon of Fig. 1.
+        let r8 = steady_rate(Route::UChicago, StreamParams::new(8, 8));
+        let r64 = steady_rate(Route::UChicago, StreamParams::new(64, 8));
+        let r256 = steady_rate(Route::UChicago, StreamParams::new(256, 8));
+        assert!(r8 > r64 * 0.9, "r8={r8} r64={r64}");
+        assert!(r64 > r256, "context-switch overhead must bite: r64={r64} r256={r256}");
+    }
+
+    #[test]
+    fn routes_share_the_source_nic() {
+        let mut pw = PaperWorld::new(3);
+        let uc = pw.start_quiet_transfer(Route::UChicago, StreamParams::new(16, 8));
+        let tacc = pw.start_quiet_transfer(Route::Tacc, StreamParams::new(8, 8));
+        pw.world.step(SimDuration::from_secs(30));
+        let uc_with = pw.world.goodput_mbs(uc);
+        // Kill the TACC transfer's streams: UC should gain.
+        pw.world.set_params(tacc, StreamParams::new(0, 1), false);
+        pw.world.step(SimDuration::from_secs(1));
+        let uc_without = pw.world.goodput_mbs(uc);
+        assert!(
+            uc_without > uc_with,
+            "shared NIC coupling missing: {uc_with} vs {uc_without}"
+        );
+    }
+
+    #[test]
+    fn route_names() {
+        assert_eq!(Route::UChicago.name(), "anl->uchicago");
+        assert_eq!(Route::Tacc.name(), "anl->tacc");
+    }
+}

@@ -1,0 +1,213 @@
+//! Calibration validation: does the simulated testbed still reproduce the
+//! paper's qualitative results?
+//!
+//! Anyone who edits the host/net calibration constants (DESIGN.md §4) should
+//! re-run [`validate`] — it executes abbreviated versions of the paper's
+//! experiments and checks each headline *shape* property, returning a
+//! structured report instead of panicking, so it can drive both the
+//! `validate` binary and CI assertions.
+
+use crate::experiments::{fig1, fig5, summarize};
+use crate::load::ExternalLoad;
+use crate::topology::Route;
+use xferopt_tuners::TunerKind;
+
+/// One validated property.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Short identifier, e.g. `fig1.rise-then-fall`.
+    pub name: &'static str,
+    /// What the paper says should happen.
+    pub expectation: &'static str,
+    /// What was measured, formatted for humans.
+    pub measured: String,
+    /// Whether the measurement satisfies the expectation.
+    pub passed: bool,
+}
+
+/// The full validation report.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// All executed checks.
+    pub checks: Vec<Check>,
+}
+
+impl ValidationReport {
+    /// True when every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.passed).count()
+    }
+
+    fn push(&mut self, name: &'static str, expectation: &'static str, measured: String, passed: bool) {
+        self.checks.push(Check {
+            name,
+            expectation,
+            measured,
+            passed,
+        });
+    }
+}
+
+/// Run the abbreviated validation suite. `thorough` doubles durations and
+/// repeats (slower, tighter).
+pub fn validate(seed: u64, thorough: bool) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let (repeats, fig1_secs, dur) = if thorough {
+        (4, 300.0, 1500.0)
+    } else {
+        (2, 120.0, 900.0)
+    };
+
+    // ---- Fig. 1 shapes -----------------------------------------------
+    let cells = fig1(repeats, fig1_secs, seed);
+    let series = |load: ExternalLoad| -> Vec<(u32, f64)> {
+        cells
+            .iter()
+            .filter(|c| c.load == load)
+            .map(|c| (c.nc, c.stats.median))
+            .collect()
+    };
+    let idle = series(ExternalLoad::NONE);
+    let loaded = series(ExternalLoad::new(16, 16));
+    let peak = |s: &[(u32, f64)]| {
+        s.iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+    };
+    let (idle_nc, idle_peak) = peak(&idle);
+    let (loaded_nc, loaded_peak) = peak(&loaded);
+
+    let rising = idle[0].1 < idle_peak * 0.5;
+    report.push(
+        "fig1.rises-to-critical",
+        "throughput rises monotonically toward a critical stream count",
+        format!("nc=1 gives {:.0}, peak {:.0} at nc={}", idle[0].1, idle_peak, idle_nc),
+        rising,
+    );
+    let falls = idle.last().unwrap().1 < idle_peak * 0.97;
+    report.push(
+        "fig1.falls-after-critical",
+        "throughput declines past the critical point",
+        format!("nc=512 gives {:.0} vs peak {:.0}", idle.last().unwrap().1, idle_peak),
+        falls,
+    );
+    report.push(
+        "fig1.critical-shifts-right",
+        "external load moves the critical point to more streams",
+        format!("idle peak at nc={idle_nc}, loaded at nc={loaded_nc}"),
+        loaded_nc > idle_nc,
+    );
+    report.push(
+        "fig1.load-lowers-peak",
+        "external load lowers the peak throughput",
+        format!("{idle_peak:.0} -> {loaded_peak:.0} MB/s"),
+        loaded_peak < idle_peak,
+    );
+
+    // ---- Fig. 5 magnitudes --------------------------------------------
+    let runs = fig5(Route::UChicago, dur, seed ^ 0x5);
+    let s = summarize(&runs);
+    let get = |t: TunerKind, l: ExternalLoad| {
+        s.iter()
+            .find(|x| x.tuner == t && x.load == l)
+            .expect("summary row")
+    };
+    let d0 = get(TunerKind::Default, ExternalLoad::NONE);
+    report.push(
+        "fig5a.default-level",
+        "Globus default lands near the paper's ~2500 MB/s",
+        format!("{:.0} MB/s", d0.observed_mbs),
+        (2000.0..3000.0).contains(&d0.observed_mbs),
+    );
+    let nm0 = get(TunerKind::Nm, ExternalLoad::NONE);
+    report.push(
+        "fig5a.tuner-gain",
+        "tuners beat default without load (paper: 1.4x)",
+        format!("nm {:.2}x", nm0.improvement),
+        nm0.improvement > 1.1,
+    );
+    let d64 = get(TunerKind::Default, ExternalLoad::new(0, 64));
+    report.push(
+        "fig5c.default-collapse",
+        "default collapses to ~100 MB/s under ext.cmp=64",
+        format!("{:.0} MB/s", d64.observed_mbs),
+        (40.0..300.0).contains(&d64.observed_mbs),
+    );
+    let nm64 = get(TunerKind::Nm, ExternalLoad::new(0, 64));
+    report.push(
+        "fig5c.tuner-rescue",
+        "direct search recovers several-fold under heavy compute load",
+        format!("nm {:.1}x", nm64.improvement),
+        nm64.improvement > 2.5,
+    );
+    let nm16 = get(TunerKind::Nm, ExternalLoad::new(0, 16));
+    report.push(
+        "fig6.nc-grows-under-load",
+        "adopted concurrency grows with compute load",
+        format!("final nc: idle {} vs cmp=16 {}", nm0.final_nc, nm16.final_nc),
+        nm16.final_nc > nm0.final_nc,
+    );
+    let cs0 = runs
+        .iter()
+        .find(|r| r.tuner == TunerKind::Cs && r.load == ExternalLoad::NONE)
+        .unwrap();
+    let overhead = cs0.log.mean_overhead_fraction();
+    report.push(
+        "fig7.restart-overhead-idle",
+        "restart overhead near the paper's ~17% at 30 s epochs",
+        format!("{:.0}%", overhead * 100.0),
+        (0.08..0.30).contains(&overhead),
+    );
+
+    // ---- TACC trend -----------------------------------------------------
+    let tacc = fig5(Route::Tacc, dur, seed ^ 0xA);
+    let st = summarize(&tacc);
+    let t_def = st
+        .iter()
+        .find(|x| x.tuner == TunerKind::Default && x.load == ExternalLoad::NONE)
+        .unwrap();
+    report.push(
+        "tacc.default-level",
+        "ANL->TACC default lands near the paper's ~1900 MB/s",
+        format!("{:.0} MB/s", t_def.observed_mbs),
+        (1600.0..2200.0).contains(&t_def.observed_mbs),
+    );
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_validation_passes() {
+        let report = validate(0xCAFE, false);
+        let failed: Vec<_> = report.checks.iter().filter(|c| !c.passed).collect();
+        assert!(
+            report.all_passed(),
+            "calibration drifted; failed checks: {failed:#?}"
+        );
+        assert!(report.checks.len() >= 10);
+        assert_eq!(report.failures(), 0);
+    }
+
+    #[test]
+    fn report_structure() {
+        let report = validate(1, false);
+        for c in &report.checks {
+            assert!(!c.name.is_empty());
+            assert!(!c.expectation.is_empty());
+            assert!(!c.measured.is_empty());
+        }
+        // Names are unique.
+        let names: std::collections::HashSet<_> = report.checks.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), report.checks.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! The discrete-event engine: a clock plus a future-event list.
+
+use crate::event::{EventQueue, Scheduled};
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation engine.
+///
+/// The engine owns the simulated clock and the future-event list. Callers
+/// drive it in one of two styles:
+///
+/// * **pull**: [`Engine::pop`] in a loop, handling each `(time, event)` pair
+///   (the clock advances to each popped event's timestamp), or
+/// * **push**: [`Engine::run_until`] with a handler closure.
+///
+/// Event payloads are a caller-chosen type `E`; the engine imposes no trait
+/// bounds beyond what the queue needs.
+#[derive(Debug, Clone)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at t = 0 with an empty event list.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event, or the
+    /// target of the last `run_until`).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past is always a
+    /// logic error and silently reordering it would corrupt causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedule `event` after `delay` from the current time. Negative delays
+    /// are clamped to zero.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay.max_zero(), event);
+    }
+
+    /// Remove and return the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Scheduled { at, event, .. } = self.queue.pop()?;
+        debug_assert!(at >= self.now, "event list yielded a past event");
+        self.now = at;
+        self.processed += 1;
+        Some((at, event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Run the handler for every event with timestamp `<= deadline`, then
+    /// advance the clock to `deadline`. The handler may schedule further
+    /// events (including at the current instant). Returns the number of
+    /// events processed during this call.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E),
+    {
+        let start = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let Scheduled { at, event, .. } = self.queue.pop().expect("peeked event vanished");
+            self.now = at;
+            self.processed += 1;
+            handler(self, at, event);
+        }
+        self.now = self.now.max(deadline);
+        self.processed - start
+    }
+
+    /// Drop all pending events (e.g. when tearing down a scenario early).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Stop,
+    }
+
+    #[test]
+    fn pull_loop_advances_clock() {
+        let mut e: Engine<Ev> = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), Ev::Tick(1));
+        e.schedule_at(SimTime::from_secs(2), Ev::Stop);
+        assert_eq!(e.pop(), Some((SimTime::from_secs(1), Ev::Tick(1))));
+        assert_eq!(e.now(), SimTime::from_secs(1));
+        assert_eq!(e.pop(), Some((SimTime::from_secs(2), Ev::Stop)));
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_past_panics() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimTime::from_secs(5), ());
+        e.pop();
+        e.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_advances() {
+        let mut e: Engine<Ev> = Engine::new();
+        for i in 1..=5 {
+            e.schedule_at(SimTime::from_secs(i as i64), Ev::Tick(i));
+        }
+        let mut seen = Vec::new();
+        let n = e.run_until(SimTime::from_secs(3), |_, t, ev| {
+            seen.push((t.as_secs_f64() as u32, ev));
+        });
+        assert_eq!(n, 3);
+        assert_eq!(seen.len(), 3);
+        assert_eq!(e.now(), SimTime::from_secs(3));
+        assert_eq!(e.pending(), 2);
+        // Deadline past all events: clock still lands exactly on the deadline.
+        e.run_until(SimTime::from_secs(10), |_, _, _| {});
+        assert_eq!(e.now(), SimTime::from_secs(10));
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), 0);
+        let mut count = 0;
+        e.run_until(SimTime::from_secs(10), |eng, _, gen| {
+            count += 1;
+            if gen < 4 {
+                eng.schedule_in(SimDuration::from_secs(2), gen + 1);
+            }
+        });
+        // events at t = 1, 3, 5, 7, 9
+        assert_eq!(count, 5);
+        assert_eq!(e.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn schedule_in_clamps_negative_delay() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), ());
+        e.pop();
+        e.schedule_in(SimDuration::from_nanos(-5), ());
+        assert_eq!(e.peek_time(), Some(SimTime::from_secs(1)));
+    }
+}

@@ -1,0 +1,220 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Every stochastic entity in a simulation (flow, process, scenario repeat)
+//! draws from its *own* RNG stream derived from a root seed via a
+//! SplitMix64-style mix. This keeps results bit-reproducible even when the
+//! set of entities or the order in which they draw changes — adding a flow
+//! never perturbs the random sequence of an existing one.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 mixing step — the standard finalizer used to derive
+/// well-distributed child seeds from a counter.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A factory that derives independent child seeds/RNGs from a root seed.
+///
+/// Children are addressed by a `u64` label (e.g. a flow id); the same
+/// `(root, label)` pair always yields the same stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngFactory {
+    root: u64,
+}
+
+impl RngFactory {
+    /// Create a factory from a root seed.
+    pub fn new(root: u64) -> Self {
+        RngFactory { root }
+    }
+
+    /// The root seed.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Derive the child seed for `label`.
+    pub fn seed_for(&self, label: u64) -> u64 {
+        splitmix64(self.root ^ splitmix64(label))
+    }
+
+    /// Derive an independent RNG for `label`.
+    pub fn rng_for(&self, label: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed_for(label))
+    }
+
+    /// Derive a sub-factory for a namespace (e.g. one per repeat), so labels
+    /// inside different namespaces never collide.
+    pub fn subfactory(&self, namespace: u64) -> RngFactory {
+        RngFactory {
+            root: self.seed_for(namespace ^ 0xA5A5_5A5A_DEAD_BEEF),
+        }
+    }
+}
+
+/// A sequential seed stream: each call to [`SeedStream::next_seed`] or
+/// [`SeedStream::next_rng`] yields the next independent stream.
+#[derive(Debug, Clone)]
+pub struct SeedStream {
+    factory: RngFactory,
+    counter: u64,
+}
+
+impl SeedStream {
+    /// Create a stream rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeedStream {
+            factory: RngFactory::new(seed),
+            counter: 0,
+        }
+    }
+
+    /// Next independent seed.
+    pub fn next_seed(&mut self) -> u64 {
+        let s = self.factory.seed_for(self.counter);
+        self.counter += 1;
+        s
+    }
+
+    /// Next independent RNG.
+    pub fn next_rng(&mut self) -> SmallRng {
+        SmallRng::seed_from_u64(self.next_seed())
+    }
+}
+
+/// Sample an exponentially distributed value with the given `rate`
+/// (mean = 1/rate). Returns `f64::INFINITY` when `rate <= 0`, which models
+/// "this event never happens" (e.g. zero loss rate).
+pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Sample a lognormal multiplicative noise factor with median 1 and the given
+/// `sigma` (log-scale standard deviation). `sigma <= 0` returns exactly 1.
+pub fn sample_lognormal_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box–Muller transform.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Sample a uniformly jittered value: `base * U(1-jitter, 1+jitter)`.
+pub fn sample_jitter<R: Rng + ?Sized>(rng: &mut R, base: f64, jitter: f64) -> f64 {
+    if jitter <= 0.0 {
+        return base;
+    }
+    base * rng.gen_range(1.0 - jitter..1.0 + jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let f = RngFactory::new(42);
+        let a: Vec<u64> = {
+            let mut r = f.rng_for(7);
+            (0..16).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = f.rng_for(7);
+            (0..16).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let f = RngFactory::new(42);
+        let a: u64 = f.rng_for(1).gen();
+        let b: u64 = f.rng_for(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_roots_differ() {
+        assert_ne!(
+            RngFactory::new(1).seed_for(0),
+            RngFactory::new(2).seed_for(0)
+        );
+    }
+
+    #[test]
+    fn subfactory_namespaces_do_not_collide() {
+        let f = RngFactory::new(9);
+        let s1 = f.subfactory(1).seed_for(0);
+        let s2 = f.subfactory(2).seed_for(0);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, f.seed_for(0));
+    }
+
+    #[test]
+    fn seed_stream_is_deterministic_sequence() {
+        let mut a = SeedStream::new(5);
+        let mut b = SeedStream::new(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_seed(), b.next_seed());
+        }
+        let seeds: Vec<u64> = (0..32).map(|_| a.next_seed()).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len(), "seed stream produced collisions");
+    }
+
+    #[test]
+    fn exp_sampling_matches_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let rate = 4.0;
+        let mean: f64 = (0..n).map(|_| sample_exp(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn exp_zero_rate_is_never() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(sample_exp(&mut rng, 0.0).is_infinite());
+        assert!(sample_exp(&mut rng, -1.0).is_infinite());
+    }
+
+    #[test]
+    fn lognormal_noise_median_near_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut v: Vec<f64> = (0..10_001)
+            .map(|_| sample_lognormal_noise(&mut rng, 0.3))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median={median}");
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn zero_sigma_noise_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(sample_lognormal_noise(&mut rng, 0.0), 1.0);
+        assert_eq!(sample_jitter(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = sample_jitter(&mut rng, 10.0, 0.2);
+            assert!((8.0..12.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Bounded simulation tracing.
+//!
+//! A [`Tracer`] records timestamped, categorized events into a ring buffer
+//! with a fixed capacity, so long simulations can leave tracing enabled
+//! without unbounded memory growth. Disabled tracers cost one branch per
+//! event. Substrates emit events through [`Tracer::emit`]; tools read them
+//! back with [`Tracer::events`] or render them with [`Tracer::format`].
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// Category tag (e.g. `transfer`, `load`, `epoch`).
+    pub category: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded, optionally disabled event recorder.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that keeps the most recent `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer {
+            events: VecDeque::new(),
+            capacity: 1,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn emit(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events in a category, oldest first.
+    pub fn events_in<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop all buffered events (keeps the dropped counter).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Render as `t=12.000s [category] message` lines.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("t={} [{}] {}\n", e.at, e.category, e.message));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Tracer::new(10);
+        tr.emit(t(1), "a", "first");
+        tr.emit(t(2), "b", "second");
+        let got: Vec<_> = tr.events().map(|e| e.message.clone()).collect();
+        assert_eq!(got, vec!["first", "second"]);
+        assert_eq!(tr.len(), 2);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest() {
+        let mut tr = Tracer::new(3);
+        for i in 0..5 {
+            tr.emit(t(i), "x", format!("e{i}"));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let got: Vec<_> = tr.events().map(|e| e.message.clone()).collect();
+        assert_eq!(got, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut tr = Tracer::new(10);
+        tr.emit(t(1), "load", "cmp=16");
+        tr.emit(t(2), "epoch", "obs=2500");
+        tr.emit(t(3), "load", "cmp=0");
+        assert_eq!(tr.events_in("load").count(), 2);
+        assert_eq!(tr.events_in("epoch").count(), 1);
+        assert_eq!(tr.events_in("nothing").count(), 0);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut tr = Tracer::disabled();
+        assert!(!tr.is_enabled());
+        tr.emit(t(1), "a", "ignored");
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+    }
+
+    #[test]
+    fn format_renders_lines() {
+        let mut tr = Tracer::new(4);
+        tr.emit(t(12), "transfer", "restart nc=5");
+        let s = tr.format();
+        assert!(s.contains("t=12.000000s [transfer] restart nc=5"), "{s}");
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let mut tr = Tracer::new(1);
+        tr.emit(t(1), "a", "x");
+        tr.emit(t(2), "a", "y");
+        assert_eq!(tr.dropped(), 1);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Tracer::new(0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Mean-one lognormal AR(1) throughput noise.
+//!
+//! The paper's measurements fluctuate epoch to epoch even under constant
+//! controlled load — uncontrolled third-party WAN traffic and destination
+//! activity. We model that residual with an Ornstein–Uhlenbeck process on
+//! the log scale: temporally correlated (correlation time `tau_s`), median
+//! one, stationary log-std `sigma`. Deterministic under a seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A temporally correlated multiplicative noise process.
+#[derive(Debug, Clone)]
+pub struct NoiseProcess {
+    /// Stationary standard deviation of the log-factor.
+    sigma: f64,
+    /// Correlation time in seconds.
+    tau_s: f64,
+    /// Current log-factor.
+    state: f64,
+    rng: SmallRng,
+}
+
+impl NoiseProcess {
+    /// A process with log-std `sigma` and correlation time `tau_s`, seeded
+    /// deterministically. `sigma = 0` yields the constant factor 1.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or `tau_s` is not strictly positive.
+    pub fn new(seed: u64, sigma: f64, tau_s: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(tau_s > 0.0, "correlation time must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Start from the stationary distribution so early epochs are not
+        // artificially quiet.
+        let state = sigma * gaussian(&mut rng);
+        NoiseProcess {
+            sigma,
+            tau_s,
+            state,
+            rng,
+        }
+    }
+
+    /// A disabled (always exactly 1) process.
+    pub fn disabled() -> Self {
+        NoiseProcess::new(0, 0.0, 1.0)
+    }
+
+    /// Advance the process by `dt_s` seconds and return the current
+    /// multiplicative factor (median 1, always positive).
+    pub fn advance(&mut self, dt_s: f64) -> f64 {
+        assert!(dt_s >= 0.0, "cannot advance noise backwards");
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let decay = (-dt_s / self.tau_s).exp();
+        let innovation = self.sigma * (1.0 - decay * decay).sqrt();
+        self.state = self.state * decay + innovation * gaussian(&mut self.rng);
+        self.state.exp()
+    }
+
+    /// The current factor without advancing time.
+    pub fn current(&self) -> f64 {
+        self.state.exp()
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_exactly_one() {
+        let mut n = NoiseProcess::disabled();
+        for _ in 0..100 {
+            assert_eq!(n.advance(1.0), 1.0);
+        }
+        assert_eq!(n.current(), 1.0);
+    }
+
+    #[test]
+    fn median_near_one() {
+        let mut n = NoiseProcess::new(3, 0.1, 5.0);
+        let mut v: Vec<f64> = (0..20_001).map(|_| n.advance(10.0)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median - 1.0).abs() < 0.02, "median={median}");
+        assert!(v[0] > 0.0);
+    }
+
+    #[test]
+    fn stationary_spread_matches_sigma() {
+        let mut n = NoiseProcess::new(4, 0.2, 5.0);
+        let logs: Vec<f64> = (0..20_000).map(|_| n.advance(50.0).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / logs.len() as f64;
+        assert!((var.sqrt() - 0.2).abs() < 0.02, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn short_steps_are_correlated() {
+        let mut n = NoiseProcess::new(5, 0.3, 100.0);
+        let a = n.advance(0.1);
+        let b = n.advance(0.1);
+        // With tau=100 s, 0.1 s steps barely move the factor.
+        assert!((a - b).abs() < 0.05 * a, "a={a} b={b}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut n = NoiseProcess::new(42, 0.1, 10.0);
+            (0..64).map(|_| n.advance(1.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseProcess::new(1, 0.1, 10.0);
+        let mut b = NoiseProcess::new(2, 0.1, 10.0);
+        let va: Vec<f64> = (0..8).map(|_| a.advance(1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.advance(1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation time must be positive")]
+    fn zero_tau_rejected() {
+        NoiseProcess::new(0, 0.1, 0.0);
+    }
+}

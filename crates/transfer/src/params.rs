@@ -1,0 +1,69 @@
+//! The tunable transfer parameters: concurrency and parallelism.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// GridFTP stream parameters: `nc` concurrent processes, each running `np`
+/// parallel TCP streams, for `nc × np` total streams.
+///
+/// The Globus-transfer defaults for large files are `nc = 2`, `np = 8`
+/// (paper Section IV) — see [`StreamParams::globus_default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamParams {
+    /// Concurrency: number of transfer processes (exploits multiple cores).
+    pub nc: u32,
+    /// Parallelism: TCP streams per process (single core).
+    pub np: u32,
+}
+
+impl StreamParams {
+    /// Construct from concurrency and parallelism.
+    pub const fn new(nc: u32, np: u32) -> Self {
+        StreamParams { nc, np }
+    }
+
+    /// The Globus transfer service defaults for large files: `nc=2, np=8`.
+    pub const fn globus_default() -> Self {
+        StreamParams { nc: 2, np: 8 }
+    }
+
+    /// Total parallel TCP streams, `nc × np`.
+    pub fn streams(&self) -> u32 {
+        self.nc * self.np
+    }
+
+    /// True when the configuration moves no data (either factor zero).
+    pub fn is_idle(&self) -> bool {
+        self.nc == 0 || self.np == 0
+    }
+}
+
+impl fmt::Display for StreamParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nc={} np={}", self.nc, self.np)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_count_is_product() {
+        assert_eq!(StreamParams::new(2, 8).streams(), 16);
+        assert_eq!(StreamParams::new(64, 1).streams(), 64);
+        assert_eq!(StreamParams::globus_default().streams(), 16);
+    }
+
+    #[test]
+    fn idle_detection() {
+        assert!(StreamParams::new(0, 8).is_idle());
+        assert!(StreamParams::new(2, 0).is_idle());
+        assert!(!StreamParams::new(1, 1).is_idle());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(StreamParams::new(5, 8).to_string(), "nc=5 np=8");
+    }
+}

@@ -1,0 +1,867 @@
+//! The steppable transfer world: hosts + network + running transfers.
+//!
+//! A [`World`] integrates a fluid simulation in which every registered
+//! transfer moves data at
+//!
+//! ```text
+//! goodput = min(net_allocation, cpu_cap) · csw_efficiency · noise
+//! ```
+//!
+//! where the network allocation comes from `xferopt-net` (AIMD-derated
+//! max–min sharing) and the CPU terms from `xferopt-host` (fair-share
+//! scheduling against compute hogs and other transfers). Restarting a
+//! transfer — which the paper's tuners do at *every* control epoch — zeroes
+//! its streams for the startup duration, so competitors transiently inherit
+//! its bandwidth, exactly as on a real endpoint.
+
+use crate::noise::NoiseProcess;
+use crate::params::StreamParams;
+use crate::report::EpochReport;
+use std::collections::BTreeMap;
+use xferopt_host::{AppId, AppLoad, Host, HostSpec};
+use xferopt_net::dynamic::DynamicSim;
+use xferopt_net::{CongestionControl, FlowId, Network, PathId};
+use xferopt_simcore::rng::SeedStream;
+use xferopt_simcore::{SimDuration, SimTime, Tracer};
+
+/// Identifier of a host within a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+/// Identifier of a transfer within a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(pub u64);
+
+/// Configuration of one transfer.
+#[derive(Debug, Clone)]
+pub struct TransferConfig {
+    /// Source host (pays CPU and startup costs).
+    pub host: HostId,
+    /// Destination host, if modelled (the paper leaves the destination
+    /// uncontrolled; tuning with a destination model is its future work #4).
+    /// The receiver registers a mirror application there: receiving `nc×np`
+    /// streams costs destination CPU too.
+    pub dst_host: Option<HostId>,
+    /// Network path from source to destination.
+    pub path: PathId,
+    /// TCP variant of the streams.
+    pub cc: CongestionControl,
+    /// Initial stream parameters.
+    pub params: StreamParams,
+    /// Data to move, in MB. Use `f64::INFINITY` for the paper's
+    /// `/dev/zero → /dev/null` memory-to-memory runs.
+    pub size_mb: f64,
+    /// Log-std of the multiplicative throughput noise (0 disables).
+    pub noise_sigma: f64,
+    /// Noise correlation time, seconds.
+    pub noise_tau_s: f64,
+}
+
+impl TransferConfig {
+    /// A memory-to-memory transfer (infinite data) with mild noise and the
+    /// Globus default parameters.
+    pub fn memory_to_memory(host: HostId, path: PathId) -> Self {
+        TransferConfig {
+            host,
+            dst_host: None,
+            path,
+            cc: CongestionControl::HTcp,
+            params: StreamParams::globus_default(),
+            size_mb: f64::INFINITY,
+            noise_sigma: 0.06,
+            noise_tau_s: 45.0,
+        }
+    }
+
+    /// Replace the initial parameters.
+    pub fn with_params(mut self, params: StreamParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Replace the data size.
+    pub fn with_size_mb(mut self, size_mb: f64) -> Self {
+        assert!(size_mb > 0.0, "size must be positive");
+        self.size_mb = size_mb;
+        self
+    }
+
+    /// Replace the noise parameters.
+    pub fn with_noise(mut self, sigma: f64, tau_s: f64) -> Self {
+        self.noise_sigma = sigma;
+        self.noise_tau_s = tau_s;
+        self
+    }
+
+    /// Replace the congestion-control variant.
+    pub fn with_cc(mut self, cc: CongestionControl) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Model the destination endpoint: a mirror application is registered on
+    /// `dst` so receiving costs destination CPU.
+    pub fn with_dst_host(mut self, dst: HostId) -> Self {
+        self.dst_host = Some(dst);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    host: HostId,
+    flow: FlowId,
+    app: AppId,
+    /// Mirror application on the destination host, when modelled.
+    dst: Option<(HostId, AppId)>,
+    params: StreamParams,
+    /// Instant the current (re)start completes; streams are down before it.
+    ready_at: SimTime,
+    remaining_mb: f64,
+    moved_mb: f64,
+    noise: NoiseProcess,
+    done: bool,
+}
+
+impl Entry {
+    fn active_at(&self, t: SimTime) -> bool {
+        !self.done && t >= self.ready_at && !self.params.is_idle()
+    }
+}
+
+/// Handle returned by [`World::begin_epoch`], consumed by
+/// [`World::end_epoch`].
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStart {
+    tid: TransferId,
+    t0: SimTime,
+    moved0_mb: f64,
+    startup_s: f64,
+    params: StreamParams,
+}
+
+/// Network fidelity mode.
+#[derive(Debug)]
+enum Fidelity {
+    /// Quasi-static: every stream at its steady-state fair share (fast; the
+    /// default, and what the figure experiments use).
+    QuasiStatic,
+    /// Dynamic: per-stream congestion windows evolved on a fixed sub-step
+    /// (slow start, AIMD, Poisson loss) — ramp-up transients and sawtooth
+    /// noise are *simulated* rather than assumed.
+    Dynamic { sim: DynamicSim, dt_s: f64 },
+}
+
+/// Hosts + network + transfers, integrated in fluid steps.
+#[derive(Debug)]
+pub struct World {
+    net: Network,
+    hosts: Vec<Host>,
+    transfers: BTreeMap<TransferId, Entry>,
+    now: SimTime,
+    seeds: SeedStream,
+    next_tid: u64,
+    tracer: Tracer,
+    fidelity: Fidelity,
+}
+
+impl World {
+    /// A world over a prebuilt network topology, seeded for determinism.
+    pub fn new(net: Network, seed: u64) -> Self {
+        World {
+            net,
+            hosts: Vec::new(),
+            transfers: BTreeMap::new(),
+            now: SimTime::ZERO,
+            seeds: SeedStream::new(seed),
+            next_tid: 0,
+            tracer: Tracer::disabled(),
+            fidelity: Fidelity::QuasiStatic,
+        }
+    }
+
+    /// Switch to the dynamic per-stream window simulation with sub-step
+    /// `dt_s` seconds (50–100 ms is a good choice). Much slower than the
+    /// default quasi-static mode; steady-state throughputs approximately
+    /// agree, but ramp-ups after each restart are now simulated.
+    ///
+    /// # Panics
+    /// Panics if `dt_s` is not strictly positive.
+    pub fn enable_dynamic_network(&mut self, dt_s: f64) {
+        assert!(dt_s > 0.0, "sub-step must be positive");
+        let mut sim = DynamicSim::new(self.seeds.next_seed());
+        sim.sync_streams(&self.net);
+        self.fidelity = Fidelity::Dynamic { sim, dt_s };
+    }
+
+    /// Enable event tracing with a bounded ring buffer.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::new(capacity);
+    }
+
+    /// The tracer (read recorded events through it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The network (read-only; mutate through world operations).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Register a host machine.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        self.hosts.push(Host::new(spec));
+        HostId(self.hosts.len() - 1)
+    }
+
+    /// Read access to a host.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0]
+    }
+
+    /// Set the number of compute hogs on a host (the paper's `ext.cmp`).
+    pub fn set_compute_jobs(&mut self, host: HostId, jobs: u32) {
+        self.tracer
+            .emit(self.now, "load", format!("host{} compute_jobs={jobs}", host.0));
+        self.hosts[host.0].set_compute_jobs(jobs);
+    }
+
+    /// Start a transfer; it pays an initial startup delay before moving
+    /// bytes, like any fresh `globus-url-copy` invocation.
+    pub fn add_transfer(&mut self, cfg: TransferConfig) -> TransferId {
+        assert!(cfg.size_mb > 0.0, "size must be positive");
+        let flow = self.net.add_flow(cfg.path, 0, cfg.cc);
+        let app = self.hosts[cfg.host.0].add_app(AppLoad {
+            nc: cfg.params.nc,
+            np: cfg.params.np,
+        });
+        let dst = cfg.dst_host.map(|h| {
+            let a = self.hosts[h.0].add_app(AppLoad {
+                nc: cfg.params.nc,
+                np: cfg.params.np,
+            });
+            (h, a)
+        });
+        let startup = self.hosts[cfg.host.0].startup_time_s(app);
+        let noise = NoiseProcess::new(self.seeds.next_seed(), cfg.noise_sigma, cfg.noise_tau_s);
+        let tid = TransferId(self.next_tid);
+        self.next_tid += 1;
+        self.transfers.insert(
+            tid,
+            Entry {
+                host: cfg.host,
+                flow,
+                app,
+                dst,
+                params: cfg.params,
+                ready_at: self.now + SimDuration::from_secs_f64(startup),
+                remaining_mb: cfg.size_mb,
+                moved_mb: 0.0,
+                noise,
+                done: false,
+            },
+        );
+        self.sync_flow_streams();
+        tid
+    }
+
+    /// Change a transfer's parameters. With `restart = true` (what the
+    /// paper's tuner wrapper does every control epoch) the transfer goes down
+    /// for the startup duration; with `restart = false` the change is
+    /// seamless (the paper's hypothetical "adapt without restart" ideal).
+    ///
+    /// Returns the startup delay paid, in seconds (0 without restart).
+    ///
+    /// # Panics
+    /// Panics if the transfer id is unknown.
+    pub fn set_params(&mut self, tid: TransferId, params: StreamParams, restart: bool) -> f64 {
+        let e = self
+            .transfers
+            .get_mut(&tid)
+            .unwrap_or_else(|| panic!("unknown transfer {tid:?}"));
+        e.params = params;
+        if let Some((dh, da)) = e.dst {
+            self.hosts[dh.0].set_app(
+                da,
+                AppLoad {
+                    nc: params.nc,
+                    np: params.np,
+                },
+            );
+        }
+        let host = &mut self.hosts[e.host.0];
+        host.set_app(
+            e.app,
+            AppLoad {
+                nc: params.nc,
+                np: params.np,
+            },
+        );
+        let startup_s = if restart && !e.done {
+            let s = host.startup_time_s(e.app);
+            e.ready_at = self.now + SimDuration::from_secs_f64(s);
+            self.tracer.emit(
+                self.now,
+                "transfer",
+                format!("t{} restart {params} startup={s:.2}s", tid.0),
+            );
+            s
+        } else {
+            // A seamless change keeps any in-flight startup deadline.
+            (e.ready_at - self.now).max_zero().as_secs_f64()
+        };
+        self.sync_flow_streams();
+        startup_s
+    }
+
+    /// Megabytes moved so far by `tid`.
+    pub fn moved_mb(&self, tid: TransferId) -> f64 {
+        self.transfers[&tid].moved_mb
+    }
+
+    /// Megabytes remaining for `tid` (infinite for memory-to-memory runs).
+    pub fn remaining_mb(&self, tid: TransferId) -> f64 {
+        self.transfers[&tid].remaining_mb
+    }
+
+    /// True when `tid` has moved all of its data.
+    pub fn is_done(&self, tid: TransferId) -> bool {
+        self.transfers[&tid].done
+    }
+
+    /// Current parameters of `tid`.
+    pub fn params(&self, tid: TransferId) -> StreamParams {
+        self.transfers[&tid].params
+    }
+
+    /// Instantaneous goodput of `tid` right now, MB/s (0 while restarting).
+    pub fn goodput_mbs(&self, tid: TransferId) -> f64 {
+        let e = &self.transfers[&tid];
+        if !e.active_at(self.now) {
+            return 0.0;
+        }
+        let alloc = self.net.allocate();
+        let host = &self.hosts[e.host.0];
+        let mut cap = host.cpu_cap_mbs(e.app);
+        let mut eff = host.efficiency(e.app);
+        if let Some((dh, da)) = e.dst {
+            let dst = &self.hosts[dh.0];
+            cap = cap.min(dst.cpu_cap_mbs(da));
+            eff = eff.min(dst.efficiency(da));
+        }
+        alloc[&e.flow].min(cap) * eff * e.noise.current()
+    }
+
+    /// Keep network stream counts in sync with transfer activity: a transfer
+    /// that is restarting or finished has zero streams on the wire.
+    fn sync_flow_streams(&mut self) {
+        let now = self.now;
+        for e in self.transfers.values() {
+            let streams = if e.active_at(now) { e.params.streams() } else { 0 };
+            self.net.set_streams(e.flow, streams);
+        }
+    }
+
+    /// Advance the world by `dt`, integrating every transfer's goodput.
+    /// Integration is exact across restart-completion boundaries (rates are
+    /// recomputed piecewise).
+    ///
+    /// # Panics
+    /// Panics if `dt` is not strictly positive.
+    pub fn step(&mut self, dt: SimDuration) {
+        assert!(dt.is_positive(), "step must be positive");
+        let end = self.now + dt;
+        while self.now < end {
+            self.sync_flow_streams();
+            // Next boundary: earliest ready_at strictly inside (now, end).
+            let boundary = self
+                .transfers
+                .values()
+                .filter(|e| !e.done && e.ready_at > self.now && e.ready_at < end)
+                .map(|e| e.ready_at)
+                .min()
+                .unwrap_or(end);
+            let piece = boundary - self.now;
+            let piece_s = piece.as_secs_f64();
+            let mut done_tids: Vec<TransferId> = Vec::new();
+            if piece_s > 0.0 {
+                // Per-flow network rates over this piece, by fidelity mode.
+                let rates: BTreeMap<FlowId, f64> = match &mut self.fidelity {
+                    Fidelity::QuasiStatic => self.net.allocate(),
+                    Fidelity::Dynamic { sim, dt_s } => {
+                        sim.sync_streams(&self.net);
+                        // Average the dynamic rates over the piece.
+                        let steps = (piece_s / *dt_s).ceil().max(1.0) as usize;
+                        let dt = piece_s / steps as f64;
+                        let mut acc: BTreeMap<FlowId, f64> = BTreeMap::new();
+                        for _ in 0..steps {
+                            for (f, st) in sim.step(&self.net, dt) {
+                                *acc.entry(f).or_insert(0.0) += st.rate_mbs;
+                            }
+                        }
+                        acc.values_mut().for_each(|v| *v /= steps as f64);
+                        // Flows with zero live streams simply have no entry.
+                        for f in self.net.flow_ids() {
+                            acc.entry(f).or_insert(0.0);
+                        }
+                        acc
+                    }
+                };
+                let now = self.now;
+                for (tid_ref, e) in self.transfers.iter_mut() {
+                    let tid_ref = *tid_ref;
+                    if !e.active_at(now) {
+                        continue;
+                    }
+                    let host = &self.hosts[e.host.0];
+                    let mut cap = host.cpu_cap_mbs(e.app);
+                    let mut eff = host.efficiency(e.app);
+                    if let Some((dh, da)) = e.dst {
+                        let dst = &self.hosts[dh.0];
+                        cap = cap.min(dst.cpu_cap_mbs(da));
+                        eff = eff.min(dst.efficiency(da));
+                    }
+                    let rate = rates[&e.flow].min(cap) * eff * e.noise.advance(piece_s);
+                    let moved = (rate * piece_s).min(e.remaining_mb);
+                    e.moved_mb += moved;
+                    if e.remaining_mb.is_finite() {
+                        e.remaining_mb = (e.remaining_mb - moved).max(0.0);
+                        if e.remaining_mb <= 0.0 {
+                            e.done = true;
+                            done_tids.push(tid_ref);
+                        }
+                    }
+                }
+            }
+            for tid in done_tids {
+                self.tracer
+                    .emit(self.now, "transfer", format!("t{} complete", tid.0));
+            }
+            self.now = boundary;
+        }
+        self.sync_flow_streams();
+    }
+
+    /// Begin a control epoch for `tid`: apply `params` (restarting if asked)
+    /// and snapshot accounting baselines. Step the world for the epoch
+    /// duration, then call [`World::end_epoch`].
+    pub fn begin_epoch(&mut self, tid: TransferId, params: StreamParams, restart: bool) -> EpochStart {
+        let startup_s = self.set_params(tid, params, restart);
+        EpochStart {
+            tid,
+            t0: self.now,
+            moved0_mb: self.transfers[&tid].moved_mb,
+            startup_s,
+            params,
+        }
+    }
+
+    /// Close a control epoch: compute observed (whole-epoch) and best-case
+    /// (up-time only) throughput.
+    pub fn end_epoch(&self, start: EpochStart) -> EpochReport {
+        let e = &self.transfers[&start.tid];
+        let duration = self.now - start.t0;
+        let dur_s = duration.as_secs_f64();
+        let bytes_mb = e.moved_mb - start.moved0_mb;
+        let up_s = (dur_s - start.startup_s).max(0.0);
+        EpochReport {
+            params: start.params,
+            start: start.t0,
+            duration,
+            bytes_mb,
+            startup_s: start.startup_s.min(dur_s),
+            observed_mbs: if dur_s > 0.0 { bytes_mb / dur_s } else { 0.0 },
+            bestcase_mbs: if up_s > 0.0 { bytes_mb / up_s } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xferopt_host::nehalem;
+    use xferopt_net::{Link, Path};
+
+    /// ANL→UChicago world calibrated per DESIGN.md.
+    fn uc_world(noise: bool) -> (World, PathId) {
+        let mut net = Network::new();
+        let nic = net.add_link(Link::from_gbps("anl-nic", 40.0).with_half_streams(16.0));
+        let wan = net.add_link(Link::from_gbps("wan-uc", 40.0).with_half_streams(16.0));
+        let path = net.add_path(
+            Path::new("anl->uc", vec![nic, wan])
+                .with_rtt_ms(2.0)
+                .with_loss(1e-5),
+        );
+        let mut world = World::new(net, 42);
+        world.add_host(nehalem());
+        let _ = noise;
+        (world, path)
+    }
+
+    fn quiet_cfg(path: PathId) -> TransferConfig {
+        TransferConfig::memory_to_memory(HostId(0), path).with_noise(0.0, 1.0)
+    }
+
+    #[test]
+    fn default_transfer_hits_paper_throughput() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        // Skip past initial startup, then measure 60 s.
+        world.step(SimDuration::from_secs(10));
+        let es = world.begin_epoch(tid, StreamParams::globus_default(), false);
+        world.step(SimDuration::from_secs(60));
+        let r = world.end_epoch(es);
+        assert!(
+            (2200.0..2700.0).contains(&r.observed_mbs),
+            "paper: default ≈ 2500 MB/s, got {}",
+            r.observed_mbs
+        );
+    }
+
+    #[test]
+    fn startup_delay_blocks_early_bytes() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        world.step(SimDuration::from_secs(2));
+        assert_eq!(world.moved_mb(tid), 0.0, "still in startup");
+        world.step(SimDuration::from_secs(28));
+        assert!(world.moved_mb(tid) > 0.0);
+    }
+
+    #[test]
+    fn restart_pays_downtime() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        world.step(SimDuration::from_secs(10));
+        // Epoch with restart: observed < bestcase.
+        let es = world.begin_epoch(tid, StreamParams::new(5, 8), true);
+        world.step(SimDuration::from_secs(30));
+        let r = world.end_epoch(es);
+        assert!(r.startup_s > 1.0);
+        assert!(r.bestcase_mbs > r.observed_mbs);
+        // Paper: ≈17% overhead at 30 s epochs on an idle source.
+        assert!(
+            (0.1..0.25).contains(&r.overhead_fraction()),
+            "overhead={}",
+            r.overhead_fraction()
+        );
+    }
+
+    #[test]
+    fn seamless_change_pays_nothing() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        world.step(SimDuration::from_secs(10));
+        let es = world.begin_epoch(tid, StreamParams::new(5, 8), false);
+        world.step(SimDuration::from_secs(30));
+        let r = world.end_epoch(es);
+        assert_eq!(r.startup_s, 0.0);
+        assert!((r.bestcase_mbs - r.observed_mbs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_load_crushes_default_throughput() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        world.set_compute_jobs(HostId(0), 64);
+        world.step(SimDuration::from_secs(30));
+        let es = world.begin_epoch(tid, StreamParams::globus_default(), false);
+        world.step(SimDuration::from_secs(60));
+        let r = world.end_epoch(es);
+        // Paper Fig. 5c: default ≈ 100 MB/s under ext.cmp=64.
+        assert!(
+            (50.0..250.0).contains(&r.observed_mbs),
+            "paper: ~100 MB/s, got {}",
+            r.observed_mbs
+        );
+    }
+
+    #[test]
+    fn higher_nc_recovers_throughput_under_compute_load() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        world.set_compute_jobs(HostId(0), 16);
+        world.step(SimDuration::from_secs(30));
+        let measure = |world: &mut World, nc: u32| {
+            let es = world.begin_epoch(tid, StreamParams::new(nc, 8), false);
+            world.step(SimDuration::from_secs(60));
+            world.end_epoch(es).observed_mbs
+        };
+        let low = measure(&mut world, 2);
+        let high = measure(&mut world, 64);
+        assert!(
+            high > 3.0 * low,
+            "paper: ~7x improvement tuning nc under cmp=16; got {low} -> {high}"
+        );
+    }
+
+    #[test]
+    fn external_transfer_halves_default() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        let _ext = world.add_transfer(quiet_cfg(path).with_params(StreamParams::new(16, 1)));
+        world.step(SimDuration::from_secs(30));
+        let es = world.begin_epoch(tid, StreamParams::globus_default(), false);
+        world.step(SimDuration::from_secs(60));
+        let r = world.end_epoch(es);
+        // Paper Fig. 5d: default ≈ 1400 MB/s under ext.tfr=16.
+        assert!(
+            (1200.0..2000.0).contains(&r.observed_mbs),
+            "paper: ~1400 MB/s, got {}",
+            r.observed_mbs
+        );
+    }
+
+    #[test]
+    fn competitor_inherits_bandwidth_during_restart() {
+        let (mut world, path) = uc_world(false);
+        let a = world.add_transfer(quiet_cfg(path).with_params(StreamParams::new(8, 8)));
+        let b = world.add_transfer(quiet_cfg(path).with_params(StreamParams::new(8, 8)));
+        world.step(SimDuration::from_secs(30));
+        let before = world.goodput_mbs(b);
+        // Restart A: B should immediately see more bandwidth.
+        world.set_params(a, StreamParams::new(8, 8), true);
+        let during = world.goodput_mbs(b);
+        assert!(
+            during > before * 1.2,
+            "B should inherit A's bandwidth during restart: {before} -> {during}"
+        );
+    }
+
+    #[test]
+    fn finite_transfer_completes() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path).with_size_mb(10_000.0));
+        // 10 GB at ~2500 MB/s is ~4 s after the ~5 s startup.
+        world.step(SimDuration::from_secs(60));
+        assert!(world.is_done(tid));
+        assert!((world.moved_mb(tid) - 10_000.0).abs() < 1e-6);
+        assert_eq!(world.remaining_mb(tid), 0.0);
+        assert_eq!(world.goodput_mbs(tid), 0.0);
+    }
+
+    #[test]
+    fn bytes_conserved_across_step_sizes() {
+        // Integrating 60 s in one step or sixty must move identical bytes
+        // when noise is off (piecewise-constant rates, no randomness).
+        let run = |steps: usize| {
+            let (mut world, path) = uc_world(false);
+            let tid = world.add_transfer(quiet_cfg(path));
+            let dt = SimDuration::from_secs_f64(60.0 / steps as f64);
+            for _ in 0..steps {
+                world.step(dt);
+            }
+            world.moved_mb(tid)
+        };
+        let coarse = run(1);
+        let fine = run(60);
+        assert!(
+            (coarse - fine).abs() < 1e-6 * coarse.max(1.0),
+            "coarse={coarse} fine={fine}"
+        );
+    }
+
+    #[test]
+    fn deterministic_with_noise() {
+        let run = || {
+            let (mut world, path) = uc_world(true);
+            let tid = world.add_transfer(
+                TransferConfig::memory_to_memory(HostId(0), path).with_noise(0.1, 30.0),
+            );
+            world.step(SimDuration::from_secs(120));
+            world.moved_mb(tid)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown transfer")]
+    fn set_params_unknown_transfer_panics() {
+        let (mut world, _) = uc_world(false);
+        world.set_params(TransferId(9), StreamParams::new(1, 1), false);
+    }
+
+    /// A world over a single realistic WAN link (loss drives the dynamic
+    /// model, so this topology carries meaningful loss rather than derating).
+    fn wan_world() -> (World, TransferId) {
+        let mut net = Network::new();
+        let l = net.add_link(xferopt_net::Link::new("wan", 1000.0));
+        let path = net.add_path(
+            xferopt_net::Path::new("p", vec![l])
+                .with_rtt_ms(33.0)
+                .with_loss(1e-5),
+        );
+        let mut world = World::new(net, 77);
+        world.add_host(nehalem());
+        let cfg = TransferConfig::memory_to_memory(HostId(0), path)
+            .with_params(StreamParams::new(2, 8))
+            .with_noise(0.0, 1.0);
+        let tid = world.add_transfer(cfg);
+        (world, tid)
+    }
+
+    #[test]
+    fn dynamic_mode_agrees_at_steady_state() {
+        let steady = |dynamic: bool| {
+            let (mut world, tid) = wan_world();
+            if dynamic {
+                world.enable_dynamic_network(0.05);
+            }
+            // Long warm-up so slow start is over in both modes.
+            world.step(SimDuration::from_secs(60));
+            let es = world.begin_epoch(tid, StreamParams::new(2, 8), false);
+            world.step(SimDuration::from_secs(60));
+            world.end_epoch(es).observed_mbs
+        };
+        let qs = steady(false);
+        let dy = steady(true);
+        assert!(qs > 0.0 && dy > 0.0);
+        assert!(
+            (dy / qs - 1.0).abs() < 0.5,
+            "modes should roughly agree at steady state: quasi-static {qs:.0} vs dynamic {dy:.0}"
+        );
+    }
+
+    #[test]
+    fn dynamic_mode_shows_ramp_up() {
+        // A long-RTT lossless path: slow start takes ~8 RTTs ≈ 1.6 s to
+        // reach the 4 MiB window cap, so a 1 s window right after the
+        // streams come up must sit well below the warmed-up rate. (In
+        // quasi-static mode both windows read the same steady value.)
+        let build = || {
+            let mut net = Network::new();
+            let l = net.add_link(xferopt_net::Link::new("wan", 10_000.0));
+            let path = net.add_path(
+                xferopt_net::Path::new("p", vec![l]).with_rtt_ms(200.0),
+            );
+            let mut world = World::new(net, 9);
+            world.add_host(nehalem());
+            let cfg = TransferConfig::memory_to_memory(HostId(0), path)
+                .with_params(StreamParams::new(2, 8))
+                .with_noise(0.0, 1.0);
+            let tid = world.add_transfer(cfg);
+            world.enable_dynamic_network(0.05);
+            (world, tid)
+        };
+        let (mut world, tid) = build();
+        // Step in fine grain to the instant the startup completes, then
+        // measure the first second of stream life.
+        let startup = world.host(HostId(0)).startup_time_s(
+            xferopt_host::AppId(0),
+        );
+        world.step(SimDuration::from_secs_f64(startup + 0.01));
+        let es = world.begin_epoch(tid, StreamParams::new(2, 8), false);
+        world.step(SimDuration::from_secs(1));
+        let early = world.end_epoch(es).observed_mbs;
+
+        world.step(SimDuration::from_secs(30));
+        let es = world.begin_epoch(tid, StreamParams::new(2, 8), false);
+        world.step(SimDuration::from_secs(10));
+        let late = world.end_epoch(es).observed_mbs;
+        assert!(
+            early < 0.7 * late,
+            "dynamic mode must show slow-start ramp: early {early:.0} vs late {late:.0}"
+        );
+    }
+
+    #[test]
+    fn dynamic_mode_is_deterministic() {
+        let run = || {
+            let (mut world, tid) = wan_world();
+            world.enable_dynamic_network(0.05);
+            world.step(SimDuration::from_secs(30));
+            world.moved_mb(tid)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracer_records_lifecycle_events() {
+        let (mut world, path) = uc_world(false);
+        world.enable_trace(64);
+        let tid = world.add_transfer(quiet_cfg(path).with_size_mb(20_000.0));
+        world.set_compute_jobs(HostId(0), 16);
+        world.step(SimDuration::from_secs(5));
+        world.set_params(tid, StreamParams::new(5, 8), true);
+        world.step(SimDuration::from_secs(120));
+        assert!(world.is_done(tid));
+        let trace = world.tracer().format();
+        assert!(trace.contains("compute_jobs=16"), "{trace}");
+        assert!(trace.contains("restart nc=5 np=8"), "{trace}");
+        assert!(trace.contains("t0 complete"), "{trace}");
+        assert!(world.tracer().events_in("load").count() == 1);
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let (mut world, path) = uc_world(false);
+        let _tid = world.add_transfer(quiet_cfg(path));
+        world.step(SimDuration::from_secs(10));
+        assert!(world.tracer().is_empty());
+        assert!(!world.tracer().is_enabled());
+    }
+
+    /// World with a modelled destination host (future work #4).
+    fn uc_world_with_dst() -> (World, TransferId, HostId) {
+        let (mut world, path) = uc_world(false);
+        let dst = world.add_host(xferopt_host::sandybridge_uchicago());
+        let tid = world.add_transfer(quiet_cfg(path).with_dst_host(dst));
+        (world, tid, dst)
+    }
+
+    #[test]
+    fn unloaded_destination_changes_nothing() {
+        // The paper's assumption: the (bigger) destination never binds.
+        let (mut world, path) = uc_world(false);
+        let plain = world.add_transfer(quiet_cfg(path));
+        world.step(SimDuration::from_secs(30));
+        let r_plain = world.goodput_mbs(plain);
+
+        let (mut world2, tid, _) = uc_world_with_dst();
+        world2.step(SimDuration::from_secs(30));
+        let r_dst = world2.goodput_mbs(tid);
+        assert!(
+            (r_plain - r_dst).abs() < 0.02 * r_plain,
+            "idle destination must not matter: {r_plain} vs {r_dst}"
+        );
+    }
+
+    #[test]
+    fn loaded_destination_caps_throughput() {
+        let (mut world, tid, dst) = uc_world_with_dst();
+        world.step(SimDuration::from_secs(30));
+        let before = world.goodput_mbs(tid);
+        world.set_compute_jobs(dst, 64);
+        let after = world.goodput_mbs(tid);
+        assert!(
+            after < before / 3.0,
+            "64 hogs on the destination must bind: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn raising_nc_recovers_destination_share_too() {
+        // The same fair-share mechanism works at the receiver: more streams
+        // claim more of a loaded destination.
+        let (mut world, tid, dst) = uc_world_with_dst();
+        world.set_compute_jobs(dst, 32);
+        world.step(SimDuration::from_secs(30));
+        let measure = |world: &mut World, nc: u32| {
+            let es = world.begin_epoch(tid, StreamParams::new(nc, 8), false);
+            world.step(SimDuration::from_secs(60));
+            world.end_epoch(es).observed_mbs
+        };
+        let low = measure(&mut world, 2);
+        let high = measure(&mut world, 48);
+        assert!(
+            high > 2.0 * low,
+            "tuning should recover destination share: {low} -> {high}"
+        );
+    }
+}

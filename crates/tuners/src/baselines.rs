@@ -1,0 +1,411 @@
+//! Baseline strategies from the paper's evaluation.
+//!
+//! * [`StaticTuner`] — the Globus transfer service `default`: fixed
+//!   parameters for the whole transfer (`nc=2, np=8` for large files).
+//! * [`Heur1Tuner`] — Balman & Kosar's dynamic adaptation: compare the last
+//!   two throughputs and **additively increase** the stream count while the
+//!   gain is significant. Extended to several parameters the same way
+//!   cd-tuner is (the paper does exactly this for Fig. 10). No decrease rule.
+//! * [`Heur2Tuner`] — Yildirim et al.'s expert heuristic: **exponentially
+//!   increase** parallelism/concurrency until throughput stops improving.
+//!   Aggressive and fast, but with no decrement mechanism: started above the
+//!   critical point it stays there (the failure mode the paper calls out).
+
+use crate::domain::{Domain, Point};
+use crate::tuner::OnlineTuner;
+
+/// The static `default` baseline: never changes its parameters.
+#[derive(Debug, Clone)]
+pub struct StaticTuner {
+    domain: Domain,
+    x: Point,
+}
+
+impl StaticTuner {
+    /// A static tuner pinned at `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is outside `domain`.
+    pub fn new(domain: Domain, x: Point) -> Self {
+        assert!(domain.contains(&x), "x {x:?} outside domain");
+        StaticTuner { domain, x }
+    }
+}
+
+impl OnlineTuner for StaticTuner {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+    fn initial(&self) -> Point {
+        self.x.clone()
+    }
+    fn observe(&mut self, _x: &Point, _throughput: f64) -> Point {
+        self.x.clone()
+    }
+}
+
+/// Balman's additive heuristic (`heur1`).
+#[derive(Debug, Clone)]
+pub struct Heur1Tuner {
+    domain: Domain,
+    x0: Point,
+    eps_pct: f64,
+    axis: usize,
+    /// Throughput of the previous epoch.
+    last_f: Option<f64>,
+    /// Whether the previous epoch's point was an upward probe on `axis`.
+    probing: bool,
+    /// Axes that have stopped improving (all done = settled).
+    exhausted: Vec<bool>,
+}
+
+impl Heur1Tuner {
+    /// A heur1 tuner starting at `x0` with significance tolerance `eps_pct`.
+    ///
+    /// # Panics
+    /// Panics if `x0` is outside `domain`.
+    pub fn new(domain: Domain, x0: Point, eps_pct: f64) -> Self {
+        assert!(domain.contains(&x0), "x0 {x0:?} outside domain");
+        assert!(eps_pct >= 0.0, "tolerance must be non-negative");
+        let dim = domain.dim();
+        Heur1Tuner {
+            domain,
+            x0,
+            eps_pct,
+            axis: 0,
+            last_f: None,
+            probing: false,
+            exhausted: vec![false; dim],
+        }
+    }
+
+    fn step_axis(&self, x: &Point, delta: i64) -> Point {
+        let mut next = x.clone();
+        next[self.axis] += delta;
+        self.domain.clamp(&next)
+    }
+
+    fn advance_axis(&mut self) {
+        self.exhausted[self.axis] = true;
+        if let Some(next) = (0..self.domain.dim()).find(|&a| !self.exhausted[a]) {
+            self.axis = next;
+            self.last_f = None;
+            self.probing = false;
+        }
+    }
+
+    fn settled(&self) -> bool {
+        self.exhausted.iter().all(|&e| e)
+    }
+}
+
+impl OnlineTuner for Heur1Tuner {
+    fn name(&self) -> &'static str {
+        "heur1"
+    }
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+    fn initial(&self) -> Point {
+        self.x0.clone()
+    }
+
+    fn observe(&mut self, x: &Point, throughput: f64) -> Point {
+        if self.settled() {
+            return x.clone();
+        }
+        let Some(prev) = self.last_f.replace(throughput) else {
+            // First observation on this axis: probe one step up.
+            self.probing = true;
+            let probe = self.step_axis(x, 1);
+            if probe == *x {
+                // Already at the bound: nothing to gain on this axis.
+                self.advance_axis();
+            }
+            return probe;
+        };
+        let gain_pct = if prev.abs() < f64::EPSILON {
+            if throughput > f64::EPSILON {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            100.0 * (throughput - prev) / prev.abs()
+        };
+        if self.probing && gain_pct > self.eps_pct {
+            // Keep climbing additively.
+            let next = self.step_axis(x, 1);
+            if next == *x {
+                self.advance_axis();
+            }
+            next
+        } else {
+            // No significant gain: this axis is done. heur1 has no decrement
+            // rule, so the current value stands.
+            self.advance_axis();
+            if self.settled() {
+                x.clone()
+            } else {
+                // Probe the next axis immediately.
+                self.probing = true;
+                self.last_f = Some(throughput);
+                let probe = self.step_axis(x, 1);
+                if probe == *x {
+                    self.advance_axis();
+                }
+                probe
+            }
+        }
+    }
+}
+
+/// Yildirim's exponential heuristic (`heur2`).
+#[derive(Debug, Clone)]
+pub struct Heur2Tuner {
+    domain: Domain,
+    x0: Point,
+    eps_pct: f64,
+    axis: usize,
+    last_f: Option<f64>,
+    probing: bool,
+    exhausted: Vec<bool>,
+}
+
+impl Heur2Tuner {
+    /// A heur2 tuner starting at `x0` with significance tolerance `eps_pct`.
+    ///
+    /// # Panics
+    /// Panics if `x0` is outside `domain`.
+    pub fn new(domain: Domain, x0: Point, eps_pct: f64) -> Self {
+        assert!(domain.contains(&x0), "x0 {x0:?} outside domain");
+        assert!(eps_pct >= 0.0, "tolerance must be non-negative");
+        let dim = domain.dim();
+        Heur2Tuner {
+            domain,
+            x0,
+            eps_pct,
+            axis: 0,
+            last_f: None,
+            probing: false,
+            exhausted: vec![false; dim],
+        }
+    }
+
+    /// Double the current axis value (clamped).
+    fn double_axis(&self, x: &Point) -> Point {
+        let mut next = x.clone();
+        next[self.axis] = next[self.axis].saturating_mul(2).max(1);
+        self.domain.clamp(&next)
+    }
+
+    fn advance_axis(&mut self) {
+        self.exhausted[self.axis] = true;
+        if let Some(next) = (0..self.domain.dim()).find(|&a| !self.exhausted[a]) {
+            self.axis = next;
+            self.last_f = None;
+            self.probing = false;
+        }
+    }
+
+    fn settled(&self) -> bool {
+        self.exhausted.iter().all(|&e| e)
+    }
+}
+
+impl OnlineTuner for Heur2Tuner {
+    fn name(&self) -> &'static str {
+        "heur2"
+    }
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+    fn initial(&self) -> Point {
+        self.x0.clone()
+    }
+
+    fn observe(&mut self, x: &Point, throughput: f64) -> Point {
+        if self.settled() {
+            return x.clone();
+        }
+        let Some(prev) = self.last_f.replace(throughput) else {
+            self.probing = true;
+            let probe = self.double_axis(x);
+            if probe == *x {
+                self.advance_axis();
+            }
+            return probe;
+        };
+        let gain_pct = if prev.abs() < f64::EPSILON {
+            if throughput > f64::EPSILON {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            100.0 * (throughput - prev) / prev.abs()
+        };
+        if self.probing && gain_pct > self.eps_pct {
+            let next = self.double_axis(x);
+            if next == *x {
+                self.advance_axis();
+            }
+            next
+        } else {
+            // Improvement stopped. heur2 has no decrement mechanism — it
+            // terminates with whatever value it reached (the paper's
+            // criticism when started above the critical point).
+            self.advance_axis();
+            if self.settled() {
+                x.clone()
+            } else {
+                self.probing = true;
+                self.last_f = Some(throughput);
+                let probe = self.double_axis(x);
+                if probe == *x {
+                    self.advance_axis();
+                }
+                probe
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<F: FnMut(&Point) -> f64>(
+        tuner: &mut dyn OnlineTuner,
+        epochs: usize,
+        mut f: F,
+    ) -> Vec<Point> {
+        let mut x = tuner.initial();
+        let mut traj = vec![x.clone()];
+        for _ in 0..epochs {
+            let fx = f(&x);
+            x = tuner.observe(&x.clone(), fx);
+            traj.push(x.clone());
+        }
+        traj
+    }
+
+    fn concave_1d(peak: i64) -> impl FnMut(&Point) -> f64 {
+        move |x: &Point| 4000.0 - ((x[0] - peak) as f64).powi(2) * 2.0
+    }
+
+    #[test]
+    fn static_never_moves() {
+        let mut t = StaticTuner::new(Domain::paper_nc_np(), vec![2, 8]);
+        let traj = drive(&mut t, 20, |_| 1000.0);
+        assert!(traj.iter().all(|p| p == &vec![2, 8]));
+    }
+
+    #[test]
+    fn heur1_climbs_additively() {
+        let mut t = Heur1Tuner::new(Domain::paper_nc(), vec![2], 1.0);
+        let traj = drive(&mut t, 40, concave_1d(30));
+        for w in traj.windows(2) {
+            assert!(
+                (w[1][0] - w[0][0]).abs() <= 1,
+                "heur1 moves +1 at a time: {w:?}"
+            );
+        }
+        let last = traj.last().unwrap()[0];
+        assert!(last >= 20, "heur1 should have climbed: {last}");
+    }
+
+    #[test]
+    fn heur1_requires_more_epochs_than_exponential() {
+        // The paper: heur1's additive increment needs many more control
+        // epochs to reach comparable throughput.
+        let reach = |tuner: &mut dyn OnlineTuner| {
+            let mut x = tuner.initial();
+            for epoch in 0..100 {
+                let fx = concave_1d(64)(&x);
+                x = tuner.observe(&x.clone(), fx);
+                if x[0] >= 48 {
+                    return epoch;
+                }
+            }
+            100
+        };
+        let mut h1 = Heur1Tuner::new(Domain::paper_nc(), vec![2], 1.0);
+        let mut h2 = Heur2Tuner::new(Domain::paper_nc(), vec![2], 1.0);
+        let e1 = reach(&mut h1);
+        let e2 = reach(&mut h2);
+        assert!(
+            e2 * 4 < e1,
+            "exponential should be far faster: heur1={e1} heur2={e2}"
+        );
+    }
+
+    #[test]
+    fn heur1_never_decreases() {
+        let mut t = Heur1Tuner::new(Domain::paper_nc(), vec![50], 1.0);
+        let traj = drive(&mut t, 30, concave_1d(10));
+        for w in traj.windows(2) {
+            assert!(w[1][0] >= w[0][0], "heur1 has no decrement: {traj:?}");
+        }
+    }
+
+    #[test]
+    fn heur2_doubles_while_improving() {
+        let mut t = Heur2Tuner::new(Domain::paper_nc(), vec![2], 1.0);
+        let traj = drive(&mut t, 12, concave_1d(100));
+        // Expect 2 -> 4 -> 8 -> 16 -> 32 -> 64 then stop (128 overshoots).
+        assert!(traj.contains(&vec![4]));
+        assert!(traj.contains(&vec![8]));
+        assert!(traj.contains(&vec![16]));
+        assert!(traj.contains(&vec![32]));
+        assert!(traj.contains(&vec![64]));
+    }
+
+    #[test]
+    fn heur2_stuck_above_critical_point() {
+        // The paper's criticism: started above the critical value, heur2 has
+        // no way down and terminates with poor settings.
+        let mut t = Heur2Tuner::new(Domain::paper_nc(), vec![128], 1.0);
+        let traj = drive(&mut t, 20, concave_1d(8));
+        let last = traj.last().unwrap()[0];
+        assert!(
+            last >= 128,
+            "heur2 must not decrease below its start: {last}"
+        );
+    }
+
+    #[test]
+    fn heur2_two_dim_tunes_both_axes() {
+        let f = |x: &Point| (x[0].min(32) * 10 + x[1].min(16) * 10) as f64;
+        let mut t = Heur2Tuner::new(Domain::paper_nc_np(), vec![2, 2], 1.0);
+        let traj = drive(&mut t, 30, f);
+        let last = traj.last().unwrap();
+        assert!(last[0] >= 32, "nc should have grown: {last:?}");
+        assert!(last[1] >= 16, "np should have grown: {last:?}");
+    }
+
+    #[test]
+    fn heur1_settles_flat_objective() {
+        let mut t = Heur1Tuner::new(Domain::paper_nc_np(), vec![2, 8], 5.0);
+        let traj = drive(&mut t, 20, |_| 1000.0);
+        let tail = &traj[6..];
+        assert!(
+            tail.windows(2).all(|w| w[0] == w[1]),
+            "flat objective must settle heur1: {traj:?}"
+        );
+    }
+
+    #[test]
+    fn bounds_respected_at_extremes() {
+        let d = Domain::new(&[(1, 8)]);
+        let mut t = Heur2Tuner::new(d.clone(), vec![8], 1.0);
+        let traj = drive(&mut t, 10, |x| x[0] as f64);
+        assert!(traj.iter().all(|p| d.contains(p)));
+        let mut t = Heur1Tuner::new(d.clone(), vec![8], 1.0);
+        let traj = drive(&mut t, 10, |x| x[0] as f64);
+        assert!(traj.iter().all(|p| d.contains(p)));
+    }
+}

@@ -1,0 +1,412 @@
+//! Additional optimizers beyond the paper's three, for comparison studies:
+//!
+//! * [`RandomSearchTuner`] — uniform random probing with a
+//!   keep-the-incumbent rule; the standard "is your optimizer better than
+//!   random?" control.
+//! * [`GoldenSectionTuner`] — classic golden-section line search for 1-D
+//!   unimodal objectives; near-optimal evaluation counts when the Fig. 1
+//!   unimodality assumption holds, brittle when it does not.
+//!
+//! Both implement [`OnlineTuner`] and re-trigger through the same ε% monitor
+//! as the paper's tuners, so they drop into every experiment and benchmark.
+
+use crate::domain::{Domain, Point};
+use crate::trigger::SignificanceMonitor;
+use crate::tuner::OnlineTuner;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random search with an incumbent.
+#[derive(Debug, Clone)]
+pub struct RandomSearchTuner {
+    domain: Domain,
+    x0: Point,
+    /// Probes per search invocation.
+    budget: u32,
+    remaining: u32,
+    incumbent: Point,
+    f_incumbent: f64,
+    probe: Option<Point>,
+    monitor: SignificanceMonitor,
+    rng: SmallRng,
+}
+
+impl RandomSearchTuner {
+    /// A random-search tuner starting at `x0`, probing `budget` random
+    /// points per search round, with tolerance `eps_pct`.
+    ///
+    /// # Panics
+    /// Panics if `x0` is outside `domain` or `budget` is zero.
+    pub fn new(domain: Domain, x0: Point, budget: u32, eps_pct: f64) -> Self {
+        assert!(domain.contains(&x0), "x0 {x0:?} outside domain");
+        assert!(budget > 0, "budget must be positive");
+        RandomSearchTuner {
+            incumbent: x0.clone(),
+            x0,
+            budget,
+            remaining: budget,
+            f_incumbent: f64::NEG_INFINITY,
+            probe: None,
+            monitor: SignificanceMonitor::new(eps_pct),
+            domain,
+            rng: SmallRng::seed_from_u64(0xBAD5EED),
+        }
+    }
+
+    /// Reseed the probe RNG.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SmallRng::seed_from_u64(seed);
+        self
+    }
+
+    fn random_point(&mut self) -> Point {
+        (0..self.domain.dim())
+            .map(|i| self.rng.gen_range(self.domain.lo()[i]..=self.domain.hi()[i]))
+            .collect()
+    }
+}
+
+impl OnlineTuner for RandomSearchTuner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+    fn initial(&self) -> Point {
+        self.x0.clone()
+    }
+
+    fn observe(&mut self, x: &Point, throughput: f64) -> Point {
+        match self.probe.take() {
+            Some(p) => {
+                debug_assert_eq!(x, &p);
+                if throughput > self.f_incumbent {
+                    self.f_incumbent = throughput;
+                    self.incumbent = p;
+                }
+            }
+            None => {
+                // Incumbent evaluation (first epoch or monitor epoch).
+                if self.remaining == 0 {
+                    // Monitoring: re-trigger on significant change.
+                    if self.monitor.observe(throughput) {
+                        self.remaining = self.budget;
+                        self.f_incumbent = throughput;
+                    } else {
+                        return self.incumbent.clone();
+                    }
+                } else {
+                    self.f_incumbent = self.f_incumbent.max(throughput);
+                }
+            }
+        }
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let p = self.random_point();
+            self.probe = Some(p.clone());
+            p
+        } else {
+            self.monitor.reset();
+            self.monitor.observe(self.f_incumbent);
+            self.incumbent.clone()
+        }
+    }
+}
+
+/// Golden-section line search over a 1-D integer domain.
+#[derive(Debug, Clone)]
+pub struct GoldenSectionTuner {
+    domain: Domain,
+    x0: Point,
+    /// Current bracket `[lo, hi]`.
+    lo: i64,
+    hi: i64,
+    /// Interior probe points and their values.
+    a: i64,
+    b: i64,
+    fa: Option<f64>,
+    fb: Option<f64>,
+    /// Which interior point the last proposal was.
+    waiting_on: Probe,
+    monitor: SignificanceMonitor,
+    settled: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Probe {
+    A,
+    B,
+    None,
+}
+
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+impl GoldenSectionTuner {
+    /// A golden-section tuner over a 1-D `domain` with tolerance `eps_pct`.
+    ///
+    /// # Panics
+    /// Panics unless the domain is 1-D and contains `x0`.
+    pub fn new(domain: Domain, x0: Point, eps_pct: f64) -> Self {
+        assert_eq!(domain.dim(), 1, "golden section is 1-D only");
+        assert!(domain.contains(&x0), "x0 {x0:?} outside domain");
+        let lo = domain.lo()[0];
+        let hi = domain.hi()[0];
+        let (a, b) = Self::interior(lo, hi);
+        GoldenSectionTuner {
+            domain,
+            x0,
+            lo,
+            hi,
+            a,
+            b,
+            fa: None,
+            fb: None,
+            waiting_on: Probe::None,
+            monitor: SignificanceMonitor::new(eps_pct),
+            settled: false,
+        }
+    }
+
+    fn interior(lo: i64, hi: i64) -> (i64, i64) {
+        let span = (hi - lo) as f64;
+        let a = lo + (span * (1.0 - INV_PHI)).round() as i64;
+        let b = lo + (span * INV_PHI).round() as i64;
+        (a.clamp(lo, hi), b.clamp(lo, hi).max(a))
+    }
+
+    fn restart(&mut self) {
+        self.lo = self.domain.lo()[0];
+        self.hi = self.domain.hi()[0];
+        let (a, b) = Self::interior(self.lo, self.hi);
+        self.a = a;
+        self.b = b;
+        self.fa = None;
+        self.fb = None;
+        self.waiting_on = Probe::None;
+        self.settled = false;
+        self.monitor.reset();
+    }
+
+    fn next_probe(&mut self) -> Point {
+        if self.hi - self.lo <= 2 || self.a >= self.b {
+            // Bracket collapsed: settle on the better interior point.
+            self.settled = true;
+            let best = match (self.fa, self.fb) {
+                (Some(fa), Some(fb)) if fb > fa => self.b,
+                _ => self.a,
+            };
+            self.monitor.reset();
+            return vec![best.clamp(self.domain.lo()[0], self.domain.hi()[0])];
+        }
+        if self.fa.is_none() {
+            self.waiting_on = Probe::A;
+            return vec![self.a];
+        }
+        if self.fb.is_none() {
+            self.waiting_on = Probe::B;
+            return vec![self.b];
+        }
+        unreachable!("both interior values known but bracket not narrowed")
+    }
+}
+
+impl OnlineTuner for GoldenSectionTuner {
+    fn name(&self) -> &'static str {
+        "golden"
+    }
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+    fn initial(&self) -> Point {
+        self.x0.clone()
+    }
+
+    fn observe(&mut self, _x: &Point, throughput: f64) -> Point {
+        if self.settled {
+            if self.monitor.observe(throughput) {
+                self.restart();
+            } else {
+                return self.next_probe();
+            }
+        }
+        match self.waiting_on {
+            Probe::A => self.fa = Some(throughput),
+            Probe::B => self.fb = Some(throughput),
+            Probe::None => {} // initial epoch at x0: no bracket info
+        }
+        self.waiting_on = Probe::None;
+        // Narrow the bracket when both interior values are known (maximize).
+        if let (Some(fa), Some(fb)) = (self.fa, self.fb) {
+            if fa >= fb {
+                self.hi = self.b;
+                self.b = self.a;
+                self.fb = Some(fa);
+                let (a, _) = Self::interior(self.lo, self.hi);
+                self.a = a;
+                self.fa = None;
+            } else {
+                self.lo = self.a;
+                self.a = self.b;
+                self.fa = Some(fb);
+                let (_, b) = Self::interior(self.lo, self.hi);
+                self.b = b;
+                self.fb = None;
+            }
+            if self.a >= self.b {
+                self.settled = true;
+            }
+        }
+        self.next_probe()
+    }
+}
+
+/// A transparent wrapper recording every `(x, f)` pair a tuner sees —
+/// trajectory analysis without touching the tuner.
+pub struct RecordingTuner<T> {
+    inner: T,
+    history: Vec<(Point, f64)>,
+}
+
+impl<T: OnlineTuner> RecordingTuner<T> {
+    /// Wrap `inner`.
+    pub fn new(inner: T) -> Self {
+        RecordingTuner {
+            inner,
+            history: Vec::new(),
+        }
+    }
+
+    /// Every observation so far, in order.
+    pub fn history(&self) -> &[(Point, f64)] {
+        &self.history
+    }
+
+    /// The observation with the highest throughput, if any.
+    pub fn best(&self) -> Option<&(Point, f64)> {
+        self.history
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Unwrap the inner tuner.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: OnlineTuner> OnlineTuner for RecordingTuner<T> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn domain(&self) -> &Domain {
+        self.inner.domain()
+    }
+    fn initial(&self) -> Point {
+        self.inner.initial()
+    }
+    fn observe(&mut self, x: &Point, throughput: f64) -> Point {
+        self.history.push((x.clone(), throughput));
+        self.inner.observe(x, throughput)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::maximize;
+
+    fn concave(peak: i64) -> impl FnMut(&Point) -> f64 {
+        move |x: &Point| 4000.0 - ((x[0] - peak) as f64).powi(2)
+    }
+
+    #[test]
+    fn random_search_improves_over_start() {
+        let mut t =
+            RandomSearchTuner::new(Domain::new(&[(1, 200)]), vec![1], 30, 5.0).with_seed(1);
+        let r = maximize(&mut t, 200, concave(120));
+        assert!(
+            (r.best[0] - 120).abs() < 40,
+            "30 random probes on [1,200] should land near 120: {:?}",
+            r.best
+        );
+    }
+
+    #[test]
+    fn random_search_stays_in_domain() {
+        let d = Domain::new(&[(5, 9), (2, 3)]);
+        let mut t = RandomSearchTuner::new(d.clone(), vec![5, 2], 20, 5.0);
+        let mut x = t.initial();
+        for i in 0..60 {
+            x = t.observe(&x.clone(), (i % 7) as f64 * 100.0);
+            assert!(d.contains(&x), "out of domain: {x:?}");
+        }
+    }
+
+    #[test]
+    fn random_search_settles_then_retriggers() {
+        let mut t =
+            RandomSearchTuner::new(Domain::new(&[(1, 50)]), vec![1], 10, 5.0).with_seed(2);
+        let mut x = t.initial();
+        for _ in 0..30 {
+            x = t.observe(&x.clone(), 1000.0);
+        }
+        let settled = x.clone();
+        // Quiet: must hold.
+        for _ in 0..5 {
+            x = t.observe(&x.clone(), 1000.0);
+            assert_eq!(x, settled);
+        }
+        // Shock: must move again eventually.
+        let mut moved = false;
+        for _ in 0..15 {
+            x = t.observe(&x.clone(), 5000.0);
+            if x != settled {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved, "shock must re-trigger random search");
+    }
+
+    #[test]
+    fn golden_section_nails_unimodal_peak() {
+        let mut t = GoldenSectionTuner::new(Domain::new(&[(1, 512)]), vec![2], 5.0);
+        let r = maximize(&mut t, 100, concave(300));
+        assert!(
+            (r.best[0] - 300).abs() <= 8,
+            "golden section on unimodal f: {:?}",
+            r.best
+        );
+        // Evaluation count ~ log_phi(512) ≈ 13-ish, far below compass.
+        assert!(
+            r.evaluations.len() <= 40,
+            "too many evaluations: {}",
+            r.evaluations.len()
+        );
+    }
+
+    #[test]
+    fn golden_section_is_1d_only() {
+        let result = std::panic::catch_unwind(|| {
+            GoldenSectionTuner::new(Domain::paper_nc_np(), vec![2, 8], 5.0)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn recording_tuner_captures_history() {
+        let inner = crate::cd::CdTuner::new(Domain::new(&[(1, 50)]), vec![2], 1.0);
+        let mut t = RecordingTuner::new(inner);
+        let mut x = t.initial();
+        for _ in 0..10 {
+            let f = concave(10)(&x);
+            x = t.observe(&x.clone(), f);
+        }
+        assert_eq!(t.history().len(), 10);
+        let best = t.best().unwrap();
+        assert!(best.1 <= 4000.0);
+        // History points climb toward the peak.
+        assert!(t.history().last().unwrap().0[0] > 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline driver: use the online tuners as a general direct-search library
+//! for *static* bounded-integer black-box maximization.
+//!
+//! The paper's tuners only ever see `(x, f(x))` pairs, so pointing them at a
+//! deterministic function instead of a live transfer turns them into
+//! classical derivative-free optimizers. The driver runs until the tuner
+//! stops proposing new points (converged + monitoring) or an evaluation
+//! budget is exhausted, memoizing repeat evaluations.
+
+use crate::domain::Point;
+use crate::tuner::OnlineTuner;
+use std::collections::HashMap;
+
+/// Result of an offline optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflineResult {
+    /// The best point found.
+    pub best: Point,
+    /// The objective value at `best`.
+    pub best_value: f64,
+    /// Distinct points evaluated, in first-evaluation order.
+    pub evaluations: Vec<(Point, f64)>,
+    /// Total tuner steps taken (including repeats of memoized points).
+    pub steps: usize,
+    /// True when the run stopped because the tuner settled (rather than the
+    /// budget running out).
+    pub converged: bool,
+}
+
+/// Maximize `f` over the tuner's domain, starting from the tuner's initial
+/// point, with at most `max_steps` tuner steps.
+///
+/// Repeated evaluations of the same point are served from a memo table (the
+/// function is static), so the budget measures *search effort*, not
+/// re-measurement. Convergence is detected when the tuner proposes the same
+/// point for [`SETTLE_STEPS`] consecutive steps.
+///
+/// # Panics
+/// Panics if `max_steps` is zero.
+pub fn maximize<F>(tuner: &mut dyn OnlineTuner, max_steps: usize, mut f: F) -> OfflineResult
+where
+    F: FnMut(&Point) -> f64,
+{
+    assert!(max_steps > 0, "need at least one step");
+    let mut memo: HashMap<Point, f64> = HashMap::new();
+    let mut order: Vec<Point> = Vec::new();
+    let mut x = tuner.initial();
+    let mut same_count = 0usize;
+    let mut steps = 0usize;
+    let mut converged = false;
+
+    while steps < max_steps {
+        let fx = *memo.entry(x.clone()).or_insert_with(|| {
+            order.push(x.clone());
+            f(&x)
+        });
+        let next = tuner.observe(&x, fx);
+        steps += 1;
+        if next == x {
+            same_count += 1;
+            if same_count >= SETTLE_STEPS {
+                converged = true;
+                break;
+            }
+        } else {
+            same_count = 0;
+        }
+        x = next;
+    }
+
+    let (best, best_value) = memo
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(p, &v)| (p.clone(), v))
+        .expect("at least one evaluation");
+    let evaluations = order
+        .into_iter()
+        .map(|p| {
+            let v = memo[&p];
+            (p, v)
+        })
+        .collect();
+    OfflineResult {
+        best,
+        best_value,
+        evaluations,
+        steps,
+        converged,
+    }
+}
+
+/// Consecutive identical proposals that count as convergence.
+pub const SETTLE_STEPS: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{Heur1Tuner, Heur2Tuner};
+    use crate::cd::CdTuner;
+    use crate::compass::CompassTuner;
+    use crate::domain::Domain;
+    use crate::neldermead::NelderMeadTuner;
+
+    fn quadratic_2d(px: i64, py: i64) -> impl FnMut(&Point) -> f64 {
+        move |x: &Point| {
+            -((x[0] - px) as f64).powi(2) - 0.5 * ((x[1] - py) as f64).powi(2)
+        }
+    }
+
+    #[test]
+    fn compass_finds_exact_peak_1d() {
+        let mut t = CompassTuner::new(Domain::new(&[(1, 100)]), vec![2], 8.0, 5.0);
+        let r = maximize(&mut t, 300, |x| -((x[0] - 42) as f64).abs());
+        assert_eq!(r.best, vec![42]);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn nelder_mead_close_on_2d_quadratic() {
+        let mut t = NelderMeadTuner::new(Domain::new(&[(1, 100), (1, 100)]), vec![5, 5], 5.0);
+        let r = maximize(&mut t, 400, quadratic_2d(30, 60));
+        assert!(
+            (r.best[0] - 30).abs() <= 4 && (r.best[1] - 60).abs() <= 8,
+            "best={:?}",
+            r.best
+        );
+    }
+
+    #[test]
+    fn compass_close_on_2d_quadratic() {
+        let mut t = CompassTuner::new(Domain::new(&[(1, 100), (1, 100)]), vec![5, 5], 8.0, 5.0);
+        let r = maximize(&mut t, 400, quadratic_2d(30, 60));
+        assert!(
+            (r.best[0] - 30).abs() <= 2 && (r.best[1] - 60).abs() <= 2,
+            "best={:?}",
+            r.best
+        );
+    }
+
+    #[test]
+    fn cd_walks_to_nearby_peak() {
+        let mut t = CdTuner::new(Domain::new(&[(1, 100)]), vec![10], 0.0);
+        let r = maximize(&mut t, 200, |x| -((x[0] - 18) as f64).powi(2));
+        assert!((r.best[0] - 18).abs() <= 1, "best={:?}", r.best);
+    }
+
+    #[test]
+    fn memoization_counts_distinct_points_once() {
+        let mut t = CompassTuner::new(Domain::new(&[(1, 50)]), vec![2], 8.0, 5.0);
+        let mut calls = 0usize;
+        let r = maximize(&mut t, 300, |x| {
+            calls += 1;
+            -((x[0] - 20) as f64).powi(2)
+        });
+        assert_eq!(calls, r.evaluations.len());
+        // Steps include monitor-phase repeats, so steps >= evaluations.
+        assert!(r.steps >= r.evaluations.len());
+    }
+
+    #[test]
+    fn budget_bound_respected() {
+        let mut t = Heur1Tuner::new(Domain::new(&[(1, 10_000)]), vec![1], 0.0);
+        // Monotone objective: heur1 climbs forever; budget must stop it.
+        let r = maximize(&mut t, 50, |x| x[0] as f64);
+        assert!(!r.converged);
+        assert_eq!(r.steps, 50);
+    }
+
+    #[test]
+    fn heur2_offline_converges_fast() {
+        let mut t = Heur2Tuner::new(Domain::new(&[(1, 512)]), vec![2], 1.0);
+        let r = maximize(&mut t, 100, |x| (x[0].min(64)) as f64);
+        assert!(r.converged);
+        assert!(r.best[0] >= 64, "best={:?}", r.best);
+        assert!(
+            r.evaluations.len() <= 12,
+            "exponential search must be frugal: {} evals",
+            r.evaluations.len()
+        );
+    }
+
+    #[test]
+    fn evaluations_in_first_seen_order() {
+        let mut t = CompassTuner::new(Domain::new(&[(1, 40)]), vec![2], 8.0, 5.0);
+        let r = maximize(&mut t, 200, |x| -((x[0] - 10) as f64).powi(2));
+        assert_eq!(r.evaluations[0].0, vec![2], "first evaluation is x0");
+        let mut seen = std::collections::HashSet::new();
+        for (p, _) in &r.evaluations {
+            assert!(seen.insert(p.clone()), "duplicate in evaluations: {p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_budget_rejected() {
+        let mut t = CompassTuner::new(Domain::new(&[(1, 10)]), vec![2], 8.0, 5.0);
+        maximize(&mut t, 0, |_| 0.0);
+    }
+}

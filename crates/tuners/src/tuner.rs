@@ -1,0 +1,231 @@
+//! The online tuner interface and a name-based factory.
+
+use crate::baselines::{Heur1Tuner, Heur2Tuner, StaticTuner};
+use crate::cd::CdTuner;
+use crate::compass::CompassTuner;
+use crate::domain::{Domain, Point};
+use crate::neldermead::NelderMeadTuner;
+use serde::{Deserialize, Serialize};
+
+/// An online tuner: a pull-style state machine that proposes the parameter
+/// point for each control epoch based on the throughput observed so far.
+///
+/// Protocol: the driver transfers one control epoch with
+/// [`OnlineTuner::initial`]'s point, reports the achieved throughput via
+/// [`OnlineTuner::observe`], transfers the next epoch with the returned
+/// point, and so on until the data runs out (`while s' > 0` in the paper's
+/// pseudocode).
+pub trait OnlineTuner {
+    /// Short identifier used in reports (`cd-tuner`, `cs-tuner`, …).
+    fn name(&self) -> &'static str;
+
+    /// The point to use for the first control epoch.
+    fn initial(&self) -> Point;
+
+    /// Observe that running with `x` achieved `throughput` (MB/s) over the
+    /// last control epoch; return the point for the next epoch.
+    fn observe(&mut self, x: &Point, throughput: f64) -> Point;
+
+    /// The search domain.
+    fn domain(&self) -> &Domain;
+}
+
+/// The tuners evaluated in the paper, constructible by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TunerKind {
+    /// Static Globus defaults (the paper's `default` baseline).
+    Default,
+    /// Coordinate-descent tuner (Algorithm 1).
+    Cd,
+    /// Compass-search tuner (Algorithm 2).
+    Cs,
+    /// Nelder–Mead tuner (Algorithm 3).
+    Nm,
+    /// Balman's additive heuristic (`heur1`).
+    Heur1,
+    /// Yildirim's exponential heuristic (`heur2`).
+    Heur2,
+}
+
+impl TunerKind {
+    /// All kinds, in the order the paper's figures list them.
+    pub const ALL: [TunerKind; 6] = [
+        TunerKind::Default,
+        TunerKind::Cd,
+        TunerKind::Cs,
+        TunerKind::Nm,
+        TunerKind::Heur1,
+        TunerKind::Heur2,
+    ];
+
+    /// Report name (`default`, `cd-tuner`, `cs-tuner`, `nm-tuner`, `heur1`,
+    /// `heur2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TunerKind::Default => "default",
+            TunerKind::Cd => "cd-tuner",
+            TunerKind::Cs => "cs-tuner",
+            TunerKind::Nm => "nm-tuner",
+            TunerKind::Heur1 => "heur1",
+            TunerKind::Heur2 => "heur2",
+        }
+    }
+
+    /// Build a tuner with the paper's hyper-parameters: tolerance `ε = 5 %`,
+    /// compass step `λ = 8`, Nelder–Mead `(R, E, C, S) = (1, 2, 0.5, 0.5)`.
+    ///
+    /// `x0` is the starting point (the Globus default, in the figures).
+    pub fn build(self, domain: Domain, x0: Point) -> Box<dyn OnlineTuner + Send> {
+        const EPS: f64 = 5.0;
+        const LAMBDA: f64 = 8.0;
+        match self {
+            TunerKind::Default => Box::new(StaticTuner::new(domain, x0)),
+            TunerKind::Cd => Box::new(CdTuner::new(domain, x0, EPS)),
+            TunerKind::Cs => Box::new(CompassTuner::new(domain, x0, LAMBDA, EPS)),
+            TunerKind::Nm => Box::new(NelderMeadTuner::new(domain, x0, EPS)),
+            TunerKind::Heur1 => Box::new(Heur1Tuner::new(domain, x0, EPS)),
+            TunerKind::Heur2 => Box::new(Heur2Tuner::new(domain, x0, EPS)),
+        }
+    }
+}
+
+impl std::str::FromStr for TunerKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "default" => Ok(TunerKind::Default),
+            "cd" | "cd-tuner" => Ok(TunerKind::Cd),
+            "cs" | "cs-tuner" | "compass" => Ok(TunerKind::Cs),
+            "nm" | "nm-tuner" | "nelder-mead" => Ok(TunerKind::Nm),
+            "heur1" => Ok(TunerKind::Heur1),
+            "heur2" => Ok(TunerKind::Heur2),
+            other => Err(format!("unknown tuner kind: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in TunerKind::ALL {
+            let t = kind.build(Domain::paper_nc(), vec![2]);
+            assert_eq!(t.name(), kind.name());
+            assert_eq!(t.initial(), vec![2]);
+            assert_eq!(t.domain().dim(), 1);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for kind in TunerKind::ALL {
+            let parsed: TunerKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("bogus".parse::<TunerKind>().is_err());
+    }
+
+    #[test]
+    fn every_tuner_stays_in_domain_under_fixed_adversarial_feedback() {
+        // Feed adversarial throughput sequences and check domain safety.
+        let feedbacks = [
+            vec![0.0; 40],
+            (0..40).map(|i| i as f64 * 100.0).collect::<Vec<_>>(),
+            (0..40).map(|i| 4000.0 - i as f64 * 100.0).collect(),
+            (0..40)
+                .map(|i| if i % 2 == 0 { 100.0 } else { 3000.0 })
+                .collect(),
+        ];
+        for kind in TunerKind::ALL {
+            for fb in &feedbacks {
+                let domain = Domain::paper_nc_np();
+                let mut t = kind.build(domain.clone(), vec![2, 8]);
+                let mut x = t.initial();
+                assert!(domain.contains(&x), "{}: initial out of domain", kind.name());
+                for &f in fb {
+                    x = t.observe(&x.clone(), f);
+                    assert!(
+                        domain.contains(&x),
+                        "{}: proposed {:?} outside domain",
+                        kind.name(),
+                        x
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_domain_and_start() -> impl Strategy<Value = (Domain, Point)> {
+        (1usize..=3).prop_flat_map(|dim| {
+            let bounds = prop::collection::vec((1i64..8, 8i64..300), dim..=dim);
+            bounds.prop_flat_map(|b| {
+                let domain = Domain::new(
+                    &b.iter().map(|&(lo, hi)| (lo, hi)).collect::<Vec<_>>(),
+                );
+                let start: Vec<BoxedStrategy<i64>> = b
+                    .iter()
+                    .map(|&(lo, hi)| (lo..=hi).boxed())
+                    .collect();
+                (Just(domain), start)
+            })
+        })
+    }
+
+    proptest! {
+        /// Whatever throughput sequence the world produces — including
+        /// negatives, zeros, NaN-free extremes — every tuner's proposals
+        /// stay inside the domain and never panic.
+        #[test]
+        fn fuzz_every_tuner_domain_safety(
+            (domain, x0) in arb_domain_and_start(),
+            feedback in prop::collection::vec(-1e6f64..1e7, 1..60),
+            kind_idx in 0usize..TunerKind::ALL.len(),
+        ) {
+            let kind = TunerKind::ALL[kind_idx];
+            let mut tuner = kind.build(domain.clone(), x0);
+            let mut x = tuner.initial();
+            prop_assert!(domain.contains(&x), "{}: initial {:?}", kind.name(), x);
+            for &f in &feedback {
+                x = tuner.observe(&x.clone(), f);
+                prop_assert!(
+                    domain.contains(&x),
+                    "{}: proposed {:?} outside {:?}..{:?}",
+                    kind.name(), x, domain.lo(), domain.hi()
+                );
+            }
+        }
+
+        /// On a deterministic concave objective every adaptive tuner ends at
+        /// least as good as its starting point (no self-sabotage).
+        #[test]
+        fn fuzz_no_tuner_ends_worse_than_start(
+            peak in 5i64..250,
+            start in 1i64..250,
+            kind_idx in 0usize..TunerKind::ALL.len(),
+        ) {
+            let kind = TunerKind::ALL[kind_idx];
+            let domain = Domain::new(&[(1, 256)]);
+            let f = |x: &Point| 4000.0 - ((x[0] - peak) as f64).powi(2) * 0.5;
+            let mut tuner = kind.build(domain, vec![start]);
+            let mut x = tuner.initial();
+            let mut best_seen = f64::NEG_INFINITY;
+            for _ in 0..80 {
+                let fx = f(&x);
+                best_seen = best_seen.max(fx);
+                x = tuner.observe(&x.clone(), fx);
+            }
+            // The best point visited must not be worse than the start value
+            // (any sane strategy at least keeps what it began with).
+            prop_assert!(best_seen >= f(&vec![start]) - 1e-9,
+                "{}: best {} < start {}", kind.name(), best_seen, f(&vec![start]));
+        }
+    }
+}

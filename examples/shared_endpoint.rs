@@ -1,0 +1,56 @@
+//! Two simultaneously tuned transfers sharing one source NIC (the paper's
+//! Fig. 11): each tuner treats the other as external load, and the
+//! UChicago-bound transfer tends to claim the larger share.
+//!
+//! Run with: `cargo run --release --example shared_endpoint`
+
+use xferopt::prelude::*;
+
+fn main() {
+    let specs = vec![
+        MultiSpec {
+            route: Route::UChicago,
+            tuner: TunerKind::Nm,
+            dims: TuneDims::NcNp,
+            x0: StreamParams::globus_default(),
+        },
+        MultiSpec {
+            route: Route::Tacc,
+            tuner: TunerKind::Nm,
+            dims: TuneDims::NcNp,
+            x0: StreamParams::globus_default(),
+        },
+    ];
+    let driver = MultiDriver::new(
+        &specs,
+        LoadSchedule::constant(ExternalLoad::NONE),
+        30.0,
+        42,
+    );
+    let logs = driver.run(1800.0);
+
+    println!("t_s      UChicago MB/s  (nc,np)     TACC MB/s  (nc,np)");
+    for (i, (uc, tacc)) in logs[0].epochs.iter().zip(&logs[1].epochs).enumerate() {
+        if i % 4 != 0 {
+            continue; // print every 2 minutes
+        }
+        println!(
+            "{:>5.0}  {:>12.0}  ({:>3},{:>2})  {:>10.0}  ({:>3},{:>2})",
+            uc.start.as_secs_f64(),
+            uc.observed_mbs,
+            uc.params.nc,
+            uc.params.np,
+            tacc.observed_mbs,
+            tacc.params.nc,
+            tacc.params.np,
+        );
+    }
+
+    let a = logs[0].mean_observed_between(1200.0, 1801.0).unwrap_or(0.0);
+    let b = logs[1].mean_observed_between(1200.0, 1801.0).unwrap_or(0.0);
+    println!(
+        "\nsteady state: UChicago {a:.0} MB/s, TACC {b:.0} MB/s — {:.0}% / {:.0}% of the shared 5000 MB/s NIC",
+        100.0 * a / (a + b),
+        100.0 * b / (a + b)
+    );
+}

@@ -1,0 +1,264 @@
+//! `xferopt` — command-line front end for the simulated testbed.
+//!
+//! ```text
+//! xferopt run   [--route uc|tacc] [--tuner default|cd|cs|nm|heur1|heur2]
+//!               [--dims nc|ncnp] [--tfr N] [--cmp N] [--duration S]
+//!               [--epoch S] [--seed N] [--csv]
+//! xferopt sweep [--route uc|tacc] [--tfr N] [--cmp N] [--np N]
+//!               [--duration S] [--seed N]      # throughput vs nc table
+//! xferopt compare [--duration S] [--seed N]    # all tuners × all loads
+//! ```
+//!
+//! Everything runs the calibrated fluid testbed (see DESIGN.md); use the
+//! `fig*` binaries in `xferopt-bench` to regenerate the paper's figures.
+
+use std::process::ExitCode;
+use xferopt::prelude::*;
+use xferopt::scenarios::experiments::{fig5, summarize};
+use xferopt::scenarios::report::Table;
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument: {a}"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    pairs.push((key.to_string(), it.next().unwrap().clone()));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Ok(Args { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn parse_route(s: &str) -> Result<Route, String> {
+    match s {
+        "uc" | "uchicago" => Ok(Route::UChicago),
+        "tacc" => Ok(Route::Tacc),
+        other => Err(format!("unknown route: {other} (use uc|tacc)")),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let route = parse_route(args.get("route").unwrap_or("uc"))?;
+    let tuner: TunerKind = args
+        .get("tuner")
+        .unwrap_or("nm")
+        .parse()
+        .map_err(|e: String| e)?;
+    let dims = match args.get("dims").unwrap_or("nc") {
+        "nc" => TuneDims::NcOnly {
+            np: args.get_parsed("np", 8u32)?,
+        },
+        "ncnp" => TuneDims::NcNp,
+        other => return Err(format!("unknown dims: {other} (use nc|ncnp)")),
+    };
+    let load = ExternalLoad::new(args.get_parsed("tfr", 0u32)?, args.get_parsed("cmp", 0u32)?);
+    let duration = args.get_parsed("duration", 1800.0f64)?;
+    let mut cfg = DriveConfig::paper(route, tuner, dims, LoadSchedule::constant(load))
+        .with_duration_s(duration)
+        .with_seed(args.get_parsed("seed", 0u64)?);
+    cfg.epoch_s = args.get_parsed("epoch", 30.0f64)?;
+
+    let log = drive_transfer(&cfg);
+    if args.has_flag("csv") {
+        println!("t_s,observed_mbs,bestcase_mbs,nc,np,startup_s");
+        for e in &log.epochs {
+            println!(
+                "{:.0},{:.1},{:.1},{},{},{:.2}",
+                (e.start + e.duration).as_secs_f64(),
+                e.observed_mbs,
+                e.bestcase_mbs,
+                e.params.nc,
+                e.params.np,
+                e.startup_s
+            );
+        }
+    } else {
+        println!(
+            "{} on {} under {} for {:.0} s:",
+            tuner.name(),
+            route.name(),
+            load.label(),
+            duration
+        );
+        println!(
+            "  mean observed  {:>8.0} MB/s",
+            log.mean_observed_mbs()
+        );
+        println!(
+            "  steady (last third) {:>8.0} MB/s",
+            log.mean_observed_between(duration * 2.0 / 3.0, duration + 1.0)
+                .unwrap_or(0.0)
+        );
+        println!(
+            "  final params   nc={} np={}",
+            log.final_nc().unwrap_or(0),
+            log.final_np().unwrap_or(0)
+        );
+        println!(
+            "  restart overhead {:>6.1} %",
+            log.mean_overhead_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let route = parse_route(args.get("route").unwrap_or("uc"))?;
+    let load = ExternalLoad::new(args.get_parsed("tfr", 0u32)?, args.get_parsed("cmp", 0u32)?);
+    let np = args.get_parsed("np", 8u32)?;
+    let duration = args.get_parsed("duration", 120.0f64)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+
+    let ncs = [1u32, 2, 4, 8, 16, 32, 64, 128, 256];
+    let surface = xferopt::scenarios::throughput_surface(route, load, &ncs, &[np], duration, seed);
+    let mut table = Table::new(vec!["nc", "streams", "MB/s"]);
+    for c in &surface.cells {
+        table.push_row(vec![
+            c.nc.to_string(),
+            (c.nc * c.np).to_string(),
+            format!("{:.0}", c.mbs),
+        ]);
+    }
+    println!(
+        "throughput vs concurrency on {} under {} (np={np}):\n",
+        route.name(),
+        load.label()
+    );
+    println!("{}", table.to_markdown());
+    if let Some(best) = surface.argmax() {
+        println!("optimum: nc={} ({:.0} MB/s)", best.nc, best.mbs);
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let duration = args.get_parsed("duration", 900.0f64)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let route = parse_route(args.get("route").unwrap_or("uc"))?;
+    let runs = fig5(route, duration, seed);
+    let mut table = Table::new(vec!["load", "tuner", "observed MB/s", "vs default", "final nc"]);
+    for s in summarize(&runs) {
+        table.push_row(vec![
+            s.load.label(),
+            s.tuner.name().to_string(),
+            format!("{:.0}", s.observed_mbs),
+            if s.improvement.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.1}x", s.improvement)
+            },
+            s.final_nc.to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: xferopt <run|sweep|compare> [--flags]\n\
+     run:     --route uc|tacc --tuner default|cd|cs|nm|heur1|heur2 --dims nc|ncnp\n\
+     \u{20}        --np N --tfr N --cmp N --duration S --epoch S --seed N --csv\n\
+     sweep:   --route uc|tacc --tfr N --cmp N --np N --duration S --seed N\n\
+     compare: --route uc|tacc --duration S --seed N"
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "sweep" => cmd_sweep(&args),
+        "compare" => cmd_compare(&args),
+        other => Err(format!("unknown command: {other}\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Args {
+        Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = args(&["--route", "uc", "--csv", "--seed", "7"]);
+        assert_eq!(a.get("route"), Some("uc"));
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 7);
+        assert!(a.has_flag("csv"));
+        assert!(!a.has_flag("quiet"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.get_parsed("missing", 42u32).unwrap(), 42);
+    }
+
+    #[test]
+    fn later_pairs_win() {
+        let a = args(&["--seed", "1", "--seed", "2"]);
+        assert_eq!(a.get("seed"), Some("2"));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let raw = vec!["oops".to_string()];
+        assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let a = args(&["--seed", "xyz"]);
+        assert!(a.get_parsed("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn route_parsing() {
+        assert_eq!(parse_route("uc").unwrap(), Route::UChicago);
+        assert_eq!(parse_route("uchicago").unwrap(), Route::UChicago);
+        assert_eq!(parse_route("tacc").unwrap(), Route::Tacc);
+        assert!(parse_route("mars").is_err());
+    }
+}
+

@@ -1,0 +1,93 @@
+//! # xferopt — direct-search optimization of data-transfer throughput
+//!
+//! A Rust reproduction of *"Improving Data Transfer Throughput with Direct
+//! Search Optimization"* (Balaprakash, Morozov, Kettimuthu, Kumaran, Foster —
+//! ICPP 2016): tune the number of parallel TCP streams of a wide-area
+//! transfer **online**, with direct search methods that observe nothing but
+//! the throughput of each 30-second control epoch.
+//!
+//! The workspace provides:
+//!
+//! * [`tuners`] — the paper's contribution: coordinate-descent
+//!   ([`tuners::CdTuner`]), compass-search ([`tuners::CompassTuner`]) and
+//!   Nelder–Mead ([`tuners::NelderMeadTuner`]) online tuners over bounded
+//!   integer domains, plus the baselines it compares against and an offline
+//!   driver that turns them into general black-box maximizers.
+//! * [`net`] — a fluid WAN simulator: AIMD congestion models (Reno, CUBIC,
+//!   H-TCP, Scalable), max–min fair bandwidth sharing, per-stream dynamic
+//!   window simulation.
+//! * [`host`] — an endpoint model: fair-share CPU scheduling against compute
+//!   hogs, context-switch overhead, process restart costs.
+//! * [`transfer`] — the GridFTP-style harness binding net + host into a
+//!   steppable [`transfer::World`] with control-epoch accounting.
+//! * [`scenarios`] — the paper's testbed topology, load schedules, tuning
+//!   driver, and one function per figure/table of the evaluation.
+//! * [`loopback`] — a real-TCP localhost harness (shaped sockets + CPU hogs)
+//!   so the same tuners can run against a non-simulated objective.
+//! * [`simcore`] — the discrete-event substrate: simulated time, event
+//!   queues, splittable RNG streams, online statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xferopt::prelude::*;
+//!
+//! // Tune concurrency on the simulated ANL->UChicago link under compute
+//! // load, with the paper's hyper-parameters (e=30 s, eps=5%, lambda=8).
+//! let cfg = DriveConfig::paper(
+//!     Route::UChicago,
+//!     TunerKind::Nm,
+//!     TuneDims::NcOnly { np: 8 },
+//!     LoadSchedule::constant(ExternalLoad::new(0, 16)),
+//! )
+//! .with_duration_s(600.0);
+//! let log = drive_transfer(&cfg);
+//! println!(
+//!     "moved {:.0} MB at {:.0} MB/s, final nc = {}",
+//!     log.total_mb(),
+//!     log.mean_observed_mbs(),
+//!     log.final_nc().unwrap()
+//! );
+//! ```
+//!
+//! See `examples/` for more: adapting to load changes, simultaneous tuned
+//! transfers sharing a NIC, offline black-box optimization, and the real-TCP
+//! loopback harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use xferopt_dataset as dataset;
+pub use xferopt_gridftp as gridftp;
+pub use xferopt_host as host;
+pub use xferopt_loopback as loopback;
+pub use xferopt_net as net;
+pub use xferopt_scenarios as scenarios;
+pub use xferopt_simcore as simcore;
+pub use xferopt_transfer as transfer;
+pub use xferopt_tuners as tuners;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use xferopt_scenarios::driver::{drive_transfer, DriveConfig, MultiDriver, MultiSpec, TuneDims};
+    pub use xferopt_scenarios::{ExternalLoad, LoadSchedule, PaperWorld, Route};
+    pub use xferopt_simcore::{SimDuration, SimTime};
+    pub use xferopt_transfer::{StreamParams, TransferConfig, TransferLog, World};
+    pub use xferopt_tuners::{
+        CdTuner, CompassTuner, Domain, Heur1Tuner, Heur2Tuner, NelderMeadTuner, OnlineTuner,
+        Point, StaticTuner, TunerKind,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use crate::prelude::*;
+        let d = Domain::paper_nc();
+        assert_eq!(d.dim(), 1);
+        let p = StreamParams::globus_default();
+        assert_eq!(p.streams(), 16);
+        assert_eq!(Route::Tacc.name(), "anl->tacc");
+    }
+}

@@ -1,0 +1,179 @@
+//! Ablations of the design choices DESIGN.md calls out: control-epoch
+//! length, compass step size λ, tolerance ε, and TCP variant.
+
+use xferopt::net::{CongestionControl, Link, Network, Path};
+use xferopt::prelude::*;
+use xferopt::tuners::offline::maximize;
+
+/// Shorter control epochs pay the restart cost more often: with the paper's
+/// ~5 s idle restart, e = 10 s loses roughly half the epoch while e = 60 s
+/// loses under a tenth.
+#[test]
+fn epoch_length_trades_overhead_for_agility() {
+    let run = |epoch_s: f64| {
+        let mut cfg = DriveConfig::paper(
+            Route::UChicago,
+            TunerKind::Cs,
+            TuneDims::NcOnly { np: 8 },
+            LoadSchedule::constant(ExternalLoad::NONE),
+        )
+        .with_duration_s(1200.0)
+        .with_noise_sigma(0.0);
+        cfg.epoch_s = epoch_s;
+        drive_transfer(&cfg)
+    };
+    let short = run(10.0);
+    let paper = run(30.0);
+    let long = run(60.0);
+    assert!(
+        short.mean_overhead_fraction() > paper.mean_overhead_fraction(),
+        "10 s epochs must pay more overhead"
+    );
+    assert!(
+        paper.mean_overhead_fraction() > long.mean_overhead_fraction(),
+        "60 s epochs must pay less overhead"
+    );
+    // Observed throughput (steady) should be ordered the same way on a
+    // *static* load, where agility buys nothing.
+    let steady = |log: &TransferLog| log.mean_observed_between(800.0, 1201.0).unwrap();
+    assert!(steady(&short) < steady(&long), "static load favours long epochs");
+}
+
+/// λ controls how fast compass search covers ground: with a distant optimum,
+/// λ = 8 needs far fewer evaluations than λ = 1 (the paper's argument for
+/// large steps), while a huge λ overshoots but still converges via halving.
+#[test]
+fn lambda_governs_search_speed() {
+    let evals = |lambda: f64| {
+        let mut t = CompassTuner::new(Domain::new(&[(1, 256)]), vec![2], lambda, 5.0);
+        let r = maximize(&mut t, 400, |x| {
+            -((x[0] - 100) as f64).abs()
+        });
+        assert!(
+            (r.best[0] - 100).abs() <= 2,
+            "λ={lambda}: best={:?}",
+            r.best
+        );
+        r.evaluations.len()
+    };
+    let slow = evals(1.0);
+    let paper = evals(8.0);
+    let huge = evals(64.0);
+    assert!(
+        paper < slow,
+        "λ=8 must need fewer evaluations than λ=1 ({paper} vs {slow})"
+    );
+    assert!(huge < slow, "even λ=64 beats unit steps ({huge} vs {slow})");
+}
+
+/// ε controls re-trigger sensitivity: with ε = 0.1 % the monitor fires on
+/// noise alone; with ε = 5 % (paper) a quiet run converges once and holds.
+#[test]
+fn tolerance_controls_retriggering() {
+    let searches = |eps: f64| {
+        let mut t = CompassTuner::new(Domain::new(&[(1, 64)]), vec![2], 8.0, eps).with_seed(3);
+        let mut x = t.initial();
+        // Noisy but stationary objective: ±2% multiplicative wobble.
+        let mut k = 0u64;
+        for _ in 0..120 {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let wobble = 1.0 + 0.02 * (((k >> 33) as f64 / 2e9) * 2.0 - 1.0);
+            let f = (4000.0 - ((x[0] - 20) as f64).powi(2)) * wobble;
+            x = t.observe(&x.clone(), f);
+        }
+        t.searches_started()
+    };
+    let jumpy = searches(0.1);
+    let calm = searches(5.0);
+    assert!(
+        jumpy > calm,
+        "tight tolerance must re-trigger more ({jumpy} vs {calm})"
+    );
+    assert_eq!(calm, 1, "5% tolerance should ignore 2% noise");
+}
+
+/// TCP variant ablation: on a long-RTT lossy path the high-speed variants
+/// sustain more per-stream throughput than Reno, in the documented order.
+#[test]
+fn tcp_variant_ordering_on_wan_path() {
+    let rate = |cc: CongestionControl| {
+        let mut net = Network::new();
+        let l = net.add_link(Link::new("wan", 10_000.0));
+        let p = net.add_path(
+            Path::new("p", vec![l])
+                .with_rtt_ms(33.0)
+                .with_loss(1e-4)
+                .with_wmax_bytes(64.0 * 1024.0 * 1024.0),
+        );
+        let f = net.add_flow(p, 1, cc);
+        net.allocation_of(f)
+    };
+    let reno = rate(CongestionControl::Reno);
+    let htcp = rate(CongestionControl::HTcp);
+    let scalable = rate(CongestionControl::Scalable);
+    assert!(htcp > reno, "H-TCP must beat Reno at 1e-4 loss: {htcp} vs {reno}");
+    assert!(scalable > htcp, "Scalable is the most aggressive");
+}
+
+/// Under stochastic bursty load — external hogs arriving and leaving at
+/// Poisson times — the adaptive tuner still beats the static default, and
+/// its monitor re-triggers the search at the load edges.
+#[test]
+fn bursty_load_favours_adaptation() {
+    let schedule = LoadSchedule::poisson_bursts(1800.0, 400.0, 300.0, ExternalLoad::new(0, 32), 3);
+    assert!(schedule.segments().len() >= 3, "want real bursts");
+    let run = |tuner: TunerKind| {
+        let cfg = DriveConfig::paper(
+            Route::UChicago,
+            tuner,
+            TuneDims::NcOnly { np: 8 },
+            schedule.clone(),
+        )
+        .with_duration_s(1800.0)
+        .with_noise_sigma(0.0);
+        drive_transfer(&cfg)
+    };
+    let default = run(TunerKind::Default);
+    let nm = run(TunerKind::Nm);
+    assert!(
+        nm.total_mb() > default.total_mb(),
+        "adaptive must move more data under bursts: {:.0} vs {:.0} MB",
+        nm.total_mb(),
+        default.total_mb()
+    );
+    // The tuner actually changed its concurrency over time (re-triggered).
+    let ncs: std::collections::HashSet<u32> = nm.epochs.iter().map(|e| e.params.nc).collect();
+    assert!(ncs.len() >= 3, "nc should move with the bursts: {ncs:?}");
+}
+
+/// With more streams, the *dynamic* window simulation ramps to steady state
+/// faster — the paper's "scale more rapidly to peak bandwidth" argument,
+/// which the quasi-static model assumes and the dynamic model demonstrates.
+#[test]
+fn dynamic_ramp_up_favours_parallelism() {
+    use xferopt::net::dynamic::DynamicSim;
+    let ramp_time = |streams: u32| {
+        let mut net = Network::new();
+        let l = net.add_link(Link::new("wan", 2500.0));
+        let p = net.add_path(Path::new("p", vec![l]).with_rtt_ms(33.0).with_loss(1e-5));
+        net.add_flow(p, streams, CongestionControl::HTcp);
+        let mut sim = DynamicSim::new(9);
+        sim.sync_streams(&net);
+        let mut t = 0.0;
+        while t < 60.0 {
+            let stats = sim.step(&net, 0.033);
+            t += 0.033;
+            let rate: f64 = stats.values().map(|s| s.rate_mbs).sum();
+            if rate > 1250.0 {
+                return t;
+            }
+        }
+        t
+    };
+    let one = ramp_time(1);
+    let sixteen = ramp_time(16);
+    assert!(
+        sixteen < one,
+        "16 streams must reach half capacity sooner: {sixteen:.1}s vs {one:.1}s"
+    );
+}

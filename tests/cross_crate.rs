@@ -1,0 +1,157 @@
+//! Cross-crate integration: tuners driving objectives built from the other
+//! substrates (fluid world, dynamic window sim, loopback sockets).
+
+use xferopt::net::dynamic::DynamicSim;
+use xferopt::net::{CongestionControl, Link, Network, Path};
+use xferopt::prelude::*;
+use xferopt::tuners::offline::maximize;
+
+/// Use the *world* as a static objective: freeze time dependence by
+/// measuring a fresh world per evaluation, and let the offline optimizer
+/// find the critical concurrency — it must approximately agree with a brute
+/// force sweep.
+#[test]
+fn offline_optimizer_agrees_with_brute_force_on_world_objective() {
+    let measure = |nc: u32| {
+        let mut pw = PaperWorld::new(99);
+        pw.world.set_compute_jobs(pw.source, 16);
+        let tid = pw.start_quiet_transfer(Route::UChicago, StreamParams::new(nc, 8));
+        pw.world.step(SimDuration::from_secs(40));
+        let es = pw.world.begin_epoch(tid, StreamParams::new(nc, 8), false);
+        pw.world.step(SimDuration::from_secs(60));
+        pw.world.end_epoch(es).observed_mbs
+    };
+    // Brute force over a coarse grid.
+    let brute = (1..=96)
+        .step_by(5)
+        .max_by(|&a, &b| measure(a).partial_cmp(&measure(b)).unwrap())
+        .unwrap();
+    // Compass search on the same objective.
+    let mut tuner = CompassTuner::new(Domain::new(&[(1, 128)]), vec![2], 8.0, 2.0);
+    let r = maximize(&mut tuner, 200, |x| measure(x[0] as u32));
+    let found = r.best[0] as u32;
+    let best_val = measure(brute);
+    let found_val = measure(found);
+    assert!(
+        found_val >= 0.93 * best_val,
+        "compass found nc={found} ({found_val:.0} MB/s) vs brute nc={brute} ({best_val:.0} MB/s)"
+    );
+}
+
+/// Drive a tuner with throughput measured by the *dynamic* AIMD window
+/// simulation instead of the quasi-static allocator: more streams must win
+/// on a lossy path, and the tuner must discover that.
+#[test]
+fn tuner_over_dynamic_window_simulation() {
+    let measure = |streams: u32| {
+        let mut net = Network::new();
+        let l = net.add_link(Link::new("wan", 2500.0));
+        let p = net.add_path(Path::new("p", vec![l]).with_rtt_ms(33.0).with_loss(3e-5));
+        let f = net.add_flow(p, streams, CongestionControl::HTcp);
+        let mut sim = DynamicSim::new(5);
+        sim.sync_streams(&net);
+        let mut total = 0.0;
+        let steps = 600; // 30 simulated seconds at 50 ms
+        for _ in 0..steps {
+            total += sim.step(&net, 0.05)[&f].rate_mbs;
+        }
+        total / steps as f64
+    };
+    let mut tuner = NelderMeadTuner::new(Domain::new(&[(1, 64)]), vec![1], 5.0);
+    let r = maximize(&mut tuner, 60, |x| measure(x[0] as u32));
+    assert!(
+        r.best[0] >= 4,
+        "dynamic sim must reward parallel streams: settled at {:?}",
+        r.best
+    );
+    assert!(r.best_value > measure(1) * 1.5);
+}
+
+/// The full stack, sockets included: a cd-tuner steps concurrency against
+/// the loopback harness and every proposed point stays valid.
+#[test]
+fn cd_tuner_over_loopback_sockets() {
+    use std::time::Duration;
+    use xferopt::loopback::{LoopbackHarness, ShaperConfig};
+    let harness = LoopbackHarness::start(ShaperConfig::rate_mbs(200.0)).unwrap();
+    let domain = Domain::new(&[(1, 6)]);
+    let mut tuner = CdTuner::new(domain.clone(), vec![1], 5.0);
+    let mut x = tuner.initial();
+    for _ in 0..5 {
+        let mbs = harness
+            .measure(x[0] as u32, 1, Duration::from_millis(120))
+            .unwrap();
+        assert!(mbs >= 0.0);
+        x = tuner.observe(&x.clone(), mbs);
+        assert!(domain.contains(&x));
+    }
+    assert!(harness.sink_bytes() > 0);
+}
+
+/// Tune against the *dynamic-window* world: per-stream AIMD slow start and
+/// loss are simulated rather than assumed, and the nm-tuner must still beat
+/// the static default on a lossy long-RTT path where parallelism pays.
+#[test]
+fn nm_tuner_beats_default_under_dynamic_fidelity() {
+    use xferopt::net::{Link, Network, Path};
+    let run = |tuner_kind: TunerKind| {
+        let mut net = Network::new();
+        let l = net.add_link(Link::new("wan", 2000.0));
+        let path = net.add_path(
+            Path::new("p", vec![l])
+                .with_rtt_ms(60.0)
+                .with_loss(4e-5)
+                .with_wmax_bytes(2.0 * 1024.0 * 1024.0), // 2 MiB ⇒ ~35 MB/s/stream
+        );
+        let mut world = World::new(net, 31);
+        let src = world.add_host(xferopt::host::nehalem());
+        let tid = world.add_transfer(
+            TransferConfig::memory_to_memory(src, path)
+                .with_params(StreamParams::new(2, 2))
+                .with_noise(0.0, 1.0),
+        );
+        world.enable_dynamic_network(0.1);
+        let dims = TuneDims::NcOnly { np: 2 };
+        let mut tuner = tuner_kind.build(dims.domain(), vec![2]);
+        let restarts = tuner_kind != TunerKind::Default;
+        let mut x = tuner.initial();
+        let mut total = 0.0;
+        for epoch in 0..30 {
+            let es = world.begin_epoch(tid, dims.to_params(&x), restarts);
+            world.step(SimDuration::from_secs(30));
+            let r = world.end_epoch(es);
+            if epoch >= 20 {
+                total += r.observed_mbs;
+            }
+            x = tuner.observe(&x, r.observed_mbs);
+        }
+        total / 10.0
+    };
+    let default = run(TunerKind::Default);
+    let nm = run(TunerKind::Nm);
+    assert!(
+        nm > 1.5 * default,
+        "nm must exploit parallelism under simulated AIMD: {nm:.0} vs {default:.0}"
+    );
+}
+
+/// Tuning changes propagate through every layer: a mid-run parameter change
+/// through the public API must show up in the network allocation, the host
+/// registry, and the byte accounting.
+#[test]
+fn world_layers_stay_consistent() {
+    let mut pw = PaperWorld::new(1);
+    let tid = pw.start_quiet_transfer(Route::Tacc, StreamParams::new(2, 8));
+    pw.world.step(SimDuration::from_secs(20));
+    let before = pw.world.goodput_mbs(tid);
+    let moved_before = pw.world.moved_mb(tid);
+    assert!(before > 0.0 && moved_before > 0.0);
+
+    // Seamless change to a much larger configuration.
+    pw.world.set_params(tid, StreamParams::new(20, 8), false);
+    pw.world.step(SimDuration::from_secs(20));
+    let after = pw.world.goodput_mbs(tid);
+    assert!(after > before, "bigger nc must raise TACC goodput: {before} -> {after}");
+    assert!(pw.world.moved_mb(tid) > moved_before);
+    assert_eq!(pw.world.params(tid), StreamParams::new(20, 8));
+}

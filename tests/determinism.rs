@@ -1,0 +1,78 @@
+//! Reproducibility guarantees: every experiment is a pure function of its
+//! seed, and different seeds genuinely vary.
+
+use xferopt::prelude::*;
+use xferopt::scenarios::experiments::{fig1, fig11, fig5};
+
+#[test]
+fn fig1_is_seed_deterministic() {
+    let a = fig1(2, 60.0, 7);
+    let b = fig1(2, 60.0, 7);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.nc, y.nc);
+        assert_eq!(x.stats.median, y.stats.median);
+        assert_eq!(x.stats.mean, y.stats.mean);
+    }
+    let c = fig1(2, 60.0, 8);
+    let differs = a
+        .iter()
+        .zip(&c)
+        .any(|(x, y)| x.stats.median != y.stats.median);
+    assert!(differs, "different seeds must perturb the noise");
+}
+
+#[test]
+fn driven_runs_are_seed_deterministic() {
+    let cfg = DriveConfig::paper(
+        Route::Tacc,
+        TunerKind::Nm,
+        TuneDims::NcNp,
+        LoadSchedule::paper_varying(),
+    )
+    .with_duration_s(600.0)
+    .with_seed(11);
+    let a = drive_transfer(&cfg);
+    let b = drive_transfer(&cfg);
+    assert_eq!(a.total_mb(), b.total_mb());
+    let params_a: Vec<_> = a.epochs.iter().map(|e| e.params).collect();
+    let params_b: Vec<_> = b.epochs.iter().map(|e| e.params).collect();
+    assert_eq!(params_a, params_b, "tuner trajectories must replay exactly");
+}
+
+#[test]
+fn parallel_repeats_equal_serial_repeats() {
+    // The crossbeam fan-out must not change results (no shared state).
+    let parallel = fig5(Route::UChicago, 300.0, 13);
+    let serial = fig5(Route::UChicago, 300.0, 13);
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.tuner, s.tuner);
+        assert_eq!(p.load, s.load);
+        assert_eq!(p.log.total_mb(), s.log.total_mb());
+    }
+}
+
+#[test]
+fn multidriver_is_deterministic() {
+    let run = || {
+        let (uc, tacc) = fig11(TunerKind::Cs, 600.0, 17);
+        (uc.total_mb(), tacc.total_mb())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn seed_changes_propagate_to_every_layer() {
+    let run = |seed| {
+        let cfg = DriveConfig::paper(
+            Route::UChicago,
+            TunerKind::Cs,
+            TuneDims::NcOnly { np: 8 },
+            LoadSchedule::constant(ExternalLoad::new(16, 0)),
+        )
+        .with_duration_s(600.0)
+        .with_seed(seed);
+        drive_transfer(&cfg).total_mb()
+    };
+    assert_ne!(run(1), run(2), "seeds must actually matter");
+}

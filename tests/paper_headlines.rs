@@ -1,0 +1,194 @@
+//! End-to-end assertions of the paper's headline claims, exercised through
+//! the public facade exactly as a downstream user would.
+
+use xferopt::prelude::*;
+use xferopt::scenarios::experiments::{fig1, fig11, fig5, summarize, FIG1_NC_VALUES};
+
+/// Section III-A, observation 1: throughput rises monotonically with stream
+/// count up to a critical point, then falls.
+#[test]
+fn fig1_rise_then_fall() {
+    let cells = fig1(2, 120.0, 1);
+    let no_load: Vec<_> = cells
+        .iter()
+        .filter(|c| c.load == ExternalLoad::NONE)
+        .collect();
+    let medians: Vec<f64> = FIG1_NC_VALUES
+        .iter()
+        .map(|&nc| no_load.iter().find(|c| c.nc == nc).unwrap().stats.median)
+        .collect();
+    let peak_idx = medians
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    // Interior peak, rising before, falling after.
+    assert!(peak_idx > 0 && peak_idx < medians.len() - 1, "peak at edge: {medians:?}");
+    assert!(medians[0] < medians[peak_idx] * 0.5, "rise too shallow");
+    assert!(
+        *medians.last().unwrap() < medians[peak_idx] * 0.95,
+        "no decline after the critical point: {medians:?}"
+    );
+}
+
+/// Section III-A, observations 2 & 3: external load moves the critical point
+/// right and pulls the peak down.
+#[test]
+fn fig1_load_shifts_and_lowers_peak() {
+    let cells = fig1(2, 120.0, 2);
+    let peak = |load: ExternalLoad| {
+        cells
+            .iter()
+            .filter(|c| c.load == load)
+            .max_by(|a, b| a.stats.median.partial_cmp(&b.stats.median).unwrap())
+            .unwrap()
+    };
+    let idle = peak(ExternalLoad::NONE);
+    let loaded = peak(ExternalLoad::new(16, 16));
+    assert!(loaded.nc > idle.nc, "critical point must shift right");
+    assert!(
+        loaded.stats.median < idle.stats.median,
+        "peak throughput must drop under load"
+    );
+}
+
+/// Section IV-A: adaptive concurrency beats the Globus default, dramatically
+/// so under source compute load; the adopted nc grows with the load.
+#[test]
+fn tuners_beat_default_across_loads() {
+    let runs = fig5(Route::UChicago, 1200.0, 3);
+    let summaries = summarize(&runs);
+    let get = |t: TunerKind, l: ExternalLoad| {
+        summaries
+            .iter()
+            .find(|s| s.tuner == t && s.load == l)
+            .unwrap()
+    };
+    // No load: modest improvement (paper: 1.4x).
+    for t in [TunerKind::Cs, TunerKind::Nm] {
+        let s = get(t, ExternalLoad::NONE);
+        assert!(
+            s.improvement > 1.1,
+            "{}: no-load improvement {:.2}",
+            t.name(),
+            s.improvement
+        );
+    }
+    // Compute load: large improvement (paper: 7-10x).
+    for (l, min_gain) in [(ExternalLoad::new(0, 16), 3.0), (ExternalLoad::new(0, 64), 2.5)] {
+        for t in [TunerKind::Cs, TunerKind::Nm] {
+            let s = get(t, l);
+            assert!(
+                s.improvement > min_gain,
+                "{} under {}: improvement {:.2}",
+                t.name(),
+                l.label(),
+                s.improvement
+            );
+        }
+    }
+    // The adopted concurrency grows with compute load (Fig. 6).
+    let nc_idle = get(TunerKind::Nm, ExternalLoad::NONE).final_nc;
+    let nc_cmp = get(TunerKind::Nm, ExternalLoad::new(0, 16)).final_nc;
+    assert!(
+        nc_cmp > nc_idle,
+        "nm must adopt more streams under load: {nc_idle} -> {nc_cmp}"
+    );
+}
+
+/// Section IV-A: the restart overhead separates observed (Fig. 5) from
+/// best-case (Fig. 7) and grows with compute load (17% → ~50%).
+#[test]
+fn restart_overhead_matches_paper_shape() {
+    let runs = fig5(Route::UChicago, 900.0, 4);
+    let overhead = |load: ExternalLoad| {
+        runs.iter()
+            .find(|r| r.tuner == TunerKind::Cs && r.load == load)
+            .unwrap()
+            .log
+            .mean_overhead_fraction()
+    };
+    let idle = overhead(ExternalLoad::NONE);
+    let heavy = overhead(ExternalLoad::new(0, 64));
+    assert!((0.10..0.30).contains(&idle), "paper ~17%, got {idle:.2}");
+    assert!((0.35..0.70).contains(&heavy), "paper ~50%, got {heavy:.2}");
+    assert!(heavy > idle);
+    // Network load does not inflate the overhead much (paper: ~15%).
+    let tfr = overhead(ExternalLoad::new(64, 0));
+    assert!(tfr < 0.3, "tfr overhead should stay small: {tfr:.2}");
+}
+
+/// Section IV-D: two tuned transfers sharing the source NIC interact; their
+/// combined throughput respects the NIC and the UChicago transfer claims at
+/// least half.
+#[test]
+fn simultaneous_tuning_shares_the_nic() {
+    let (uc, tacc) = fig11(TunerKind::Nm, 1200.0, 5);
+    let a = uc.mean_observed_between(800.0, 1201.0).unwrap();
+    let b = tacc.mean_observed_between(800.0, 1201.0).unwrap();
+    assert!(a + b <= 5100.0, "NIC capacity violated: {a} + {b}");
+    assert!(
+        a >= b,
+        "paper: the UChicago transfer gets the larger fraction ({a} vs {b})"
+    );
+}
+
+/// Section IV-A: "cd-tuner is sensitive to the starting point, but cs-tuner
+/// and nm-tuner are robust" — from the Globus default (close to the no-load
+/// optimum) cd reaches steady state quickly (paper: ~100 s vs ~500 s),
+/// while under compute load (optimum far from the start) cd lags the
+/// large-step searchers.
+#[test]
+fn cd_fast_near_start_slow_far_away() {
+    let run = |tuner: TunerKind, load: ExternalLoad| {
+        DriveConfig::paper(
+            Route::UChicago,
+            tuner,
+            TuneDims::NcOnly { np: 8 },
+            LoadSchedule::constant(load),
+        )
+        .with_duration_s(1500.0)
+        .with_noise_sigma(0.0)
+    };
+    // Epochs until within 15% of the run's own steady level.
+    let settle_epochs = |cfg: &DriveConfig| {
+        let log = drive_transfer(cfg);
+        let steady = log.mean_observed_between(1000.0, 1501.0).unwrap();
+        log.epochs
+            .iter()
+            .position(|e| e.observed_mbs >= 0.85 * steady)
+            .map(|i| i + 1)
+            .unwrap_or(usize::MAX)
+    };
+    // No load: the default start (nc=2) is near the optimum — cd is quick.
+    let cd_idle = settle_epochs(&run(TunerKind::Cd, ExternalLoad::NONE));
+    assert!(cd_idle <= 8, "paper: cd reaches steady state in ~3 epochs idle, got {cd_idle}");
+    // Heavy compute load: the optimum (nc ≈ 30-60) is far from nc=2; the
+    // ±1 walk needs many more epochs than nm's reflect/expand jumps.
+    let load = ExternalLoad::new(0, 16);
+    let log_cd = drive_transfer(&run(TunerKind::Cd, load));
+    let log_nm = drive_transfer(&run(TunerKind::Nm, load));
+    let mid = |log: &TransferLog| log.mean_observed_between(200.0, 600.0).unwrap();
+    assert!(
+        mid(&log_nm) > mid(&log_cd),
+        "nm's large steps must win the early phase under load: {} vs {}",
+        mid(&log_nm),
+        mid(&log_cd)
+    );
+}
+
+/// The 10x worst-case claim of the abstract: under some load condition, the
+/// best direct-search tuner reaches at least ~4x the default (the paper's
+/// testbed saw up to 10x; the simulated substrate reproduces the direction
+/// and a conservative fraction of the magnitude).
+#[test]
+fn headline_improvement_is_large() {
+    let runs = fig5(Route::UChicago, 1500.0, 6);
+    let best = summarize(&runs)
+        .into_iter()
+        .filter(|s| s.tuner != TunerKind::Default)
+        .map(|s| s.improvement)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(best > 4.0, "max improvement {best:.1}x");
+}
