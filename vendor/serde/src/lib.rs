@@ -1,0 +1,17 @@
+//! Offline facade for the `serde` crate.
+//!
+//! Provides marker `Serialize`/`Deserialize` traits and re-exports the no-op
+//! derive macros from the vendored `serde_derive`, so types annotated with
+//! `#[derive(Serialize, Deserialize)]` compile without crates.io access.
+//! Nothing in the workspace serializes through serde at runtime.
+
+/// Marker trait standing in for `serde::Serialize` (no methods; the
+/// workspace never serializes through serde).
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}
+
+// The no-op derives (they expand to nothing, so the traits above are never
+// implemented — which is fine, since no code requires the bounds).
+pub use serde_derive::{Deserialize, Serialize};

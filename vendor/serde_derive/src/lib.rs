@@ -1,0 +1,22 @@
+//! Offline no-op replacements for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types for
+//! forward compatibility but never serializes through serde at runtime (all
+//! report emission is hand-rolled CSV/JSON). With crates.io unreachable in
+//! the build environment, these derives expand to nothing, which compiles
+//! every `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attribute
+//! without pulling in syn/quote.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
