@@ -147,7 +147,7 @@ impl DynamicSim {
             .map(|s| {
                 let f = net.flow(s.flow).expect("stream references removed flow");
                 let p = net.path(f.path);
-                let rate = (s.cwnd.min(p.wmax_bytes)) / p.rtt_s / 1e6;
+                let rate = (s.cwnd.min(p.wmax_bytes)) / net.effective_rtt_s(f.path) / 1e6;
                 FlowDemand {
                     weight: 1.0,
                     demand_cap: rate,
@@ -170,6 +170,7 @@ impl DynamicSim {
         for (s, (d, &rate)) in self.streams.iter_mut().zip(demands.iter().zip(&alloc)) {
             let f = net.flow(s.flow).expect("stream references removed flow");
             let p = net.path(f.path);
+            let rtt_s = net.effective_rtt_s(f.path);
             let cc = f.cc;
 
             // Loss probability this step: random per-packet loss over the
@@ -199,12 +200,12 @@ impl DynamicSim {
                 stats.losses += 1;
             } else if s.cwnd < s.ssthresh {
                 // Slow start: double per RTT, clamp at ssthresh.
-                let grown = s.cwnd * 2f64.powf(dt_s / p.rtt_s);
+                let grown = s.cwnd * 2f64.powf(dt_s / rtt_s);
                 s.cwnd = grown.min(s.ssthresh).min(p.wmax_bytes);
                 s.since_loss += dt_s;
             } else {
                 s.cwnd = cc
-                    .grow_window(s.cwnd, s.w_last_max, p.rtt_s, s.since_loss, dt_s, mss)
+                    .grow_window(s.cwnd, s.w_last_max, rtt_s, s.since_loss, dt_s, mss)
                     .min(p.wmax_bytes);
                 s.since_loss += dt_s;
             }
@@ -315,6 +316,38 @@ mod tests {
             run(&net, &mut sim, f, 5.0, 0.05)
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn link_degradation_caps_dynamic_rates() {
+        let (mut net, f) = simple_net(16);
+        let mut sim = DynamicSim::new(9);
+        sim.sync_streams(&net);
+        // Warm up at full capacity, then degrade the link to 20%.
+        run(&net, &mut sim, f, 5.0, 0.05);
+        net.set_link_factor(crate::link::LinkId(0), 0.2);
+        let rates = run(&net, &mut sim, f, 5.0, 0.05);
+        for r in &rates {
+            assert!(*r <= 200.0 + 1e-6, "rate {r} exceeds degraded capacity");
+        }
+    }
+
+    #[test]
+    fn rtt_spike_slows_ramp_up() {
+        let measure = |factor: f64| {
+            let (mut net, f) = simple_net(4);
+            net.set_rtt_factor(crate::link::PathId(0), factor);
+            let mut sim = DynamicSim::new(11);
+            sim.sync_streams(&net);
+            let rates = run(&net, &mut sim, f, 2.0, 0.033);
+            rates.iter().sum::<f64>() / rates.len() as f64
+        };
+        let normal = measure(1.0);
+        let spiked = measure(8.0);
+        assert!(
+            spiked < normal * 0.7,
+            "8x RTT should slow ramp-up: normal {normal} vs spiked {spiked}"
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct Network {
     flows: BTreeMap<FlowId, FlowGroup>,
     next_flow: u64,
     mss_bytes: f64,
+    /// Multiplicative capacity factor per link (fault injection); 1.0 = healthy.
+    link_factor: Vec<f64>,
+    /// Multiplicative RTT factor per path (fault injection); 1.0 = nominal.
+    rtt_factor: Vec<f64>,
 }
 
 impl Network {
@@ -32,6 +36,8 @@ impl Network {
             flows: BTreeMap::new(),
             next_flow: 0,
             mss_bytes: DEFAULT_MSS_BYTES,
+            link_factor: Vec::new(),
+            rtt_factor: Vec::new(),
         }
     }
 
@@ -53,6 +59,7 @@ impl Network {
     /// Register a link and return its id.
     pub fn add_link(&mut self, link: Link) -> LinkId {
         self.links.push(link);
+        self.link_factor.push(1.0);
         LinkId(self.links.len() - 1)
     }
 
@@ -65,6 +72,7 @@ impl Network {
             assert!(l.0 < self.links.len(), "path references unknown link {l:?}");
         }
         self.paths.push(path);
+        self.rtt_factor.push(1.0);
         PathId(self.paths.len() - 1)
     }
 
@@ -122,9 +130,72 @@ impl Network {
         self.links.len()
     }
 
-    /// Link capacities in MB/s, indexed by `LinkId.0`.
+    /// Number of registered paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Scale a link's capacity by `factor ∈ [0, 1]` (fault injection: 0 is a
+    /// dead link, 1 restores full health). The factor applies on top of the
+    /// AIMD derating in [`Network::allocate`].
+    ///
+    /// # Panics
+    /// Panics if the link id is unknown or `factor` is outside `[0, 1]`.
+    pub fn set_link_factor(&mut self, id: LinkId, factor: f64) {
+        assert!(id.0 < self.links.len(), "unknown link {id:?}");
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "link factor must be in [0,1], got {factor}"
+        );
+        self.link_factor[id.0] = factor;
+    }
+
+    /// Current capacity factor of a link (1.0 when healthy).
+    ///
+    /// # Panics
+    /// Panics if the link id is unknown.
+    pub fn link_factor(&self, id: LinkId) -> f64 {
+        self.link_factor[id.0]
+    }
+
+    /// Scale a path's RTT by `factor ≥ 1` (fault injection: bufferbloat or a
+    /// route change; 1 restores the nominal RTT).
+    ///
+    /// # Panics
+    /// Panics if the path id is unknown or `factor` is not finite and ≥ 1.
+    pub fn set_rtt_factor(&mut self, id: PathId, factor: f64) {
+        assert!(id.0 < self.paths.len(), "unknown path {id:?}");
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "RTT factor must be finite and >= 1, got {factor}"
+        );
+        self.rtt_factor[id.0] = factor;
+    }
+
+    /// Current RTT factor of a path (1.0 when nominal).
+    ///
+    /// # Panics
+    /// Panics if the path id is unknown.
+    pub fn rtt_factor(&self, id: PathId) -> f64 {
+        self.rtt_factor[id.0]
+    }
+
+    /// A path's round-trip time with any fault-injected factor applied.
+    ///
+    /// # Panics
+    /// Panics if the path id is unknown.
+    pub fn effective_rtt_s(&self, id: PathId) -> f64 {
+        self.paths[id.0].rtt_s * self.rtt_factor[id.0]
+    }
+
+    /// Link capacities in MB/s, indexed by `LinkId.0`, with any
+    /// fault-injected capacity factors applied.
     pub fn link_capacities(&self) -> Vec<f64> {
-        self.links.iter().map(|l| l.capacity_mbs).collect()
+        self.links
+            .iter()
+            .zip(&self.link_factor)
+            .map(|(l, &f)| l.capacity_mbs * f)
+            .collect()
     }
 
     /// Ids of all registered flow groups, in id order.
@@ -139,7 +210,7 @@ impl Network {
     pub fn flow_demand_mbs(&self, id: FlowId) -> f64 {
         let f = &self.flows[&id];
         let p = &self.paths[f.path.0];
-        f.demand_mbs(p.rtt_s, p.loss, p.wmax_bytes, self.mss_bytes)
+        f.demand_mbs(self.effective_rtt_s(f.path), p.loss, p.wmax_bytes, self.mss_bytes)
     }
 
     /// Total TCP streams crossing each link, indexed by `LinkId.0`.
@@ -166,7 +237,8 @@ impl Network {
             .links
             .iter()
             .zip(&streams)
-            .map(|(l, &n)| l.effective_capacity_mbs(n))
+            .zip(&self.link_factor)
+            .map(|((l, &n), &factor)| l.effective_capacity_mbs(n) * factor)
             .collect();
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
         let demands: Vec<FlowDemand> = ids
@@ -176,7 +248,12 @@ impl Network {
                 let p = &self.paths[f.path.0];
                 FlowDemand {
                     weight: f.streams as f64,
-                    demand_cap: f.demand_mbs(p.rtt_s, p.loss, p.wmax_bytes, self.mss_bytes),
+                    demand_cap: f.demand_mbs(
+                        self.effective_rtt_s(f.path),
+                        p.loss,
+                        p.wmax_bytes,
+                        self.mss_bytes,
+                    ),
                     links: p.links.iter().map(|l| l.0).collect(),
                 }
             })

@@ -13,7 +13,7 @@
 
 use crate::load::LoadSchedule;
 use crate::topology::{PaperWorld, Route};
-use xferopt_simcore::SimDuration;
+use xferopt_simcore::{FaultPlan, SimDuration};
 use xferopt_transfer::{StreamParams, TransferConfig, TransferId, TransferLog, World};
 use xferopt_tuners::{Domain, OnlineTuner, Point, TunerKind};
 
@@ -86,6 +86,10 @@ pub struct DriveConfig {
     pub x0: StreamParams,
     /// Throughput noise log-std (0 = deterministic fluid model).
     pub noise_sigma: f64,
+    /// Optional deterministic fault plan injected into the world (see
+    /// [`crate::faults::FaultProfile`]). `None` leaves the world fault-free
+    /// and bit-identical to pre-fault-layer runs.
+    pub faults: Option<FaultPlan>,
 }
 
 impl DriveConfig {
@@ -102,7 +106,14 @@ impl DriveConfig {
             seed: 0,
             x0: StreamParams::globus_default(),
             noise_sigma: 0.05,
+            faults: None,
         }
+    }
+
+    /// Inject a fault plan (see [`crate::faults::FaultProfile::plan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Replace the seed.
@@ -179,6 +190,9 @@ pub fn drive_transfer(cfg: &DriveConfig) -> TransferLog {
         .with_params(cfg.x0)
         .with_noise(cfg.noise_sigma, 45.0);
     let tid = pw.world.add_transfer(main_cfg);
+    if let Some(plan) = &cfg.faults {
+        pw.world.enable_faults(plan.clone());
+    }
 
     let mut tuner = cfg
         .tuner
@@ -580,6 +594,26 @@ mod tests {
         }];
         let md = MultiDriver::new(&specs, LoadSchedule::constant(ExternalLoad::NONE), 30.0, 1);
         md.run_staggered(100.0, &[30.0]);
+    }
+
+    #[test]
+    fn faulty_run_survives_and_is_deterministic() {
+        let plan = crate::faults::FaultProfile::FlakyLink.plan(Route::UChicago, 3, 900.0);
+        let cfg = quiet(Route::UChicago, TunerKind::Nm, ExternalLoad::NONE)
+            .with_duration_s(900.0)
+            .with_seed(4)
+            .with_faults(plan);
+        let a = drive_transfer(&cfg);
+        let b = drive_transfer(&cfg);
+        assert_eq!(a.total_mb(), b.total_mb(), "faulty runs must replay exactly");
+        assert!(a.total_mb() > 0.0, "transfer still makes progress under faults");
+        // Faults cost throughput relative to the clean run.
+        let clean = drive_transfer(
+            &quiet(Route::UChicago, TunerKind::Nm, ExternalLoad::NONE)
+                .with_duration_s(900.0)
+                .with_seed(4),
+        );
+        assert!(a.total_mb() < clean.total_mb(), "faults must cost something");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Named fault profiles for the paper testbed.
+//!
+//! A [`FaultProfile`] turns one root seed into a complete, deterministic
+//! [`FaultPlan`] against the [`crate::topology::PaperWorld`] topology, so
+//! experiments and the CLI can say `--faults flaky-link` instead of scripting
+//! individual events. Profiles address the *driven* transfer of
+//! [`crate::driver::drive_transfer`] (the external-load transfer is id 0, the
+//! tuned transfer id 1 — see [`MAIN_TRANSFER`]).
+
+use crate::topology::Route;
+use std::fmt;
+use std::str::FromStr;
+use xferopt_simcore::FaultPlan;
+
+/// Transfer index of the *tuned* transfer in [`crate::driver::drive_transfer`]
+/// worlds: the driver registers the external-load transfer first (id 0), then
+/// the tuned one (id 1). Profiles aim stalls and aborts at this id.
+pub const MAIN_TRANSFER: u64 = 1;
+
+/// A named, seeded fault scenario over the paper topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultProfile {
+    /// The route's WAN link flaps dark for ~10 s every ~5 min, and the tuned
+    /// transfer is occasionally killed outright (mean every ~8 min) and must
+    /// retry with backoff.
+    FlakyLink,
+    /// Rolling brown-outs: the WAN link drops to 30% capacity for ~60 s
+    /// windows (mean every ~4 min) and the path RTT spikes 4× for 30 s
+    /// bursts — no hard failures.
+    DegradedWan,
+    /// A lossy long-haul episode in the TACC style: 50% capacity windows,
+    /// 3× RTT spikes, and server-side stalls of the tuned transfer.
+    LossyTacc,
+}
+
+impl FaultProfile {
+    /// All profiles, for sweeps and CLI help.
+    pub const ALL: [FaultProfile; 3] = [
+        FaultProfile::FlakyLink,
+        FaultProfile::DegradedWan,
+        FaultProfile::LossyTacc,
+    ];
+
+    /// Stable name (CLI value, report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::FlakyLink => "flaky-link",
+            FaultProfile::DegradedWan => "degraded-wan",
+            FaultProfile::LossyTacc => "lossy-tacc",
+        }
+    }
+
+    /// Build the deterministic plan for this profile on `route`, covering
+    /// `[0, horizon_s)`. The same `(profile, route, seed, horizon)` always
+    /// yields an identical plan.
+    ///
+    /// # Panics
+    /// Panics if `horizon_s` is not strictly positive.
+    pub fn plan(self, route: Route, seed: u64, horizon_s: f64) -> FaultPlan {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        let link = route.wan_link_index();
+        let path = route.path_index();
+        match self {
+            FaultProfile::FlakyLink => {
+                FaultPlan::flaps(seed, link, horizon_s, 300.0, 10.0).merge(FaultPlan::aborts(
+                    seed,
+                    MAIN_TRANSFER,
+                    horizon_s,
+                    480.0,
+                ))
+            }
+            FaultProfile::DegradedWan => {
+                FaultPlan::degradations(seed, link, horizon_s, 240.0, 60.0, 0.3).merge(
+                    FaultPlan::rtt_spikes(seed, path, horizon_s, 300.0, 30.0, 4.0),
+                )
+            }
+            FaultProfile::LossyTacc => {
+                FaultPlan::degradations(seed, link, horizon_s, 200.0, 45.0, 0.5)
+                    .merge(FaultPlan::rtt_spikes(seed, path, horizon_s, 250.0, 20.0, 3.0))
+                    .merge(FaultPlan::stalls(seed, MAIN_TRANSFER, horizon_s, 300.0, 15.0))
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FaultProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flaky-link" | "flaky_link" | "flaky" => Ok(FaultProfile::FlakyLink),
+            "degraded-wan" | "degraded_wan" | "degraded" => Ok(FaultProfile::DegradedWan),
+            "lossy-tacc" | "lossy_tacc" | "lossy" => Ok(FaultProfile::LossyTacc),
+            other => Err(format!(
+                "unknown fault profile '{other}' (expected flaky-link, degraded-wan, or lossy-tacc)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xferopt_simcore::FaultKind;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        for p in FaultProfile::ALL {
+            let a = p.plan(Route::UChicago, 7, 1800.0);
+            let b = p.plan(Route::UChicago, 7, 1800.0);
+            assert_eq!(a, b, "{p}");
+            assert!(!a.is_empty(), "{p} should schedule at least one event");
+            let c = p.plan(Route::UChicago, 8, 1800.0);
+            assert_ne!(a, c, "{p}: different seeds must differ");
+        }
+    }
+
+    #[test]
+    fn profiles_target_the_routes_wan_link() {
+        let uc = FaultProfile::DegradedWan.plan(Route::UChicago, 3, 1800.0);
+        for ev in uc.events() {
+            match ev.kind {
+                FaultKind::LinkDegrade { link, .. } => assert_eq!(link, 1),
+                FaultKind::RttSpike { path, .. } => assert_eq!(path, 0),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        let tacc = FaultProfile::DegradedWan.plan(Route::Tacc, 3, 1800.0);
+        assert!(tacc.events().iter().any(|e| matches!(
+            e.kind,
+            FaultKind::LinkDegrade { link: 2, .. }
+        )));
+    }
+
+    #[test]
+    fn flaky_link_includes_aborts_of_main_transfer() {
+        let plan = FaultProfile::FlakyLink.plan(Route::UChicago, 5, 3600.0);
+        assert!(plan.events().iter().any(|e| matches!(
+            e.kind,
+            FaultKind::TransferAbort { transfer: MAIN_TRANSFER }
+        )));
+        assert!(plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::LinkFlap { .. })));
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for p in FaultProfile::ALL {
+            assert_eq!(p.name().parse::<FaultProfile>().unwrap(), p);
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert!("bogus".parse::<FaultProfile>().is_err());
+    }
+
+    #[test]
+    fn events_stay_inside_horizon() {
+        for p in FaultProfile::ALL {
+            let plan = p.plan(Route::Tacc, 11, 900.0);
+            for ev in plan.events() {
+                assert!(ev.at.as_secs_f64() < 900.0);
+                assert!(ev.end().as_secs_f64() <= 900.0 + 1e-6);
+            }
+        }
+    }
+}

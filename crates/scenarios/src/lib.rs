@@ -10,6 +10,9 @@
 //! * [`load`] — external source load: `ext.tfr` competing transfer streams
 //!   and `ext.cmp` dgemm compute hogs, with piecewise schedules for the
 //!   "load changes at t = 1000 s" experiments.
+//! * [`faults`] — named deterministic fault profiles (flaky link, degraded
+//!   WAN, lossy TACC) that seed a [`xferopt_simcore::FaultPlan`] against the
+//!   testbed topology.
 //! * [`driver`] — the control-epoch loop binding an
 //!   [`xferopt_tuners::OnlineTuner`] to a live transfer (the paper's
 //!   `runTransfer` wrapper): restart each epoch, observe, ask for the next
@@ -26,6 +29,7 @@
 
 pub mod driver;
 pub mod experiments;
+pub mod faults;
 pub mod load;
 pub mod report;
 pub mod runner;
@@ -34,6 +38,7 @@ pub mod topology;
 pub mod validation;
 
 pub use driver::{drive_transfer, DriveConfig, MultiDriver, TuneDims};
+pub use faults::FaultProfile;
 pub use load::{ExternalLoad, LoadSchedule};
 pub use report::Table;
 pub use topology::{PaperWorld, Route};

@@ -39,6 +39,26 @@ impl Route {
             Route::Tacc => "anl->tacc",
         }
     }
+
+    /// Raw index of this route's WAN link in [`PaperWorld`]'s network
+    /// (construction order: nic = 0, wan-uchicago = 1, wan-tacc = 2). Used to
+    /// address links in a [`xferopt_simcore::FaultPlan`].
+    pub fn wan_link_index(self) -> usize {
+        match self {
+            Route::UChicago => 1,
+            Route::Tacc => 2,
+        }
+    }
+
+    /// Raw index of this route's path in [`PaperWorld`]'s network
+    /// (construction order: anl->uchicago = 0, anl->tacc = 1). Used to
+    /// address paths in a [`xferopt_simcore::FaultPlan`].
+    pub fn path_index(self) -> usize {
+        match self {
+            Route::UChicago => 0,
+            Route::Tacc => 1,
+        }
+    }
 }
 
 /// A built world with handles to the paper's routes and hosts.

@@ -1,0 +1,545 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a time-sorted list of [`FaultEvent`]s — link capacity
+//! degradations and flaps, path RTT spikes, per-transfer stalls, and
+//! transfer aborts — that a simulation harness applies while it integrates.
+//! Plans are *data*: building one performs no side effects, and the seeded
+//! generators ([`FaultPlan::flaps`], [`FaultPlan::aborts`], …) derive every
+//! event time from a root seed, so the same `(seed, parameters)` pair always
+//! produces byte-identical schedules. Combined with the deterministic
+//! simulation clock this makes every faulty run fully replayable.
+//!
+//! The module deliberately refers to links, paths, and transfers by raw
+//! indices (`usize` / `u64`): `simcore` sits below the network and transfer
+//! crates and cannot name their id types. Harnesses translate
+//! (`LinkId(i) ↔ i`, `TransferId(t) ↔ t`).
+//!
+//! # Example
+//!
+//! ```
+//! use xferopt_simcore::faults::{FaultEvent, FaultKind, FaultPlan};
+//! use xferopt_simcore::{SimDuration, SimTime};
+//!
+//! // Link 0 loses 60% of its capacity between t=100s and t=200s.
+//! let plan = FaultPlan::new().with(FaultEvent::window(
+//!     SimTime::from_secs(100),
+//!     SimDuration::from_secs(100),
+//!     FaultKind::LinkDegrade { link: 0, factor: 0.4 },
+//! ));
+//! assert_eq!(plan.link_factor_at(0, SimTime::from_secs(150)), 0.4);
+//! assert_eq!(plan.link_factor_at(0, SimTime::from_secs(250)), 1.0);
+//! ```
+
+use crate::rng::{sample_exp, RngFactory};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+
+/// What a fault does while its window is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Scale link `link`'s capacity by `factor ∈ [0, 1]` for the window
+    /// (e.g. a failed bonded-NIC member or a congested backbone segment).
+    LinkDegrade {
+        /// Index of the degraded link (`LinkId.0`).
+        link: usize,
+        /// Multiplicative capacity factor in `[0, 1]`.
+        factor: f64,
+    },
+    /// Link `link` goes completely dark for the window (capacity factor 0).
+    LinkFlap {
+        /// Index of the flapping link (`LinkId.0`).
+        link: usize,
+    },
+    /// Multiply path `path`'s round-trip time by `factor ≥ 1` for the window
+    /// (route change, bufferbloat episode).
+    RttSpike {
+        /// Index of the affected path (`PathId.0`).
+        path: usize,
+        /// Multiplicative RTT factor (≥ 1).
+        factor: f64,
+    },
+    /// Transfer `transfer` moves no bytes during the window (server pause,
+    /// filesystem hiccup); its streams leave the wire but no restart is paid.
+    FlowStall {
+        /// Index of the stalled transfer (`TransferId.0`).
+        transfer: u64,
+    },
+    /// Transfer `transfer` is killed at the window start and must retry with
+    /// backoff. Instantaneous: the duration is ignored.
+    TransferAbort {
+        /// Index of the aborted transfer (`TransferId.0`).
+        transfer: u64,
+    },
+}
+
+/// One scheduled fault: a kind plus its time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Window start (for [`FaultKind::TransferAbort`], the abort instant).
+    pub at: SimTime,
+    /// Window length (ignored for aborts).
+    pub duration: SimDuration,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A windowed fault over `[at, at + duration)`.
+    ///
+    /// # Panics
+    /// Panics if `duration` is negative, a degrade factor is outside
+    /// `[0, 1]`, or an RTT factor is below 1.
+    pub fn window(at: SimTime, duration: SimDuration, kind: FaultKind) -> Self {
+        assert!(
+            duration >= SimDuration::ZERO,
+            "fault duration must be non-negative"
+        );
+        match kind {
+            FaultKind::LinkDegrade { factor, .. } => assert!(
+                (0.0..=1.0).contains(&factor),
+                "degrade factor must be in [0,1], got {factor}"
+            ),
+            FaultKind::RttSpike { factor, .. } => assert!(
+                factor >= 1.0 && factor.is_finite(),
+                "RTT spike factor must be >= 1, got {factor}"
+            ),
+            _ => {}
+        }
+        FaultEvent { at, duration, kind }
+    }
+
+    /// An instantaneous fault (used for [`FaultKind::TransferAbort`]).
+    pub fn instant(at: SimTime, kind: FaultKind) -> Self {
+        FaultEvent::window(at, SimDuration::ZERO, kind)
+    }
+
+    /// The window end, `at + duration`.
+    pub fn end(&self) -> SimTime {
+        self.at + self.duration
+    }
+
+    /// True when the half-open window `[at, end)` covers `t`. Aborts are
+    /// never "active": they fire once at `at`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        !matches!(self.kind, FaultKind::TransferAbort { .. }) && self.at <= t && t < self.end()
+    }
+}
+
+/// A deterministic, time-sorted fault schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injecting it is a no-op).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Append an event, keeping the schedule sorted by start time (stable
+    /// for equal starts, so plan construction order is preserved).
+    pub fn push(&mut self, ev: FaultEvent) {
+        let pos = self.events.partition_point(|e| e.at <= ev.at);
+        self.events.insert(pos, ev);
+    }
+
+    /// Builder form of [`FaultPlan::push`].
+    pub fn with(mut self, ev: FaultEvent) -> Self {
+        self.push(ev);
+        self
+    }
+
+    /// All events, sorted by start time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Merge another plan into this one (events interleaved by time).
+    pub fn merge(mut self, other: FaultPlan) -> FaultPlan {
+        for ev in other.events {
+            self.push(ev);
+        }
+        self
+    }
+
+    /// Aggregate multiplicative capacity factor for `link` at time `t`
+    /// (1.0 when no degradation is active; overlapping windows multiply;
+    /// a flap forces 0).
+    pub fn link_factor_at(&self, link: usize, t: SimTime) -> f64 {
+        let mut f = 1.0;
+        for ev in self.events.iter().filter(|e| e.active_at(t)) {
+            match ev.kind {
+                FaultKind::LinkDegrade { link: l, factor } if l == link => f *= factor,
+                FaultKind::LinkFlap { link: l } if l == link => f = 0.0,
+                _ => {}
+            }
+        }
+        f
+    }
+
+    /// Aggregate multiplicative RTT factor for `path` at time `t` (1.0 when
+    /// no spike is active; overlapping spikes multiply).
+    pub fn rtt_factor_at(&self, path: usize, t: SimTime) -> f64 {
+        let mut f = 1.0;
+        for ev in self.events.iter().filter(|e| e.active_at(t)) {
+            if let FaultKind::RttSpike { path: p, factor } = ev.kind {
+                if p == path {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// True when a [`FaultKind::FlowStall`] window covers `transfer` at `t`.
+    pub fn is_stalled_at(&self, transfer: u64, t: SimTime) -> bool {
+        self.events.iter().any(|e| {
+            e.active_at(t) && matches!(e.kind, FaultKind::FlowStall { transfer: tr } if tr == transfer)
+        })
+    }
+
+    /// The earliest fault transition (window start or end, or abort instant)
+    /// strictly inside `(after, until)`. Integrators use this to split
+    /// integration pieces exactly at fault boundaries.
+    pub fn next_boundary_after(&self, after: SimTime, until: SimTime) -> Option<SimTime> {
+        self.events
+            .iter()
+            .flat_map(|e| [e.at, e.end()])
+            .filter(|&b| b > after && b < until)
+            .min()
+    }
+
+    // ---- Seeded generators --------------------------------------------
+
+    /// Poisson flap schedule for `link`: alternating up/down periods with
+    /// exponential holding times of means `mean_up_s` / `mean_down_s`, over
+    /// `[0, horizon_s)`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if any duration or mean is not strictly positive.
+    pub fn flaps(seed: u64, link: usize, horizon_s: f64, mean_up_s: f64, mean_down_s: f64) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        assert!(
+            mean_up_s > 0.0 && mean_down_s > 0.0,
+            "holding-time means must be positive"
+        );
+        let mut rng = Self::stream(seed, 0x01, link as u64);
+        let mut plan = FaultPlan::new();
+        let mut t = sample_exp(&mut rng, 1.0 / mean_up_s);
+        while t < horizon_s {
+            let down = sample_exp(&mut rng, 1.0 / mean_down_s).min(horizon_s - t);
+            plan.push(FaultEvent::window(
+                SimTime::from_secs_f64(t),
+                SimDuration::from_secs_f64(down),
+                FaultKind::LinkFlap { link },
+            ));
+            t += down + sample_exp(&mut rng, 1.0 / mean_up_s);
+        }
+        plan
+    }
+
+    /// Poisson capacity-degradation schedule for `link`: windows of mean
+    /// length `mean_duration_s` arriving with mean spacing `mean_interval_s`,
+    /// each scaling capacity by `factor`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if durations/means are not positive or `factor` is outside
+    /// `[0, 1]`.
+    pub fn degradations(
+        seed: u64,
+        link: usize,
+        horizon_s: f64,
+        mean_interval_s: f64,
+        mean_duration_s: f64,
+        factor: f64,
+    ) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        assert!(
+            mean_interval_s > 0.0 && mean_duration_s > 0.0,
+            "interval/duration means must be positive"
+        );
+        let mut rng = Self::stream(seed, 0x02, link as u64);
+        let mut plan = FaultPlan::new();
+        let mut t = sample_exp(&mut rng, 1.0 / mean_interval_s);
+        while t < horizon_s {
+            let d = sample_exp(&mut rng, 1.0 / mean_duration_s).min(horizon_s - t);
+            plan.push(FaultEvent::window(
+                SimTime::from_secs_f64(t),
+                SimDuration::from_secs_f64(d),
+                FaultKind::LinkDegrade { link, factor },
+            ));
+            t += d + sample_exp(&mut rng, 1.0 / mean_interval_s);
+        }
+        plan
+    }
+
+    /// Poisson RTT-spike schedule for `path`: spikes of fixed length
+    /// `spike_s` multiplying the RTT by `factor`, with mean spacing
+    /// `mean_interval_s`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if durations/means are not positive or `factor < 1`.
+    pub fn rtt_spikes(
+        seed: u64,
+        path: usize,
+        horizon_s: f64,
+        mean_interval_s: f64,
+        spike_s: f64,
+        factor: f64,
+    ) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        assert!(
+            mean_interval_s > 0.0 && spike_s > 0.0,
+            "interval/spike durations must be positive"
+        );
+        let mut rng = Self::stream(seed, 0x03, path as u64);
+        let mut plan = FaultPlan::new();
+        let mut t = sample_exp(&mut rng, 1.0 / mean_interval_s);
+        while t < horizon_s {
+            let d = spike_s.min(horizon_s - t);
+            plan.push(FaultEvent::window(
+                SimTime::from_secs_f64(t),
+                SimDuration::from_secs_f64(d),
+                FaultKind::RttSpike { path, factor },
+            ));
+            t += d + sample_exp(&mut rng, 1.0 / mean_interval_s);
+        }
+        plan
+    }
+
+    /// Poisson stall schedule for `transfer`: windows of mean length
+    /// `mean_duration_s` with mean spacing `mean_interval_s`. Deterministic
+    /// in `seed`.
+    ///
+    /// # Panics
+    /// Panics if durations/means are not positive.
+    pub fn stalls(
+        seed: u64,
+        transfer: u64,
+        horizon_s: f64,
+        mean_interval_s: f64,
+        mean_duration_s: f64,
+    ) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        assert!(
+            mean_interval_s > 0.0 && mean_duration_s > 0.0,
+            "interval/duration means must be positive"
+        );
+        let mut rng = Self::stream(seed, 0x04, transfer);
+        let mut plan = FaultPlan::new();
+        let mut t = sample_exp(&mut rng, 1.0 / mean_interval_s);
+        while t < horizon_s {
+            let d = sample_exp(&mut rng, 1.0 / mean_duration_s).min(horizon_s - t);
+            plan.push(FaultEvent::window(
+                SimTime::from_secs_f64(t),
+                SimDuration::from_secs_f64(d),
+                FaultKind::FlowStall { transfer },
+            ));
+            t += d + sample_exp(&mut rng, 1.0 / mean_interval_s);
+        }
+        plan
+    }
+
+    /// Poisson abort schedule for `transfer` with mean spacing
+    /// `mean_interval_s`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if the horizon or mean is not strictly positive.
+    pub fn aborts(seed: u64, transfer: u64, horizon_s: f64, mean_interval_s: f64) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        assert!(mean_interval_s > 0.0, "interval mean must be positive");
+        let mut rng = Self::stream(seed, 0x05, transfer);
+        let mut plan = FaultPlan::new();
+        let mut t = sample_exp(&mut rng, 1.0 / mean_interval_s);
+        while t < horizon_s {
+            plan.push(FaultEvent::instant(
+                SimTime::from_secs_f64(t),
+                FaultKind::TransferAbort { transfer },
+            ));
+            t += sample_exp(&mut rng, 1.0 / mean_interval_s);
+        }
+        plan
+    }
+
+    /// Independent RNG stream per (generator kind, target), so merging
+    /// several generated plans never correlates their event times.
+    fn stream(seed: u64, generator: u64, target: u64) -> SmallRng {
+        RngFactory::new(seed)
+            .subfactory(generator)
+            .rng_for(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn window_activity_is_half_open() {
+        let ev = FaultEvent::window(t(10.0), d(5.0), FaultKind::LinkFlap { link: 0 });
+        assert!(!ev.active_at(t(9.999)));
+        assert!(ev.active_at(t(10.0)));
+        assert!(ev.active_at(t(14.999)));
+        assert!(!ev.active_at(t(15.0)));
+        assert_eq!(ev.end(), t(15.0));
+    }
+
+    #[test]
+    fn aborts_are_never_active() {
+        let ev = FaultEvent::instant(t(10.0), FaultKind::TransferAbort { transfer: 1 });
+        assert!(!ev.active_at(t(10.0)));
+    }
+
+    #[test]
+    fn factors_compose_multiplicatively() {
+        let plan = FaultPlan::new()
+            .with(FaultEvent::window(
+                t(0.0),
+                d(100.0),
+                FaultKind::LinkDegrade { link: 3, factor: 0.5 },
+            ))
+            .with(FaultEvent::window(
+                t(50.0),
+                d(100.0),
+                FaultKind::LinkDegrade { link: 3, factor: 0.5 },
+            ));
+        assert_eq!(plan.link_factor_at(3, t(25.0)), 0.5);
+        assert_eq!(plan.link_factor_at(3, t(75.0)), 0.25);
+        assert_eq!(plan.link_factor_at(3, t(125.0)), 0.5);
+        assert_eq!(plan.link_factor_at(3, t(200.0)), 1.0);
+        assert_eq!(plan.link_factor_at(0, t(25.0)), 1.0, "other links untouched");
+    }
+
+    #[test]
+    fn flap_wins_over_degrade() {
+        let plan = FaultPlan::new()
+            .with(FaultEvent::window(
+                t(0.0),
+                d(10.0),
+                FaultKind::LinkDegrade { link: 0, factor: 0.9 },
+            ))
+            .with(FaultEvent::window(t(5.0), d(2.0), FaultKind::LinkFlap { link: 0 }));
+        assert_eq!(plan.link_factor_at(0, t(6.0)), 0.0);
+        assert_eq!(plan.link_factor_at(0, t(8.0)), 0.9);
+    }
+
+    #[test]
+    fn rtt_and_stall_queries() {
+        let plan = FaultPlan::new()
+            .with(FaultEvent::window(
+                t(10.0),
+                d(10.0),
+                FaultKind::RttSpike { path: 1, factor: 4.0 },
+            ))
+            .with(FaultEvent::window(
+                t(30.0),
+                d(5.0),
+                FaultKind::FlowStall { transfer: 7 },
+            ));
+        assert_eq!(plan.rtt_factor_at(1, t(15.0)), 4.0);
+        assert_eq!(plan.rtt_factor_at(0, t(15.0)), 1.0);
+        assert_eq!(plan.rtt_factor_at(1, t(25.0)), 1.0);
+        assert!(plan.is_stalled_at(7, t(32.0)));
+        assert!(!plan.is_stalled_at(7, t(36.0)));
+        assert!(!plan.is_stalled_at(8, t(32.0)));
+    }
+
+    #[test]
+    fn events_stay_sorted_and_merge() {
+        let a = FaultPlan::new()
+            .with(FaultEvent::instant(t(30.0), FaultKind::TransferAbort { transfer: 0 }))
+            .with(FaultEvent::instant(t(10.0), FaultKind::TransferAbort { transfer: 0 }));
+        let b = FaultPlan::new().with(FaultEvent::instant(
+            t(20.0),
+            FaultKind::TransferAbort { transfer: 1 },
+        ));
+        let m = a.merge(b);
+        let starts: Vec<f64> = m.events().iter().map(|e| e.at.as_secs_f64()).collect();
+        assert_eq!(starts, vec![10.0, 20.0, 30.0]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn boundaries_are_starts_and_ends_in_open_interval() {
+        let plan = FaultPlan::new().with(FaultEvent::window(
+            t(10.0),
+            d(5.0),
+            FaultKind::LinkFlap { link: 0 },
+        ));
+        assert_eq!(plan.next_boundary_after(t(0.0), t(100.0)), Some(t(10.0)));
+        assert_eq!(plan.next_boundary_after(t(10.0), t(100.0)), Some(t(15.0)));
+        assert_eq!(plan.next_boundary_after(t(15.0), t(100.0)), None);
+        assert_eq!(plan.next_boundary_after(t(0.0), t(10.0)), None, "strictly inside");
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = FaultPlan::flaps(7, 1, 1800.0, 300.0, 10.0);
+        let b = FaultPlan::flaps(7, 1, 1800.0, 300.0, 10.0);
+        assert_eq!(a, b);
+        let c = FaultPlan::flaps(8, 1, 1800.0, 300.0, 10.0);
+        assert_ne!(a, c, "different seeds must differ");
+        // Mean up 300 s over 1800 s: expect a handful of flaps.
+        assert!(!a.is_empty(), "expected at least one flap");
+        assert!(a.events().iter().all(|e| e.at.as_secs_f64() < 1800.0));
+        assert!(a.events().iter().all(|e| e.end().as_secs_f64() <= 1800.0 + 1e-6));
+    }
+
+    #[test]
+    fn generator_families_are_independent_streams() {
+        let flaps = FaultPlan::flaps(7, 0, 1800.0, 100.0, 10.0);
+        let stalls = FaultPlan::stalls(7, 0, 1800.0, 100.0, 10.0);
+        let t_flaps: Vec<f64> = flaps.events().iter().map(|e| e.at.as_secs_f64()).collect();
+        let t_stalls: Vec<f64> = stalls.events().iter().map(|e| e.at.as_secs_f64()).collect();
+        assert_ne!(t_flaps, t_stalls, "same seed, different generator, different times");
+    }
+
+    #[test]
+    fn abort_generator_emits_instants() {
+        let plan = FaultPlan::aborts(3, 2, 3600.0, 400.0);
+        assert!(!plan.is_empty());
+        for ev in plan.events() {
+            assert_eq!(ev.duration, SimDuration::ZERO);
+            assert_eq!(ev.kind, FaultKind::TransferAbort { transfer: 2 });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor must be in [0,1]")]
+    fn bad_degrade_factor_rejected() {
+        FaultEvent::window(t(0.0), d(1.0), FaultKind::LinkDegrade { link: 0, factor: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "RTT spike factor must be >= 1")]
+    fn bad_rtt_factor_rejected() {
+        FaultEvent::window(t(0.0), d(1.0), FaultKind::RttSpike { path: 0, factor: 0.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be non-negative")]
+    fn negative_duration_rejected() {
+        FaultEvent::window(t(0.0), d(-1.0), FaultKind::LinkFlap { link: 0 });
+    }
+}

@@ -15,6 +15,9 @@
 //!   streaming quantiles, five-number boxplot summaries, and histograms.
 //! * [`series`] — time-series recording with time-weighted integration and
 //!   uniform resampling, used to produce the paper's figures.
+//! * [`faults`] — deterministic fault-injection plans (link degradations and
+//!   flaps, RTT spikes, flow stalls, transfer aborts) that harnesses apply
+//!   while integrating, so faulty runs replay exactly from a root seed.
 //!
 //! The crate is intentionally free of any networking or transfer logic; it is
 //! the substrate the `xferopt-net`, `xferopt-host` and `xferopt-transfer`
@@ -44,6 +47,7 @@
 
 mod engine;
 mod event;
+pub mod faults;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -52,6 +56,7 @@ pub mod trace;
 
 pub use engine::Engine;
 pub use event::{EventQueue, Scheduled};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use rng::{RngFactory, SeedStream};
 pub use series::{StepSeries, TimeSeries};
 pub use stats::{BoxplotStats, Histogram, OnlineStats, P2Quantile};

@@ -20,6 +20,8 @@
 //!   [`world::World::step`], account epochs with
 //!   [`world::World::begin_epoch`] / [`world::World::end_epoch`].
 //! * [`report`] — epoch reports and whole-transfer logs.
+//! * [`retry::RetryPolicy`] — exponential backoff for transfers aborted by a
+//!   fault plan ([`world::World::enable_faults`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,9 +29,11 @@
 pub mod noise;
 pub mod params;
 pub mod report;
+pub mod retry;
 pub mod world;
 
 pub use noise::NoiseProcess;
 pub use params::StreamParams;
 pub use report::{EpochReport, TransferLog};
+pub use retry::RetryPolicy;
 pub use world::{EpochStart, HostId, TransferConfig, TransferId, World};

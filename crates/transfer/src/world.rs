@@ -17,12 +17,14 @@
 use crate::noise::NoiseProcess;
 use crate::params::StreamParams;
 use crate::report::EpochReport;
+use crate::retry::RetryPolicy;
+use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
 use xferopt_host::{AppId, AppLoad, Host, HostSpec};
 use xferopt_net::dynamic::DynamicSim;
-use xferopt_net::{CongestionControl, FlowId, Network, PathId};
+use xferopt_net::{CongestionControl, FlowId, LinkId, Network, PathId};
 use xferopt_simcore::rng::SeedStream;
-use xferopt_simcore::{SimDuration, SimTime, Tracer};
+use xferopt_simcore::{FaultKind, FaultPlan, SimDuration, SimTime, Tracer};
 
 /// Identifier of a host within a [`World`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -121,12 +123,32 @@ struct Entry {
     moved_mb: f64,
     noise: NoiseProcess,
     done: bool,
+    /// True while a [`FaultKind::FlowStall`] window covers this transfer.
+    stalled: bool,
+    /// Consecutive aborts since the transfer last moved bytes (drives the
+    /// exponential backoff; resets on progress).
+    attempts: u32,
+    /// Total aborts suffered over the transfer's lifetime.
+    retries: u64,
 }
 
 impl Entry {
     fn active_at(&self, t: SimTime) -> bool {
-        !self.done && t >= self.ready_at && !self.params.is_idle()
+        !self.done && !self.stalled && t >= self.ready_at && !self.params.is_idle()
     }
+}
+
+/// Runtime state of fault injection (present only after
+/// [`World::enable_faults`]).
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    /// Jitter stream for retry backoff delays.
+    rng: SmallRng,
+    /// Index of the first plan event not yet examined for one-shot firing
+    /// (aborts must fire exactly once).
+    cursor: usize,
 }
 
 /// Handle returned by [`World::begin_epoch`], consumed by
@@ -163,6 +185,7 @@ pub struct World {
     next_tid: u64,
     tracer: Tracer,
     fidelity: Fidelity,
+    faults: Option<FaultState>,
 }
 
 impl World {
@@ -177,7 +200,48 @@ impl World {
             next_tid: 0,
             tracer: Tracer::disabled(),
             fidelity: Fidelity::QuasiStatic,
+            faults: None,
         }
+    }
+
+    /// Inject a deterministic fault plan with the default [`RetryPolicy`].
+    ///
+    /// Fault injection is strictly opt-in: a world that never calls this
+    /// draws nothing extra from its seed stream and behaves bit-identically
+    /// to one built before the fault layer existed. Because enabling faults
+    /// *does* consume one seed (for retry-backoff jitter), call it at a fixed
+    /// point in your setup sequence to keep runs reproducible.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.enable_faults_with_policy(plan, RetryPolicy::default());
+    }
+
+    /// Inject a deterministic fault plan with an explicit [`RetryPolicy`]
+    /// governing post-abort backoff.
+    pub fn enable_faults_with_policy(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        let rng = self.seeds.next_rng();
+        self.tracer
+            .emit(self.now, "fault", format!("plan enabled events={}", plan.len()));
+        self.faults = Some(FaultState {
+            plan,
+            policy,
+            rng,
+            cursor: 0,
+        });
+    }
+
+    /// The active fault plan, if faults are enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Total aborts `tid` has suffered (and retried through) so far.
+    pub fn retries(&self, tid: TransferId) -> u64 {
+        self.transfers[&tid].retries
+    }
+
+    /// True while a fault window currently stalls `tid`.
+    pub fn is_stalled(&self, tid: TransferId) -> bool {
+        self.transfers[&tid].stalled
     }
 
     /// Switch to the dynamic per-stream window simulation with sub-step
@@ -265,6 +329,9 @@ impl World {
                 moved_mb: 0.0,
                 noise,
                 done: false,
+                stalled: false,
+                attempts: 0,
+                retries: 0,
             },
         );
         self.sync_flow_streams();
@@ -368,9 +435,77 @@ impl World {
         }
     }
 
+    /// Bring the world's fault-driven state (link capacity factors, path RTT
+    /// factors, stall flags) up to date with the plan at `self.now`, and fire
+    /// any abort events whose instant has been reached. No-op when faults are
+    /// disabled. Every transition is recorded in the `"fault"` trace
+    /// category.
+    fn apply_faults(&mut self) {
+        let Some(st) = self.faults.as_mut() else {
+            return;
+        };
+        let now = self.now;
+        // Link capacity factors.
+        for l in 0..self.net.link_count() {
+            let f = st.plan.link_factor_at(l, now);
+            if (self.net.link_factor(LinkId(l)) - f).abs() > 1e-12 {
+                self.net.set_link_factor(LinkId(l), f);
+                self.tracer
+                    .emit(now, "fault", format!("link{l} capacity_factor={f:.3}"));
+            }
+        }
+        // Path RTT factors.
+        for p in 0..self.net.path_count() {
+            let f = st.plan.rtt_factor_at(p, now);
+            if (self.net.rtt_factor(PathId(p)) - f).abs() > 1e-12 {
+                self.net.set_rtt_factor(PathId(p), f);
+                self.tracer
+                    .emit(now, "fault", format!("path{p} rtt_factor={f:.3}"));
+            }
+        }
+        // Stall windows.
+        for (tid, e) in self.transfers.iter_mut() {
+            let s = st.plan.is_stalled_at(tid.0, now);
+            if s != e.stalled {
+                e.stalled = s;
+                self.tracer.emit(
+                    now,
+                    "fault",
+                    format!("t{} {}", tid.0, if s { "stall" } else { "stall-clear" }),
+                );
+            }
+        }
+        // Aborts: each plan event fires at most once, in schedule order.
+        let fire_end = st.plan.events().partition_point(|e| e.at <= now);
+        for i in st.cursor..fire_end {
+            let ev = st.plan.events()[i];
+            if let FaultKind::TransferAbort { transfer } = ev.kind {
+                let tid = TransferId(transfer);
+                if let Some(e) = self.transfers.get_mut(&tid) {
+                    if !e.done {
+                        e.attempts += 1;
+                        e.retries += 1;
+                        let backoff = st.policy.delay_s(e.attempts, &mut st.rng);
+                        let startup = self.hosts[e.host.0].startup_time_s(e.app);
+                        e.ready_at = now + SimDuration::from_secs_f64(backoff + startup);
+                        self.tracer.emit(
+                            now,
+                            "fault",
+                            format!(
+                                "t{} abort retry={} backoff={backoff:.2}s startup={startup:.2}s",
+                                tid.0, e.retries
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        st.cursor = fire_end;
+    }
+
     /// Advance the world by `dt`, integrating every transfer's goodput.
-    /// Integration is exact across restart-completion boundaries (rates are
-    /// recomputed piecewise).
+    /// Integration is exact across restart-completion boundaries and fault
+    /// transitions (rates are recomputed piecewise).
     ///
     /// # Panics
     /// Panics if `dt` is not strictly positive.
@@ -378,15 +513,22 @@ impl World {
         assert!(dt.is_positive(), "step must be positive");
         let end = self.now + dt;
         while self.now < end {
+            self.apply_faults();
             self.sync_flow_streams();
-            // Next boundary: earliest ready_at strictly inside (now, end).
-            let boundary = self
+            // Next boundary: earliest ready_at or fault transition strictly
+            // inside (now, end).
+            let mut boundary = self
                 .transfers
                 .values()
                 .filter(|e| !e.done && e.ready_at > self.now && e.ready_at < end)
                 .map(|e| e.ready_at)
                 .min()
                 .unwrap_or(end);
+            if let Some(st) = &self.faults {
+                if let Some(b) = st.plan.next_boundary_after(self.now, end) {
+                    boundary = boundary.min(b);
+                }
+            }
             let piece = boundary - self.now;
             let piece_s = piece.as_secs_f64();
             let mut done_tids: Vec<TransferId> = Vec::new();
@@ -430,6 +572,11 @@ impl World {
                     let rate = rates[&e.flow].min(cap) * eff * e.noise.advance(piece_s);
                     let moved = (rate * piece_s).min(e.remaining_mb);
                     e.moved_mb += moved;
+                    if moved > 0.0 {
+                        // Progress resets the consecutive-failure counter
+                        // that drives retry backoff.
+                        e.attempts = 0;
+                    }
                     if e.remaining_mb.is_finite() {
                         e.remaining_mb = (e.remaining_mb - moved).max(0.0);
                         if e.remaining_mb <= 0.0 {
@@ -445,6 +592,7 @@ impl World {
             }
             self.now = boundary;
         }
+        self.apply_faults();
         self.sync_flow_streams();
     }
 
@@ -843,6 +991,162 @@ mod tests {
             after < before / 3.0,
             "64 hogs on the destination must bind: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn abort_preserves_moved_bytes_and_counts_retries() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        let plan = FaultPlan::new().with(xferopt_simcore::FaultEvent::instant(
+            SimTime::from_secs(30),
+            FaultKind::TransferAbort { transfer: tid.0 },
+        ));
+        world.enable_faults_with_policy(plan, RetryPolicy::fixed(10.0));
+        world.step(SimDuration::from_secs(30));
+        let before = world.moved_mb(tid);
+        assert!(before > 0.0);
+        // Immediately after the abort instant the transfer is down.
+        world.step(SimDuration::from_secs(5));
+        assert_eq!(world.moved_mb(tid), before, "no bytes while backing off");
+        assert_eq!(world.retries(tid), 1);
+        // After backoff + startup it comes back and keeps its bytes.
+        world.step(SimDuration::from_secs(60));
+        assert!(world.moved_mb(tid) > before, "transfer must resume");
+    }
+
+    #[test]
+    fn stall_window_pauses_progress_without_restart() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        let plan = FaultPlan::new().with(xferopt_simcore::FaultEvent::window(
+            SimTime::from_secs(30),
+            SimDuration::from_secs(10),
+            FaultKind::FlowStall { transfer: tid.0 },
+        ));
+        world.enable_faults(plan);
+        world.step(SimDuration::from_secs(31));
+        assert!(world.is_stalled(tid));
+        let at_stall = world.moved_mb(tid);
+        world.step(SimDuration::from_secs(8));
+        assert_eq!(world.moved_mb(tid), at_stall, "stalled transfer moves nothing");
+        world.step(SimDuration::from_secs(5));
+        assert!(!world.is_stalled(tid));
+        assert!(world.moved_mb(tid) > at_stall, "stall ends without a restart");
+        assert_eq!(world.retries(tid), 0);
+    }
+
+    #[test]
+    fn link_degradation_cuts_goodput_then_recovers() {
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        // Degrade the shared WAN link (index 1) to 10% for [60, 120).
+        let plan = FaultPlan::new().with(xferopt_simcore::FaultEvent::window(
+            SimTime::from_secs(60),
+            SimDuration::from_secs(60),
+            FaultKind::LinkDegrade { link: 1, factor: 0.1 },
+        ));
+        world.enable_faults(plan);
+        world.step(SimDuration::from_secs(30));
+        let healthy = world.goodput_mbs(tid);
+        world.step(SimDuration::from_secs(60));
+        let degraded = world.goodput_mbs(tid);
+        assert!(
+            degraded < healthy * 0.2,
+            "degraded {degraded} should be well below healthy {healthy}"
+        );
+        world.step(SimDuration::from_secs(60));
+        let recovered = world.goodput_mbs(tid);
+        assert!(
+            recovered > healthy * 0.8,
+            "recovered {recovered} should return near healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let run = |fault: bool| {
+            let (mut world, path) = uc_world(false);
+            let tid = world.add_transfer(quiet_cfg(path));
+            if fault {
+                world.enable_faults(FaultPlan::new());
+            }
+            world.step(SimDuration::from_secs(120));
+            world.moved_mb(tid)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn consecutive_aborts_grow_backoff() {
+        // Two aborts in quick succession (before any bytes move between
+        // them) must produce a longer second outage than a lone abort's.
+        let (mut world, path) = uc_world(false);
+        let tid = world.add_transfer(quiet_cfg(path));
+        let policy = RetryPolicy {
+            base_s: 10.0,
+            factor: 4.0,
+            max_s: 1000.0,
+            jitter: 0.0,
+        };
+        let plan = FaultPlan::new()
+            .with(xferopt_simcore::FaultEvent::instant(
+                SimTime::from_secs(30),
+                FaultKind::TransferAbort { transfer: tid.0 },
+            ))
+            // Second abort lands while still in the first backoff window.
+            .with(xferopt_simcore::FaultEvent::instant(
+                SimTime::from_secs(32),
+                FaultKind::TransferAbort { transfer: tid.0 },
+            ));
+        world.enable_faults_with_policy(plan, policy);
+        world.step(SimDuration::from_secs(33));
+        assert_eq!(world.retries(tid), 2);
+        // Second backoff is 40 s (+ startup) from t=32: still down at t=60.
+        world.step(SimDuration::from_secs(27));
+        let moved_at_60 = world.moved_mb(tid);
+        world.step(SimDuration::from_secs(60));
+        assert!(world.moved_mb(tid) > moved_at_60, "eventually resumes");
+    }
+
+    #[test]
+    fn faulty_world_is_deterministic() {
+        let run = || {
+            let (mut world, path) = uc_world(false);
+            let tid = world.add_transfer(
+                TransferConfig::memory_to_memory(HostId(0), path).with_noise(0.08, 30.0),
+            );
+            let plan = FaultPlan::degradations(9, 1, 600.0, 120.0, 30.0, 0.3)
+                .merge(FaultPlan::aborts(9, tid.0, 600.0, 200.0))
+                .merge(FaultPlan::stalls(9, tid.0, 600.0, 150.0, 10.0));
+            world.enable_faults(plan);
+            world.step(SimDuration::from_secs(600));
+            (world.moved_mb(tid), world.retries(tid))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_events_are_traced() {
+        let (mut world, path) = uc_world(false);
+        world.enable_trace(256);
+        let tid = world.add_transfer(quiet_cfg(path));
+        let plan = FaultPlan::new()
+            .with(xferopt_simcore::FaultEvent::window(
+                SimTime::from_secs(20),
+                SimDuration::from_secs(10),
+                FaultKind::LinkDegrade { link: 1, factor: 0.5 },
+            ))
+            .with(xferopt_simcore::FaultEvent::instant(
+                SimTime::from_secs(40),
+                FaultKind::TransferAbort { transfer: tid.0 },
+            ));
+        world.enable_faults_with_policy(plan, RetryPolicy::fixed(5.0));
+        world.step(SimDuration::from_secs(60));
+        let trace = world.tracer().format();
+        assert!(trace.contains("link1 capacity_factor=0.500"), "{trace}");
+        assert!(trace.contains("link1 capacity_factor=1.000"), "{trace}");
+        assert!(trace.contains("t0 abort retry=1"), "{trace}");
+        assert!(world.tracer().events_in("fault").count() >= 4);
     }
 
     #[test]

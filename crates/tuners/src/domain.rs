@@ -206,5 +206,37 @@ mod proptests {
             let twice = d.clamp(&once);
             prop_assert_eq!(once, twice);
         }
+
+        #[test]
+        fn fbnd_idempotent(
+            lo in -100i64..0,
+            span in 1i64..200,
+            x in prop::collection::vec(-1e6f64..1e6, 1..4),
+        ) {
+            // Projecting an already-projected point changes nothing:
+            // fbnd(fbnd(x)) == fbnd(x) for any real input.
+            let bounds: Vec<(i64, i64)> = (0..x.len()).map(|_| (lo, lo + span)).collect();
+            let d = Domain::new(&bounds);
+            let once = d.fbnd(&x);
+            let as_f64: Vec<f64> = once.iter().map(|&i| i as f64).collect();
+            let twice = d.fbnd(&as_f64);
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn fbnd_maps_non_finite_in_domain(
+            dim in 1usize..4,
+            kind in 0usize..3usize,
+        ) {
+            let bounds: Vec<(i64, i64)> = (0..dim).map(|_| (1, 99)).collect();
+            let d = Domain::new(&bounds);
+            let v = match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            let p = d.fbnd(&vec![v; dim]);
+            prop_assert!(d.contains(&p), "non-finite input must still project in-domain");
+        }
     }
 }

@@ -227,5 +227,42 @@ mod proptests {
             prop_assert!(best_seen >= f(&vec![start]) - 1e-9,
                 "{}: best {} < start {}", kind.name(), best_seen, f(&vec![start]));
         }
+
+        /// Seeded stochastic feedback — a noisy concave objective with
+        /// occasional fault-style throughput holes (zeros), the exact signal
+        /// shape a tuner sees when the world runs under a fault plan. The
+        /// direct-search tuners (compass, Nelder–Mead) must keep every
+        /// proposal inside the domain for any root seed.
+        #[test]
+        fn fuzz_direct_search_in_domain_under_seeded_noise(
+            seed in 0u64..u64::MAX,
+            peak in 5i64..250,
+            (domain, x0) in arb_domain_and_start(),
+        ) {
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for kind in [TunerKind::Cs, TunerKind::Nm] {
+                let mut tuner = kind.build(domain.clone(), x0.clone());
+                let mut x = tuner.initial();
+                prop_assert!(domain.contains(&x), "{}: initial {:?}", kind.name(), x);
+                for _ in 0..60 {
+                    // Concave base signal + multiplicative noise; ~10% of
+                    // epochs are a zero-throughput hole (abort/backoff).
+                    let base = (4000.0 - ((x[0] - peak) as f64).powi(2) * 0.5).max(0.0);
+                    let f = if rng.gen_bool(0.1) {
+                        0.0
+                    } else {
+                        base * rng.gen_range(0.5..1.5)
+                    };
+                    x = tuner.observe(&x.clone(), f);
+                    prop_assert!(
+                        domain.contains(&x),
+                        "{} (seed {seed}): proposed {:?} outside {:?}..{:?}",
+                        kind.name(), x, domain.lo(), domain.hi()
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, and lint the whole workspace offline.
+#
+# Usage: scripts/ci.sh
+#
+# The workspace vendors all external dependencies under vendor/, so the
+# entire pipeline must succeed with the network disabled. Golden-trace
+# snapshots (tests/golden/) are compared byte-for-byte; re-bless with
+#   UPDATE_GOLDEN=1 cargo test --test determinism golden_fault_trace
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -86,10 +86,21 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     };
     let load = ExternalLoad::new(args.get_parsed("tfr", 0u32)?, args.get_parsed("cmp", 0u32)?);
     let duration = args.get_parsed("duration", 1800.0f64)?;
+    let seed = args.get_parsed("seed", 0u64)?;
     let mut cfg = DriveConfig::paper(route, tuner, dims, LoadSchedule::constant(load))
         .with_duration_s(duration)
-        .with_seed(args.get_parsed("seed", 0u64)?);
+        .with_seed(seed);
     cfg.epoch_s = args.get_parsed("epoch", 30.0f64)?;
+    let faults = match args.get("faults") {
+        None => None,
+        Some(v) => {
+            let profile: FaultProfile = v.parse()?;
+            Some(profile)
+        }
+    };
+    if let Some(profile) = faults {
+        cfg = cfg.with_faults(profile.plan(route, seed, duration));
+    }
 
     let log = drive_transfer(&cfg);
     if args.has_flag("csv") {
@@ -107,11 +118,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     } else {
         println!(
-            "{} on {} under {} for {:.0} s:",
+            "{} on {} under {} for {:.0} s{}:",
             tuner.name(),
             route.name(),
             load.label(),
-            duration
+            duration,
+            faults
+                .map(|p| format!(" with {p} faults"))
+                .unwrap_or_default()
         );
         println!(
             "  mean observed  {:>8.0} MB/s",
@@ -191,6 +205,7 @@ fn usage() -> &'static str {
     "usage: xferopt <run|sweep|compare> [--flags]\n\
      run:     --route uc|tacc --tuner default|cd|cs|nm|heur1|heur2 --dims nc|ncnp\n\
      \u{20}        --np N --tfr N --cmp N --duration S --epoch S --seed N --csv\n\
+     \u{20}        --faults flaky-link|degraded-wan|lossy-tacc\n\
      sweep:   --route uc|tacc --tfr N --cmp N --np N --duration S --seed N\n\
      compare: --route uc|tacc --duration S --seed N"
 }

@@ -25,7 +25,9 @@
 //! * [`loopback`] — a real-TCP localhost harness (shaped sockets + CPU hogs)
 //!   so the same tuners can run against a non-simulated objective.
 //! * [`simcore`] — the discrete-event substrate: simulated time, event
-//!   queues, splittable RNG streams, online statistics.
+//!   queues, splittable RNG streams, online statistics, and deterministic
+//!   fault-injection plans ([`simcore::FaultPlan`]) with retry/backoff
+//!   handling in the transfer world.
 //!
 //! ## Quickstart
 //!
@@ -70,9 +72,9 @@ pub use xferopt_tuners as tuners;
 /// The most common imports in one place.
 pub mod prelude {
     pub use xferopt_scenarios::driver::{drive_transfer, DriveConfig, MultiDriver, MultiSpec, TuneDims};
-    pub use xferopt_scenarios::{ExternalLoad, LoadSchedule, PaperWorld, Route};
-    pub use xferopt_simcore::{SimDuration, SimTime};
-    pub use xferopt_transfer::{StreamParams, TransferConfig, TransferLog, World};
+    pub use xferopt_scenarios::{ExternalLoad, FaultProfile, LoadSchedule, PaperWorld, Route};
+    pub use xferopt_simcore::{FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime};
+    pub use xferopt_transfer::{RetryPolicy, StreamParams, TransferConfig, TransferLog, World};
     pub use xferopt_tuners::{
         CdTuner, CompassTuner, Domain, Heur1Tuner, Heur2Tuner, NelderMeadTuner, OnlineTuner,
         Point, StaticTuner, TunerKind,

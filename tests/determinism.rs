@@ -61,6 +61,85 @@ fn multidriver_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// Build the canonical faulty world used for the golden-trace snapshot: a
+/// finite transfer on the paper topology under a scripted + seeded fault mix
+/// covering every [`FaultKind`].
+fn golden_fault_world() -> (PaperWorld, xferopt::transfer::TransferId) {
+    let mut pw = PaperWorld::new(0x60 ^ 0x42);
+    pw.world.enable_trace(512);
+    let cfg = TransferConfig::memory_to_memory(pw.source, pw.path_uchicago)
+        .with_params(StreamParams::globus_default())
+        .with_noise(0.0, 1.0)
+        .with_size_mb(400_000.0);
+    let tid = pw.world.add_transfer(cfg);
+    let plan = FaultPlan::new()
+        .with(FaultEvent::window(
+            SimTime::from_secs(20),
+            SimDuration::from_secs(15),
+            FaultKind::LinkDegrade { link: 1, factor: 0.25 },
+        ))
+        .with(FaultEvent::window(
+            SimTime::from_secs(50),
+            SimDuration::from_secs(5),
+            FaultKind::LinkFlap { link: 1 },
+        ))
+        .with(FaultEvent::window(
+            SimTime::from_secs(70),
+            SimDuration::from_secs(10),
+            FaultKind::RttSpike { path: 0, factor: 4.0 },
+        ))
+        .with(FaultEvent::window(
+            SimTime::from_secs(90),
+            SimDuration::from_secs(10),
+            FaultKind::FlowStall { transfer: tid.0 },
+        ))
+        .with(FaultEvent::instant(
+            SimTime::from_secs(110),
+            FaultKind::TransferAbort { transfer: tid.0 },
+        ))
+        .merge(FaultPlan::aborts(7, tid.0, 240.0, 90.0));
+    pw.world.enable_faults(plan);
+    (pw, tid)
+}
+
+#[test]
+fn golden_fault_trace_matches_snapshot() {
+    // Same root seed + same fault plan => byte-identical trace, both across
+    // in-process runs and against the committed golden file. Re-bless with:
+    //   UPDATE_GOLDEN=1 cargo test --test determinism golden_fault_trace
+    let run = || {
+        let (mut pw, _tid) = golden_fault_world();
+        pw.world.step(SimDuration::from_secs(300));
+        pw.world.tracer().format()
+    };
+    let trace = run();
+    assert_eq!(trace, run(), "two in-process runs must be byte-identical");
+    assert!(trace.contains("[fault]"), "trace must record fault events:\n{trace}");
+    assert!(trace.contains("abort"), "trace must record the abort:\n{trace}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fault_trace.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &trace).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        trace, golden,
+        "fault trace drifted from tests/golden/fault_trace.txt; \
+         if the change is intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn fault_plans_replay_across_seeds_but_differ_between_them() {
+    let a = FaultProfile::DegradedWan.plan(Route::UChicago, 31, 1800.0);
+    let b = FaultProfile::DegradedWan.plan(Route::UChicago, 31, 1800.0);
+    assert_eq!(a, b);
+    let c = FaultProfile::DegradedWan.plan(Route::UChicago, 32, 1800.0);
+    assert_ne!(a, c);
+}
+
 #[test]
 fn seed_changes_propagate_to_every_layer() {
     let run = |seed| {

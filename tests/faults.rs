@@ -1,0 +1,214 @@
+//! Integration tests for the deterministic fault-injection layer: aborted
+//! transfers retry with backoff and conserve their bytes, tuners survive
+//! fault windows and recover, and fault-free runs are unaffected by the
+//! existence of the layer.
+
+use xferopt::prelude::*;
+
+fn finite_transfer(pw: &mut PaperWorld, size_mb: f64) -> xferopt::transfer::TransferId {
+    let cfg = TransferConfig::memory_to_memory(pw.source, pw.path_uchicago)
+        .with_params(StreamParams::globus_default())
+        .with_noise(0.0, 1.0)
+        .with_size_mb(size_mb);
+    pw.world.add_transfer(cfg)
+}
+
+#[test]
+fn finite_transfer_completes_through_aborts_with_retries() {
+    let mut pw = PaperWorld::new(11);
+    // ~120 s of payload at the ~2500 MB/s default rate.
+    let tid = finite_transfer(&mut pw, 300_000.0);
+    let plan = FaultPlan::new()
+        .with(FaultEvent::instant(
+            SimTime::from_secs(30),
+            FaultKind::TransferAbort { transfer: tid.0 },
+        ))
+        .with(FaultEvent::instant(
+            SimTime::from_secs(70),
+            FaultKind::TransferAbort { transfer: tid.0 },
+        ));
+    pw.world.enable_faults(plan);
+    pw.world.step(SimDuration::from_secs(600));
+    assert!(pw.world.is_done(tid), "transfer must complete despite aborts");
+    assert_eq!(pw.world.retries(tid), 2);
+    assert!(
+        (pw.world.moved_mb(tid) - 300_000.0).abs() < 1e-6,
+        "every byte accounted for: {}",
+        pw.world.moved_mb(tid)
+    );
+}
+
+#[test]
+fn moved_mb_is_conserved_across_aborts() {
+    // moved_mb must never decrease, and while a transfer is down after an
+    // abort it must not move (or lose) anything.
+    let mut pw = PaperWorld::new(3);
+    let tid = finite_transfer(&mut pw, f64::INFINITY.min(1e12));
+    let plan = FaultPlan::new().with(FaultEvent::instant(
+        SimTime::from_secs(60),
+        FaultKind::TransferAbort { transfer: tid.0 },
+    ));
+    pw.world.enable_faults_with_policy(plan, RetryPolicy::fixed(20.0));
+    let mut last = 0.0;
+    let mut frozen_steps = 0;
+    for _ in 0..120 {
+        pw.world.step(SimDuration::from_secs(2));
+        let m = pw.world.moved_mb(tid);
+        assert!(m >= last, "moved_mb decreased: {last} -> {m}");
+        if m == last {
+            frozen_steps += 1;
+        }
+        last = m;
+    }
+    assert_eq!(pw.world.retries(tid), 1);
+    // Backoff (20 s) + restart startup: a solid run of frozen 2 s steps.
+    assert!(frozen_steps >= 10, "expected a visible outage, got {frozen_steps} frozen steps");
+}
+
+#[test]
+fn flaky_link_profile_run_completes_and_retries() {
+    let plan = FaultProfile::FlakyLink.plan(Route::UChicago, 7, 1800.0);
+    let cfg = DriveConfig::paper(
+        Route::UChicago,
+        TunerKind::Nm,
+        TuneDims::NcOnly { np: 8 },
+        LoadSchedule::constant(ExternalLoad::NONE),
+    )
+    .with_noise_sigma(0.0)
+    .with_duration_s(1800.0)
+    .with_seed(7)
+    .with_faults(plan);
+    let log = drive_transfer(&cfg);
+    assert_eq!(log.epochs.len(), 60, "driver must not lose epochs to faults");
+    assert!(log.total_mb() > 0.0);
+    // The flap windows show up as depressed epochs, not as missing data.
+    let min_epoch = log
+        .epochs
+        .iter()
+        .map(|e| e.observed_mbs)
+        .fold(f64::INFINITY, f64::min);
+    let max_epoch = log
+        .epochs
+        .iter()
+        .map(|e| e.observed_mbs)
+        .fold(0.0, f64::max);
+    assert!(
+        min_epoch < 0.5 * max_epoch,
+        "faults should dent some epochs: min {min_epoch} max {max_epoch}"
+    );
+}
+
+/// Each adaptive tuner must recover to within 20% of its own no-fault
+/// steady state after a hard mid-run degradation window ends.
+#[test]
+fn tuners_recover_after_fault_window() {
+    // WAN link to UChicago at 15% capacity for t in [600, 900).
+    let window = FaultPlan::new().with(FaultEvent::window(
+        SimTime::from_secs(600),
+        SimDuration::from_secs(300),
+        FaultKind::LinkDegrade {
+            link: Route::UChicago.wan_link_index(),
+            factor: 0.15,
+        },
+    ));
+    for tuner in [TunerKind::Cd, TunerKind::Cs, TunerKind::Nm] {
+        let base = DriveConfig::paper(
+            Route::UChicago,
+            tuner,
+            TuneDims::NcOnly { np: 8 },
+            LoadSchedule::constant(ExternalLoad::NONE),
+        )
+        .with_noise_sigma(0.0)
+        .with_duration_s(1800.0)
+        .with_seed(5);
+        let clean = drive_transfer(&base);
+        let faulty = drive_transfer(&base.clone().with_faults(window.clone()));
+        let clean_steady = clean.mean_observed_between(1300.0, 1800.0).unwrap();
+        let faulty_steady = faulty.mean_observed_between(1300.0, 1800.0).unwrap();
+        assert!(
+            faulty_steady >= 0.8 * clean_steady,
+            "{}: post-fault steady {faulty_steady:.0} must be within 20% of clean {clean_steady:.0}",
+            tuner.name()
+        );
+        // And the window itself must have hurt (the fault was real).
+        let clean_mid = clean.mean_observed_between(630.0, 900.0).unwrap();
+        let faulty_mid = faulty.mean_observed_between(630.0, 900.0).unwrap();
+        assert!(
+            faulty_mid < 0.7 * clean_mid,
+            "{}: degradation should bite mid-window: {faulty_mid:.0} vs {clean_mid:.0}",
+            tuner.name()
+        );
+    }
+}
+
+#[test]
+fn empty_plan_is_equivalent_to_no_plan() {
+    let base = DriveConfig::paper(
+        Route::UChicago,
+        TunerKind::Cs,
+        TuneDims::NcOnly { np: 8 },
+        LoadSchedule::constant(ExternalLoad::new(8, 4)),
+    )
+    .with_duration_s(600.0)
+    .with_seed(13);
+    let without = drive_transfer(&base);
+    let with_empty = drive_transfer(&base.clone().with_faults(FaultPlan::new()));
+    assert_eq!(
+        without.total_mb(),
+        with_empty.total_mb(),
+        "an empty fault plan must be bit-identical to no plan"
+    );
+    for (a, b) in without.epochs.iter().zip(&with_empty.epochs) {
+        assert_eq!(a.observed_mbs, b.observed_mbs);
+        assert_eq!(a.params, b.params);
+    }
+}
+
+#[test]
+fn stall_profile_shows_holes_not_crashes() {
+    let plan = FaultPlan::stalls(21, 1, 900.0, 120.0, 30.0);
+    assert!(!plan.is_empty());
+    let cfg = DriveConfig::paper(
+        Route::UChicago,
+        TunerKind::Cs,
+        TuneDims::NcOnly { np: 8 },
+        LoadSchedule::constant(ExternalLoad::NONE),
+    )
+    .with_noise_sigma(0.0)
+    .with_duration_s(900.0)
+    .with_seed(21)
+    .with_faults(plan);
+    let log = drive_transfer(&cfg);
+    assert_eq!(log.epochs.len(), 30);
+    // Stalls depress epochs but the driver never sees an error.
+    assert!(log.total_mb() > 0.0);
+}
+
+#[test]
+fn faulty_runs_replay_exactly_across_profiles() {
+    for profile in [
+        FaultProfile::FlakyLink,
+        FaultProfile::DegradedWan,
+        FaultProfile::LossyTacc,
+    ] {
+        let route = match profile {
+            FaultProfile::LossyTacc => Route::Tacc,
+            _ => Route::UChicago,
+        };
+        let cfg = DriveConfig::paper(
+            route,
+            TunerKind::Nm,
+            TuneDims::NcOnly { np: 8 },
+            LoadSchedule::constant(ExternalLoad::NONE),
+        )
+        .with_duration_s(900.0)
+        .with_seed(2)
+        .with_faults(profile.plan(route, 2, 900.0));
+        let a = drive_transfer(&cfg);
+        let b = drive_transfer(&cfg);
+        assert_eq!(a.total_mb(), b.total_mb(), "{profile}");
+        for (x, y) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(x.observed_mbs, y.observed_mbs, "{profile}");
+        }
+    }
+}

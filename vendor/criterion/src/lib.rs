@@ -209,11 +209,6 @@ impl From<BenchmarkId> for BenchmarkId2 {
 pub struct Criterion {}
 
 impl Criterion {
-    /// Fresh driver with default configuration.
-    pub fn default() -> Self {
-        Criterion {}
-    }
-
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
