@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e252190f5e5bab41.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-e252190f5e5bab41: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-f06ccfe0534ed4af.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-f06ccfe0534ed4af.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-624d08281162adc5.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-624d08281162adc5: tests/ablations.rs
+
+tests/ablations.rs:

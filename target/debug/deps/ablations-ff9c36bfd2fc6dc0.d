@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-ff9c36bfd2fc6dc0.d: tests/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-ff9c36bfd2fc6dc0.rmeta: tests/ablations.rs Cargo.toml
+
+tests/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

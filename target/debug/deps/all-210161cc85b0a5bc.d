@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-210161cc85b0a5bc.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-210161cc85b0a5bc: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-fac0238ac21e228b.d: crates/bench/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-fac0238ac21e228b.rmeta: crates/bench/src/bin/all.rs Cargo.toml
+
+crates/bench/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-735696674b4ef170.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-735696674b4ef170: tests/cross_crate.rs
+
+tests/cross_crate.rs:

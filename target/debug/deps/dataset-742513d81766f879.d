@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset-742513d81766f879.d: crates/bench/benches/dataset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset-742513d81766f879.rmeta: crates/bench/benches/dataset.rs Cargo.toml
+
+crates/bench/benches/dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism-245a3ae33277ecc3.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-245a3ae33277ecc3.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

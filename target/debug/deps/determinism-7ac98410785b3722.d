@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/determinism-7ac98410785b3722.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-7ac98410785b3722: tests/determinism.rs
+
+tests/determinism.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-365f85b2732200f6.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-365f85b2732200f6: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-6d397e53891a3d20.d: crates/bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-6d397e53891a3d20.rmeta: crates/bench/src/bin/extensions.rs Cargo.toml
+
+crates/bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-8ea00736803b2f07.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-8ea00736803b2f07: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

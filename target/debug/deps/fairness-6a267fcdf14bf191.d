@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness-6a267fcdf14bf191.d: crates/bench/benches/fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness-6a267fcdf14bf191.rmeta: crates/bench/benches/fairness.rs Cargo.toml
+
+crates/bench/benches/fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

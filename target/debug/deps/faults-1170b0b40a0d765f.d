@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-1170b0b40a0d765f.d: tests/faults.rs
+
+/root/repo/target/debug/deps/faults-1170b0b40a0d765f: tests/faults.rs
+
+tests/faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1-06c5df477dbbc584.d: crates/bench/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1-06c5df477dbbc584.rmeta: crates/bench/src/bin/fig1.rs Cargo.toml
+
+crates/bench/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

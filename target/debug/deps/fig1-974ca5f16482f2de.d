@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-974ca5f16482f2de.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-974ca5f16482f2de: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-54ebb0f9ab337079.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-54ebb0f9ab337079: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-bdec38faacdd1920.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-bdec38faacdd1920: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

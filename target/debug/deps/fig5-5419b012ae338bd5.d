@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-5419b012ae338bd5.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-5419b012ae338bd5: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

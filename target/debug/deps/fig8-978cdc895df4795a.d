@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-978cdc895df4795a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-978cdc895df4795a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

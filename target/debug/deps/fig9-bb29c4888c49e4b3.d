@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-bb29c4888c49e4b3.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-bb29c4888c49e4b3: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridftp-072c8cf7c03095b2.d: crates/bench/benches/gridftp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgridftp-072c8cf7c03095b2.rmeta: crates/bench/benches/gridftp.rs Cargo.toml
+
+crates/bench/benches/gridftp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

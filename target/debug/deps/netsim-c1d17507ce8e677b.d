@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netsim-c1d17507ce8e677b.d: crates/bench/benches/netsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-c1d17507ce8e677b.rmeta: crates/bench/benches/netsim.rs Cargo.toml
+
+crates/bench/benches/netsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

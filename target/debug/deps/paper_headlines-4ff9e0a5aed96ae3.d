@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_headlines-4ff9e0a5aed96ae3.d: tests/paper_headlines.rs
+
+/root/repo/target/debug/deps/paper_headlines-4ff9e0a5aed96ae3: tests/paper_headlines.rs
+
+tests/paper_headlines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_headlines-aae3d7e2a640fa9b.d: tests/paper_headlines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_headlines-aae3d7e2a640fa9b.rmeta: tests/paper_headlines.rs Cargo.toml
+
+tests/paper_headlines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/realfig-00fc9e2bb3a2d122.d: crates/bench/src/bin/realfig.rs
+
+/root/repo/target/debug/deps/realfig-00fc9e2bb3a2d122: crates/bench/src/bin/realfig.rs
+
+crates/bench/src/bin/realfig.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/realfig-c484ccd67ac10c35.d: crates/bench/src/bin/realfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealfig-c484ccd67ac10c35.rmeta: crates/bench/src/bin/realfig.rs Cargo.toml
+
+crates/bench/src/bin/realfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

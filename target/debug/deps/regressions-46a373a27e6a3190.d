@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regressions-46a373a27e6a3190.d: tests/regressions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregressions-46a373a27e6a3190.rmeta: tests/regressions.rs Cargo.toml
+
+tests/regressions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

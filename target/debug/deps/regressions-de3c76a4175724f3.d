@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regressions-de3c76a4175724f3.d: tests/regressions.rs
+
+/root/repo/target/debug/deps/regressions-de3c76a4175724f3: tests/regressions.rs
+
+tests/regressions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenario-0b43fd50d9bb7f76.d: crates/bench/benches/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenario-0b43fd50d9bb7f76.rmeta: crates/bench/benches/scenario.rs Cargo.toml
+
+crates/bench/benches/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

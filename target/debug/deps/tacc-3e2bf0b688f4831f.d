@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tacc-3e2bf0b688f4831f.d: crates/bench/src/bin/tacc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtacc-3e2bf0b688f4831f.rmeta: crates/bench/src/bin/tacc.rs Cargo.toml
+
+crates/bench/src/bin/tacc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

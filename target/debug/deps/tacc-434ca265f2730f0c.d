@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tacc-434ca265f2730f0c.d: crates/bench/src/bin/tacc.rs
+
+/root/repo/target/debug/deps/tacc-434ca265f2730f0c: crates/bench/src/bin/tacc.rs
+
+crates/bench/src/bin/tacc.rs:

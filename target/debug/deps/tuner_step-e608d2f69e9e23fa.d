@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tuner_step-e608d2f69e9e23fa.d: crates/bench/benches/tuner_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtuner_step-e608d2f69e9e23fa.rmeta: crates/bench/benches/tuner_step.rs Cargo.toml
+
+crates/bench/benches/tuner_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate-10f77badc41bf7f3.d: crates/bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate-10f77badc41bf7f3.rmeta: crates/bench/src/bin/validate.rs Cargo.toml
+
+crates/bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

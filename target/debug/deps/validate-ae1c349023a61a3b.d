@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate-ae1c349023a61a3b.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/debug/deps/validate-ae1c349023a61a3b: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate-f0ec49566f3d0ddc.d: crates/bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate-f0ec49566f3d0ddc.rmeta: crates/bench/src/bin/validate.rs Cargo.toml
+
+crates/bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

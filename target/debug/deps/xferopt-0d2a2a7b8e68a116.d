@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xferopt-0d2a2a7b8e68a116.d: src/bin/xferopt.rs
+
+/root/repo/target/debug/deps/xferopt-0d2a2a7b8e68a116: src/bin/xferopt.rs
+
+src/bin/xferopt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xferopt-217328cc26259f3d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxferopt-217328cc26259f3d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxferopt-217328cc26259f3d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xferopt-b6046d43ea8102d3.d: src/bin/xferopt.rs
+
+/root/repo/target/debug/deps/xferopt-b6046d43ea8102d3: src/bin/xferopt.rs
+
+src/bin/xferopt.rs:

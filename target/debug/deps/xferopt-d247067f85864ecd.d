@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xferopt-d247067f85864ecd.d: src/lib.rs
+
+/root/repo/target/debug/deps/xferopt-d247067f85864ecd: src/lib.rs
+
+src/lib.rs:

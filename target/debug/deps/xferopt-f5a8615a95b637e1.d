@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xferopt-f5a8615a95b637e1.d: src/bin/xferopt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt-f5a8615a95b637e1.rmeta: src/bin/xferopt.rs Cargo.toml
+
+src/bin/xferopt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

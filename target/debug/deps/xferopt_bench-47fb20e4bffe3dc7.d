@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xferopt_bench-47fb20e4bffe3dc7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xferopt_bench-47fb20e4bffe3dc7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

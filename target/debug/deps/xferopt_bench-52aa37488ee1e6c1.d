@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xferopt_bench-52aa37488ee1e6c1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_bench-52aa37488ee1e6c1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

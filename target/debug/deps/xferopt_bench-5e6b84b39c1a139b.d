@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xferopt_bench-5e6b84b39c1a139b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_bench-5e6b84b39c1a139b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

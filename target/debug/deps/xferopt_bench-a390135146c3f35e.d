@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xferopt_bench-a390135146c3f35e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxferopt_bench-a390135146c3f35e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxferopt_bench-a390135146c3f35e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

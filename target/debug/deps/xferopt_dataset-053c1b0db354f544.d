@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xferopt_dataset-053c1b0db354f544.d: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs
+
+/root/repo/target/debug/deps/xferopt_dataset-053c1b0db354f544: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/disk.rs:
+crates/dataset/src/filespec.rs:
+crates/dataset/src/online.rs:
+crates/dataset/src/xfer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xferopt_dataset-98f0186556682e1a.d: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_dataset-98f0186556682e1a.rmeta: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs Cargo.toml
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/disk.rs:
+crates/dataset/src/filespec.rs:
+crates/dataset/src/online.rs:
+crates/dataset/src/xfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xferopt_dataset-a1f4d32bea92330b.d: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs
+
+/root/repo/target/debug/deps/libxferopt_dataset-a1f4d32bea92330b.rlib: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs
+
+/root/repo/target/debug/deps/libxferopt_dataset-a1f4d32bea92330b.rmeta: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/disk.rs:
+crates/dataset/src/filespec.rs:
+crates/dataset/src/online.rs:
+crates/dataset/src/xfer.rs:

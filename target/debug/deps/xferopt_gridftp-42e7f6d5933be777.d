@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xferopt_gridftp-42e7f6d5933be777.d: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs
+
+/root/repo/target/debug/deps/libxferopt_gridftp-42e7f6d5933be777.rlib: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs
+
+/root/repo/target/debug/deps/libxferopt_gridftp-42e7f6d5933be777.rmeta: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs
+
+crates/gridftp/src/lib.rs:
+crates/gridftp/src/block.rs:
+crates/gridftp/src/checksum.rs:
+crates/gridftp/src/client.rs:
+crates/gridftp/src/proto.rs:
+crates/gridftp/src/rangeset.rs:
+crates/gridftp/src/server.rs:
+crates/gridftp/src/session.rs:

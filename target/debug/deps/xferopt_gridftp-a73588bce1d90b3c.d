@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xferopt_gridftp-a73588bce1d90b3c.d: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs
+
+/root/repo/target/debug/deps/xferopt_gridftp-a73588bce1d90b3c: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs
+
+crates/gridftp/src/lib.rs:
+crates/gridftp/src/block.rs:
+crates/gridftp/src/checksum.rs:
+crates/gridftp/src/client.rs:
+crates/gridftp/src/proto.rs:
+crates/gridftp/src/rangeset.rs:
+crates/gridftp/src/server.rs:
+crates/gridftp/src/session.rs:

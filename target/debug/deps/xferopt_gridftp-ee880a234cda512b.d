@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xferopt_gridftp-ee880a234cda512b.d: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_gridftp-ee880a234cda512b.rmeta: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs Cargo.toml
+
+crates/gridftp/src/lib.rs:
+crates/gridftp/src/block.rs:
+crates/gridftp/src/checksum.rs:
+crates/gridftp/src/client.rs:
+crates/gridftp/src/proto.rs:
+crates/gridftp/src/rangeset.rs:
+crates/gridftp/src/server.rs:
+crates/gridftp/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xferopt_host-0f578b9fec2513f9.d: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_host-0f578b9fec2513f9.rmeta: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs Cargo.toml
+
+crates/host/src/lib.rs:
+crates/host/src/cpu.rs:
+crates/host/src/host.rs:
+crates/host/src/presets.rs:
+crates/host/src/startup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xferopt_host-543dafb9bcc581c3.d: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs
+
+/root/repo/target/debug/deps/libxferopt_host-543dafb9bcc581c3.rlib: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs
+
+/root/repo/target/debug/deps/libxferopt_host-543dafb9bcc581c3.rmeta: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs
+
+crates/host/src/lib.rs:
+crates/host/src/cpu.rs:
+crates/host/src/host.rs:
+crates/host/src/presets.rs:
+crates/host/src/startup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xferopt_host-63938b7af3d3879e.d: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs
+
+/root/repo/target/debug/deps/xferopt_host-63938b7af3d3879e: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs
+
+crates/host/src/lib.rs:
+crates/host/src/cpu.rs:
+crates/host/src/host.rs:
+crates/host/src/presets.rs:
+crates/host/src/startup.rs:

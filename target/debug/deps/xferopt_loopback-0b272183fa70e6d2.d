@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xferopt_loopback-0b272183fa70e6d2.d: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs
+
+/root/repo/target/debug/deps/xferopt_loopback-0b272183fa70e6d2: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs
+
+crates/loopback/src/lib.rs:
+crates/loopback/src/client.rs:
+crates/loopback/src/cpuload.rs:
+crates/loopback/src/persistent.rs:
+crates/loopback/src/server.rs:
+crates/loopback/src/shaper.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xferopt_loopback-2d49e4c4b0764497.d: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs
+
+/root/repo/target/debug/deps/libxferopt_loopback-2d49e4c4b0764497.rlib: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs
+
+/root/repo/target/debug/deps/libxferopt_loopback-2d49e4c4b0764497.rmeta: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs
+
+crates/loopback/src/lib.rs:
+crates/loopback/src/client.rs:
+crates/loopback/src/cpuload.rs:
+crates/loopback/src/persistent.rs:
+crates/loopback/src/server.rs:
+crates/loopback/src/shaper.rs:

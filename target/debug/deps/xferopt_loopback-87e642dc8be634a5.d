@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xferopt_loopback-87e642dc8be634a5.d: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_loopback-87e642dc8be634a5.rmeta: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs Cargo.toml
+
+crates/loopback/src/lib.rs:
+crates/loopback/src/client.rs:
+crates/loopback/src/cpuload.rs:
+crates/loopback/src/persistent.rs:
+crates/loopback/src/server.rs:
+crates/loopback/src/shaper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xferopt_net-06d0e9f656798e1d.d: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_net-06d0e9f656798e1d.rmeta: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/dynamic.rs:
+crates/net/src/fairness.rs:
+crates/net/src/flow.rs:
+crates/net/src/link.rs:
+crates/net/src/network.rs:
+crates/net/src/tcp.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

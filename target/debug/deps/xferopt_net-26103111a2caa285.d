@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xferopt_net-26103111a2caa285.d: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libxferopt_net-26103111a2caa285.rlib: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libxferopt_net-26103111a2caa285.rmeta: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dynamic.rs:
+crates/net/src/fairness.rs:
+crates/net/src/flow.rs:
+crates/net/src/link.rs:
+crates/net/src/network.rs:
+crates/net/src/tcp.rs:
+crates/net/src/topology.rs:

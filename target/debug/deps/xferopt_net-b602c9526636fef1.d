@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xferopt_net-b602c9526636fef1.d: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/xferopt_net-b602c9526636fef1: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dynamic.rs:
+crates/net/src/fairness.rs:
+crates/net/src/flow.rs:
+crates/net/src/link.rs:
+crates/net/src/network.rs:
+crates/net/src/tcp.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xferopt_scenarios-ee947a198513d071.d: crates/scenarios/src/lib.rs crates/scenarios/src/driver.rs crates/scenarios/src/experiments.rs crates/scenarios/src/faults.rs crates/scenarios/src/load.rs crates/scenarios/src/report.rs crates/scenarios/src/runner.rs crates/scenarios/src/sweep.rs crates/scenarios/src/topology.rs crates/scenarios/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_scenarios-ee947a198513d071.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/driver.rs crates/scenarios/src/experiments.rs crates/scenarios/src/faults.rs crates/scenarios/src/load.rs crates/scenarios/src/report.rs crates/scenarios/src/runner.rs crates/scenarios/src/sweep.rs crates/scenarios/src/topology.rs crates/scenarios/src/validation.rs Cargo.toml
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/driver.rs:
+crates/scenarios/src/experiments.rs:
+crates/scenarios/src/faults.rs:
+crates/scenarios/src/load.rs:
+crates/scenarios/src/report.rs:
+crates/scenarios/src/runner.rs:
+crates/scenarios/src/sweep.rs:
+crates/scenarios/src/topology.rs:
+crates/scenarios/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

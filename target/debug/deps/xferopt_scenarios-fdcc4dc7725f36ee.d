@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xferopt_scenarios-fdcc4dc7725f36ee.d: crates/scenarios/src/lib.rs crates/scenarios/src/driver.rs crates/scenarios/src/experiments.rs crates/scenarios/src/faults.rs crates/scenarios/src/load.rs crates/scenarios/src/report.rs crates/scenarios/src/runner.rs crates/scenarios/src/sweep.rs crates/scenarios/src/topology.rs crates/scenarios/src/validation.rs
+
+/root/repo/target/debug/deps/libxferopt_scenarios-fdcc4dc7725f36ee.rlib: crates/scenarios/src/lib.rs crates/scenarios/src/driver.rs crates/scenarios/src/experiments.rs crates/scenarios/src/faults.rs crates/scenarios/src/load.rs crates/scenarios/src/report.rs crates/scenarios/src/runner.rs crates/scenarios/src/sweep.rs crates/scenarios/src/topology.rs crates/scenarios/src/validation.rs
+
+/root/repo/target/debug/deps/libxferopt_scenarios-fdcc4dc7725f36ee.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/driver.rs crates/scenarios/src/experiments.rs crates/scenarios/src/faults.rs crates/scenarios/src/load.rs crates/scenarios/src/report.rs crates/scenarios/src/runner.rs crates/scenarios/src/sweep.rs crates/scenarios/src/topology.rs crates/scenarios/src/validation.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/driver.rs:
+crates/scenarios/src/experiments.rs:
+crates/scenarios/src/faults.rs:
+crates/scenarios/src/load.rs:
+crates/scenarios/src/report.rs:
+crates/scenarios/src/runner.rs:
+crates/scenarios/src/sweep.rs:
+crates/scenarios/src/topology.rs:
+crates/scenarios/src/validation.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xferopt_simcore-0a5fccd080c2a084.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/faults.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/debug/deps/libxferopt_simcore-0a5fccd080c2a084.rlib: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/faults.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/debug/deps/libxferopt_simcore-0a5fccd080c2a084.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/faults.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/faults.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/series.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xferopt_simcore-85e8446f053e3c54.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/faults.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_simcore-85e8446f053e3c54.rmeta: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/faults.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/faults.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/series.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xferopt_simcore-e3313a4f9dcbb5c4.d: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/faults.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+/root/repo/target/debug/deps/xferopt_simcore-e3313a4f9dcbb5c4: crates/simcore/src/lib.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/faults.rs crates/simcore/src/rng.rs crates/simcore/src/series.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs crates/simcore/src/trace.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/faults.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/series.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xferopt_transfer-15699695112143a1.d: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_transfer-15699695112143a1.rmeta: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs Cargo.toml
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/noise.rs:
+crates/transfer/src/params.rs:
+crates/transfer/src/report.rs:
+crates/transfer/src/retry.rs:
+crates/transfer/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xferopt_transfer-4c9fc67e9825898b.d: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs
+
+/root/repo/target/debug/deps/libxferopt_transfer-4c9fc67e9825898b.rlib: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs
+
+/root/repo/target/debug/deps/libxferopt_transfer-4c9fc67e9825898b.rmeta: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/noise.rs:
+crates/transfer/src/params.rs:
+crates/transfer/src/report.rs:
+crates/transfer/src/retry.rs:
+crates/transfer/src/world.rs:

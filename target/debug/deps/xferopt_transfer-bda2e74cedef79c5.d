@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xferopt_transfer-bda2e74cedef79c5.d: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs
+
+/root/repo/target/debug/deps/xferopt_transfer-bda2e74cedef79c5: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/noise.rs:
+crates/transfer/src/params.rs:
+crates/transfer/src/report.rs:
+crates/transfer/src/retry.rs:
+crates/transfer/src/world.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xferopt_tuners-18962e01ceac4969.d: crates/tuners/src/lib.rs crates/tuners/src/baselines.rs crates/tuners/src/cd.rs crates/tuners/src/compass.rs crates/tuners/src/domain.rs crates/tuners/src/extra.rs crates/tuners/src/neldermead.rs crates/tuners/src/offline.rs crates/tuners/src/online.rs crates/tuners/src/regret.rs crates/tuners/src/trigger.rs crates/tuners/src/tuner.rs
+
+/root/repo/target/debug/deps/xferopt_tuners-18962e01ceac4969: crates/tuners/src/lib.rs crates/tuners/src/baselines.rs crates/tuners/src/cd.rs crates/tuners/src/compass.rs crates/tuners/src/domain.rs crates/tuners/src/extra.rs crates/tuners/src/neldermead.rs crates/tuners/src/offline.rs crates/tuners/src/online.rs crates/tuners/src/regret.rs crates/tuners/src/trigger.rs crates/tuners/src/tuner.rs
+
+crates/tuners/src/lib.rs:
+crates/tuners/src/baselines.rs:
+crates/tuners/src/cd.rs:
+crates/tuners/src/compass.rs:
+crates/tuners/src/domain.rs:
+crates/tuners/src/extra.rs:
+crates/tuners/src/neldermead.rs:
+crates/tuners/src/offline.rs:
+crates/tuners/src/online.rs:
+crates/tuners/src/regret.rs:
+crates/tuners/src/trigger.rs:
+crates/tuners/src/tuner.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/xferopt_tuners-6b4635033d98d675.d: crates/tuners/src/lib.rs crates/tuners/src/baselines.rs crates/tuners/src/cd.rs crates/tuners/src/compass.rs crates/tuners/src/domain.rs crates/tuners/src/extra.rs crates/tuners/src/neldermead.rs crates/tuners/src/offline.rs crates/tuners/src/online.rs crates/tuners/src/regret.rs crates/tuners/src/trigger.rs crates/tuners/src/tuner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxferopt_tuners-6b4635033d98d675.rmeta: crates/tuners/src/lib.rs crates/tuners/src/baselines.rs crates/tuners/src/cd.rs crates/tuners/src/compass.rs crates/tuners/src/domain.rs crates/tuners/src/extra.rs crates/tuners/src/neldermead.rs crates/tuners/src/offline.rs crates/tuners/src/online.rs crates/tuners/src/regret.rs crates/tuners/src/trigger.rs crates/tuners/src/tuner.rs Cargo.toml
+
+crates/tuners/src/lib.rs:
+crates/tuners/src/baselines.rs:
+crates/tuners/src/cd.rs:
+crates/tuners/src/compass.rs:
+crates/tuners/src/domain.rs:
+crates/tuners/src/extra.rs:
+crates/tuners/src/neldermead.rs:
+crates/tuners/src/offline.rs:
+crates/tuners/src/online.rs:
+crates/tuners/src/regret.rs:
+crates/tuners/src/trigger.rs:
+crates/tuners/src/tuner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

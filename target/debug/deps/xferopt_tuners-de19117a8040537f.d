@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xferopt_tuners-de19117a8040537f.d: crates/tuners/src/lib.rs crates/tuners/src/baselines.rs crates/tuners/src/cd.rs crates/tuners/src/compass.rs crates/tuners/src/domain.rs crates/tuners/src/extra.rs crates/tuners/src/neldermead.rs crates/tuners/src/offline.rs crates/tuners/src/online.rs crates/tuners/src/regret.rs crates/tuners/src/trigger.rs crates/tuners/src/tuner.rs
+
+/root/repo/target/debug/deps/libxferopt_tuners-de19117a8040537f.rlib: crates/tuners/src/lib.rs crates/tuners/src/baselines.rs crates/tuners/src/cd.rs crates/tuners/src/compass.rs crates/tuners/src/domain.rs crates/tuners/src/extra.rs crates/tuners/src/neldermead.rs crates/tuners/src/offline.rs crates/tuners/src/online.rs crates/tuners/src/regret.rs crates/tuners/src/trigger.rs crates/tuners/src/tuner.rs
+
+/root/repo/target/debug/deps/libxferopt_tuners-de19117a8040537f.rmeta: crates/tuners/src/lib.rs crates/tuners/src/baselines.rs crates/tuners/src/cd.rs crates/tuners/src/compass.rs crates/tuners/src/domain.rs crates/tuners/src/extra.rs crates/tuners/src/neldermead.rs crates/tuners/src/offline.rs crates/tuners/src/online.rs crates/tuners/src/regret.rs crates/tuners/src/trigger.rs crates/tuners/src/tuner.rs
+
+crates/tuners/src/lib.rs:
+crates/tuners/src/baselines.rs:
+crates/tuners/src/cd.rs:
+crates/tuners/src/compass.rs:
+crates/tuners/src/domain.rs:
+crates/tuners/src/extra.rs:
+crates/tuners/src/neldermead.rs:
+crates/tuners/src/offline.rs:
+crates/tuners/src/online.rs:
+crates/tuners/src/regret.rs:
+crates/tuners/src/trigger.rs:
+crates/tuners/src/tuner.rs:

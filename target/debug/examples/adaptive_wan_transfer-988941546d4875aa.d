@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_wan_transfer-988941546d4875aa.d: examples/adaptive_wan_transfer.rs
+
+/root/repo/target/debug/examples/adaptive_wan_transfer-988941546d4875aa: examples/adaptive_wan_transfer.rs
+
+examples/adaptive_wan_transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_wan_transfer-a2decaa46078239f.d: examples/adaptive_wan_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_wan_transfer-a2decaa46078239f.rmeta: examples/adaptive_wan_transfer.rs Cargo.toml
+
+examples/adaptive_wan_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blackbox_optimize-9424c13f1e1dd260.d: examples/blackbox_optimize.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblackbox_optimize-9424c13f1e1dd260.rmeta: examples/blackbox_optimize.rs Cargo.toml
+
+examples/blackbox_optimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

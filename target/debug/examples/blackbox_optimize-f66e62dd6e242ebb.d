@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blackbox_optimize-f66e62dd6e242ebb.d: examples/blackbox_optimize.rs
+
+/root/repo/target/debug/examples/blackbox_optimize-f66e62dd6e242ebb: examples/blackbox_optimize.rs
+
+examples/blackbox_optimize.rs:

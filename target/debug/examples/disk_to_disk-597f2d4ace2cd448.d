@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disk_to_disk-597f2d4ace2cd448.d: examples/disk_to_disk.rs
+
+/root/repo/target/debug/examples/disk_to_disk-597f2d4ace2cd448: examples/disk_to_disk.rs
+
+examples/disk_to_disk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/disk_to_disk-9ecc77f99cd69673.d: examples/disk_to_disk.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdisk_to_disk-9ecc77f99cd69673.rmeta: examples/disk_to_disk.rs Cargo.toml
+
+examples/disk_to_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

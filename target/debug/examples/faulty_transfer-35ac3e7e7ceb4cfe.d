@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/faulty_transfer-35ac3e7e7ceb4cfe.d: examples/faulty_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfaulty_transfer-35ac3e7e7ceb4cfe.rmeta: examples/faulty_transfer.rs Cargo.toml
+
+examples/faulty_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/faulty_transfer-61fee60a3d161e63.d: examples/faulty_transfer.rs
+
+/root/repo/target/debug/examples/faulty_transfer-61fee60a3d161e63: examples/faulty_transfer.rs
+
+examples/faulty_transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gridftp_transfer-2ed665cca7069aa4.d: examples/gridftp_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgridftp_transfer-2ed665cca7069aa4.rmeta: examples/gridftp_transfer.rs Cargo.toml
+
+examples/gridftp_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gridftp_transfer-aff0332394929375.d: examples/gridftp_transfer.rs
+
+/root/repo/target/debug/examples/gridftp_transfer-aff0332394929375: examples/gridftp_transfer.rs
+
+examples/gridftp_transfer.rs:

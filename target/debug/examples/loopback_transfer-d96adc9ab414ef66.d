@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/loopback_transfer-d96adc9ab414ef66.d: examples/loopback_transfer.rs
+
+/root/repo/target/debug/examples/loopback_transfer-d96adc9ab414ef66: examples/loopback_transfer.rs
+
+examples/loopback_transfer.rs:

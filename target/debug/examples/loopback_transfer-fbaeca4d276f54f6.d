@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/loopback_transfer-fbaeca4d276f54f6.d: examples/loopback_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libloopback_transfer-fbaeca4d276f54f6.rmeta: examples/loopback_transfer.rs Cargo.toml
+
+examples/loopback_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

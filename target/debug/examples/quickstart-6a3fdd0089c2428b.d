@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6a3fdd0089c2428b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6a3fdd0089c2428b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shared_endpoint-ac7d48fa161629d1.d: examples/shared_endpoint.rs
+
+/root/repo/target/debug/examples/shared_endpoint-ac7d48fa161629d1: examples/shared_endpoint.rs
+
+examples/shared_endpoint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shared_endpoint-d0c163ae873e5ad0.d: examples/shared_endpoint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshared_endpoint-d0c163ae873e5ad0.rmeta: examples/shared_endpoint.rs Cargo.toml
+
+examples/shared_endpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

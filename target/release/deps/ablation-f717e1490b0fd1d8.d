@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-f717e1490b0fd1d8.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-f717e1490b0fd1d8: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-67605874482d4193.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-67605874482d4193: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f09f9831aa27a604.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f09f9831aa27a604.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f09f9831aa27a604.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

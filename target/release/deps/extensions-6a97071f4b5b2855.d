@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-6a97071f4b5b2855.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-6a97071f4b5b2855: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

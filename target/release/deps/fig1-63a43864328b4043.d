@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-63a43864328b4043.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-63a43864328b4043: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-b4205f47d78fe756.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-b4205f47d78fe756: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-655ef423ee8bb660.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-655ef423ee8bb660: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

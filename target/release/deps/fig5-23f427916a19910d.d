@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-23f427916a19910d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-23f427916a19910d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

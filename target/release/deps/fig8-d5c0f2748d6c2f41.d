@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-d5c0f2748d6c2f41.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-d5c0f2748d6c2f41: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-4a8a14e86f35d9f5.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-4a8a14e86f35d9f5: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

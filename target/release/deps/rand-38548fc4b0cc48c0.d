@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-38548fc4b0cc48c0.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-38548fc4b0cc48c0.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-38548fc4b0cc48c0.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/realfig-4c1aebf811a67312.d: crates/bench/src/bin/realfig.rs
+
+/root/repo/target/release/deps/realfig-4c1aebf811a67312: crates/bench/src/bin/realfig.rs
+
+crates/bench/src/bin/realfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-eadd8e5a0ec04253.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-eadd8e5a0ec04253.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tacc-72491f374f1a9d4d.d: crates/bench/src/bin/tacc.rs
+
+/root/repo/target/release/deps/tacc-72491f374f1a9d4d: crates/bench/src/bin/tacc.rs
+
+crates/bench/src/bin/tacc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate-474b768c51bccd7a.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/release/deps/validate-474b768c51bccd7a: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xferopt-604b042523ee6012.d: src/bin/xferopt.rs
+
+/root/repo/target/release/deps/xferopt-604b042523ee6012: src/bin/xferopt.rs
+
+src/bin/xferopt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xferopt-aa5d9a7eef8ae470.d: src/lib.rs
+
+/root/repo/target/release/deps/libxferopt-aa5d9a7eef8ae470.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxferopt-aa5d9a7eef8ae470.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xferopt_bench-80435b0cdb3249e4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxferopt_bench-80435b0cdb3249e4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxferopt_bench-80435b0cdb3249e4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

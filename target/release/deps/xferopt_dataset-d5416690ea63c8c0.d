@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xferopt_dataset-d5416690ea63c8c0.d: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs
+
+/root/repo/target/release/deps/libxferopt_dataset-d5416690ea63c8c0.rlib: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs
+
+/root/repo/target/release/deps/libxferopt_dataset-d5416690ea63c8c0.rmeta: crates/dataset/src/lib.rs crates/dataset/src/disk.rs crates/dataset/src/filespec.rs crates/dataset/src/online.rs crates/dataset/src/xfer.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/disk.rs:
+crates/dataset/src/filespec.rs:
+crates/dataset/src/online.rs:
+crates/dataset/src/xfer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xferopt_gridftp-4a00627072b08d4e.d: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs
+
+/root/repo/target/release/deps/libxferopt_gridftp-4a00627072b08d4e.rlib: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs
+
+/root/repo/target/release/deps/libxferopt_gridftp-4a00627072b08d4e.rmeta: crates/gridftp/src/lib.rs crates/gridftp/src/block.rs crates/gridftp/src/checksum.rs crates/gridftp/src/client.rs crates/gridftp/src/proto.rs crates/gridftp/src/rangeset.rs crates/gridftp/src/server.rs crates/gridftp/src/session.rs
+
+crates/gridftp/src/lib.rs:
+crates/gridftp/src/block.rs:
+crates/gridftp/src/checksum.rs:
+crates/gridftp/src/client.rs:
+crates/gridftp/src/proto.rs:
+crates/gridftp/src/rangeset.rs:
+crates/gridftp/src/server.rs:
+crates/gridftp/src/session.rs:

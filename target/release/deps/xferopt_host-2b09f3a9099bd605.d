@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xferopt_host-2b09f3a9099bd605.d: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs
+
+/root/repo/target/release/deps/libxferopt_host-2b09f3a9099bd605.rlib: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs
+
+/root/repo/target/release/deps/libxferopt_host-2b09f3a9099bd605.rmeta: crates/host/src/lib.rs crates/host/src/cpu.rs crates/host/src/host.rs crates/host/src/presets.rs crates/host/src/startup.rs
+
+crates/host/src/lib.rs:
+crates/host/src/cpu.rs:
+crates/host/src/host.rs:
+crates/host/src/presets.rs:
+crates/host/src/startup.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xferopt_loopback-e6d4cc0d1dd98164.d: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs
+
+/root/repo/target/release/deps/libxferopt_loopback-e6d4cc0d1dd98164.rlib: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs
+
+/root/repo/target/release/deps/libxferopt_loopback-e6d4cc0d1dd98164.rmeta: crates/loopback/src/lib.rs crates/loopback/src/client.rs crates/loopback/src/cpuload.rs crates/loopback/src/persistent.rs crates/loopback/src/server.rs crates/loopback/src/shaper.rs
+
+crates/loopback/src/lib.rs:
+crates/loopback/src/client.rs:
+crates/loopback/src/cpuload.rs:
+crates/loopback/src/persistent.rs:
+crates/loopback/src/server.rs:
+crates/loopback/src/shaper.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xferopt_net-2544490d336eb7fc.d: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libxferopt_net-2544490d336eb7fc.rlib: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libxferopt_net-2544490d336eb7fc.rmeta: crates/net/src/lib.rs crates/net/src/dynamic.rs crates/net/src/fairness.rs crates/net/src/flow.rs crates/net/src/link.rs crates/net/src/network.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dynamic.rs:
+crates/net/src/fairness.rs:
+crates/net/src/flow.rs:
+crates/net/src/link.rs:
+crates/net/src/network.rs:
+crates/net/src/tcp.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/xferopt_scenarios-b4522038608076ef.d: crates/scenarios/src/lib.rs crates/scenarios/src/driver.rs crates/scenarios/src/experiments.rs crates/scenarios/src/faults.rs crates/scenarios/src/load.rs crates/scenarios/src/report.rs crates/scenarios/src/runner.rs crates/scenarios/src/sweep.rs crates/scenarios/src/topology.rs crates/scenarios/src/validation.rs
+
+/root/repo/target/release/deps/libxferopt_scenarios-b4522038608076ef.rlib: crates/scenarios/src/lib.rs crates/scenarios/src/driver.rs crates/scenarios/src/experiments.rs crates/scenarios/src/faults.rs crates/scenarios/src/load.rs crates/scenarios/src/report.rs crates/scenarios/src/runner.rs crates/scenarios/src/sweep.rs crates/scenarios/src/topology.rs crates/scenarios/src/validation.rs
+
+/root/repo/target/release/deps/libxferopt_scenarios-b4522038608076ef.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/driver.rs crates/scenarios/src/experiments.rs crates/scenarios/src/faults.rs crates/scenarios/src/load.rs crates/scenarios/src/report.rs crates/scenarios/src/runner.rs crates/scenarios/src/sweep.rs crates/scenarios/src/topology.rs crates/scenarios/src/validation.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/driver.rs:
+crates/scenarios/src/experiments.rs:
+crates/scenarios/src/faults.rs:
+crates/scenarios/src/load.rs:
+crates/scenarios/src/report.rs:
+crates/scenarios/src/runner.rs:
+crates/scenarios/src/sweep.rs:
+crates/scenarios/src/topology.rs:
+crates/scenarios/src/validation.rs:

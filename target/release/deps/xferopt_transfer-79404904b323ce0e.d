@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xferopt_transfer-79404904b323ce0e.d: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs
+
+/root/repo/target/release/deps/libxferopt_transfer-79404904b323ce0e.rlib: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs
+
+/root/repo/target/release/deps/libxferopt_transfer-79404904b323ce0e.rmeta: crates/transfer/src/lib.rs crates/transfer/src/noise.rs crates/transfer/src/params.rs crates/transfer/src/report.rs crates/transfer/src/retry.rs crates/transfer/src/world.rs
+
+crates/transfer/src/lib.rs:
+crates/transfer/src/noise.rs:
+crates/transfer/src/params.rs:
+crates/transfer/src/report.rs:
+crates/transfer/src/retry.rs:
+crates/transfer/src/world.rs:
