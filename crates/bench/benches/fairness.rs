@@ -10,7 +10,11 @@ fn problem(n_flows: usize) -> (Vec<f64>, Vec<FlowDemand>) {
     let flows = (0..n_flows)
         .map(|i| FlowDemand {
             weight: 1.0 + (i % 64) as f64,
-            demand_cap: if i % 3 == 0 { f64::INFINITY } else { 50.0 + i as f64 },
+            demand_cap: if i % 3 == 0 {
+                f64::INFINITY
+            } else {
+                50.0 + i as f64
+            },
             links: vec![0, 1 + i % 4],
         })
         .collect();

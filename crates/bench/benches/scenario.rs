@@ -6,9 +6,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use xferopt_scenarios::driver::{drive_transfer, DriveConfig, TuneDims};
+use xferopt_scenarios::topology::PaperWorld;
 use xferopt_scenarios::{ExternalLoad, LoadSchedule, Route};
 use xferopt_simcore::SimDuration;
-use xferopt_scenarios::topology::PaperWorld;
 use xferopt_transfer::StreamParams;
 use xferopt_tuners::TunerKind;
 
@@ -27,16 +27,20 @@ fn bench_tuned_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario/tuned_600s");
     group.sample_size(10);
     for kind in [TunerKind::Cd, TunerKind::Cs, TunerKind::Nm] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let cfg = DriveConfig::paper(
-                Route::UChicago,
-                kind,
-                TuneDims::NcOnly { np: 8 },
-                LoadSchedule::constant(ExternalLoad::new(0, 16)),
-            )
-            .with_duration_s(600.0);
-            b.iter(|| black_box(drive_transfer(&cfg)).total_mb())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let cfg = DriveConfig::paper(
+                    Route::UChicago,
+                    kind,
+                    TuneDims::NcOnly { np: 8 },
+                    LoadSchedule::constant(ExternalLoad::new(0, 16)),
+                )
+                .with_duration_s(600.0);
+                b.iter(|| black_box(drive_transfer(&cfg)).total_mb())
+            },
+        );
     }
     group.finish();
 }
@@ -66,5 +70,10 @@ fn bench_epoch_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig1_cell, bench_tuned_run, bench_epoch_ablation);
+criterion_group!(
+    benches,
+    bench_fig1_cell,
+    bench_tuned_run,
+    bench_epoch_ablation
+);
 criterion_main!(benches);

@@ -9,23 +9,27 @@ fn bench_tuner_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("tuner_step");
     group.sample_size(50);
     for kind in TunerKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            // Include tuner state evolution across a realistic feedback
-            // sequence; rebuild when the sequence is exhausted.
-            b.iter_batched(
-                || kind.build(Domain::paper_nc_np(), vec![2, 8]),
-                |mut tuner| {
-                    let mut x = tuner.initial();
-                    for i in 0..64u32 {
-                        // Plausible throughput feedback with variation.
-                        let f = 2000.0 + 500.0 * ((i as f64) * 0.7).sin();
-                        x = tuner.observe(black_box(&x), black_box(f));
-                    }
-                    x
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                // Include tuner state evolution across a realistic feedback
+                // sequence; rebuild when the sequence is exhausted.
+                b.iter_batched(
+                    || kind.build(Domain::paper_nc_np(), vec![2, 8]),
+                    |mut tuner| {
+                        let mut x = tuner.initial();
+                        for i in 0..64u32 {
+                            // Plausible throughput feedback with variation.
+                            let f = 2000.0 + 500.0 * ((i as f64) * 0.7).sin();
+                            x = tuner.observe(black_box(&x), black_box(f));
+                        }
+                        x
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -44,10 +44,10 @@ fn main() {
     println!("# Compass step size λ (paper: λ = 8)\n");
     let mut t = Table::new(vec!["lambda", "steady MB/s", "final nc"]);
     for lambda in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
-        use xferopt_tuners::{CompassTuner, Domain, OnlineTuner};
         use xferopt_scenarios::topology::PaperWorld;
         use xferopt_simcore::SimDuration;
         use xferopt_transfer::{StreamParams, TransferLog};
+        use xferopt_tuners::{CompassTuner, Domain, OnlineTuner};
         // Hand-rolled loop so we can set λ (the factory pins the paper's 8).
         let mut pw = PaperWorld::new(0xAB1);
         pw.world.set_compute_jobs(pw.source, 16);

@@ -180,7 +180,10 @@ fn main() {
     rows.push_row(vec![
         "TACC no-load, all methods (MB/s)".to_string(),
         "~1900".to_string(),
-        format!("default {:.0}, nm {:.0}", t_def.observed_mbs, t_nm.observed_mbs),
+        format!(
+            "default {:.0}, nm {:.0}",
+            t_def.observed_mbs, t_nm.observed_mbs
+        ),
     ]);
     rows.push_row(vec![
         "TACC no-load best-case (MB/s)".to_string(),
@@ -193,17 +196,19 @@ fn main() {
     for (route, label) in [(Route::Tacc, "Fig8 (TACC)"), (Route::UChicago, "Fig9 (UC)")] {
         let runs = fig8_9(route, dur, 0xA89);
         let nm = runs.iter().find(|r| r.tuner == TunerKind::Nm).unwrap();
-        let def = runs
-            .iter()
-            .find(|r| r.tuner == TunerKind::Default)
-            .unwrap();
+        let def = runs.iter().find(|r| r.tuner == TunerKind::Default).unwrap();
         let win = (1200.0_f64.min(dur * 0.8), dur + 1.0);
         let nm_after = nm.log.mean_observed_between(win.0, win.1).unwrap_or(0.0);
         let def_after = def.log.mean_observed_between(win.0, win.1).unwrap_or(0.0);
         rows.push_row(vec![
             format!("{label} nm vs default after load change"),
             "up to 10x".to_string(),
-            format!("{:.1}x ({:.0} vs {:.0})", nm_after / def_after, nm_after, def_after),
+            format!(
+                "{:.1}x ({:.0} vs {:.0})",
+                nm_after / def_after,
+                nm_after,
+                def_after
+            ),
         ]);
     }
 
@@ -238,7 +243,12 @@ fn main() {
     rows.push_row(vec![
         "Fig11 UChicago claims larger NIC share".to_string(),
         "yes".to_string(),
-        format!("UC {:.0} vs TACC {:.0} MB/s ({:.0}%)", a, b, 100.0 * a / (a + b)),
+        format!(
+            "UC {:.0} vs TACC {:.0} MB/s ({:.0}%)",
+            a,
+            b,
+            100.0 * a / (a + b)
+        ),
     ]);
 
     println!("\n# Paper vs measured (all experiments)\n");

@@ -4,7 +4,9 @@
 //! Usage: `extensions [--quick]`.
 
 use xferopt_bench::summary_table;
-use xferopt_dataset::{climate_dataset, drive_disk_transfer, DiskModel, DiskSchedule, DiskTransferObjective};
+use xferopt_dataset::{
+    climate_dataset, drive_disk_transfer, DiskModel, DiskSchedule, DiskTransferObjective,
+};
 use xferopt_scenarios::experiments::{ext_destination_load, ext_joint_tuning};
 use xferopt_tuners::NelderMeadTuner;
 
@@ -34,8 +36,10 @@ fn main() {
     let (uc, tacc) = &cmp.joint_logs;
     println!(
         "joint steady split: UChicago {:.0} / TACC {:.0} MB/s, final (nc,np) = ({},{}) / ({},{})",
-        uc.mean_observed_between(duration * 2.0 / 3.0, duration + 1.0).unwrap_or(0.0),
-        tacc.mean_observed_between(duration * 2.0 / 3.0, duration + 1.0).unwrap_or(0.0),
+        uc.mean_observed_between(duration * 2.0 / 3.0, duration + 1.0)
+            .unwrap_or(0.0),
+        tacc.mean_observed_between(duration * 2.0 / 3.0, duration + 1.0)
+            .unwrap_or(0.0),
         uc.final_nc().unwrap_or(0),
         uc.final_np().unwrap_or(0),
         tacc.final_nc().unwrap_or(0),

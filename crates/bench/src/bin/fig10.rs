@@ -40,7 +40,10 @@ fn main() {
     // plus the wasted bandwidth (regret) against the best steady level seen.
     let opt = runs
         .iter()
-        .filter_map(|r| r.log.mean_observed_between(duration * 2.0 / 3.0, duration + 1.0))
+        .filter_map(|r| {
+            r.log
+                .mean_observed_between(duration * 2.0 / 3.0, duration + 1.0)
+        })
         .fold(0.0f64, f64::max);
     for r in &runs {
         let steady = r

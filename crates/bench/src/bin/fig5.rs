@@ -4,7 +4,9 @@
 //!
 //! Usage: `fig5 [--quick]`.
 
-use xferopt_bench::{bestcase_series, nc_series, observed_series, summary_table, write_tuner_panels};
+use xferopt_bench::{
+    bestcase_series, nc_series, observed_series, summary_table, write_tuner_panels,
+};
 use xferopt_scenarios::experiments::fig5;
 use xferopt_scenarios::Route;
 

@@ -38,8 +38,12 @@ fn main() {
 
     // The paper's split improvements: 1.3x before the change, up to 10x after.
     for r in &runs {
-        let before = r.log.mean_observed_between(duration * 0.3, 990.0_f64.min(duration));
-        let after = r.log.mean_observed_between(1200.0_f64.min(duration), duration);
+        let before = r
+            .log
+            .mean_observed_between(duration * 0.3, 990.0_f64.min(duration));
+        let after = r
+            .log
+            .mean_observed_between(1200.0_f64.min(duration), duration);
         println!(
             "{:10}: mean before change = {:>6.0} MB/s, after = {:>6.0} MB/s",
             r.tuner.name(),

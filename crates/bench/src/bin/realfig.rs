@@ -23,7 +23,9 @@ fn main() {
     let harness = LoopbackHarness::start(ShaperConfig::rate_mbs(600.0))
         .expect("start sink")
         .with_per_stream_mbs(35.0);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let _hogs = CpuHogs::spawn((cores / 2) as u32);
     eprintln!(
         "realfig: {epochs} epochs x {:?}, {} CPU hogs, 600 MB/s bucket, 35 MB/s/stream",
@@ -31,7 +33,13 @@ fn main() {
         cores / 2
     );
 
-    let mut table = Table::new(vec!["epoch", "default nc", "default MB/s", "cs nc", "cs MB/s"]);
+    let mut table = Table::new(vec![
+        "epoch",
+        "default nc",
+        "default MB/s",
+        "cs nc",
+        "cs MB/s",
+    ]);
     let domain = Domain::new(&[(1, 24)]);
     let mut default: Box<dyn OnlineTuner> = Box::new(StaticTuner::new(domain.clone(), vec![2]));
     let mut cs: Box<dyn OnlineTuner> = Box::new(CompassTuner::new(domain, vec![2], 4.0, 10.0));

@@ -26,7 +26,11 @@ fn main() -> ExitCode {
         println!("\nall {} checks passed", report.checks.len());
         ExitCode::SUCCESS
     } else {
-        println!("\n{} of {} checks FAILED", report.failures(), report.checks.len());
+        println!(
+            "\n{} of {} checks FAILED",
+            report.failures(),
+            report.checks.len()
+        );
         ExitCode::FAILURE
     }
 }

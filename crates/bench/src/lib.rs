@@ -109,7 +109,13 @@ pub fn write_tuner_panels(
 pub fn summary_table(runs: &[TunedRun]) -> Table {
     let summaries = xferopt_scenarios::experiments::summarize(runs);
     let mut t = Table::new(vec![
-        "load", "tuner", "observed MB/s", "best-case MB/s", "final nc", "final np", "vs default",
+        "load",
+        "tuner",
+        "observed MB/s",
+        "best-case MB/s",
+        "final nc",
+        "final np",
+        "vs default",
     ]);
     for s in summaries {
         t.push_row(vec![

@@ -30,8 +30,14 @@ impl DiskModel {
     /// # Panics
     /// Panics when any rate is non-positive or latency is negative.
     pub fn validate(&self) {
-        assert!(self.open_latency_s >= 0.0, "open latency must be non-negative");
-        assert!(self.per_stream_mbs > 0.0, "per-stream rate must be positive");
+        assert!(
+            self.open_latency_s >= 0.0,
+            "open latency must be non-negative"
+        );
+        assert!(
+            self.per_stream_mbs > 0.0,
+            "per-stream rate must be positive"
+        );
         assert!(
             self.aggregate_mbs >= self.per_stream_mbs,
             "aggregate must be at least one stream"
@@ -86,7 +92,11 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for m in [DiskModel::parallel_fs(), DiskModel::local_disk(), DiskModel::archival()] {
+        for m in [
+            DiskModel::parallel_fs(),
+            DiskModel::local_disk(),
+            DiskModel::archival(),
+        ] {
             m.validate();
         }
     }

@@ -207,8 +207,7 @@ mod tests {
         let dataset = climate_dataset(5);
         let schedule = DiskSchedule::constant(DiskModel::parallel_fs());
         let run = || {
-            let mut nm =
-                NelderMeadTuner::new(DiskTransferObjective::domain(), vec![2, 8, 1], 5.0);
+            let mut nm = NelderMeadTuner::new(DiskTransferObjective::domain(), vec![2, 8, 1], 5.0);
             drive_disk_transfer(
                 &mut nm,
                 &dataset,

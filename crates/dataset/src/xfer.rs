@@ -109,8 +109,7 @@ impl DiskTransfer {
             / nc as f64;
 
         // Aggregate bounds.
-        let net_eff =
-            self.net_capacity_mbs * n_streams / (n_streams + self.net_half_streams);
+        let net_eff = self.net_capacity_mbs * n_streams / (n_streams + self.net_half_streams);
         let agg_rate = net_eff
             .min(self.src.rate_mbs(nc * np))
             .min(self.dst.rate_mbs(nc * np));
@@ -119,8 +118,7 @@ impl DiskTransfer {
         let data_time_s = per_channel_serial_s.max(agg_time_s);
 
         // Pipelined per-file overhead.
-        let overhead_s =
-            self.dataset.len() as f64 * self.t_file_s / (nc as f64 * pp as f64);
+        let overhead_s = self.dataset.len() as f64 * self.t_file_s / (nc as f64 * pp as f64);
 
         // Mild penalties: seek-thrash past file-system saturation, buffer
         // pressure for very deep pipelines.
@@ -242,7 +240,8 @@ mod tests {
         // neither case is network-aggregate-bound, and use genuinely tiny
         // files (4 MB < min_partition) for the small-file case.
         let abundant = |dataset: Dataset| {
-            let mut x = DiskTransfer::new(dataset, DiskModel::parallel_fs(), DiskModel::parallel_fs());
+            let mut x =
+                DiskTransfer::new(dataset, DiskModel::parallel_fs(), DiskModel::parallel_fs());
             x.net_capacity_mbs = 50_000.0;
             x.net_half_streams = 0.01;
             x

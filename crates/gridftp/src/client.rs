@@ -154,7 +154,9 @@ impl std::error::Error for PutError {}
 fn read_reply(reader: &mut BufReader<TcpStream>) -> Result<Reply, PutError> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
-        return Err(PutError::Protocol("server closed the control channel".into()));
+        return Err(PutError::Protocol(
+            "server closed the control channel".into(),
+        ));
     }
     line.parse()
         .map_err(|e: crate::proto::ParseError| PutError::Protocol(e.to_string()))
@@ -181,7 +183,11 @@ pub fn put(addr: SocketAddr, cfg: PutConfig) -> Result<PutReport, PutError> {
     if greeting.code != 220 {
         return Err(PutError::Protocol(format!("bad greeting: {greeting}")));
     }
-    let r = send_command(&mut writer, &mut reader, &Command::OptsParallelism(cfg.parallelism))?;
+    let r = send_command(
+        &mut writer,
+        &mut reader,
+        &Command::OptsParallelism(cfg.parallelism),
+    )?;
     if !r.is_success() {
         return Err(PutError::Protocol(format!("OPTS rejected: {r}")));
     }
@@ -319,7 +325,12 @@ pub struct GetReport {
 
 /// Download `size` synthetic bytes from the server at `addr` over
 /// `parallelism` data channels, verifying the stripe digest end to end.
-pub fn get(addr: SocketAddr, name: &str, size: u64, parallelism: u32) -> Result<GetReport, PutError> {
+pub fn get(
+    addr: SocketAddr,
+    name: &str,
+    size: u64,
+    parallelism: u32,
+) -> Result<GetReport, PutError> {
     use crate::block::BlockDecoder;
     use crate::checksum::StripeDigest;
     use std::io::Read;
@@ -333,7 +344,11 @@ pub fn get(addr: SocketAddr, name: &str, size: u64, parallelism: u32) -> Result<
     if greeting.code != 220 {
         return Err(PutError::Protocol(format!("bad greeting: {greeting}")));
     }
-    let r = send_command(&mut writer, &mut reader, &Command::OptsParallelism(parallelism))?;
+    let r = send_command(
+        &mut writer,
+        &mut reader,
+        &Command::OptsParallelism(parallelism),
+    )?;
     if !r.is_success() {
         return Err(PutError::Protocol(format!("OPTS rejected: {r}")));
     }
@@ -356,38 +371,40 @@ pub fn get(addr: SocketAddr, name: &str, size: u64, parallelism: u32) -> Result<
     let folded: Result<Vec<(StripeDigest, u64)>, std::io::Error> = crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for &port in &ports {
-            handles.push(scope.spawn(move |_| -> std::io::Result<(StripeDigest, u64)> {
-                let mut conn = TcpStream::connect(("127.0.0.1", port))?;
-                conn.set_nodelay(true)?;
-                conn.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
-                let mut decoder = BlockDecoder::new();
-                let mut buf = vec![0u8; 256 * 1024];
-                let mut digest = StripeDigest::new();
-                let mut bytes = 0u64;
-                'outer: loop {
-                    match conn.read(&mut buf) {
-                        Ok(0) => break,
-                        Ok(n) => {
-                            decoder.feed(&buf[..n]);
-                            while let Ok(Some(b)) = decoder.next_block() {
-                                if b.is_eod() || b.is_eof() {
-                                    break 'outer;
+            handles.push(
+                scope.spawn(move |_| -> std::io::Result<(StripeDigest, u64)> {
+                    let mut conn = TcpStream::connect(("127.0.0.1", port))?;
+                    conn.set_nodelay(true)?;
+                    conn.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+                    let mut decoder = BlockDecoder::new();
+                    let mut buf = vec![0u8; 256 * 1024];
+                    let mut digest = StripeDigest::new();
+                    let mut bytes = 0u64;
+                    'outer: loop {
+                        match conn.read(&mut buf) {
+                            Ok(0) => break,
+                            Ok(n) => {
+                                decoder.feed(&buf[..n]);
+                                while let Ok(Some(b)) = decoder.next_block() {
+                                    if b.is_eod() || b.is_eof() {
+                                        break 'outer;
+                                    }
+                                    digest.add_block(b.offset, &b.payload);
+                                    bytes += b.payload.len() as u64;
                                 }
-                                digest.add_block(b.offset, &b.payload);
-                                bytes += b.payload.len() as u64;
                             }
+                            Err(ref e)
+                                if e.kind() == io::ErrorKind::WouldBlock
+                                    || e.kind() == io::ErrorKind::TimedOut =>
+                            {
+                                continue;
+                            }
+                            Err(e) => return Err(e),
                         }
-                        Err(ref e)
-                            if e.kind() == io::ErrorKind::WouldBlock
-                                || e.kind() == io::ErrorKind::TimedOut =>
-                        {
-                            continue;
-                        }
-                        Err(e) => return Err(e),
                     }
-                }
-                Ok((digest, bytes))
-            }));
+                    Ok((digest, bytes))
+                }),
+            );
         }
         let mut out = Vec::new();
         for h in handles {
@@ -461,7 +478,9 @@ mod tests {
         // Size not a multiple of the block size; final short block.
         let report = put(
             server.control_addr(),
-            PutConfig::new("odd", 100_001).with_parallelism(3).with_block_bytes(4096),
+            PutConfig::new("odd", 100_001)
+                .with_parallelism(3)
+                .with_block_bytes(4096),
         )
         .unwrap();
         assert!(report.complete && report.verified);

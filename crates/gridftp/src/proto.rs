@@ -321,7 +321,10 @@ mod tests {
         let r = Reply::spas(&[50001, 50002, 50003]);
         assert_eq!(r.code, 229);
         let parsed: Reply = r.to_string().parse().unwrap();
-        assert_eq!(parsed.parse_spas_ports().unwrap(), vec![50001, 50002, 50003]);
+        assert_eq!(
+            parsed.parse_spas_ports().unwrap(),
+            vec![50001, 50002, 50003]
+        );
     }
 
     #[test]

@@ -121,11 +121,21 @@ fn send_reply(w: &mut impl Write, reply: &Reply) -> std::io::Result<()> {
 }
 
 /// One control session: command loop until QUIT or disconnect.
-fn serve_session(stream: TcpStream, registry: Registry, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+fn serve_session(
+    stream: TcpStream,
+    registry: Registry,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    send_reply(&mut writer, &Reply { code: 220, text: "xferopt GridFTP ready".into() })?;
+    send_reply(
+        &mut writer,
+        &Reply {
+            code: 220,
+            text: "xferopt GridFTP ready".into(),
+        },
+    )?;
 
     let mut parallelism: u32 = 1;
     let mut data_listeners: Vec<TcpListener> = Vec::new();
@@ -174,7 +184,10 @@ fn serve_session(stream: TcpStream, registry: Registry, stop: Arc<AtomicBool>) -
                 registry.lock().entry(name.clone()).or_default().size = size;
                 send_reply(
                     &mut writer,
-                    &Reply { code: 150, text: "Opening striped data connection".into() },
+                    &Reply {
+                        code: 150,
+                        text: "Opening striped data connection".into(),
+                    },
                 )?;
                 let conns = if cached.is_empty() {
                     let listeners = std::mem::take(&mut data_listeners);
@@ -204,7 +217,10 @@ fn serve_session(stream: TcpStream, registry: Registry, stop: Arc<AtomicBool>) -
                 current_name = Some(name.clone());
                 send_reply(
                     &mut writer,
-                    &Reply { code: 150, text: "Opening striped data connection".into() },
+                    &Reply {
+                        code: 150,
+                        text: "Opening striped data connection".into(),
+                    },
                 )?;
                 let conns = if cached.is_empty() {
                     let listeners = std::mem::take(&mut data_listeners);
@@ -228,7 +244,13 @@ fn serve_session(stream: TcpStream, registry: Registry, stop: Arc<AtomicBool>) -
                 None => send_reply(&mut writer, &Reply::error("no transfer in session"))?,
             },
             Command::Quit => {
-                send_reply(&mut writer, &Reply { code: 221, text: "Goodbye".into() })?;
+                send_reply(
+                    &mut writer,
+                    &Reply {
+                        code: 221,
+                        text: "Goodbye".into(),
+                    },
+                )?;
                 return Ok(());
             }
         }
@@ -365,8 +387,8 @@ fn send_stripes(
             let cursor = Arc::clone(&cursor);
             let sent = Arc::clone(&sent);
             let stop = Arc::clone(stop);
-            handles.push(scope.spawn(
-                move |_| -> std::io::Result<(TcpStream, StripeDigest)> {
+            handles.push(
+                scope.spawn(move |_| -> std::io::Result<(TcpStream, StripeDigest)> {
                     let mut local_digest = StripeDigest::new();
                     loop {
                         if stop.load(Ordering::Relaxed) {
@@ -386,8 +408,8 @@ fn send_stripes(
                     conn.write_all(&Block::eod().encode())?;
                     conn.flush()?;
                     Ok((conn, local_digest))
-                },
-            ));
+                }),
+            );
         }
         let mut survivors = Vec::new();
         let mut digest = StripeDigest::new();
@@ -419,7 +441,11 @@ mod tests {
         (reader, writer)
     }
 
-    fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, cmd: &Command) -> Reply {
+    fn roundtrip(
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut TcpStream,
+        cmd: &Command,
+    ) -> Reply {
         writeln!(writer, "{cmd}").unwrap();
         writer.flush().unwrap();
         let mut line = String::new();
@@ -456,7 +482,10 @@ mod tests {
         let reply = roundtrip(
             &mut r,
             &mut w,
-            &Command::Stor { name: "x".into(), size: 10 },
+            &Command::Stor {
+                name: "x".into(),
+                size: 10,
+            },
         );
         assert!(!reply.is_success());
     }
@@ -486,7 +515,15 @@ mod tests {
             .unwrap();
 
         let payload = b"0123456789".to_vec();
-        writeln!(w, "{}", Command::Stor { name: "f".into(), size: 10 }).unwrap();
+        writeln!(
+            w,
+            "{}",
+            Command::Stor {
+                name: "f".into(),
+                size: 10
+            }
+        )
+        .unwrap();
         w.flush().unwrap();
         let mut line = String::new();
         r.read_line(&mut line).unwrap();
@@ -518,7 +555,15 @@ mod tests {
         let ports = roundtrip(&mut r, &mut w, &Command::Spas)
             .parse_spas_ports()
             .unwrap();
-        writeln!(w, "{}", Command::Stor { name: "g".into(), size: 20 }).unwrap();
+        writeln!(
+            w,
+            "{}",
+            Command::Stor {
+                name: "g".into(),
+                size: 20
+            }
+        )
+        .unwrap();
         w.flush().unwrap();
         let mut line = String::new();
         r.read_line(&mut line).unwrap(); // 150

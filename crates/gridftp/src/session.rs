@@ -14,7 +14,7 @@
 //! overhead on real sockets.
 
 use crate::block::Block;
-use crate::client::{payload_block, expected_digest, PutError, PutReport};
+use crate::client::{expected_digest, payload_block, PutError, PutReport};
 use crate::proto::{Command, Reply};
 use crate::rangeset::RangeSet;
 use std::io::{BufRead, BufReader, Write};
@@ -207,7 +207,8 @@ impl Session {
     /// Request the restart marker for the session's most recent transfer.
     pub fn marker(&mut self) -> Result<RangeSet, PutError> {
         let r = self.command(&Command::MarkerRequest)?;
-        r.parse_marker().map_err(|e| PutError::Protocol(e.to_string()))
+        r.parse_marker()
+            .map_err(|e| PutError::Protocol(e.to_string()))
     }
 
     /// Politely close the session: EOF every cached data channel, then QUIT.
@@ -226,7 +227,9 @@ impl Session {
 fn read_reply(reader: &mut BufReader<TcpStream>) -> Result<Reply, PutError> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
-        return Err(PutError::Protocol("server closed the control channel".into()));
+        return Err(PutError::Protocol(
+            "server closed the control channel".into(),
+        ));
     }
     line.parse()
         .map_err(|e: crate::proto::ParseError| PutError::Protocol(e.to_string()))
@@ -272,7 +275,10 @@ mod tests {
         s.put("a", 128 * 1024, 3, 32 * 1024).unwrap();
         assert_eq!(s.cached_channels(), 3, "channels survive the first put");
         let r = s.put("b", 128 * 1024, 3, 32 * 1024).unwrap();
-        assert!(r.complete && r.verified, "cached channels must still verify");
+        assert!(
+            r.complete && r.verified,
+            "cached channels must still verify"
+        );
         assert_eq!(s.cached_channels(), 3);
         // Changing np renegotiates.
         let r = s.put("c", 128 * 1024, 5, 32 * 1024).unwrap();

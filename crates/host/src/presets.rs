@@ -152,9 +152,7 @@ mod tests {
         assert!(m.cpu.cores > 4.0 * old.cpu.cores);
         assert!(m.nic_mbs > 2.0 * old.nic_mbs);
         // Restarts are far cheaper on a modern node.
-        assert!(
-            m.startup.startup_time_s(2, 1.0) < old.startup.startup_time_s(2, 1.0) / 2.0
-        );
+        assert!(m.startup.startup_time_s(2, 1.0) < old.startup.startup_time_s(2, 1.0) / 2.0);
     }
 
     #[test]

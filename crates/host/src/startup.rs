@@ -115,7 +115,11 @@ mod tests {
         // Paper shape at a 30 s epoch: ~17% idle, ~33% at cmp=16, ~50% at cmp=64.
         let pct = |t: f64| t / 30.0 * 100.0;
         assert!((12.0..25.0).contains(&pct(idle)), "idle {}%", pct(idle));
-        assert!((25.0..45.0).contains(&pct(loaded)), "loaded {}%", pct(loaded));
+        assert!(
+            (25.0..45.0).contains(&pct(loaded)),
+            "loaded {}%",
+            pct(loaded)
+        );
         assert!((38.0..65.0).contains(&pct(heavy)), "heavy {}%", pct(heavy));
     }
 

@@ -116,7 +116,10 @@ mod tests {
         let server = SinkServer::start().unwrap();
         let bucket = Arc::new(TokenBucket::new(ShaperConfig::unshaped()));
         let mbs = measure_epoch(server.addr(), 1, 1, Duration::from_millis(200), bucket).unwrap();
-        assert!(mbs > 1.0, "loopback single stream should move >1 MB/s: {mbs}");
+        assert!(
+            mbs > 1.0,
+            "loopback single stream should move >1 MB/s: {mbs}"
+        );
     }
 
     #[test]
@@ -135,11 +138,21 @@ mod tests {
         let server = SinkServer::start().unwrap();
         let bucket = Arc::new(TokenBucket::new(ShaperConfig::rate_mbs(500.0)));
         let one = measure_epoch_with_stream_cap(
-            server.addr(), 1, 1, Duration::from_millis(400), Arc::clone(&bucket), Some(10.0),
+            server.addr(),
+            1,
+            1,
+            Duration::from_millis(400),
+            Arc::clone(&bucket),
+            Some(10.0),
         )
         .unwrap();
         let four = measure_epoch_with_stream_cap(
-            server.addr(), 4, 1, Duration::from_millis(400), bucket, Some(10.0),
+            server.addr(),
+            4,
+            1,
+            Duration::from_millis(400),
+            bucket,
+            Some(10.0),
         )
         .unwrap();
         assert!(

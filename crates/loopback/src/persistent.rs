@@ -152,8 +152,7 @@ mod tests {
         let server = SinkServer::start().unwrap();
         let bucket = Arc::new(TokenBucket::new(ShaperConfig::rate_mbs(150.0)));
         let epoch = Duration::from_millis(120);
-        let mut pool =
-            StreamPool::connect(server.addr(), 4, Arc::clone(&bucket)).unwrap();
+        let mut pool = StreamPool::connect(server.addr(), 4, Arc::clone(&bucket)).unwrap();
         let mut best = 0.0f64;
         for _ in 0..3 {
             best = best.max(pool.measure(epoch).unwrap());

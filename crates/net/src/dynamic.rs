@@ -56,6 +56,9 @@ pub struct DynamicSim {
     /// Initial window: 10 segments (RFC 6928).
     init_cwnd: f64,
     elapsed_s: f64,
+    /// Cumulative loss events per flow since construction (survives stream
+    /// retirement, unlike the per-step [`FlowStepStats::losses`]).
+    cum_losses: BTreeMap<FlowId, u64>,
 }
 
 impl DynamicSim {
@@ -68,12 +71,38 @@ impl DynamicSim {
             spawned: 0,
             init_cwnd: 10.0 * crate::tcp::DEFAULT_MSS_BYTES,
             elapsed_s: 0.0,
+            cum_losses: BTreeMap::new(),
         }
     }
 
     /// Total simulated seconds stepped so far.
     pub fn elapsed_s(&self) -> f64 {
         self.elapsed_s
+    }
+
+    /// Cumulative loss events observed by `flow` since construction.
+    pub fn total_losses(&self, flow: FlowId) -> u64 {
+        self.cum_losses.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Cumulative loss events across all flows since construction.
+    pub fn total_losses_all(&self) -> u64 {
+        self.cum_losses.values().sum()
+    }
+
+    /// Mean congestion window (bytes) over the live streams of `flow`, or
+    /// `None` when the flow has no live streams.
+    pub fn mean_cwnd_bytes(&self, flow: FlowId) -> Option<f64> {
+        let (sum, n) = self
+            .streams
+            .iter()
+            .filter(|s| s.flow == flow)
+            .fold((0.0f64, 0u64), |(sum, n), s| (sum + s.cwnd, n + 1));
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
     }
 
     /// Number of live streams across all flows.
@@ -198,6 +227,7 @@ impl DynamicSim {
                 s.ssthresh = s.cwnd;
                 s.since_loss = 0.0;
                 stats.losses += 1;
+                *self.cum_losses.entry(s.flow).or_insert(0) += 1;
             } else if s.cwnd < s.ssthresh {
                 // Slow start: double per RTT, clamp at ssthresh.
                 let grown = s.cwnd * 2f64.powf(dt_s / rtt_s);
@@ -224,11 +254,7 @@ mod tests {
     fn simple_net(streams: u32) -> (Network, FlowId) {
         let mut net = Network::new();
         let nic = net.add_link(Link::new("nic", 1000.0));
-        let path = net.add_path(
-            Path::new("p", vec![nic])
-                .with_rtt_ms(33.0)
-                .with_loss(1e-5),
-        );
+        let path = net.add_path(Path::new("p", vec![nic]).with_rtt_ms(33.0).with_loss(1e-5));
         let f = net.add_flow(path, streams, CongestionControl::HTcp);
         (net, f)
     }
@@ -249,7 +275,10 @@ mod tests {
         let mut sim = DynamicSim::new(1);
         sim.sync_streams(&net);
         let rates = run(&net, &mut sim, f, 3.0, 0.033);
-        assert!(rates[0] < rates[rates.len() - 1] * 0.9, "no ramp-up observed");
+        assert!(
+            rates[0] < rates[rates.len() - 1] * 0.9,
+            "no ramp-up observed"
+        );
     }
 
     #[test]
@@ -263,7 +292,10 @@ mod tests {
         };
         let one = measure(1);
         let eight = measure(8);
-        assert!(eight > 2.0 * one, "8 streams should ramp much faster: {one} vs {eight}");
+        assert!(
+            eight > 2.0 * one,
+            "8 streams should ramp much faster: {one} vs {eight}"
+        );
     }
 
     #[test]
@@ -287,7 +319,10 @@ mod tests {
             let stats = sim.step(&net, 0.05);
             losses += stats[&f].losses;
         }
-        assert!(losses > 0, "64 streams on a 1 GB/s link must see congestion loss");
+        assert!(
+            losses > 0,
+            "64 streams on a 1 GB/s link must see congestion loss"
+        );
     }
 
     #[test]

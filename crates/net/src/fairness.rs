@@ -170,8 +170,7 @@ pub fn max_min_allocate(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
             if !active[i] {
                 continue;
             }
-            let capped = f.demand_cap.is_finite()
-                && alloc[i] >= f.demand_cap * (1.0 - 1e-9) - 1e-9;
+            let capped = f.demand_cap.is_finite() && alloc[i] >= f.demand_cap * (1.0 - 1e-9) - 1e-9;
             let blocked = f
                 .links
                 .iter()
@@ -222,9 +221,7 @@ mod tests {
 
     #[test]
     fn max_min_equal_weights_is_jain_fair() {
-        let flows: Vec<FlowDemand> = (0..5)
-            .map(|_| demand(1.0, f64::INFINITY, &[0]))
-            .collect();
+        let flows: Vec<FlowDemand> = (0..5).map(|_| demand(1.0, f64::INFINITY, &[0])).collect();
         let alloc = max_min_allocate(&[1000.0], &flows);
         assert!((jain_index(&alloc) - 1.0).abs() < 1e-9);
     }
@@ -262,10 +259,7 @@ mod tests {
 
     #[test]
     fn capped_flow_releases_bandwidth() {
-        let flows = vec![
-            demand(1.0, 10.0, &[0]),
-            demand(1.0, f64::INFINITY, &[0]),
-        ];
+        let flows = vec![demand(1.0, 10.0, &[0]), demand(1.0, f64::INFINITY, &[0])];
         let a = max_min_allocate(&[100.0], &flows);
         assert!((a[0] - 10.0).abs() < 1e-9);
         assert!((a[1] - 90.0).abs() < 1e-9);
@@ -312,7 +306,10 @@ mod tests {
 
     #[test]
     fn zero_weight_gets_zero() {
-        let flows = vec![demand(0.0, f64::INFINITY, &[0]), demand(2.0, f64::INFINITY, &[0])];
+        let flows = vec![
+            demand(0.0, f64::INFINITY, &[0]),
+            demand(2.0, f64::INFINITY, &[0]),
+        ];
         let a = max_min_allocate(&[100.0], &flows);
         assert_eq!(a[0], 0.0);
         assert!((a[1] - 100.0).abs() < 1e-9);

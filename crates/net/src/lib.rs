@@ -49,6 +49,7 @@ pub mod dynamic;
 pub mod fairness;
 pub mod flow;
 pub mod link;
+pub mod metrics;
 pub mod network;
 pub mod tcp;
 pub mod topology;
@@ -56,6 +57,7 @@ pub mod topology;
 pub use fairness::{jain_index, max_min_allocate, FlowDemand};
 pub use flow::{FlowGroup, FlowId};
 pub use link::{Link, LinkId, Path, PathId};
+pub use metrics::{export_dynamic, export_network};
 pub use network::Network;
 pub use tcp::CongestionControl;
 pub use topology::{TopologyBuilder, TopologyError};

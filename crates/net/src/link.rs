@@ -134,7 +134,10 @@ impl Path {
     /// # Panics
     /// Panics if `loss` is outside `[0, 1)`.
     pub fn with_loss(mut self, loss: f64) -> Self {
-        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1), got {loss}");
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "loss must be in [0,1), got {loss}"
+        );
         self.loss = loss;
         self
     }

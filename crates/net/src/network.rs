@@ -210,7 +210,12 @@ impl Network {
     pub fn flow_demand_mbs(&self, id: FlowId) -> f64 {
         let f = &self.flows[&id];
         let p = &self.paths[f.path.0];
-        f.demand_mbs(self.effective_rtt_s(f.path), p.loss, p.wmax_bytes, self.mss_bytes)
+        f.demand_mbs(
+            self.effective_rtt_s(f.path),
+            p.loss,
+            p.wmax_bytes,
+            self.mss_bytes,
+        )
     }
 
     /// Total TCP streams crossing each link, indexed by `LinkId.0`.
@@ -318,14 +323,20 @@ mod tests {
         for k in [1u32, 2, 4, 8, 16, 32, 64, 128] {
             net.set_streams(f, k);
             let r = net.allocation_of(f);
-            assert!(r >= last - 1e-9, "throughput must not fall in pure net model");
+            assert!(
+                r >= last - 1e-9,
+                "throughput must not fall in pure net model"
+            );
             if r >= 4999.0 && saturated_at.is_none() {
                 saturated_at = Some(k);
             }
             last = r;
         }
         let k = saturated_at.expect("some stream count should saturate the NIC");
-        assert!(k >= 16, "saturation too early (k={k}); loss calibration off");
+        assert!(
+            k >= 16,
+            "saturation too early (k={k}); loss calibration off"
+        );
     }
 
     #[test]
@@ -334,7 +345,10 @@ mod tests {
         let ours = net.add_flow(p_uc, 64, CongestionControl::HTcp);
         let theirs = net.add_flow(p_uc, 64, CongestionControl::HTcp);
         let a = net.allocate();
-        assert!((a[&ours] - a[&theirs]).abs() < 1e-6, "equal weights, equal split");
+        assert!(
+            (a[&ours] - a[&theirs]).abs() < 1e-6,
+            "equal weights, equal split"
+        );
         // Quadrupling our streams quadruples our weight.
         net.set_streams(ours, 256);
         let a = net.allocate();
@@ -353,7 +367,10 @@ mod tests {
         let before_tacc = a[&f_tacc];
         net.set_streams(f_uc, 256);
         let a = net.allocate();
-        assert!(a[&f_tacc] < before_tacc, "shared NIC should couple the transfers");
+        assert!(
+            a[&f_tacc] < before_tacc,
+            "shared NIC should couple the transfers"
+        );
     }
 
     #[test]

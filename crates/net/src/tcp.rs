@@ -58,8 +58,8 @@ impl CongestionControl {
     pub fn beta(self) -> f64 {
         match self {
             CongestionControl::Reno => 0.5,
-            CongestionControl::Cubic => 0.7,   // RFC 8312 uses 0.7
-            CongestionControl::HTcp => 0.8,    // adaptive in the real stack; typical value
+            CongestionControl::Cubic => 0.7, // RFC 8312 uses 0.7
+            CongestionControl::HTcp => 0.8,  // adaptive in the real stack; typical value
             CongestionControl::Scalable => 0.875,
         }
     }

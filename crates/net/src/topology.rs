@@ -189,7 +189,10 @@ impl TopologyBuilder {
         let mut prev_edge: Vec<Option<(usize, usize)>> = vec![None; n]; // (from_node, edge_idx)
         let mut heap = BinaryHeap::new();
         dist[from] = 0.0;
-        heap.push(State { cost_ms: 0.0, node: from });
+        heap.push(State {
+            cost_ms: 0.0,
+            node: from,
+        });
         while let Some(State { cost_ms, node }) = heap.pop() {
             if cost_ms > dist[node] {
                 continue;
@@ -202,7 +205,10 @@ impl TopologyBuilder {
                 if next < dist[e.to] {
                     dist[e.to] = next;
                     prev_edge[e.to] = Some((node, e.edge_idx));
-                    heap.push(State { cost_ms: next, node: e.to });
+                    heap.push(State {
+                        cost_ms: next,
+                        node: e.to,
+                    });
                 }
             }
         }

@@ -144,14 +144,19 @@ impl DriveConfig {
 
 /// Apply an external load value to the world (compute hogs + the external
 /// transfer's stream count).
-fn apply_load(world: &mut World, source: xferopt_transfer::HostId, ext: TransferId, load: crate::load::ExternalLoad) {
+fn apply_load(
+    world: &mut World,
+    source: xferopt_transfer::HostId,
+    ext: TransferId,
+    load: crate::load::ExternalLoad,
+) {
     world.set_compute_jobs(source, load.cmp);
     world.set_params(ext, StreamParams::new(load.tfr, 1), false);
 }
 
 /// Step the world from its current time for `dur_s` seconds, applying
 /// schedule changes at their exact instants.
-fn step_through(
+pub(crate) fn step_through(
     world: &mut World,
     source: xferopt_transfer::HostId,
     ext: TransferId,
@@ -308,8 +313,7 @@ impl MultiDriver {
         // Event list: each transfer's epoch boundaries, merged in time.
         // At each boundary: close the transfer's epoch (if one is open),
         // let its tuner decide, open the next.
-        let mut open: Vec<Option<xferopt_transfer::EpochStart>> =
-            vec![None; self.transfers.len()];
+        let mut open: Vec<Option<xferopt_transfer::EpochStart>> = vec![None; self.transfers.len()];
         let mut boundaries: Vec<(f64, usize)> = Vec::new();
         for (i, &off) in offsets.iter().enumerate() {
             let mut t = off;
@@ -324,7 +328,13 @@ impl MultiDriver {
             // Advance the world to this boundary.
             let now = self.pw.world.now().as_secs_f64();
             if t > now {
-                step_through(&mut self.pw.world, source, self.ext, &self.schedule, t - now);
+                step_through(
+                    &mut self.pw.world,
+                    source,
+                    self.ext,
+                    &self.schedule,
+                    t - now,
+                );
             }
             let (tid, tuner, dims, restarts) = &mut self.transfers[i];
             if let Some(es) = open[i].take() {
@@ -374,9 +384,16 @@ mod tests {
 
     #[test]
     fn default_holds_globus_params() {
-        let log = drive_transfer(&quiet(Route::UChicago, TunerKind::Default, ExternalLoad::NONE));
+        let log = drive_transfer(&quiet(
+            Route::UChicago,
+            TunerKind::Default,
+            ExternalLoad::NONE,
+        ));
         assert_eq!(log.epochs.len(), 60);
-        assert!(log.epochs.iter().all(|e| e.params == StreamParams::new(2, 8)));
+        assert!(log
+            .epochs
+            .iter()
+            .all(|e| e.params == StreamParams::new(2, 8)));
         let steady = log.mean_observed_between(600.0, 1800.0).unwrap();
         assert!((2200.0..2700.0).contains(&steady), "steady={steady}");
     }
@@ -384,7 +401,11 @@ mod tests {
     #[test]
     fn tuners_beat_default_without_load() {
         // Paper Fig. 5a: tuners reach ~3500 vs default ~2500 (1.4x).
-        let default = drive_transfer(&quiet(Route::UChicago, TunerKind::Default, ExternalLoad::NONE));
+        let default = drive_transfer(&quiet(
+            Route::UChicago,
+            TunerKind::Default,
+            ExternalLoad::NONE,
+        ));
         let d = default.mean_observed_between(900.0, 1800.0).unwrap();
         for kind in [TunerKind::Cd, TunerKind::Cs, TunerKind::Nm] {
             let log = drive_transfer(&quiet(Route::UChicago, kind, ExternalLoad::NONE));
@@ -429,8 +450,15 @@ mod tests {
     #[test]
     fn epoch_reports_include_restart_overhead() {
         let log = drive_transfer(&quiet(Route::UChicago, TunerKind::Cs, ExternalLoad::NONE));
-        assert!(log.mean_overhead_fraction() > 0.1, "tuners restart every epoch");
-        let default = drive_transfer(&quiet(Route::UChicago, TunerKind::Default, ExternalLoad::NONE));
+        assert!(
+            log.mean_overhead_fraction() > 0.1,
+            "tuners restart every epoch"
+        );
+        let default = drive_transfer(&quiet(
+            Route::UChicago,
+            TunerKind::Default,
+            ExternalLoad::NONE,
+        ));
         // Default pays only the initial startup, inside the first epoch.
         assert!(default.epochs[1..].iter().all(|e| e.startup_s == 0.0));
     }
@@ -472,10 +500,8 @@ mod tests {
         let log = drive_transfer(&cfg);
         assert_eq!(log.epochs.len(), 60);
         // Both parameters must have been explored.
-        let ncs: std::collections::HashSet<u32> =
-            log.epochs.iter().map(|e| e.params.nc).collect();
-        let nps: std::collections::HashSet<u32> =
-            log.epochs.iter().map(|e| e.params.np).collect();
+        let ncs: std::collections::HashSet<u32> = log.epochs.iter().map(|e| e.params.nc).collect();
+        let nps: std::collections::HashSet<u32> = log.epochs.iter().map(|e| e.params.np).collect();
         assert!(ncs.len() > 1, "nc never explored");
         assert!(nps.len() > 1, "np never explored");
     }
@@ -506,12 +532,7 @@ mod tests {
                 x0: StreamParams::globus_default(),
             },
         ];
-        let md = MultiDriver::new(
-            &specs,
-            LoadSchedule::constant(ExternalLoad::NONE),
-            30.0,
-            5,
-        );
+        let md = MultiDriver::new(&specs, LoadSchedule::constant(ExternalLoad::NONE), 30.0, 5);
         let logs = md.run(1200.0);
         assert_eq!(logs.len(), 2);
         assert_eq!(logs[0].epochs.len(), 40);
@@ -563,12 +584,7 @@ mod tests {
                 x0: StreamParams::globus_default(),
             },
         ];
-        let md = MultiDriver::new(
-            &specs,
-            LoadSchedule::constant(ExternalLoad::NONE),
-            30.0,
-            11,
-        );
+        let md = MultiDriver::new(&specs, LoadSchedule::constant(ExternalLoad::NONE), 30.0, 11);
         let logs = md.run_staggered(600.0, &[0.0, 15.0]);
         assert_eq!(logs.len(), 2);
         // Transfer 0 epochs start at 0, 30, 60...; transfer 1 at 15, 45...
@@ -605,15 +621,25 @@ mod tests {
             .with_faults(plan);
         let a = drive_transfer(&cfg);
         let b = drive_transfer(&cfg);
-        assert_eq!(a.total_mb(), b.total_mb(), "faulty runs must replay exactly");
-        assert!(a.total_mb() > 0.0, "transfer still makes progress under faults");
+        assert_eq!(
+            a.total_mb(),
+            b.total_mb(),
+            "faulty runs must replay exactly"
+        );
+        assert!(
+            a.total_mb() > 0.0,
+            "transfer still makes progress under faults"
+        );
         // Faults cost throughput relative to the clean run.
         let clean = drive_transfer(
             &quiet(Route::UChicago, TunerKind::Nm, ExternalLoad::NONE)
                 .with_duration_s(900.0)
                 .with_seed(4),
         );
-        assert!(a.total_mb() < clean.total_mb(), "faults must cost something");
+        assert!(
+            a.total_mb() < clean.total_mb(),
+            "faults must cost something"
+        );
     }
 
     #[test]

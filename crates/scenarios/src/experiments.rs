@@ -131,9 +131,10 @@ pub fn fig8_9(route: Route, duration_s: f64, seed: u64) -> Vec<TunedRun> {
     [TunerKind::Default, TunerKind::Cs, TunerKind::Nm]
         .into_iter()
         .map(|tuner| {
-            let cfg = DriveConfig::paper(route, tuner, TuneDims::NcNp, LoadSchedule::paper_varying())
-                .with_duration_s(duration_s)
-                .with_seed(seed);
+            let cfg =
+                DriveConfig::paper(route, tuner, TuneDims::NcNp, LoadSchedule::paper_varying())
+                    .with_duration_s(duration_s)
+                    .with_seed(seed);
             TunedRun {
                 tuner,
                 load: ExternalLoad::new(64, 16), // initial segment; see schedule
@@ -451,10 +452,7 @@ mod tests {
     #[test]
     fn fig8_trajectories_respond_to_load_change() {
         let runs = fig8_9(Route::Tacc, 1500.0, 23);
-        let nm = runs
-            .iter()
-            .find(|r| r.tuner == TunerKind::Nm)
-            .unwrap();
+        let nm = runs.iter().find(|r| r.tuner == TunerKind::Nm).unwrap();
         let before = nm.log.mean_observed_between(600.0, 990.0).unwrap();
         let after = nm.log.mean_observed_between(1200.0, 1500.0).unwrap();
         assert!(

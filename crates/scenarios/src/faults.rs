@@ -61,14 +61,8 @@ impl FaultProfile {
         let link = route.wan_link_index();
         let path = route.path_index();
         match self {
-            FaultProfile::FlakyLink => {
-                FaultPlan::flaps(seed, link, horizon_s, 300.0, 10.0).merge(FaultPlan::aborts(
-                    seed,
-                    MAIN_TRANSFER,
-                    horizon_s,
-                    480.0,
-                ))
-            }
+            FaultProfile::FlakyLink => FaultPlan::flaps(seed, link, horizon_s, 300.0, 10.0)
+                .merge(FaultPlan::aborts(seed, MAIN_TRANSFER, horizon_s, 480.0)),
             FaultProfile::DegradedWan => {
                 FaultPlan::degradations(seed, link, horizon_s, 240.0, 60.0, 0.3).merge(
                     FaultPlan::rtt_spikes(seed, path, horizon_s, 300.0, 30.0, 4.0),
@@ -76,8 +70,16 @@ impl FaultProfile {
             }
             FaultProfile::LossyTacc => {
                 FaultPlan::degradations(seed, link, horizon_s, 200.0, 45.0, 0.5)
-                    .merge(FaultPlan::rtt_spikes(seed, path, horizon_s, 250.0, 20.0, 3.0))
-                    .merge(FaultPlan::stalls(seed, MAIN_TRANSFER, horizon_s, 300.0, 15.0))
+                    .merge(FaultPlan::rtt_spikes(
+                        seed, path, horizon_s, 250.0, 20.0, 3.0,
+                    ))
+                    .merge(FaultPlan::stalls(
+                        seed,
+                        MAIN_TRANSFER,
+                        horizon_s,
+                        300.0,
+                        15.0,
+                    ))
             }
         }
     }
@@ -132,10 +134,10 @@ mod tests {
             }
         }
         let tacc = FaultProfile::DegradedWan.plan(Route::Tacc, 3, 1800.0);
-        assert!(tacc.events().iter().any(|e| matches!(
-            e.kind,
-            FaultKind::LinkDegrade { link: 2, .. }
-        )));
+        assert!(tacc
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::LinkDegrade { link: 2, .. })));
     }
 
     #[test]
@@ -143,7 +145,9 @@ mod tests {
         let plan = FaultProfile::FlakyLink.plan(Route::UChicago, 5, 3600.0);
         assert!(plan.events().iter().any(|e| matches!(
             e.kind,
-            FaultKind::TransferAbort { transfer: MAIN_TRANSFER }
+            FaultKind::TransferAbort {
+                transfer: MAIN_TRANSFER
+            }
         )));
         assert!(plan
             .events()

@@ -23,6 +23,10 @@
 //! * [`runner`] — parallel scenario repeats (`crossbeam::scope`, one
 //!   deterministic world per thread).
 //! * [`report`] — markdown/CSV emission for the `fig*` binaries.
+//! * [`telemetry`] — the scenario-level flight recorder: drive a transfer
+//!   with world telemetry + tuner audit on, bundle the per-epoch records,
+//!   decision log, and metric snapshot, and render them as JSONL /
+//!   Prometheus text (plus a JSONL summarizer for the CLI).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +38,7 @@ pub mod load;
 pub mod report;
 pub mod runner;
 pub mod sweep;
+pub mod telemetry;
 pub mod topology;
 pub mod validation;
 
@@ -41,6 +46,9 @@ pub use driver::{drive_transfer, DriveConfig, MultiDriver, TuneDims};
 pub use faults::FaultProfile;
 pub use load::{ExternalLoad, LoadSchedule};
 pub use report::Table;
-pub use topology::{PaperWorld, Route};
 pub use sweep::{throughput_surface, Surface, SweepCell};
+pub use telemetry::{
+    drive_transfer_with_telemetry, summarize_telemetry, RunHeader, RunTelemetry, TelemetrySummary,
+};
+pub use topology::{PaperWorld, Route};
 pub use validation::{validate, Check, ValidationReport};

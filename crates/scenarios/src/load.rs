@@ -201,11 +201,19 @@ mod tests {
         assert_ne!(a, c, "different seed, different schedule");
         // Segments alternate idle/burst starting idle.
         for (i, &(_, load)) in a.segments().iter().enumerate() {
-            let expect = if i % 2 == 0 { ExternalLoad::NONE } else { burst };
+            let expect = if i % 2 == 0 {
+                ExternalLoad::NONE
+            } else {
+                burst
+            };
             assert_eq!(load, expect, "segment {i}");
         }
         // With mean cycle ~420 s over 3600 s, expect a handful of bursts.
-        assert!(a.segments().len() >= 3, "too few segments: {}", a.segments().len());
+        assert!(
+            a.segments().len() >= 3,
+            "too few segments: {}",
+            a.segments().len()
+        );
         // All change points inside the horizon.
         assert!(a.segments().iter().all(|&(t, _)| t < 3600.0));
     }

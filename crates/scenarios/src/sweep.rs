@@ -34,15 +34,19 @@ pub struct Surface {
 impl Surface {
     /// The best cell, if any.
     pub fn argmax(&self) -> Option<SweepCell> {
-        self.cells
-            .iter()
-            .copied()
-            .max_by(|a, b| a.mbs.partial_cmp(&b.mbs).unwrap_or(std::cmp::Ordering::Equal))
+        self.cells.iter().copied().max_by(|a, b| {
+            a.mbs
+                .partial_cmp(&b.mbs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// The cell at `(nc, np)`, if it was swept.
     pub fn at(&self, nc: u32, np: u32) -> Option<SweepCell> {
-        self.cells.iter().copied().find(|c| c.nc == nc && c.np == np)
+        self.cells
+            .iter()
+            .copied()
+            .find(|c| c.nc == nc && c.np == np)
     }
 
     /// Render as CSV: `nc,np,mbs` rows.
@@ -139,7 +143,10 @@ mod tests {
         );
         let b_idle = idle.argmax().unwrap();
         let b_loaded = loaded.argmax().unwrap();
-        assert!(b_loaded.nc >= b_idle.nc, "critical point must not move left");
+        assert!(
+            b_loaded.nc >= b_idle.nc,
+            "critical point must not move left"
+        );
         assert!(b_loaded.mbs < b_idle.mbs, "peak must fall under load");
     }
 
@@ -181,7 +188,11 @@ mod tests {
     #[test]
     fn csv_rendering() {
         let s = Surface {
-            cells: vec![SweepCell { nc: 2, np: 8, mbs: 2500.125 }],
+            cells: vec![SweepCell {
+                nc: 2,
+                np: 8,
+                mbs: 2500.125,
+            }],
         };
         assert_eq!(s.to_csv(), "nc,np,mbs\n2,8,2500.12\n");
         assert_eq!(s.at(2, 8).unwrap().mbs, 2500.125);

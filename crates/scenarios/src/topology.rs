@@ -206,7 +206,10 @@ mod tests {
         let r64 = steady_rate(Route::UChicago, StreamParams::new(64, 8));
         let r256 = steady_rate(Route::UChicago, StreamParams::new(256, 8));
         assert!(r8 > r64 * 0.9, "r8={r8} r64={r64}");
-        assert!(r64 > r256, "context-switch overhead must bite: r64={r64} r256={r256}");
+        assert!(
+            r64 > r256,
+            "context-switch overhead must bite: r64={r64} r256={r256}"
+        );
     }
 
     #[test]

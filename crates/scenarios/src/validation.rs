@@ -43,7 +43,13 @@ impl ValidationReport {
         self.checks.iter().filter(|c| !c.passed).count()
     }
 
-    fn push(&mut self, name: &'static str, expectation: &'static str, measured: String, passed: bool) {
+    fn push(
+        &mut self,
+        name: &'static str,
+        expectation: &'static str,
+        measured: String,
+        passed: bool,
+    ) {
         self.checks.push(Check {
             name,
             expectation,
@@ -87,14 +93,21 @@ pub fn validate(seed: u64, thorough: bool) -> ValidationReport {
     report.push(
         "fig1.rises-to-critical",
         "throughput rises monotonically toward a critical stream count",
-        format!("nc=1 gives {:.0}, peak {:.0} at nc={}", idle[0].1, idle_peak, idle_nc),
+        format!(
+            "nc=1 gives {:.0}, peak {:.0} at nc={}",
+            idle[0].1, idle_peak, idle_nc
+        ),
         rising,
     );
     let falls = idle.last().unwrap().1 < idle_peak * 0.97;
     report.push(
         "fig1.falls-after-critical",
         "throughput declines past the critical point",
-        format!("nc=512 gives {:.0} vs peak {:.0}", idle.last().unwrap().1, idle_peak),
+        format!(
+            "nc=512 gives {:.0} vs peak {:.0}",
+            idle.last().unwrap().1,
+            idle_peak
+        ),
         falls,
     );
     // The argmax of a noisy, plateauing curve is a fragile "critical point"
@@ -165,7 +178,10 @@ pub fn validate(seed: u64, thorough: bool) -> ValidationReport {
     report.push(
         "fig6.nc-grows-under-load",
         "adopted concurrency grows with compute load",
-        format!("final nc: idle {} vs cmp=16 {}", nm0.final_nc, nm16.final_nc),
+        format!(
+            "final nc: idle {} vs cmp=16 {}",
+            nm0.final_nc, nm16.final_nc
+        ),
         nm16.final_nc > nm0.final_nc,
     );
     let cs0 = runs

@@ -205,7 +205,8 @@ impl FaultPlan {
     /// True when a [`FaultKind::FlowStall`] window covers `transfer` at `t`.
     pub fn is_stalled_at(&self, transfer: u64, t: SimTime) -> bool {
         self.events.iter().any(|e| {
-            e.active_at(t) && matches!(e.kind, FaultKind::FlowStall { transfer: tr } if tr == transfer)
+            e.active_at(t)
+                && matches!(e.kind, FaultKind::FlowStall { transfer: tr } if tr == transfer)
         })
     }
 
@@ -375,9 +376,7 @@ impl FaultPlan {
     /// Independent RNG stream per (generator kind, target), so merging
     /// several generated plans never correlates their event times.
     fn stream(seed: u64, generator: u64, target: u64) -> SmallRng {
-        RngFactory::new(seed)
-            .subfactory(generator)
-            .rng_for(target)
+        RngFactory::new(seed).subfactory(generator).rng_for(target)
     }
 }
 
@@ -415,18 +414,28 @@ mod tests {
             .with(FaultEvent::window(
                 t(0.0),
                 d(100.0),
-                FaultKind::LinkDegrade { link: 3, factor: 0.5 },
+                FaultKind::LinkDegrade {
+                    link: 3,
+                    factor: 0.5,
+                },
             ))
             .with(FaultEvent::window(
                 t(50.0),
                 d(100.0),
-                FaultKind::LinkDegrade { link: 3, factor: 0.5 },
+                FaultKind::LinkDegrade {
+                    link: 3,
+                    factor: 0.5,
+                },
             ));
         assert_eq!(plan.link_factor_at(3, t(25.0)), 0.5);
         assert_eq!(plan.link_factor_at(3, t(75.0)), 0.25);
         assert_eq!(plan.link_factor_at(3, t(125.0)), 0.5);
         assert_eq!(plan.link_factor_at(3, t(200.0)), 1.0);
-        assert_eq!(plan.link_factor_at(0, t(25.0)), 1.0, "other links untouched");
+        assert_eq!(
+            plan.link_factor_at(0, t(25.0)),
+            1.0,
+            "other links untouched"
+        );
     }
 
     #[test]
@@ -435,9 +444,16 @@ mod tests {
             .with(FaultEvent::window(
                 t(0.0),
                 d(10.0),
-                FaultKind::LinkDegrade { link: 0, factor: 0.9 },
+                FaultKind::LinkDegrade {
+                    link: 0,
+                    factor: 0.9,
+                },
             ))
-            .with(FaultEvent::window(t(5.0), d(2.0), FaultKind::LinkFlap { link: 0 }));
+            .with(FaultEvent::window(
+                t(5.0),
+                d(2.0),
+                FaultKind::LinkFlap { link: 0 },
+            ));
         assert_eq!(plan.link_factor_at(0, t(6.0)), 0.0);
         assert_eq!(plan.link_factor_at(0, t(8.0)), 0.9);
     }
@@ -448,7 +464,10 @@ mod tests {
             .with(FaultEvent::window(
                 t(10.0),
                 d(10.0),
-                FaultKind::RttSpike { path: 1, factor: 4.0 },
+                FaultKind::RttSpike {
+                    path: 1,
+                    factor: 4.0,
+                },
             ))
             .with(FaultEvent::window(
                 t(30.0),
@@ -466,8 +485,14 @@ mod tests {
     #[test]
     fn events_stay_sorted_and_merge() {
         let a = FaultPlan::new()
-            .with(FaultEvent::instant(t(30.0), FaultKind::TransferAbort { transfer: 0 }))
-            .with(FaultEvent::instant(t(10.0), FaultKind::TransferAbort { transfer: 0 }));
+            .with(FaultEvent::instant(
+                t(30.0),
+                FaultKind::TransferAbort { transfer: 0 },
+            ))
+            .with(FaultEvent::instant(
+                t(10.0),
+                FaultKind::TransferAbort { transfer: 0 },
+            ));
         let b = FaultPlan::new().with(FaultEvent::instant(
             t(20.0),
             FaultKind::TransferAbort { transfer: 1 },
@@ -490,7 +515,11 @@ mod tests {
         assert_eq!(plan.next_boundary_after(t(0.0), t(100.0)), Some(t(10.0)));
         assert_eq!(plan.next_boundary_after(t(10.0), t(100.0)), Some(t(15.0)));
         assert_eq!(plan.next_boundary_after(t(15.0), t(100.0)), None);
-        assert_eq!(plan.next_boundary_after(t(0.0), t(10.0)), None, "strictly inside");
+        assert_eq!(
+            plan.next_boundary_after(t(0.0), t(10.0)),
+            None,
+            "strictly inside"
+        );
     }
 
     #[test]
@@ -503,7 +532,10 @@ mod tests {
         // Mean up 300 s over 1800 s: expect a handful of flaps.
         assert!(!a.is_empty(), "expected at least one flap");
         assert!(a.events().iter().all(|e| e.at.as_secs_f64() < 1800.0));
-        assert!(a.events().iter().all(|e| e.end().as_secs_f64() <= 1800.0 + 1e-6));
+        assert!(a
+            .events()
+            .iter()
+            .all(|e| e.end().as_secs_f64() <= 1800.0 + 1e-6));
     }
 
     #[test]
@@ -512,7 +544,10 @@ mod tests {
         let stalls = FaultPlan::stalls(7, 0, 1800.0, 100.0, 10.0);
         let t_flaps: Vec<f64> = flaps.events().iter().map(|e| e.at.as_secs_f64()).collect();
         let t_stalls: Vec<f64> = stalls.events().iter().map(|e| e.at.as_secs_f64()).collect();
-        assert_ne!(t_flaps, t_stalls, "same seed, different generator, different times");
+        assert_ne!(
+            t_flaps, t_stalls,
+            "same seed, different generator, different times"
+        );
     }
 
     #[test]
@@ -528,13 +563,27 @@ mod tests {
     #[test]
     #[should_panic(expected = "degrade factor must be in [0,1]")]
     fn bad_degrade_factor_rejected() {
-        FaultEvent::window(t(0.0), d(1.0), FaultKind::LinkDegrade { link: 0, factor: 1.5 });
+        FaultEvent::window(
+            t(0.0),
+            d(1.0),
+            FaultKind::LinkDegrade {
+                link: 0,
+                factor: 1.5,
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "RTT spike factor must be >= 1")]
     fn bad_rtt_factor_rejected() {
-        FaultEvent::window(t(0.0), d(1.0), FaultKind::RttSpike { path: 0, factor: 0.5 });
+        FaultEvent::window(
+            t(0.0),
+            d(1.0),
+            FaultKind::RttSpike {
+                path: 0,
+                factor: 0.5,
+            },
+        );
     }
 
     #[test]

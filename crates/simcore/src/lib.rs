@@ -48,6 +48,7 @@
 mod engine;
 mod event;
 pub mod faults;
+pub mod metrics;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -57,8 +58,12 @@ pub mod trace;
 pub use engine::Engine;
 pub use event::{EventQueue, Scheduled};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use metrics::{
+    Counter, Gauge, LogHistogram, MetricKind, MetricSample, MetricsRegistry, MetricsSnapshot,
+    SampleValue,
+};
 pub use rng::{RngFactory, SeedStream};
 pub use series::{StepSeries, TimeSeries};
 pub use stats::{BoxplotStats, Histogram, OnlineStats, P2Quantile};
-pub use trace::{TraceEvent, Tracer};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, Tracer};

@@ -1,0 +1,1091 @@
+//! Structured metrics: counters, gauges, log-bucket histograms, and a
+//! labelled registry with deterministic, mergeable snapshots.
+//!
+//! This is the workspace's flight recorder. Where [`crate::trace`] records
+//! free-form strings, this module records **typed** quantities that experiment
+//! harnesses can aggregate, diff, and snapshot byte-for-byte:
+//!
+//! * [`Counter`] — monotonically non-decreasing `u64` (events, retries,
+//!   restarts, faults fired).
+//! * [`Gauge`] — a `f64` level (current fair share, link capacity factor,
+//!   congestion-window sum).
+//! * [`LogHistogram`] — fixed **logarithmic** bucket bounds chosen at
+//!   construction, so merges across runs/shards are exact on the counts and
+//!   quantile estimates are always bracketed by bucket edges.
+//! * [`MetricsRegistry`] — owns metrics keyed by `(name, labels)`; label sets
+//!   are normalized (sorted, deduplicated) so the same logical series always
+//!   lands in the same slot.
+//! * [`MetricsSnapshot`] — an ordered, immutable view that renders to JSONL
+//!   ([`MetricsSnapshot::to_jsonl`]) and Prometheus text exposition
+//!   ([`MetricsSnapshot::to_prometheus`]), and merges with other snapshots
+//!   (counters add, gauges right-bias, histograms add bucket-wise).
+//!
+//! Everything is plain data over [`std::collections::BTreeMap`], so two runs
+//! of the same seeded simulation produce **bit-identical** snapshots — the
+//! property the golden tests in `tests/telemetry.rs` pin down.
+//!
+//! # Example
+//!
+//! ```
+//! use xferopt_simcore::metrics::{LogHistogram, MetricsRegistry};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.counter("epochs_total", &[("tuner", "cs")]).inc();
+//! reg.gauge("fair_share_mbs", &[("flow", "0")]).set(2500.0);
+//! reg.histogram("observed_mbs", &[], LogHistogram::throughput_bounds())
+//!     .observe(2500.0);
+//! let snap = reg.snapshot();
+//! assert!(snap.to_prometheus().contains("epochs_total{tuner=\"cs\"} 1"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A monotonically non-decreasing event counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// An instantaneous level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replace the level.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+    }
+
+    /// Shift the level by `dv`.
+    pub fn add(&mut self, dv: f64) {
+        self.value += dv;
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A histogram over fixed, strictly increasing bucket bounds (upper edges),
+/// with an implicit `+Inf` overflow bucket — the Prometheus `le` convention.
+///
+/// Bucket `i` counts observations `x <= bounds[i]` that no earlier bucket
+/// took; the final implicit bucket takes everything above the last bound.
+/// Because the bounds are fixed at construction, merging two histograms with
+/// the same bounds is exact on every count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// A histogram over explicit upper-edge `bounds`.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        let n = bounds.len();
+        LogHistogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Logarithmic bounds: `n` upper edges starting at `lo`, each `factor`
+    /// times the previous (`lo, lo·factor, lo·factor², …`).
+    ///
+    /// # Panics
+    /// Panics if `lo <= 0`, `factor <= 1`, or `n == 0`.
+    pub fn log_bounds(lo: f64, factor: f64, n: usize) -> Vec<f64> {
+        assert!(lo > 0.0, "lo must be positive");
+        assert!(factor > 1.0, "factor must exceed 1");
+        assert!(n > 0, "need at least one bound");
+        (0..n).map(|i| lo * factor.powi(i as i32)).collect()
+    }
+
+    /// The workspace's canonical throughput bounds: powers of two from
+    /// 1 MB/s to 16384 MB/s (15 buckets + overflow), covering everything the
+    /// paper's testbeds can produce.
+    pub fn throughput_bounds() -> Vec<f64> {
+        Self::log_bounds(1.0, 2.0, 15)
+    }
+
+    /// The workspace's canonical duration bounds: powers of two from
+    /// 0.125 s to 512 s (13 buckets + overflow) — startup delays, backoffs,
+    /// epoch lengths.
+    pub fn duration_bounds() -> Vec<f64> {
+        Self::log_bounds(0.125, 2.0, 13)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, x: f64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < x)
+            .min(self.bounds.len());
+        // partition_point gives the first bound >= x (le-style), or
+        // bounds.len() for the overflow bucket.
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// The configured upper edges (excludes the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate quantile `q ∈ [0, 1]` as the **upper edge** of the bucket
+    /// holding the `⌈q·count⌉`-th observation, clamped to the observed
+    /// `[min, max]`. By construction the estimate is always bracketed by the
+    /// bucket edges around the true value. Returns `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let edge = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: the max is the only upper bracket.
+                    self.max
+                };
+                return Some(edge.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A normalized label set: sorted by key, duplicate keys collapsed
+/// (last value wins).
+pub type Labels = Vec<(String, String)>;
+
+/// Normalize a label slice into a canonical [`Labels`] value.
+pub fn normalize_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut map: BTreeMap<&str, &str> = BTreeMap::new();
+    for &(k, v) in labels {
+        map.insert(k, v);
+    }
+    map.into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// What kind of metric a name holds (one kind per name, enforced by the
+/// registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous level.
+    Gauge,
+    /// Fixed-bound histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(LogHistogram),
+}
+
+/// Owns labelled metrics; the write-side API of the telemetry layer.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<(String, Labels), Metric>,
+    kinds: BTreeMap<String, MetricKind>,
+}
+
+fn assert_valid_name(name: &str) {
+    assert!(
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_alphabetic() || c == '_')
+                .unwrap_or(false)
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "invalid metric name: {name:?} (use [a-zA-Z_][a-zA-Z0-9_]*)"
+    );
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn register_kind(&mut self, name: &str, kind: MetricKind) {
+        assert_valid_name(name);
+        match self.kinds.get(name) {
+            None => {
+                self.kinds.insert(name.to_string(), kind);
+            }
+            Some(&k) => assert_eq!(
+                k, kind,
+                "metric {name:?} already registered with a different kind"
+            ),
+        }
+    }
+
+    /// The counter at `(name, labels)`, created at zero on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is invalid or already holds a different metric kind.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Counter {
+        self.register_kind(name, MetricKind::Counter);
+        let key = (name.to_string(), normalize_labels(labels));
+        match self
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind registry guards this"),
+        }
+    }
+
+    /// The gauge at `(name, labels)`, created at zero on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is invalid or already holds a different metric kind.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Gauge {
+        self.register_kind(name, MetricKind::Gauge);
+        let key = (name.to_string(), normalize_labels(labels));
+        match self
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind registry guards this"),
+        }
+    }
+
+    /// The histogram at `(name, labels)`, created empty over `bounds` on
+    /// first use (later calls ignore `bounds` — the first registration wins).
+    ///
+    /// # Panics
+    /// Panics if `name` is invalid, already holds a different metric kind, or
+    /// `bounds` is invalid on first registration.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<f64>,
+    ) -> &mut LogHistogram {
+        self.register_kind(name, MetricKind::Histogram);
+        let key = (name.to_string(), normalize_labels(labels));
+        match self
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(LogHistogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind registry guards this"),
+        }
+    }
+
+    /// Number of registered `(name, labels)` series.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// An ordered, immutable snapshot of every series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let samples = self
+            .metrics
+            .iter()
+            .map(|((name, labels), m)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match m {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.clone()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}
+
+/// The value of one snapshot sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(LogHistogram),
+}
+
+impl SampleValue {
+    /// The metric kind of this value.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            SampleValue::Counter(_) => MetricKind::Counter,
+            SampleValue::Gauge(_) => MetricKind::Gauge,
+            SampleValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One `(name, labels, value)` triple in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Normalized labels.
+    pub labels: Labels,
+    /// The value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// An ordered, mergeable, serializable view of a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Samples sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+}
+
+/// Format a float for JSON: finite values use Rust's shortest round-trip
+/// representation; non-finite values become `null`. Public so downstream
+/// telemetry emitters render floats byte-identically to the registry.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Format a float for Prometheus exposition (`+Inf`/`-Inf`/`NaN` spellings).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escape a string for a JSON (or Prometheus label) literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl MetricsSnapshot {
+    /// Look up a sample by name and (unnormalized) labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SampleValue> {
+        let want = normalize_labels(labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .map(|s| &s.value)
+    }
+
+    /// Merge `other` into this snapshot: counters add, gauges take `other`'s
+    /// level (right-biased — the later shard wins), histograms add
+    /// bucket-wise. Series missing on one side are carried over.
+    ///
+    /// # Panics
+    /// Panics if the same series has different kinds or histogram bounds.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut map: BTreeMap<(String, Labels), SampleValue> = self
+            .samples
+            .drain(..)
+            .map(|s| ((s.name, s.labels), s.value))
+            .collect();
+        for s in &other.samples {
+            let key = (s.name.clone(), s.labels.clone());
+            match map.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(s.value.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    match (e.get_mut(), &s.value) {
+                        (SampleValue::Counter(a), SampleValue::Counter(b)) => {
+                            *a = a.saturating_add(*b)
+                        }
+                        (SampleValue::Gauge(a), SampleValue::Gauge(b)) => *a = *b,
+                        (SampleValue::Histogram(a), SampleValue::Histogram(b)) => a.merge(b),
+                        (a, b) => panic!(
+                            "kind mismatch merging {:?}: {:?} vs {:?}",
+                            s.name,
+                            a.kind(),
+                            b.kind()
+                        ),
+                    }
+                }
+            }
+        }
+        self.samples = map
+            .into_iter()
+            .map(|((name, labels), value)| MetricSample {
+                name,
+                labels,
+                value,
+            })
+            .collect();
+    }
+
+    /// Render as JSON Lines: one flat object per sample, fields in a fixed
+    /// order, floats in shortest round-trip form — byte-deterministic for a
+    /// given snapshot.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let labels = s
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"counter\",\"name\":\"{}\",\"labels\":{{{labels}}},\"value\":{v}}}",
+                        escape(&s.name)
+                    );
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"gauge\",\"name\":\"{}\",\"labels\":{{{labels}}},\"value\":{}}}",
+                        escape(&s.name),
+                        json_f64(*v)
+                    );
+                }
+                SampleValue::Histogram(h) => {
+                    let bounds = h
+                        .bounds()
+                        .iter()
+                        .map(|&b| json_f64(b))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let counts = h
+                        .counts()
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"histogram\",\"name\":\"{}\",\"labels\":{{{labels}}},\
+                         \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                         \"bounds\":[{bounds}],\"counts\":[{counts}]}}",
+                        escape(&s.name),
+                        h.count(),
+                        json_f64(h.sum()),
+                        json_f64(h.min()),
+                        json_f64(h.max()),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as Prometheus text exposition format (v0.0.4): `# TYPE` lines
+    /// per metric name, `_bucket`/`_sum`/`_count` expansion for histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for s in &self.samples {
+            if last_name != Some(s.name.as_str()) {
+                let _ = writeln!(
+                    out,
+                    "# TYPE {} {}",
+                    s.name,
+                    s.value.kind().prometheus_type()
+                );
+                last_name = Some(s.name.as_str());
+            }
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", s.name, prom_labels(&s.labels, None));
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        prom_f64(*v)
+                    );
+                }
+                SampleValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &c) in h.counts().iter().enumerate() {
+                        cum += c;
+                        let le = if i < h.bounds().len() {
+                            prom_f64(h.bounds()[i])
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cum}",
+                            s.name,
+                            prom_labels(&s.labels, Some(("le", &le)))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        prom_f64(h.sum())
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::new();
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn log_bounds_are_geometric() {
+        let b = LogHistogram::log_bounds(1.0, 2.0, 4);
+        assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(LogHistogram::throughput_bounds().len(), 15);
+        assert_eq!(*LogHistogram::throughput_bounds().last().unwrap(), 16384.0);
+    }
+
+    #[test]
+    fn histogram_le_bucketing() {
+        let mut h = LogHistogram::new(vec![1.0, 10.0, 100.0]);
+        h.observe(0.5); // <= 1
+        h.observe(1.0); // <= 1 (le convention: on the edge goes low)
+        h.observe(5.0); // <= 10
+        h.observe(100.0); // <= 100
+        h.observe(1000.0); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 1000.0);
+        assert!((h.sum() - 1106.5).abs() < 1e-12);
+        assert!((h.mean() - 221.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracketed() {
+        let mut h = LogHistogram::new(LogHistogram::log_bounds(1.0, 2.0, 10));
+        for x in [3.0, 3.5, 7.0, 30.0, 100.0] {
+            h.observe(x);
+        }
+        let med = h.quantile(0.5).unwrap();
+        // Median observation is 7.0 → bucket (4, 8]: estimate must be 8,
+        // clamped inside [min, max].
+        assert_eq!(med, 8.0);
+        assert_eq!(h.quantile(0.0).unwrap(), 4.0_f64.clamp(h.min(), h.max()));
+        assert!(h.quantile(1.0).unwrap() <= h.max());
+        assert!(LogHistogram::new(vec![1.0]).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge_conserves_counts() {
+        let bounds = LogHistogram::log_bounds(1.0, 4.0, 5);
+        let mut a = LogHistogram::new(bounds.clone());
+        let mut b = LogHistogram::new(bounds);
+        for x in [0.5, 2.0, 900.0] {
+            a.observe(x);
+        }
+        for x in [3.0, 5000.0] {
+            b.observe(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.counts().iter().sum::<u64>(), 5);
+        assert_eq!(a.min(), 0.5);
+        assert_eq!(a.max(), 5000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_merge_rejects_different_bounds() {
+        let mut a = LogHistogram::new(vec![1.0, 2.0]);
+        let b = LogHistogram::new(vec![1.0, 3.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        LogHistogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_label_normalization_dedups() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("hits", &[("b", "2"), ("a", "1")]).inc();
+        reg.counter("hits", &[("a", "1"), ("b", "2")]).inc();
+        // Duplicate keys collapse, last value wins.
+        reg.counter("hits", &[("a", "0"), ("b", "2"), ("a", "1")])
+            .inc();
+        assert_eq!(reg.len(), 1, "all three spellings are one series");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("hits", &[("a", "1"), ("b", "2")]),
+            Some(&SampleValue::Counter(3))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_change() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x", &[]).inc();
+        reg.gauge("x", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_bad_name() {
+        MetricsRegistry::new().counter("bad name!", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            reg.gauge("zeta", &[]).set(1.0);
+            reg.counter("alpha", &[("x", "2")]).add(7);
+            reg.counter("alpha", &[("x", "1")]).add(3);
+            reg.snapshot()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert_eq!(a.samples[0].name, "alpha");
+        assert_eq!(a.samples[0].labels, normalize_labels(&[("x", "1")]));
+        assert_eq!(a.to_jsonl(), build().to_jsonl());
+        assert_eq!(a.to_prometheus(), build().to_prometheus());
+    }
+
+    #[test]
+    fn snapshot_merge_semantics() {
+        let mut r1 = MetricsRegistry::new();
+        r1.counter("c", &[]).add(2);
+        r1.gauge("g", &[]).set(1.0);
+        r1.histogram("h", &[], vec![1.0, 10.0]).observe(5.0);
+        let mut r2 = MetricsRegistry::new();
+        r2.counter("c", &[]).add(3);
+        r2.gauge("g", &[]).set(9.0);
+        r2.histogram("h", &[], vec![1.0, 10.0]).observe(50.0);
+        r2.counter("only2", &[]).inc();
+
+        let mut snap = r1.snapshot();
+        snap.merge(&r2.snapshot());
+        assert_eq!(snap.get("c", &[]), Some(&SampleValue::Counter(5)));
+        assert_eq!(snap.get("g", &[]), Some(&SampleValue::Gauge(9.0)));
+        assert_eq!(snap.get("only2", &[]), Some(&SampleValue::Counter(1)));
+        match snap.get("h", &[]).unwrap() {
+            SampleValue::Histogram(h) => {
+                assert_eq!(h.count(), 2);
+                assert_eq!(h.counts(), &[0, 1, 1]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("epochs_total", &[("tuner", "cs")]).add(60);
+        reg.histogram("obs_mbs", &[], vec![1.0, 2.0]).observe(1.5);
+        let jsonl = reg.snapshot().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"counter\",\"name\":\"epochs_total\",\"labels\":{\"tuner\":\"cs\"},\"value\":60}"
+        );
+        assert!(lines[1].contains("\"counts\":[0,1,0]"), "{}", lines[1]);
+        assert!(lines[1].contains("\"sum\":1.5"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("epochs_total", &[("tuner", "cs")]).add(60);
+        reg.histogram("obs_mbs", &[], vec![1.0, 2.0]).observe(1.5);
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("# TYPE epochs_total counter"), "{prom}");
+        assert!(prom.contains("epochs_total{tuner=\"cs\"} 60"), "{prom}");
+        assert!(prom.contains("# TYPE obs_mbs histogram"), "{prom}");
+        assert!(prom.contains("obs_mbs_bucket{le=\"1\"} 0"), "{prom}");
+        assert!(prom.contains("obs_mbs_bucket{le=\"2\"} 1"), "{prom}");
+        assert!(prom.contains("obs_mbs_bucket{le=\"+Inf\"} 1"), "{prom}");
+        assert!(prom.contains("obs_mbs_sum 1.5"), "{prom}");
+        assert!(prom.contains("obs_mbs_count 1"), "{prom}");
+    }
+
+    #[test]
+    fn escaping_in_labels() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("g", &[("path", "a\"b\\c\nd")]).set(1.0);
+        let jsonl = reg.snapshot().to_jsonl();
+        assert!(jsonl.contains("a\\\"b\\\\c\\nd"), "{jsonl}");
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("path=\"a\\\"b\\\\c\\nd\""), "{prom}");
+    }
+
+    #[test]
+    fn empty_histogram_serializes_nonfinite_as_null() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("h", &[], vec![1.0]);
+        let jsonl = reg.snapshot().to_jsonl();
+        assert!(jsonl.contains("\"min\":null,\"max\":null"), "{jsonl}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Integer-valued observations so float sums are exact and merge-order
+    /// comparisons can assert bitwise equality.
+    fn arb_obs() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec((0i64..100_000).prop_map(|v| v as f64), 0..60)
+    }
+
+    fn hist_of(bounds: &[f64], obs: &[f64]) -> LogHistogram {
+        let mut h = LogHistogram::new(bounds.to_vec());
+        for &x in obs {
+            h.observe(x);
+        }
+        h
+    }
+
+    proptest! {
+        /// merge(a, b) == merge(b, a) on counts/count/min/max, and sums agree
+        /// exactly for integer-valued observations.
+        #[test]
+        fn histogram_merge_commutative(a in arb_obs(), b in arb_obs()) {
+            let bounds = LogHistogram::log_bounds(1.0, 2.0, 12);
+            let mut ab = hist_of(&bounds, &a);
+            ab.merge(&hist_of(&bounds, &b));
+            let mut ba = hist_of(&bounds, &b);
+            ba.merge(&hist_of(&bounds, &a));
+            prop_assert_eq!(ab.counts(), ba.counts());
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert_eq!(ab.sum(), ba.sum());
+            prop_assert_eq!(ab.min(), ba.min());
+            prop_assert_eq!(ab.max(), ba.max());
+        }
+
+        /// (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        #[test]
+        fn histogram_merge_associative(a in arb_obs(), b in arb_obs(), c in arb_obs()) {
+            let bounds = LogHistogram::log_bounds(1.0, 2.0, 12);
+            let mut left = hist_of(&bounds, &a);
+            left.merge(&hist_of(&bounds, &b));
+            left.merge(&hist_of(&bounds, &c));
+            let mut bc = hist_of(&bounds, &b);
+            bc.merge(&hist_of(&bounds, &c));
+            let mut right = hist_of(&bounds, &a);
+            right.merge(&bc);
+            prop_assert_eq!(left.counts(), right.counts());
+            prop_assert_eq!(left.count(), right.count());
+            prop_assert_eq!(left.sum(), right.sum());
+        }
+
+        /// Splitting a stream at any point and merging the halves conserves
+        /// every count and equals observing the whole stream directly.
+        #[test]
+        fn histogram_split_merge_conserves(obs in arb_obs(), split in 0usize..60) {
+            let bounds = LogHistogram::log_bounds(1.0, 2.0, 12);
+            let cut = split.min(obs.len());
+            let mut merged = hist_of(&bounds, &obs[..cut]);
+            merged.merge(&hist_of(&bounds, &obs[cut..]));
+            let whole = hist_of(&bounds, &obs);
+            prop_assert_eq!(merged.counts(), whole.counts());
+            prop_assert_eq!(merged.count(), whole.count());
+            prop_assert_eq!(merged.count(), obs.len() as u64);
+            prop_assert_eq!(merged.sum(), whole.sum());
+        }
+
+        /// Quantile estimates are always within [min, max] and within the
+        /// bucket edges bracketing the true order statistic.
+        #[test]
+        fn histogram_quantiles_bounded(obs in arb_obs(), qq in 0u32..=100) {
+            let bounds = LogHistogram::log_bounds(1.0, 2.0, 16);
+            let h = hist_of(&bounds, &obs);
+            let q = qq as f64 / 100.0;
+            match h.quantile(q) {
+                None => prop_assert!(obs.is_empty()),
+                Some(est) => {
+                    prop_assert!(est >= h.min(), "est {est} < min {}", h.min());
+                    prop_assert!(est <= h.max(), "est {est} > max {}", h.max());
+                    // Bracketing: the true order statistic's bucket upper
+                    // edge is >= the true value's lower bucket edge.
+                    let mut sorted = obs.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+                    let truth = sorted[rank];
+                    // The estimate is the upper edge of truth's bucket (or
+                    // clamped): it can never undershoot truth's lower edge.
+                    let lower_edge = bounds.iter().rev().find(|&&b| b < truth).copied()
+                        .unwrap_or(f64::NEG_INFINITY);
+                    prop_assert!(est >= lower_edge.min(h.max()).max(h.min()) || est >= truth.min(h.max()),
+                        "est {est} below bucket floor {lower_edge} of truth {truth}");
+                }
+            }
+        }
+
+        /// Any permutation/duplication of a label list lands in the same
+        /// registry slot (normalization dedups and sorts).
+        #[test]
+        fn registry_label_sets_dedup(
+            keys in prop::collection::vec(0u8..3, 1..5),
+            vals in prop::collection::vec(0u8..3, 1..5),
+            shuffle_seed in 0u64..1000,
+        ) {
+            let n = keys.len().min(vals.len());
+            let key_names = ["a", "b", "c"];
+            let val_names = ["x", "y", "z"];
+            // Keys are made unique per position (normalization is last-wins,
+            // so permutation invariance only holds for unique keys).
+            let pairs: Vec<(String, String)> = keys[..n]
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| format!("{}{}", key_names[k as usize], i))
+                .zip(vals[..n].iter().map(|&v| val_names[v as usize].to_string()))
+                .collect();
+            let refs: Vec<(&str, &str)> =
+                pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            // A deterministic pseudo-shuffle of the same pairs.
+            let mut shuffled = refs.clone();
+            let mut s = shuffle_seed;
+            for i in (1..shuffled.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                shuffled.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            let mut reg = MetricsRegistry::new();
+            reg.counter("series", &refs).inc();
+            reg.counter("series", &shuffled).inc();
+            // Duplicate-key spelling (same final values) also collapses.
+            let mut dup = refs.clone();
+            dup.extend(refs.iter().cloned());
+            reg.counter("series", &dup).inc();
+            prop_assert_eq!(reg.len(), 1);
+            let snap = reg.snapshot();
+            prop_assert_eq!(snap.get("series", &refs), Some(&SampleValue::Counter(3)));
+        }
+
+        /// JSONL and Prometheus renderings are pure functions of the
+        /// snapshot: render twice, get identical bytes.
+        #[test]
+        fn renderings_are_deterministic(obs in arb_obs()) {
+            let mut reg = MetricsRegistry::new();
+            for (i, &x) in obs.iter().enumerate() {
+                reg.counter("events_total", &[("shard", if i % 2 == 0 { "a" } else { "b" })]).inc();
+                reg.histogram("values", &[], LogHistogram::log_bounds(1.0, 2.0, 10)).observe(x);
+                reg.gauge("level", &[]).set(x);
+            }
+            let snap = reg.snapshot();
+            prop_assert_eq!(snap.to_jsonl(), reg.snapshot().to_jsonl());
+            prop_assert_eq!(snap.to_prometheus(), reg.snapshot().to_prometheus());
+        }
+    }
+}

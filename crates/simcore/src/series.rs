@@ -30,7 +30,10 @@ impl TimeSeries {
     /// Panics if `t` precedes the previous sample.
     pub fn push(&mut self, t: SimTime, value: f64) {
         if let Some(&(last, _)) = self.points.last() {
-            assert!(t >= last, "time series sample out of order: {last} then {t}");
+            assert!(
+                t >= last,
+                "time series sample out of order: {last} then {t}"
+            );
         }
         self.points.push((t, value));
     }
@@ -88,7 +91,12 @@ impl TimeSeries {
 
     /// Resample to a uniform grid with spacing `dt` over `[start, end]`,
     /// holding the most recent sample (zero before the first sample).
-    pub fn resample_hold(&self, start: SimTime, end: SimTime, dt: SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn resample_hold(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        dt: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         assert!(dt.is_positive(), "resample step must be positive");
         let mut out = Vec::new();
         let mut idx = 0usize;
@@ -133,7 +141,10 @@ impl StepSeries {
     /// Panics if `t` precedes the previous change.
     pub fn set(&mut self, t: SimTime, value: f64) {
         if let Some(&mut (last, ref mut v)) = self.steps.last_mut() {
-            assert!(t >= last, "step series change out of order: {last} then {t}");
+            assert!(
+                t >= last,
+                "step series change out of order: {last} then {t}"
+            );
             if last == t {
                 *v = value;
                 return;
@@ -189,7 +200,12 @@ impl StepSeries {
 
     /// Resample to a uniform grid (sample-and-hold), like
     /// [`TimeSeries::resample_hold`].
-    pub fn resample_hold(&self, start: SimTime, end: SimTime, dt: SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn resample_hold(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        dt: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         assert!(dt.is_positive(), "resample step must be positive");
         let mut out = Vec::new();
         let mut t = start;

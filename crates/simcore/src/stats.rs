@@ -214,8 +214,7 @@ impl P2Quantile {
 
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = if s > 0.0 { i + 1 } else { i - 1 };
-        self.heights[i]
-            + s * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
+        self.heights[i] + s * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
     }
 
     /// Current estimate. Falls back to the exact order statistic while fewer

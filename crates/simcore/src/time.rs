@@ -14,13 +14,17 @@ pub const NANOS_PER_SEC: i64 = 1_000_000_000;
 
 /// An absolute instant on the simulated clock, in nanoseconds since the
 /// simulation epoch (t = 0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(i64);
 
 /// A span of simulated time, in nanoseconds. May be negative as an
 /// intermediate value (e.g. when subtracting instants), though schedulers
 /// reject scheduling into the past.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(i64);
 
 impl SimTime {
@@ -291,7 +295,10 @@ mod tests {
 
     #[test]
     fn display_formats_seconds() {
-        assert_eq!(format!("{}", SimTime::from_millis_for_test(1500)), "1.500000s");
+        assert_eq!(
+            format!("{}", SimTime::from_millis_for_test(1500)),
+            "1.500000s"
+        );
     }
 
     impl SimTime {
@@ -302,8 +309,12 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_secs(1)).is_some());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_secs(1))
+            .is_some());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`report`] — epoch reports and whole-transfer logs.
 //! * [`retry::RetryPolicy`] — exponential backoff for transfers aborted by a
 //!   fault plan ([`world::World::enable_faults`]).
+//! * [`telemetry::WorldTelemetry`] — the opt-in flight recorder: typed
+//!   per-epoch records and a metrics registry fed by the instrumented hot
+//!   paths ([`world::World::enable_telemetry`]); strictly observational.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,10 +33,12 @@ pub mod noise;
 pub mod params;
 pub mod report;
 pub mod retry;
+pub mod telemetry;
 pub mod world;
 
 pub use noise::NoiseProcess;
 pub use params::StreamParams;
 pub use report::{EpochReport, TransferLog};
 pub use retry::RetryPolicy;
+pub use telemetry::{EpochTelemetry, WorldTelemetry};
 pub use world::{EpochStart, HostId, TransferConfig, TransferId, World};

@@ -75,11 +75,7 @@ impl TransferLog {
 
     /// Time-averaged observed throughput over the whole run (MB/s).
     pub fn mean_observed_mbs(&self) -> f64 {
-        let span: f64 = self
-            .epochs
-            .iter()
-            .map(|e| e.duration.as_secs_f64())
-            .sum();
+        let span: f64 = self.epochs.iter().map(|e| e.duration.as_secs_f64()).sum();
         if span <= 0.0 {
             0.0
         } else {
@@ -147,9 +143,7 @@ impl TransferLog {
     pub fn from_csv(csv: &str) -> Option<TransferLog> {
         let mut lines = csv.lines();
         let header = lines.next()?;
-        if header
-            != "start_s,duration_s,nc,np,bytes_mb,startup_s,observed_mbs,bestcase_mbs"
-        {
+        if header != "start_s,duration_s,nc,np,bytes_mb,startup_s,observed_mbs,bestcase_mbs" {
             return None;
         }
         let mut log = TransferLog::new();
@@ -191,7 +185,11 @@ mod tests {
             bytes_mb: mbs * dur_s as f64,
             startup_s: startup,
             observed_mbs: mbs,
-            bestcase_mbs: if up > 0.0 { mbs * dur_s as f64 / up } else { 0.0 },
+            bestcase_mbs: if up > 0.0 {
+                mbs * dur_s as f64 / up
+            } else {
+                0.0
+            },
         }
     }
 

@@ -96,7 +96,10 @@ mod tests {
         for attempt in 1..=6 {
             let raw = (p.base_s * p.factor.powi(attempt as i32 - 1)).min(p.max_s);
             let d = p.delay_s(attempt, &mut rng);
-            assert!(d >= raw * 0.75 && d <= raw * 1.25, "attempt {attempt}: {d} vs raw {raw}");
+            assert!(
+                d >= raw * 0.75 && d <= raw * 1.25,
+                "attempt {attempt}: {d} vs raw {raw}"
+            );
         }
     }
 

@@ -18,6 +18,7 @@ use crate::noise::NoiseProcess;
 use crate::params::StreamParams;
 use crate::report::EpochReport;
 use crate::retry::RetryPolicy;
+use crate::telemetry::{EpochTelemetry, WorldTelemetry};
 use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
 use xferopt_host::{AppId, AppLoad, Host, HostSpec};
@@ -186,6 +187,7 @@ pub struct World {
     tracer: Tracer,
     fidelity: Fidelity,
     faults: Option<FaultState>,
+    telemetry: Option<WorldTelemetry>,
 }
 
 impl World {
@@ -201,7 +203,34 @@ impl World {
             tracer: Tracer::disabled(),
             fidelity: Fidelity::QuasiStatic,
             faults: None,
+            telemetry: None,
         }
+    }
+
+    /// Turn on the flight recorder. Strictly observational: enabling
+    /// telemetry draws nothing from the seed stream and never mutates
+    /// simulation state, so a telemetry-enabled run moves bit-identical
+    /// bytes to a disabled one (enforced by the determinism tests).
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(WorldTelemetry::new());
+        }
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn telemetry(&self) -> Option<&WorldTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the flight recorder, if enabled (the scenario
+    /// driver folds tuner audit metrics into the same registry).
+    pub fn telemetry_mut(&mut self) -> Option<&mut WorldTelemetry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Detach and return the flight recorder, leaving telemetry disabled.
+    pub fn take_telemetry(&mut self) -> Option<WorldTelemetry> {
+        self.telemetry.take()
     }
 
     /// Inject a deterministic fault plan with the default [`RetryPolicy`].
@@ -219,8 +248,11 @@ impl World {
     /// governing post-abort backoff.
     pub fn enable_faults_with_policy(&mut self, plan: FaultPlan, policy: RetryPolicy) {
         let rng = self.seeds.next_rng();
-        self.tracer
-            .emit(self.now, "fault", format!("plan enabled events={}", plan.len()));
+        self.tracer.emit(
+            self.now,
+            "fault",
+            format!("plan enabled events={}", plan.len()),
+        );
         self.faults = Some(FaultState {
             plan,
             policy,
@@ -291,8 +323,11 @@ impl World {
 
     /// Set the number of compute hogs on a host (the paper's `ext.cmp`).
     pub fn set_compute_jobs(&mut self, host: HostId, jobs: u32) {
-        self.tracer
-            .emit(self.now, "load", format!("host{} compute_jobs={jobs}", host.0));
+        self.tracer.emit(
+            self.now,
+            "load",
+            format!("host{} compute_jobs={jobs}", host.0),
+        );
         self.hosts[host.0].set_compute_jobs(jobs);
     }
 
@@ -378,6 +413,9 @@ impl World {
                 "transfer",
                 format!("t{} restart {params} startup={s:.2}s", tid.0),
             );
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.record_restart(tid.0, s);
+            }
             s
         } else {
             // A seamless change keeps any in-flight startup deadline.
@@ -430,7 +468,11 @@ impl World {
     fn sync_flow_streams(&mut self) {
         let now = self.now;
         for e in self.transfers.values() {
-            let streams = if e.active_at(now) { e.params.streams() } else { 0 };
+            let streams = if e.active_at(now) {
+                e.params.streams()
+            } else {
+                0
+            };
             self.net.set_streams(e.flow, streams);
         }
     }
@@ -452,6 +494,9 @@ impl World {
                 self.net.set_link_factor(LinkId(l), f);
                 self.tracer
                     .emit(now, "fault", format!("link{l} capacity_factor={f:.3}"));
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.record_fault_factor_change("link", l);
+                }
             }
         }
         // Path RTT factors.
@@ -461,6 +506,9 @@ impl World {
                 self.net.set_rtt_factor(PathId(p), f);
                 self.tracer
                     .emit(now, "fault", format!("path{p} rtt_factor={f:.3}"));
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.record_fault_factor_change("path", p);
+                }
             }
         }
         // Stall windows.
@@ -473,6 +521,9 @@ impl World {
                     "fault",
                     format!("t{} {}", tid.0, if s { "stall" } else { "stall-clear" }),
                 );
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.record_stall_transition(tid.0, s);
+                }
             }
         }
         // Aborts: each plan event fires at most once, in schedule order.
@@ -496,6 +547,9 @@ impl World {
                                 tid.0, e.retries
                             ),
                         );
+                        if let Some(tel) = self.telemetry.as_mut() {
+                            tel.record_abort(tid.0, backoff);
+                        }
                     }
                 }
             }
@@ -599,7 +653,12 @@ impl World {
     /// Begin a control epoch for `tid`: apply `params` (restarting if asked)
     /// and snapshot accounting baselines. Step the world for the epoch
     /// duration, then call [`World::end_epoch`].
-    pub fn begin_epoch(&mut self, tid: TransferId, params: StreamParams, restart: bool) -> EpochStart {
+    pub fn begin_epoch(
+        &mut self,
+        tid: TransferId,
+        params: StreamParams,
+        restart: bool,
+    ) -> EpochStart {
         let startup_s = self.set_params(tid, params, restart);
         EpochStart {
             tid,
@@ -612,13 +671,20 @@ impl World {
 
     /// Close a control epoch: compute observed (whole-epoch) and best-case
     /// (up-time only) throughput.
-    pub fn end_epoch(&self, start: EpochStart) -> EpochReport {
+    ///
+    /// With telemetry enabled ([`World::enable_telemetry`]) the epoch is also
+    /// appended to the flight recorder as an
+    /// [`EpochTelemetry`](crate::telemetry::EpochTelemetry) record, and the
+    /// network's per-flow fair-share/loss state is exported into the
+    /// registry. Collection is purely observational: the report returned is
+    /// identical whether or not telemetry is on.
+    pub fn end_epoch(&mut self, start: EpochStart) -> EpochReport {
         let e = &self.transfers[&start.tid];
         let duration = self.now - start.t0;
         let dur_s = duration.as_secs_f64();
         let bytes_mb = e.moved_mb - start.moved0_mb;
         let up_s = (dur_s - start.startup_s).max(0.0);
-        EpochReport {
+        let report = EpochReport {
             params: start.params,
             start: start.t0,
             duration,
@@ -626,7 +692,30 @@ impl World {
             startup_s: start.startup_s.min(dur_s),
             observed_mbs: if dur_s > 0.0 { bytes_mb / dur_s } else { 0.0 },
             bestcase_mbs: if up_s > 0.0 { bytes_mb / up_s } else { 0.0 },
+        };
+        if let Some(tel) = self.telemetry.as_mut() {
+            let (retries, stalled) = (e.retries, e.stalled);
+            tel.record_epoch(EpochTelemetry {
+                epoch: 0, // assigned by the recorder
+                transfer: start.tid.0,
+                start_s: start.t0.as_secs_f64(),
+                duration_s: dur_s,
+                nc: start.params.nc,
+                np: start.params.np,
+                bytes_mb,
+                startup_s: report.startup_s,
+                observed_mbs: report.observed_mbs,
+                bestcase_mbs: report.bestcase_mbs,
+                overhead_fraction: report.overhead_fraction(),
+                retries_total: retries,
+                stalled,
+            });
+            xferopt_net::export_network(tel.registry_mut(), &self.net);
+            if let Fidelity::Dynamic { sim, .. } = &self.fidelity {
+                xferopt_net::export_dynamic(tel.registry_mut(), &self.net, sim);
+            }
         }
+        report
     }
 }
 
@@ -885,9 +974,7 @@ mod tests {
         let build = || {
             let mut net = Network::new();
             let l = net.add_link(xferopt_net::Link::new("wan", 10_000.0));
-            let path = net.add_path(
-                xferopt_net::Path::new("p", vec![l]).with_rtt_ms(200.0),
-            );
+            let path = net.add_path(xferopt_net::Path::new("p", vec![l]).with_rtt_ms(200.0));
             let mut world = World::new(net, 9);
             world.add_host(nehalem());
             let cfg = TransferConfig::memory_to_memory(HostId(0), path)
@@ -900,9 +987,7 @@ mod tests {
         let (mut world, tid) = build();
         // Step in fine grain to the instant the startup completes, then
         // measure the first second of stream life.
-        let startup = world.host(HostId(0)).startup_time_s(
-            xferopt_host::AppId(0),
-        );
+        let startup = world.host(HostId(0)).startup_time_s(xferopt_host::AppId(0));
         world.step(SimDuration::from_secs_f64(startup + 0.01));
         let es = world.begin_epoch(tid, StreamParams::new(2, 8), false);
         world.step(SimDuration::from_secs(1));
@@ -1028,10 +1113,17 @@ mod tests {
         assert!(world.is_stalled(tid));
         let at_stall = world.moved_mb(tid);
         world.step(SimDuration::from_secs(8));
-        assert_eq!(world.moved_mb(tid), at_stall, "stalled transfer moves nothing");
+        assert_eq!(
+            world.moved_mb(tid),
+            at_stall,
+            "stalled transfer moves nothing"
+        );
         world.step(SimDuration::from_secs(5));
         assert!(!world.is_stalled(tid));
-        assert!(world.moved_mb(tid) > at_stall, "stall ends without a restart");
+        assert!(
+            world.moved_mb(tid) > at_stall,
+            "stall ends without a restart"
+        );
         assert_eq!(world.retries(tid), 0);
     }
 
@@ -1043,7 +1135,10 @@ mod tests {
         let plan = FaultPlan::new().with(xferopt_simcore::FaultEvent::window(
             SimTime::from_secs(60),
             SimDuration::from_secs(60),
-            FaultKind::LinkDegrade { link: 1, factor: 0.1 },
+            FaultKind::LinkDegrade {
+                link: 1,
+                factor: 0.1,
+            },
         ));
         world.enable_faults(plan);
         world.step(SimDuration::from_secs(30));
@@ -1134,7 +1229,10 @@ mod tests {
             .with(xferopt_simcore::FaultEvent::window(
                 SimTime::from_secs(20),
                 SimDuration::from_secs(10),
-                FaultKind::LinkDegrade { link: 1, factor: 0.5 },
+                FaultKind::LinkDegrade {
+                    link: 1,
+                    factor: 0.5,
+                },
             ))
             .with(xferopt_simcore::FaultEvent::instant(
                 SimTime::from_secs(40),
@@ -1147,6 +1245,57 @@ mod tests {
         assert!(trace.contains("link1 capacity_factor=1.000"), "{trace}");
         assert!(trace.contains("t0 abort retry=1"), "{trace}");
         assert!(world.tracer().events_in("fault").count() >= 4);
+    }
+
+    #[test]
+    fn telemetry_records_epochs_and_restarts() {
+        let (mut world, path) = uc_world(false);
+        world.enable_telemetry();
+        let tid = world.add_transfer(quiet_cfg(path));
+        world.step(SimDuration::from_secs(10));
+        let es = world.begin_epoch(tid, StreamParams::new(5, 8), true);
+        world.step(SimDuration::from_secs(30));
+        let r = world.end_epoch(es);
+        let tel = world.telemetry().expect("telemetry enabled");
+        assert_eq!(tel.epochs().len(), 1);
+        let e = &tel.epochs()[0];
+        assert_eq!(e.transfer, tid.0);
+        assert_eq!((e.nc, e.np), (5, 8));
+        assert_eq!(e.observed_mbs, r.observed_mbs);
+        assert_eq!(e.bestcase_mbs, r.bestcase_mbs);
+        let snap = tel.snapshot();
+        match snap.get("transfer_restarts_total", &[("transfer", "0")]) {
+            Some(xferopt_simcore::metrics::SampleValue::Counter(n)) => assert_eq!(*n, 1),
+            other => panic!("missing restart counter: {other:?}"),
+        }
+        // Per-flow network gauges ride along at epoch close.
+        assert!(snap
+            .get("net_flow_fair_share_mbs", &[("flow", "0")])
+            .is_some());
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_transfers() {
+        let run = |telemetry: bool| {
+            let (mut world, path) = uc_world(false);
+            if telemetry {
+                world.enable_telemetry();
+            }
+            let tid = world.add_transfer(
+                TransferConfig::memory_to_memory(HostId(0), path).with_noise(0.08, 30.0),
+            );
+            let plan = FaultPlan::degradations(9, 1, 300.0, 120.0, 30.0, 0.3)
+                .merge(FaultPlan::aborts(9, tid.0, 300.0, 200.0));
+            world.enable_faults(plan);
+            let mut reports = Vec::new();
+            for i in 0..8 {
+                let es = world.begin_epoch(tid, StreamParams::new(4 + i, 8), true);
+                world.step(SimDuration::from_secs(30));
+                reports.push(world.end_epoch(es));
+            }
+            (world.moved_mb(tid), world.retries(tid), reports)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! observed throughputs do not vary over several consecutive control
 //! epochs"; [`CdTuner`] implements that with a configurable stability window.
 
+use crate::audit::{AuditLog, DecisionAction, DecisionEvent, RetriggerCause};
 use crate::domain::{Domain, Point};
 use crate::tuner::OnlineTuner;
 
@@ -54,6 +55,8 @@ pub struct CdTuner {
     last: Option<(Point, f64)>,
     /// Consecutive epochs without movement on the current axis.
     stable_count: u32,
+    /// Opt-in decision audit log (disabled by default; purely observational).
+    audit: AuditLog,
 }
 
 impl CdTuner {
@@ -72,6 +75,7 @@ impl CdTuner {
             axis: 0,
             last: None,
             stable_count: 0,
+            audit: AuditLog::new(),
         }
     }
 
@@ -86,10 +90,40 @@ impl CdTuner {
     }
 
     /// Step the current axis of `x` by `delta`, clamped to the domain.
-    fn step_axis(&self, x: &Point, delta: i64) -> Point {
-        let mut next = x.clone();
-        next[self.axis] += delta;
-        self.domain.clamp(&next)
+    /// Returns the stepped point and whether the clamp projected it back.
+    fn step_axis(&self, x: &Point, delta: i64) -> (Point, bool) {
+        let mut raw = x.clone();
+        raw[self.axis] += delta;
+        let next = self.domain.clamp(&raw);
+        let projected = next != raw;
+        (next, projected)
+    }
+
+    /// Record one audited decision (no-op while the log is disabled).
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        x: &Point,
+        observed: f64,
+        action: DecisionAction,
+        next: &Point,
+        delta_pct: Option<f64>,
+        projected: bool,
+        retrigger: Option<RetriggerCause>,
+    ) {
+        self.audit.record(DecisionEvent {
+            seq: 0,
+            tuner: "cd-tuner",
+            x: x.clone(),
+            observed,
+            action,
+            accepted: None,
+            next: next.clone(),
+            lambda: None,
+            delta_pct,
+            projected,
+            retrigger,
+        });
     }
 
     fn rotate_axis(&mut self) {
@@ -115,7 +149,17 @@ impl OnlineTuner for CdTuner {
         let Some((x2, f2)) = self.last.replace((x.clone(), throughput)) else {
             // First observation (lines 8–11): probe upward to obtain the
             // first difference quotient.
-            return self.step_axis(x, 1);
+            let (next, projected) = self.step_axis(x, 1);
+            self.record(
+                x,
+                throughput,
+                DecisionAction::Probe,
+                &next,
+                None,
+                projected,
+                None,
+            );
+            return next;
         };
         let f1 = throughput;
         // Δc in percent; guard a zero denominator (dead transfer): treat any
@@ -131,27 +175,38 @@ impl OnlineTuner for CdTuner {
         };
 
         let moved = x[self.axis] - x2[self.axis];
-        let next = if moved == 0 {
+        let (next, action, projected, retrigger) = if moved == 0 {
             if delta_pct.abs() > self.eps_pct {
                 // External conditions changed: probe upward (the paper
                 // increases on new congestion or new bandwidth).
                 self.stable_count = 0;
-                self.step_axis(x, 1)
+                let (n, p) = self.step_axis(x, 1);
+                let cause = if delta_pct == f64::INFINITY {
+                    RetriggerCause::ZeroRecovery
+                } else {
+                    RetriggerCause::SignificantDelta {
+                        delta_pct,
+                        eps_pct: self.eps_pct,
+                    }
+                };
+                (n, DecisionAction::Retrigger, p, Some(cause))
             } else {
                 self.stable_count += 1;
-                x.clone()
+                (x.clone(), DecisionAction::Hold, false, None)
             }
         } else {
             let dq = delta_pct / moved as f64;
             if dq > self.eps_pct {
                 self.stable_count = 0;
-                self.step_axis(x, 1)
+                let (n, p) = self.step_axis(x, 1);
+                (n, DecisionAction::Step, p, None)
             } else if dq < -self.eps_pct {
                 self.stable_count = 0;
-                self.step_axis(x, -1)
+                let (n, p) = self.step_axis(x, -1);
+                (n, DecisionAction::Step, p, None)
             } else {
                 self.stable_count += 1;
-                x.clone()
+                (x.clone(), DecisionAction::Hold, false, None)
             }
         };
 
@@ -160,9 +215,36 @@ impl OnlineTuner for CdTuner {
         // the new axis unexplored on a quiet link).
         if self.domain.dim() > 1 && self.stable_count >= self.stable_epochs {
             self.rotate_axis();
-            return self.step_axis(&next, 1);
+            let (rotated, p) = self.step_axis(&next, 1);
+            self.record(
+                x,
+                throughput,
+                DecisionAction::RotateAxis,
+                &rotated,
+                Some(delta_pct),
+                p,
+                None,
+            );
+            return rotated;
         }
+        self.record(
+            x,
+            throughput,
+            action,
+            &next,
+            Some(delta_pct),
+            projected,
+            retrigger,
+        );
         next
+    }
+
+    fn enable_audit(&mut self) {
+        self.audit.enable();
+    }
+
+    fn audit_log(&self) -> Option<&AuditLog> {
+        Some(&self.audit)
     }
 }
 

@@ -13,6 +13,7 @@
 //! search whenever `|Δc| > ε%` — external conditions have shifted, so a
 //! region that was bad may now be good (and vice versa).
 
+use crate::audit::{AuditLog, DecisionAction, DecisionEvent, RetriggerCause};
 use crate::domain::{Domain, Point};
 use crate::trigger::SignificanceMonitor;
 use crate::tuner::OnlineTuner;
@@ -59,6 +60,8 @@ pub struct CompassTuner {
     monitor: SignificanceMonitor,
     rng: SmallRng,
     searches_started: u64,
+    /// Opt-in decision audit log (disabled by default; purely observational).
+    audit: AuditLog,
 }
 
 impl CompassTuner {
@@ -82,6 +85,7 @@ impl CompassTuner {
             monitor: SignificanceMonitor::new(eps_pct),
             rng: SmallRng::seed_from_u64(0x5eed_c0de_0405),
             searches_started: 1,
+            audit: AuditLog::new(),
         }
     }
 
@@ -123,15 +127,17 @@ impl CompassTuner {
     /// Next probe from the remaining directions; skips directions whose
     /// probe lands back on the incumbent (projected at a bound). Halves λ
     /// (and refreshes the direction set) when a round is exhausted; returns
-    /// `None` when λ has collapsed and the search is over.
-    fn next_probe(&mut self, remaining: &mut Vec<(usize, i64)>) -> Option<Point> {
+    /// `None` when λ has collapsed and the search is over. The flag reports
+    /// whether `fBnd` projected the accepted probe off its nominal target.
+    fn next_probe(&mut self, remaining: &mut Vec<(usize, i64)>) -> Option<(Point, bool)> {
         loop {
             while let Some((axis, sign)) = remaining.pop() {
                 let mut xf: Vec<f64> = self.incumbent.iter().map(|&v| v as f64).collect();
                 xf[axis] += sign as f64 * self.lambda;
                 let probe = self.domain.fbnd(&xf);
                 if probe != self.incumbent {
-                    return Some(probe);
+                    let raw: Point = xf.iter().map(|&v| v.round() as i64).collect();
+                    return Some((probe.clone(), probe != raw));
                 }
             }
             // Round exhausted with no improvement: halve λ (line 13).
@@ -141,6 +147,34 @@ impl CompassTuner {
             }
             *remaining = self.fresh_directions();
         }
+    }
+
+    /// Record one audited decision (no-op while the log is disabled).
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        x: &Point,
+        observed: f64,
+        action: DecisionAction,
+        accepted: Option<bool>,
+        next: &Point,
+        delta_pct: Option<f64>,
+        projected: bool,
+        retrigger: Option<RetriggerCause>,
+    ) {
+        self.audit.record(DecisionEvent {
+            seq: 0,
+            tuner: "cs-tuner",
+            x: x.clone(),
+            observed,
+            action,
+            accepted,
+            next: next.clone(),
+            lambda: Some(self.lambda),
+            delta_pct,
+            projected,
+            retrigger,
+        });
     }
 
     /// Begin a fresh search (initial call or re-trigger).
@@ -174,11 +208,21 @@ impl OnlineTuner for CompassTuner {
                 self.f_incumbent = throughput;
                 let mut remaining = self.fresh_directions();
                 match self.next_probe(&mut remaining) {
-                    Some(probe) => {
+                    Some((probe, projected)) => {
                         self.phase = Phase::Probing {
                             remaining,
                             probe: probe.clone(),
                         };
+                        self.record(
+                            x,
+                            throughput,
+                            DecisionAction::EvalStart,
+                            None,
+                            &probe,
+                            None,
+                            projected,
+                            None,
+                        );
                         probe
                     }
                     None => {
@@ -186,7 +230,18 @@ impl OnlineTuner for CompassTuner {
                         self.phase = Phase::Monitor;
                         self.monitor.reset();
                         self.monitor.observe(throughput);
-                        self.incumbent.clone()
+                        let next = self.incumbent.clone();
+                        self.record(
+                            x,
+                            throughput,
+                            DecisionAction::Converged,
+                            None,
+                            &next,
+                            None,
+                            false,
+                            None,
+                        );
+                        next
                     }
                 }
             }
@@ -195,7 +250,8 @@ impl OnlineTuner for CompassTuner {
                 probe,
             } => {
                 debug_assert_eq!(x, &probe, "expected probe evaluation");
-                if throughput > self.f_incumbent {
+                let accepted = throughput > self.f_incumbent;
+                if accepted {
                     // Improving point becomes the incumbent; a fresh round of
                     // directions opens around it (line 10).
                     self.incumbent = probe;
@@ -203,11 +259,21 @@ impl OnlineTuner for CompassTuner {
                     remaining = self.fresh_directions();
                 }
                 match self.next_probe(&mut remaining) {
-                    Some(next) => {
+                    Some((next, projected)) => {
                         self.phase = Phase::Probing {
                             remaining,
                             probe: next.clone(),
                         };
+                        self.record(
+                            x,
+                            throughput,
+                            DecisionAction::CompassProbe,
+                            Some(accepted),
+                            &next,
+                            None,
+                            projected,
+                            None,
+                        );
                         next
                     }
                     None => {
@@ -215,26 +281,76 @@ impl OnlineTuner for CompassTuner {
                         self.phase = Phase::Monitor;
                         self.monitor.reset();
                         self.monitor.observe(self.f_incumbent);
-                        self.incumbent.clone()
+                        let next = self.incumbent.clone();
+                        self.record(
+                            x,
+                            throughput,
+                            DecisionAction::Converged,
+                            Some(accepted),
+                            &next,
+                            None,
+                            false,
+                            None,
+                        );
+                        next
                     }
                 }
             }
             Phase::Monitor => {
+                let delta_pct = self.monitor.peek_delta_pct(throughput);
                 if self.monitor.observe(throughput) {
                     let from = match self.restart_policy {
                         RestartPolicy::Incumbent => self.incumbent.clone(),
                         RestartPolicy::Initial => self.x0.clone(),
                     };
+                    let cause = match delta_pct {
+                        Some(d) if d == f64::INFINITY => RetriggerCause::ZeroRecovery,
+                        Some(d) => RetriggerCause::SignificantDelta {
+                            delta_pct: d,
+                            eps_pct: self.monitor.eps_pct(),
+                        },
+                        None => RetriggerCause::ZeroRecovery,
+                    };
                     self.start_search(from);
                     // The first epoch of the new search evaluates the
                     // starting point itself.
-                    self.incumbent.clone()
+                    let next = self.incumbent.clone();
+                    self.record(
+                        x,
+                        throughput,
+                        DecisionAction::Retrigger,
+                        None,
+                        &next,
+                        delta_pct,
+                        false,
+                        Some(cause),
+                    );
+                    next
                 } else {
                     self.phase = Phase::Monitor;
-                    self.incumbent.clone()
+                    let next = self.incumbent.clone();
+                    self.record(
+                        x,
+                        throughput,
+                        DecisionAction::Monitor,
+                        None,
+                        &next,
+                        delta_pct,
+                        false,
+                        None,
+                    );
+                    next
                 }
             }
         }
+    }
+
+    fn enable_audit(&mut self) {
+        self.audit.enable();
+    }
+
+    fn audit_log(&self) -> Option<&AuditLog> {
+        Some(&self.audit)
     }
 }
 
@@ -310,7 +426,10 @@ mod tests {
             let fx = 4000.0 - ((x[0] - peak) as f64).powi(2) * 2.0;
             x = t.observe(&x.clone(), fx);
         }
-        assert!(t.searches_started() >= 2, "shift must re-trigger the search");
+        assert!(
+            t.searches_started() >= 2,
+            "shift must re-trigger the search"
+        );
         assert!(
             (x[0] - 60).abs() <= 8,
             "should track the moved peak: ended at {x:?}"
@@ -349,8 +468,7 @@ mod tests {
         let f = |x: &Point| {
             4000.0 - ((x[0] - 24) as f64).powi(2) * 3.0 - ((x[1] - 6) as f64).powi(2) * 40.0
         };
-        let mut t =
-            CompassTuner::new(Domain::paper_nc_np(), vec![2, 8], 8.0, 5.0).with_seed(7);
+        let mut t = CompassTuner::new(Domain::paper_nc_np(), vec![2, 8], 8.0, 5.0).with_seed(7);
         let hist = drive(&mut t, 80, f);
         let last = &hist.last().unwrap().0;
         assert!(

@@ -61,7 +61,10 @@ impl RandomSearchTuner {
 
     fn random_point(&mut self) -> Point {
         (0..self.domain.dim())
-            .map(|i| self.rng.gen_range(self.domain.lo()[i]..=self.domain.hi()[i]))
+            .map(|i| {
+                self.rng
+                    .gen_range(self.domain.lo()[i]..=self.domain.hi()[i])
+            })
             .collect()
     }
 }
@@ -322,8 +325,7 @@ mod tests {
 
     #[test]
     fn random_search_improves_over_start() {
-        let mut t =
-            RandomSearchTuner::new(Domain::new(&[(1, 200)]), vec![1], 30, 5.0).with_seed(1);
+        let mut t = RandomSearchTuner::new(Domain::new(&[(1, 200)]), vec![1], 30, 5.0).with_seed(1);
         let r = maximize(&mut t, 200, concave(120));
         assert!(
             (r.best[0] - 120).abs() < 40,
@@ -345,8 +347,7 @@ mod tests {
 
     #[test]
     fn random_search_settles_then_retriggers() {
-        let mut t =
-            RandomSearchTuner::new(Domain::new(&[(1, 50)]), vec![1], 10, 5.0).with_seed(2);
+        let mut t = RandomSearchTuner::new(Domain::new(&[(1, 50)]), vec![1], 10, 5.0).with_seed(2);
         let mut x = t.initial();
         for _ in 0..30 {
             x = t.observe(&x.clone(), 1000.0);

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod baselines;
 pub mod cd;
 pub mod compass;
@@ -59,6 +60,7 @@ pub mod regret;
 pub mod trigger;
 pub mod tuner;
 
+pub use audit::{AuditLog, DecisionAction, DecisionEvent, RetriggerCause};
 pub use baselines::{Heur1Tuner, Heur2Tuner, StaticTuner};
 pub use cd::CdTuner;
 pub use compass::CompassTuner;

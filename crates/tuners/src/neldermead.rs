@@ -12,6 +12,7 @@
 //! simplex degenerates and re-invokes the search when consecutive epoch
 //! throughputs differ by more than `ε%`.
 
+use crate::audit::{AuditLog, DecisionAction, DecisionEvent, RetriggerCause};
 use crate::domain::{Domain, Point};
 use crate::trigger::SignificanceMonitor;
 use crate::tuner::OnlineTuner;
@@ -72,6 +73,11 @@ pub struct NelderMeadTuner {
     monitor: SignificanceMonitor,
     evals_this_search: u32,
     searches_started: u64,
+    /// Whether the most recent `fBnd` pass projected the generated point off
+    /// its nominal (rounded) target. Reset at the top of every `observe`.
+    last_projected: bool,
+    /// Opt-in decision audit log (disabled by default; purely observational).
+    audit: AuditLog,
 }
 
 impl NelderMeadTuner {
@@ -90,6 +96,8 @@ impl NelderMeadTuner {
             monitor: SignificanceMonitor::new(eps_pct),
             evals_this_search: 0,
             searches_started: 0,
+            last_projected: false,
+            audit: AuditLog::new(),
         };
         t.start_search(x0);
         t
@@ -102,7 +110,11 @@ impl NelderMeadTuner {
     pub fn with_init_edge(mut self, edge: i64) -> Self {
         assert!(edge > 0, "edge must be positive");
         self.init_edge = edge;
-        let from = self.vertices.first().map(|v| v.0.clone()).unwrap_or_else(|| self.x0.clone());
+        let from = self
+            .vertices
+            .first()
+            .map(|v| v.0.clone())
+            .unwrap_or_else(|| self.x0.clone());
         self.searches_started -= 1;
         self.start_search(from);
         self
@@ -166,18 +178,50 @@ impl NelderMeadTuner {
         self.vertices.windows(2).all(|w| w[0].0 == w[1].0)
     }
 
-    fn combine(&self, centroid: &[f64], toward: &Point, coeff: f64) -> Point {
+    fn combine(&mut self, centroid: &[f64], toward: &Point, coeff: f64) -> Point {
         let v: Vec<f64> = centroid
             .iter()
             .zip(toward)
             .map(|(&c, &t)| c + coeff * (t as f64 - c))
             .collect();
-        self.domain.fbnd(&v)
+        let p = self.domain.fbnd(&v);
+        let raw: Point = v.iter().map(|&c| c.round() as i64).collect();
+        self.last_projected = p != raw;
+        p
+    }
+
+    /// Record one audited decision (no-op while the log is disabled).
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        x: &Point,
+        observed: f64,
+        action: DecisionAction,
+        accepted: Option<bool>,
+        next: &Point,
+        delta_pct: Option<f64>,
+        retrigger: Option<RetriggerCause>,
+    ) {
+        self.audit.record(DecisionEvent {
+            seq: 0,
+            tuner: "nm-tuner",
+            x: x.clone(),
+            observed,
+            action,
+            accepted,
+            next: next.clone(),
+            lambda: None,
+            delta_pct,
+            projected: self.last_projected,
+            retrigger,
+        });
     }
 
     /// Enter Monitor with the best vertex held.
     fn finish_search(&mut self) -> Point {
         self.order();
+        // Holding an existing vertex is never an fBnd projection.
+        self.last_projected = false;
         self.phase = Phase::Monitor;
         self.monitor.reset();
         let f_best = self.vertices[0].1;
@@ -214,6 +258,17 @@ impl NelderMeadTuner {
         xr
     }
 
+    /// The audited action for the epoch just decided: `Converged` when the
+    /// decision finished the search (the phase fell into `Monitor` via
+    /// [`Self::finish_search`]), otherwise the phase-specific `action`.
+    fn phase_action(&self, action: DecisionAction) -> DecisionAction {
+        if matches!(self.phase, Phase::Monitor) {
+            DecisionAction::Converged
+        } else {
+            action
+        }
+    }
+
     fn replace_worst(&mut self, p: Point, f: f64) {
         let last = self.vertices.len() - 1;
         self.vertices[last] = (p, f);
@@ -238,69 +293,84 @@ impl OnlineTuner for NelderMeadTuner {
 
     fn observe(&mut self, x: &Point, throughput: f64) -> Point {
         self.evals_this_search = self.evals_this_search.saturating_add(1);
+        self.last_projected = false;
         match std::mem::replace(&mut self.phase, Phase::Monitor) {
             Phase::Init { next } => {
                 debug_assert_eq!(x, &self.vertices[next].0, "init vertex mismatch");
                 self.vertices[next].1 = throughput;
-                if next + 1 < self.vertices.len() {
+                let nxt = if next + 1 < self.vertices.len() {
                     self.phase = Phase::Init { next: next + 1 };
                     self.vertices[next + 1].0.clone()
                 } else {
                     self.next_iteration()
-                }
+                };
+                let action = self.phase_action(DecisionAction::InitVertex);
+                self.record(x, throughput, action, None, &nxt, None, None);
+                nxt
             }
             Phase::Reflect { xr } => {
                 debug_assert_eq!(x, &xr, "reflect point mismatch");
                 let fr = throughput;
                 let f_best = self.vertices[0].1;
                 let f_worst = self.vertices.last().unwrap().1;
-                if fr > f_best {
+                let (nxt, accepted) = if fr > f_best {
                     // Step 3, Expand: x_e = x̄ + E(x_r − x̄).
                     let centroid = self.centroid();
                     let xe = self.combine(&centroid, &xr, E_COEFF);
                     if xe == xr {
                         // Projection collapsed the expansion: accept reflect.
                         self.replace_worst(xr, fr);
-                        self.next_iteration()
+                        (self.next_iteration(), true)
                     } else {
                         self.phase = Phase::Expand {
                             xr: xr.clone(),
                             fr,
                             xe: xe.clone(),
                         };
-                        xe
+                        (xe, true)
                     }
                 } else if fr > f_worst {
                     // Accept the reflection (paper: f_0 ≥ f_r > f_m).
                     self.replace_worst(xr, fr);
-                    self.next_iteration()
+                    (self.next_iteration(), true)
                 } else {
                     // Step 4, Contract toward the better of x_r and x_worst.
                     let centroid = self.centroid();
                     let worst = self.vertices.last().unwrap().clone();
-                    let toward = if fr >= worst.1 { xr.clone() } else { worst.0.clone() };
+                    let toward = if fr >= worst.1 {
+                        xr.clone()
+                    } else {
+                        worst.0.clone()
+                    };
                     let xc = self.combine(&centroid, &toward, C_COEFF);
                     self.phase = Phase::Contract { xc: xc.clone() };
-                    xc
-                }
+                    (xc, false)
+                };
+                let action = self.phase_action(DecisionAction::Reflect);
+                self.record(x, throughput, action, Some(accepted), &nxt, None, None);
+                nxt
             }
             Phase::Expand { xr, fr, xe } => {
                 debug_assert_eq!(x, &xe, "expand point mismatch");
                 let fe = throughput;
-                if fe >= fr {
+                let accepted = fe >= fr;
+                if accepted {
                     self.replace_worst(xe, fe);
                 } else {
                     self.replace_worst(xr, fr);
                 }
-                self.next_iteration()
+                let nxt = self.next_iteration();
+                let action = self.phase_action(DecisionAction::Expand);
+                self.record(x, throughput, action, Some(accepted), &nxt, None, None);
+                nxt
             }
             Phase::Contract { xc } => {
                 debug_assert_eq!(x, &xc, "contract point mismatch");
                 let fc = throughput;
                 let f_worst = self.vertices.last().unwrap().1;
-                if fc >= f_worst {
+                let (nxt, accepted) = if fc >= f_worst {
                     self.replace_worst(xc, fc);
-                    self.next_iteration()
+                    (self.next_iteration(), true)
                 } else {
                     // Step 5, Shrink every vertex toward the best:
                     // x_j = x_0 + S(x_j − x_0).
@@ -311,39 +381,90 @@ impl OnlineTuner for NelderMeadTuner {
                             .zip(&self.vertices[j].0)
                             .map(|(&b, &p)| b as f64 + S_COEFF * (p as f64 - b as f64))
                             .collect();
-                        self.vertices[j] = (self.domain.fbnd(&v), f64::NAN);
+                        let p = self.domain.fbnd(&v);
+                        if j == 1 {
+                            // The next proposal is vertex 1; note its fBnd
+                            // projection for the audit record.
+                            let raw: Point = v.iter().map(|&c| c.round() as i64).collect();
+                            self.last_projected = p != raw;
+                        }
+                        self.vertices[j] = (p, f64::NAN);
                     }
                     if self.degenerate() {
                         // Shrinking collapsed the simplex outright.
-                        return self.finish_search();
+                        (self.finish_search(), false)
+                    } else {
+                        self.phase = Phase::Shrink { next: 1 };
+                        (self.vertices[1].0.clone(), false)
                     }
-                    self.phase = Phase::Shrink { next: 1 };
-                    self.vertices[1].0.clone()
-                }
+                };
+                let action = self.phase_action(DecisionAction::Contract);
+                self.record(x, throughput, action, Some(accepted), &nxt, None, None);
+                nxt
             }
             Phase::Shrink { next } => {
                 debug_assert_eq!(x, &self.vertices[next].0, "shrink vertex mismatch");
                 self.vertices[next].1 = throughput;
-                if next + 1 < self.vertices.len() {
+                let nxt = if next + 1 < self.vertices.len() {
                     self.phase = Phase::Shrink { next: next + 1 };
                     self.vertices[next + 1].0.clone()
                 } else {
                     self.next_iteration()
-                }
+                };
+                let action = self.phase_action(DecisionAction::Shrink);
+                self.record(x, throughput, action, None, &nxt, None, None);
+                nxt
             }
             Phase::Monitor => {
+                let delta_pct = self.monitor.peek_delta_pct(throughput);
                 if self.monitor.observe(throughput) {
                     // Significant change: re-run Nelder–Mead from the held
                     // point (Algorithm 3 line 37).
+                    let cause = match delta_pct {
+                        Some(d) if d == f64::INFINITY => RetriggerCause::ZeroRecovery,
+                        Some(d) => RetriggerCause::SignificantDelta {
+                            delta_pct: d,
+                            eps_pct: self.monitor.eps_pct(),
+                        },
+                        None => RetriggerCause::ZeroRecovery,
+                    };
                     let from = self.vertices[0].0.clone();
                     self.start_search(from);
-                    self.vertices[0].0.clone()
+                    let nxt = self.vertices[0].0.clone();
+                    self.record(
+                        x,
+                        throughput,
+                        DecisionAction::Retrigger,
+                        None,
+                        &nxt,
+                        delta_pct,
+                        Some(cause),
+                    );
+                    nxt
                 } else {
                     self.phase = Phase::Monitor;
-                    self.vertices[0].0.clone()
+                    let nxt = self.vertices[0].0.clone();
+                    self.record(
+                        x,
+                        throughput,
+                        DecisionAction::Monitor,
+                        None,
+                        &nxt,
+                        delta_pct,
+                        None,
+                    );
+                    nxt
                 }
             }
         }
+    }
+
+    fn enable_audit(&mut self) {
+        self.audit.enable();
+    }
+
+    fn audit_log(&self) -> Option<&AuditLog> {
+        Some(&self.audit)
     }
 }
 
@@ -455,7 +576,9 @@ mod tests {
         let mut k = 0u64;
         for _ in 0..200 {
             // Deterministic pseudo-noise.
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = (k >> 33) as f64 / 2e9;
             x = t.observe(&x.clone(), 1000.0 + noise * 2000.0);
         }

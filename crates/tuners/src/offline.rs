@@ -102,9 +102,7 @@ mod tests {
     use crate::neldermead::NelderMeadTuner;
 
     fn quadratic_2d(px: i64, py: i64) -> impl FnMut(&Point) -> f64 {
-        move |x: &Point| {
-            -((x[0] - px) as f64).powi(2) - 0.5 * ((x[1] - py) as f64).powi(2)
-        }
+        move |x: &Point| -((x[0] - px) as f64).powi(2) - 0.5 * ((x[1] - py) as f64).powi(2)
     }
 
     #[test]

@@ -30,9 +30,11 @@ pub struct OnlineTrajectory {
 impl OnlineTrajectory {
     /// The step with the best observed value, if any.
     pub fn best(&self) -> Option<&OnlineStep> {
-        self.steps
-            .iter()
-            .max_by(|a, b| a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal))
+        self.steps.iter().max_by(|a, b| {
+            a.value
+                .partial_cmp(&b.value)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Mean value over epochs in `[from, to)`.
@@ -75,7 +77,11 @@ impl OnlineTrajectory {
 ///
 /// # Panics
 /// Panics if `epochs` is zero.
-pub fn run_online<F>(tuner: &mut dyn OnlineTuner, epochs: usize, mut objective: F) -> OnlineTrajectory
+pub fn run_online<F>(
+    tuner: &mut dyn OnlineTuner,
+    epochs: usize,
+    mut objective: F,
+) -> OnlineTrajectory
 where
     F: FnMut(usize, &Point) -> f64,
 {
@@ -110,7 +116,10 @@ mod tests {
         assert_eq!(traj.steps.len(), 120);
         let early = traj.mean_between(40, 60).unwrap();
         let late = traj.mean_between(100, 120).unwrap();
-        assert!(early > 3900.0, "should have converged near the first peak: {early}");
+        assert!(
+            early > 3900.0,
+            "should have converged near the first peak: {early}"
+        );
         assert!(late > 3700.0, "should have re-found the moved peak: {late}");
         assert!(
             (traj.final_point().unwrap()[0] - 90).abs() <= 10,

@@ -1,5 +1,6 @@
 //! The online tuner interface and a name-based factory.
 
+use crate::audit::AuditLog;
 use crate::baselines::{Heur1Tuner, Heur2Tuner, StaticTuner};
 use crate::cd::CdTuner;
 use crate::compass::CompassTuner;
@@ -28,6 +29,20 @@ pub trait OnlineTuner {
 
     /// The search domain.
     fn domain(&self) -> &Domain;
+
+    /// Turn on the decision audit log ([`AuditLog`]), if this tuner supports
+    /// auditing. Auditing is strictly observational: an audited tuner
+    /// proposes exactly the same trajectory as an unaudited one. The default
+    /// implementation is a no-op (the static/heuristic baselines make no
+    /// direct-search decisions worth auditing).
+    fn enable_audit(&mut self) {}
+
+    /// The decision audit log, when this tuner supports auditing. Returns
+    /// `None` for tuners without one; an enabled log may still be empty if
+    /// no epoch has been observed yet.
+    fn audit_log(&self) -> Option<&AuditLog> {
+        None
+    }
 }
 
 /// The tuners evaluated in the paper, constructible by name.
@@ -143,7 +158,11 @@ mod tests {
                 let domain = Domain::paper_nc_np();
                 let mut t = kind.build(domain.clone(), vec![2, 8]);
                 let mut x = t.initial();
-                assert!(domain.contains(&x), "{}: initial out of domain", kind.name());
+                assert!(
+                    domain.contains(&x),
+                    "{}: initial out of domain",
+                    kind.name()
+                );
                 for &f in fb {
                     x = t.observe(&x.clone(), f);
                     assert!(
@@ -167,13 +186,9 @@ mod proptests {
         (1usize..=3).prop_flat_map(|dim| {
             let bounds = prop::collection::vec((1i64..8, 8i64..300), dim..=dim);
             bounds.prop_flat_map(|b| {
-                let domain = Domain::new(
-                    &b.iter().map(|&(lo, hi)| (lo, hi)).collect::<Vec<_>>(),
-                );
-                let start: Vec<BoxedStrategy<i64>> = b
-                    .iter()
-                    .map(|&(lo, hi)| (lo..=hi).boxed())
-                    .collect();
+                let domain = Domain::new(&b.iter().map(|&(lo, hi)| (lo, hi)).collect::<Vec<_>>());
+                let start: Vec<BoxedStrategy<i64>> =
+                    b.iter().map(|&(lo, hi)| (lo..=hi).boxed()).collect();
                 (Just(domain), start)
             })
         })

@@ -32,8 +32,14 @@ fn main() {
         ("loaded (600-1200 s)", 720.0, 1200.0),
         ("quiet  (1200-1800 s)", 1320.0, 1800.0),
     ] {
-        let d = logs[0].1.mean_observed_between(from, to + 1.0).unwrap_or(0.0);
-        let c = logs[1].1.mean_observed_between(from, to + 1.0).unwrap_or(0.0);
+        let d = logs[0]
+            .1
+            .mean_observed_between(from, to + 1.0)
+            .unwrap_or(0.0);
+        let c = logs[1]
+            .1
+            .mean_observed_between(from, to + 1.0)
+            .unwrap_or(0.0);
         let ncs: Vec<u32> = logs[1]
             .1
             .epochs

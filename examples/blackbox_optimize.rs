@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example blackbox_optimize`
 
-use xferopt::tuners::offline::maximize;
 use xferopt::prelude::*;
+use xferopt::tuners::offline::maximize;
 
 /// A 2-D "throughput surface": a ridge with an interior optimum at (40, 6)
 /// plus mild curvature — the shape of the paper's nc×np landscape.
@@ -15,8 +15,7 @@ fn surface(x: &Point) -> f64 {
     let n = nc * np;
     // Concave saturating gain in total streams, penalty past ~320 streams,
     // and a mild per-process sweet spot.
-    5000.0 * n / (n + 16.0) / (1.0 + 0.004 * (n / 8.0 - 1.0).max(0.0))
-        - 8.0 * (np - 6.0).powi(2)
+    5000.0 * n / (n + 16.0) / (1.0 + 0.004 * (n / 8.0 - 1.0).max(0.0)) - 8.0 * (np - 6.0).powi(2)
 }
 
 fn main() {
@@ -39,7 +38,10 @@ fn main() {
         );
     };
 
-    run("cd-tuner", &mut CdTuner::new(domain.clone(), x0.clone(), 1.0));
+    run(
+        "cd-tuner",
+        &mut CdTuner::new(domain.clone(), x0.clone(), 1.0),
+    );
     run(
         "cs-tuner",
         &mut CompassTuner::new(domain.clone(), x0.clone(), 8.0, 1.0),
@@ -48,7 +50,10 @@ fn main() {
         "nm-tuner",
         &mut NelderMeadTuner::new(domain.clone(), x0.clone(), 1.0),
     );
-    run("heur1", &mut Heur1Tuner::new(domain.clone(), x0.clone(), 1.0));
+    run(
+        "heur1",
+        &mut Heur1Tuner::new(domain.clone(), x0.clone(), 1.0),
+    );
     run("heur2", &mut Heur2Tuner::new(domain, x0, 1.0));
 
     println!("\nEach evaluation would cost one 30 s control epoch online, so");

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example disk_to_disk`
 
-use xferopt::dataset::{climate_dataset, hep_dataset, DiskModel, DiskTransfer, DiskTransferObjective};
+use xferopt::dataset::{
+    climate_dataset, hep_dataset, DiskModel, DiskTransfer, DiskTransferObjective,
+};
 use xferopt::prelude::*;
 use xferopt::tuners::offline::maximize;
 
@@ -17,13 +19,8 @@ fn optimize(label: &str, xfer: DiskTransfer) {
     let mut tuner = NelderMeadTuner::new(DiskTransferObjective::domain(), vec![2, 8, 1], 2.0);
     let r = maximize(&mut tuner, 300, |x| obj.evaluate(x));
 
-    println!(
-        "{label}: {n} files, {:.1} GB total",
-        total / 1000.0
-    );
-    println!(
-        "  Globus-default (nc=2, np=8, pp=1): {default:>7.0} MB/s"
-    );
+    println!("{label}: {n} files, {:.1} GB total", total / 1000.0);
+    println!("  Globus-default (nc=2, np=8, pp=1): {default:>7.0} MB/s");
     println!(
         "  nm-tuner found nc={}, np={}, pp={}: {:>7.0} MB/s  ({:.1}x, {} evaluations)\n",
         r.best[0],

@@ -14,10 +14,7 @@ fn main() {
     // The same deterministic fault schedule is injected into every run, so
     // tuners are compared on identical bad weather.
     let plan = FaultProfile::FlakyLink.plan(Route::UChicago, seed, duration);
-    println!(
-        "fault plan ({} events from seed {seed}):",
-        plan.len()
-    );
+    println!("fault plan ({} events from seed {seed}):", plan.len());
     for ev in plan.events().iter().take(8) {
         println!("  {:>9.1} s  {:?}", ev.at.as_secs_f64(), ev.kind);
     }
@@ -36,8 +33,7 @@ fn main() {
         .with_duration_s(duration)
         .with_seed(seed);
         let clean = drive_transfer(&base).mean_observed_mbs();
-        let faulty =
-            drive_transfer(&base.clone().with_faults(plan.clone())).mean_observed_mbs();
+        let faulty = drive_transfer(&base.clone().with_faults(plan.clone())).mean_observed_mbs();
         println!(
             "{:<10} {clean:>10.0} {faulty:>13.0}   {:>3.0}%",
             kind.name(),

@@ -11,9 +11,17 @@ fn main() {
     let load = LoadSchedule::constant(ExternalLoad::new(0, 16));
 
     println!("ANL -> UChicago, ext.cmp = 16, 900 s, e = 30 s epochs\n");
-    println!("{:<10} {:>14} {:>14} {:>9}", "tuner", "observed MB/s", "best-case MB/s", "final nc");
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "tuner", "observed MB/s", "best-case MB/s", "final nc"
+    );
 
-    for kind in [TunerKind::Default, TunerKind::Cd, TunerKind::Cs, TunerKind::Nm] {
+    for kind in [
+        TunerKind::Default,
+        TunerKind::Cd,
+        TunerKind::Cs,
+        TunerKind::Nm,
+    ] {
         let cfg = DriveConfig::paper(
             Route::UChicago,
             kind,

@@ -21,12 +21,7 @@ fn main() {
             x0: StreamParams::globus_default(),
         },
     ];
-    let driver = MultiDriver::new(
-        &specs,
-        LoadSchedule::constant(ExternalLoad::NONE),
-        30.0,
-        42,
-    );
+    let driver = MultiDriver::new(&specs, LoadSchedule::constant(ExternalLoad::NONE), 30.0, 42);
     let logs = driver.run(1800.0);
 
     println!("t_s      UChicago MB/s  (nc,np)     TACC MB/s  (nc,np)");

@@ -4,19 +4,27 @@
 # Usage: scripts/ci.sh
 #
 # The workspace vendors all external dependencies under vendor/, so the
-# entire pipeline must succeed with the network disabled. Golden-trace
-# snapshots (tests/golden/) are compared byte-for-byte; re-bless with
+# entire pipeline must succeed with the network disabled. Golden snapshots
+# (tests/golden/) are compared byte-for-byte; re-bless with
 #   UPDATE_GOLDEN=1 cargo test --test determinism golden_fault_trace
+#   UPDATE_GOLDEN=1 cargo test --test telemetry
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> telemetry suite (golden snapshots + determinism)"
+cargo test -q --test telemetry
+cargo test -q -p xferopt-tuners --test audit_sequences
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

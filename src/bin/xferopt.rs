@@ -4,9 +4,11 @@
 //! xferopt run   [--route uc|tacc] [--tuner default|cd|cs|nm|heur1|heur2]
 //!               [--dims nc|ncnp] [--tfr N] [--cmp N] [--duration S]
 //!               [--epoch S] [--seed N] [--csv]
+//!               [--telemetry-out PATH]         # JSONL + PATH.prom
 //! xferopt sweep [--route uc|tacc] [--tfr N] [--cmp N] [--np N]
 //!               [--duration S] [--seed N]      # throughput vs nc table
 //! xferopt compare [--duration S] [--seed N]    # all tuners × all loads
+//! xferopt telemetry summarize --in PATH       # digest a JSONL bundle
 //! ```
 //!
 //! Everything runs the calibrated fluid testbed (see DESIGN.md); use the
@@ -16,6 +18,7 @@ use std::process::ExitCode;
 use xferopt::prelude::*;
 use xferopt::scenarios::experiments::{fig5, summarize};
 use xferopt::scenarios::report::Table;
+use xferopt::scenarios::telemetry::{drive_transfer_with_telemetry, summarize_telemetry};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args {
@@ -102,7 +105,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         cfg = cfg.with_faults(profile.plan(route, seed, duration));
     }
 
-    let log = drive_transfer(&cfg);
+    let telemetry_out = args.get("telemetry-out").map(str::to_string);
+    let log = if let Some(path) = &telemetry_out {
+        // Flight recorder on: identical transfer, plus JSONL + Prometheus.
+        let (log, tel) = drive_transfer_with_telemetry(&cfg);
+        std::fs::write(path, tel.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let prom_path = format!("{path}.prom");
+        std::fs::write(&prom_path, tel.to_prometheus())
+            .map_err(|e| format!("cannot write {prom_path}: {e}"))?;
+        eprintln!("telemetry: wrote {path} (JSONL) and {prom_path} (Prometheus)");
+        log
+    } else {
+        drive_transfer(&cfg)
+    };
     if args.has_flag("csv") {
         println!("t_s,observed_mbs,bestcase_mbs,nc,np,startup_s");
         for e in &log.epochs {
@@ -127,10 +142,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 .map(|p| format!(" with {p} faults"))
                 .unwrap_or_default()
         );
-        println!(
-            "  mean observed  {:>8.0} MB/s",
-            log.mean_observed_mbs()
-        );
+        println!("  mean observed  {:>8.0} MB/s", log.mean_observed_mbs());
         println!(
             "  steady (last third) {:>8.0} MB/s",
             log.mean_observed_between(duration * 2.0 / 3.0, duration + 1.0)
@@ -183,7 +195,13 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let seed = args.get_parsed("seed", 0u64)?;
     let route = parse_route(args.get("route").unwrap_or("uc"))?;
     let runs = fig5(route, duration, seed);
-    let mut table = Table::new(vec!["load", "tuner", "observed MB/s", "vs default", "final nc"]);
+    let mut table = Table::new(vec![
+        "load",
+        "tuner",
+        "observed MB/s",
+        "vs default",
+        "final nc",
+    ]);
     for s in summarize(&runs) {
         table.push_row(vec![
             s.load.label(),
@@ -201,13 +219,37 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `xferopt telemetry summarize --in PATH`: digest a JSONL telemetry bundle.
+fn cmd_telemetry(sub: &str, args: &Args) -> Result<(), String> {
+    match sub {
+        "summarize" => {
+            let path = args
+                .get("in")
+                .ok_or_else(|| "telemetry summarize needs --in PATH".to_string())?;
+            let doc =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let s = summarize_telemetry(&doc);
+            if s.runs + s.epochs + s.decisions + s.metric_samples == 0 {
+                return Err(format!("{path}: no telemetry records found"));
+            }
+            print!("{}", s.to_report());
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown telemetry subcommand: {other} (use summarize)"
+        )),
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: xferopt <run|sweep|compare> [--flags]\n\
+    "usage: xferopt <run|sweep|compare|telemetry> [--flags]\n\
      run:     --route uc|tacc --tuner default|cd|cs|nm|heur1|heur2 --dims nc|ncnp\n\
      \u{20}        --np N --tfr N --cmp N --duration S --epoch S --seed N --csv\n\
      \u{20}        --faults flaky-link|degraded-wan|lossy-tacc\n\
+     \u{20}        --telemetry-out PATH   (writes PATH JSONL + PATH.prom)\n\
      sweep:   --route uc|tacc --tfr N --cmp N --np N --duration S --seed N\n\
-     compare: --route uc|tacc --duration S --seed N"
+     compare: --route uc|tacc --duration S --seed N\n\
+     telemetry summarize: --in PATH"
 }
 
 fn main() -> ExitCode {
@@ -216,12 +258,18 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
-        "run" => cmd_run(&args),
-        "sweep" => cmd_sweep(&args),
-        "compare" => cmd_compare(&args),
-        other => Err(format!("unknown command: {other}\n{}", usage())),
-    });
+    let result = match cmd.as_str() {
+        "telemetry" => match rest.split_first() {
+            Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_telemetry(sub, &args)),
+            None => Err(format!("telemetry needs a subcommand\n{}", usage())),
+        },
+        _ => Args::parse(rest).and_then(|args| match cmd.as_str() {
+            "run" => cmd_run(&args),
+            "sweep" => cmd_sweep(&args),
+            "compare" => cmd_compare(&args),
+            other => Err(format!("unknown command: {other}\n{}", usage())),
+        }),
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -276,4 +324,3 @@ mod tests {
         assert!(parse_route("mars").is_err());
     }
 }
-

@@ -25,9 +25,19 @@
 //! * [`loopback`] — a real-TCP localhost harness (shaped sockets + CPU hogs)
 //!   so the same tuners can run against a non-simulated objective.
 //! * [`simcore`] — the discrete-event substrate: simulated time, event
-//!   queues, splittable RNG streams, online statistics, and deterministic
+//!   queues, splittable RNG streams, online statistics, deterministic
 //!   fault-injection plans ([`simcore::FaultPlan`]) with retry/backoff
-//!   handling in the transfer world.
+//!   handling in the transfer world, and the structured metrics layer
+//!   ([`simcore::MetricsRegistry`]: counters, gauges, log-bucket histograms
+//!   with mergeable, byte-deterministic snapshots).
+//!
+//! The workspace ships a flight recorder on top: per-epoch telemetry in the
+//! transfer [`transfer::World`] ([`transfer::WorldTelemetry`]), a typed
+//! decision audit log in the tuners ([`tuners::AuditLog`]), and the
+//! scenario-level bundle ([`scenarios::RunTelemetry`]) that the `xferopt run
+//! --telemetry-out` CLI writes as JSONL + Prometheus text (digestible with
+//! `xferopt telemetry summarize`). Telemetry is strictly observational: an
+//! instrumented run reproduces the uninstrumented run byte for byte.
 //!
 //! ## Quickstart
 //!
@@ -71,13 +81,22 @@ pub use xferopt_tuners as tuners;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use xferopt_scenarios::driver::{drive_transfer, DriveConfig, MultiDriver, MultiSpec, TuneDims};
+    pub use xferopt_scenarios::driver::{
+        drive_transfer, DriveConfig, MultiDriver, MultiSpec, TuneDims,
+    };
+    pub use xferopt_scenarios::telemetry::{
+        drive_transfer_with_telemetry, summarize_telemetry, RunTelemetry, TelemetrySummary,
+    };
     pub use xferopt_scenarios::{ExternalLoad, FaultProfile, LoadSchedule, PaperWorld, Route};
-    pub use xferopt_simcore::{FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime};
-    pub use xferopt_transfer::{RetryPolicy, StreamParams, TransferConfig, TransferLog, World};
+    pub use xferopt_simcore::{
+        FaultEvent, FaultKind, FaultPlan, MetricsRegistry, MetricsSnapshot, SimDuration, SimTime,
+    };
+    pub use xferopt_transfer::{
+        RetryPolicy, StreamParams, TransferConfig, TransferLog, World, WorldTelemetry,
+    };
     pub use xferopt_tuners::{
-        CdTuner, CompassTuner, Domain, Heur1Tuner, Heur2Tuner, NelderMeadTuner, OnlineTuner,
-        Point, StaticTuner, TunerKind,
+        AuditLog, CdTuner, CompassTuner, DecisionAction, DecisionEvent, Domain, Heur1Tuner,
+        Heur2Tuner, NelderMeadTuner, OnlineTuner, Point, RetriggerCause, StaticTuner, TunerKind,
     };
 }
 

@@ -36,7 +36,10 @@ fn epoch_length_trades_overhead_for_agility() {
     // Observed throughput (steady) should be ordered the same way on a
     // *static* load, where agility buys nothing.
     let steady = |log: &TransferLog| log.mean_observed_between(800.0, 1201.0).unwrap();
-    assert!(steady(&short) < steady(&long), "static load favours long epochs");
+    assert!(
+        steady(&short) < steady(&long),
+        "static load favours long epochs"
+    );
 }
 
 /// λ controls how fast compass search covers ground: with a distant optimum,
@@ -46,9 +49,7 @@ fn epoch_length_trades_overhead_for_agility() {
 fn lambda_governs_search_speed() {
     let evals = |lambda: f64| {
         let mut t = CompassTuner::new(Domain::new(&[(1, 256)]), vec![2], lambda, 5.0);
-        let r = maximize(&mut t, 400, |x| {
-            -((x[0] - 100) as f64).abs()
-        });
+        let r = maximize(&mut t, 400, |x| -((x[0] - 100) as f64).abs());
         assert!(
             (r.best[0] - 100).abs() <= 2,
             "λ={lambda}: best={:?}",
@@ -76,7 +77,9 @@ fn tolerance_controls_retriggering() {
         // Noisy but stationary objective: ±2% multiplicative wobble.
         let mut k = 0u64;
         for _ in 0..120 {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let wobble = 1.0 + 0.02 * (((k >> 33) as f64 / 2e9) * 2.0 - 1.0);
             let f = (4000.0 - ((x[0] - 20) as f64).powi(2)) * wobble;
             x = t.observe(&x.clone(), f);
@@ -111,7 +114,10 @@ fn tcp_variant_ordering_on_wan_path() {
     let reno = rate(CongestionControl::Reno);
     let htcp = rate(CongestionControl::HTcp);
     let scalable = rate(CongestionControl::Scalable);
-    assert!(htcp > reno, "H-TCP must beat Reno at 1e-4 loss: {htcp} vs {reno}");
+    assert!(
+        htcp > reno,
+        "H-TCP must beat Reno at 1e-4 loss: {htcp} vs {reno}"
+    );
     assert!(scalable > htcp, "Scalable is the most aggressive");
 }
 

@@ -151,7 +151,10 @@ fn world_layers_stay_consistent() {
     pw.world.set_params(tid, StreamParams::new(20, 8), false);
     pw.world.step(SimDuration::from_secs(20));
     let after = pw.world.goodput_mbs(tid);
-    assert!(after > before, "bigger nc must raise TACC goodput: {before} -> {after}");
+    assert!(
+        after > before,
+        "bigger nc must raise TACC goodput: {before} -> {after}"
+    );
     assert!(pw.world.moved_mb(tid) > moved_before);
     assert_eq!(pw.world.params(tid), StreamParams::new(20, 8));
 }

@@ -76,7 +76,10 @@ fn golden_fault_world() -> (PaperWorld, xferopt::transfer::TransferId) {
         .with(FaultEvent::window(
             SimTime::from_secs(20),
             SimDuration::from_secs(15),
-            FaultKind::LinkDegrade { link: 1, factor: 0.25 },
+            FaultKind::LinkDegrade {
+                link: 1,
+                factor: 0.25,
+            },
         ))
         .with(FaultEvent::window(
             SimTime::from_secs(50),
@@ -86,7 +89,10 @@ fn golden_fault_world() -> (PaperWorld, xferopt::transfer::TransferId) {
         .with(FaultEvent::window(
             SimTime::from_secs(70),
             SimDuration::from_secs(10),
-            FaultKind::RttSpike { path: 0, factor: 4.0 },
+            FaultKind::RttSpike {
+                path: 0,
+                factor: 4.0,
+            },
         ))
         .with(FaultEvent::window(
             SimTime::from_secs(90),
@@ -114,8 +120,14 @@ fn golden_fault_trace_matches_snapshot() {
     };
     let trace = run();
     assert_eq!(trace, run(), "two in-process runs must be byte-identical");
-    assert!(trace.contains("[fault]"), "trace must record fault events:\n{trace}");
-    assert!(trace.contains("abort"), "trace must record the abort:\n{trace}");
+    assert!(
+        trace.contains("[fault]"),
+        "trace must record fault events:\n{trace}"
+    );
+    assert!(
+        trace.contains("abort"),
+        "trace must record the abort:\n{trace}"
+    );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fault_trace.txt");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {

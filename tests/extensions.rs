@@ -101,7 +101,9 @@ fn destination_extension_through_presets() {
     pw.world.set_compute_jobs(pw.dst_uchicago, 32);
     let tid = pw.start_transfer_with_dst(Route::UChicago, StreamParams::globus_default());
     pw.world.step(SimDuration::from_secs(30));
-    let es = pw.world.begin_epoch(tid, StreamParams::globus_default(), false);
+    let es = pw
+        .world
+        .begin_epoch(tid, StreamParams::globus_default(), false);
     pw.world.step(SimDuration::from_secs(60));
     let degraded = pw.world.end_epoch(es).observed_mbs;
     let es = pw.world.begin_epoch(tid, StreamParams::new(48, 8), false);
@@ -129,7 +131,10 @@ fn extra_tuners_are_drop_in() {
         5.0,
     ));
     let r = maximize(&mut random, 100, f);
-    assert!(r.best_value > f(&vec![2]), "random must improve on the start");
+    assert!(
+        r.best_value > f(&vec![2]),
+        "random must improve on the start"
+    );
     assert!(!random.history().is_empty());
 }
 
@@ -169,7 +174,10 @@ fn tuning_still_pays_on_a_modern_dtn() {
     );
     // And restarts barely cost anything on this hardware.
     let startup = world.set_params(tid, StreamParams::new(16, 8), true);
-    assert!(startup < 2.5, "modern restart should be cheap: {startup:.2}s");
+    assert!(
+        startup < 2.5,
+        "modern restart should be cheap: {startup:.2}s"
+    );
 }
 
 /// Loopback CPU hogs + shaped GridFTP puts: throughput under hogs is not
@@ -184,7 +192,9 @@ fn gridftp_under_cpu_hogs() {
         client::PutConfig::new("quiet", size).with_parallelism(2),
     )
     .unwrap();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let hogs = CpuHogs::spawn((cores * 2) as u32);
     let loaded = client::put(
         server.control_addr(),

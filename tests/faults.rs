@@ -29,7 +29,10 @@ fn finite_transfer_completes_through_aborts_with_retries() {
         ));
     pw.world.enable_faults(plan);
     pw.world.step(SimDuration::from_secs(600));
-    assert!(pw.world.is_done(tid), "transfer must complete despite aborts");
+    assert!(
+        pw.world.is_done(tid),
+        "transfer must complete despite aborts"
+    );
     assert_eq!(pw.world.retries(tid), 2);
     assert!(
         (pw.world.moved_mb(tid) - 300_000.0).abs() < 1e-6,
@@ -48,7 +51,8 @@ fn moved_mb_is_conserved_across_aborts() {
         SimTime::from_secs(60),
         FaultKind::TransferAbort { transfer: tid.0 },
     ));
-    pw.world.enable_faults_with_policy(plan, RetryPolicy::fixed(20.0));
+    pw.world
+        .enable_faults_with_policy(plan, RetryPolicy::fixed(20.0));
     let mut last = 0.0;
     let mut frozen_steps = 0;
     for _ in 0..120 {
@@ -62,7 +66,10 @@ fn moved_mb_is_conserved_across_aborts() {
     }
     assert_eq!(pw.world.retries(tid), 1);
     // Backoff (20 s) + restart startup: a solid run of frozen 2 s steps.
-    assert!(frozen_steps >= 10, "expected a visible outage, got {frozen_steps} frozen steps");
+    assert!(
+        frozen_steps >= 10,
+        "expected a visible outage, got {frozen_steps} frozen steps"
+    );
 }
 
 #[test]
@@ -79,7 +86,11 @@ fn flaky_link_profile_run_completes_and_retries() {
     .with_seed(7)
     .with_faults(plan);
     let log = drive_transfer(&cfg);
-    assert_eq!(log.epochs.len(), 60, "driver must not lose epochs to faults");
+    assert_eq!(
+        log.epochs.len(),
+        60,
+        "driver must not lose epochs to faults"
+    );
     assert!(log.total_mb() > 0.0);
     // The flap windows show up as depressed epochs, not as missing data.
     let min_epoch = log

@@ -24,7 +24,10 @@ fn fig1_rise_then_fall() {
         .unwrap()
         .0;
     // Interior peak, rising before, falling after.
-    assert!(peak_idx > 0 && peak_idx < medians.len() - 1, "peak at edge: {medians:?}");
+    assert!(
+        peak_idx > 0 && peak_idx < medians.len() - 1,
+        "peak at edge: {medians:?}"
+    );
     assert!(medians[0] < medians[peak_idx] * 0.5, "rise too shallow");
     assert!(
         *medians.last().unwrap() < medians[peak_idx] * 0.95,
@@ -76,7 +79,10 @@ fn tuners_beat_default_across_loads() {
         );
     }
     // Compute load: large improvement (paper: 7-10x).
-    for (l, min_gain) in [(ExternalLoad::new(0, 16), 3.0), (ExternalLoad::new(0, 64), 2.5)] {
+    for (l, min_gain) in [
+        (ExternalLoad::new(0, 16), 3.0),
+        (ExternalLoad::new(0, 64), 2.5),
+    ] {
         for t in [TunerKind::Cs, TunerKind::Nm] {
             let s = get(t, l);
             assert!(
@@ -120,7 +126,10 @@ fn restart_overhead_matches_paper_shape() {
     // external streams for the NIC), so allow up to 35%.
     let tfr = overhead(ExternalLoad::new(64, 0));
     assert!(tfr < 0.35, "tfr overhead should stay small: {tfr:.2}");
-    assert!(tfr < heavy, "network load must inflate overhead less than compute load");
+    assert!(
+        tfr < heavy,
+        "network load must inflate overhead less than compute load"
+    );
 }
 
 /// Section IV-D: two tuned transfers sharing the source NIC interact; their
@@ -167,7 +176,10 @@ fn cd_fast_near_start_slow_far_away() {
     };
     // No load: the default start (nc=2) is near the optimum — cd is quick.
     let cd_idle = settle_epochs(&run(TunerKind::Cd, ExternalLoad::NONE));
-    assert!(cd_idle <= 8, "paper: cd reaches steady state in ~3 epochs idle, got {cd_idle}");
+    assert!(
+        cd_idle <= 8,
+        "paper: cd reaches steady state in ~3 epochs idle, got {cd_idle}"
+    );
     // Heavy compute load: the optimum (nc ≈ 30-60) is far from nc=2; the
     // ±1 walk needs many more epochs than nm's reflect/expand jumps.
     let load = ExternalLoad::new(0, 16);

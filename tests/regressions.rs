@@ -1,8 +1,8 @@
 //! Named regression tests for bugs found (and fixed) while building this
 //! reproduction. Each test documents the failure mode so it cannot return.
 
-use xferopt::prelude::*;
 use xferopt::net::{max_min_allocate, FlowDemand};
+use xferopt::prelude::*;
 
 /// REGRESSION: the cd-tuner's relative-change quotient used a signed
 /// denominator, so a *negative* baseline value flipped the improvement sign
@@ -56,7 +56,10 @@ fn boundary_aligned_load_change_applies() {
     let log = drive_transfer(&cfg);
     let before = log.mean_observed_between(100.0, 290.0).unwrap();
     let after = log.mean_observed_between(400.0, 600.0).unwrap();
-    assert!(after > 5.0 * before, "change at t=300 never applied: {before} -> {after}");
+    assert!(
+        after > 5.0 * before,
+        "change at t=300 never applied: {before} -> {after}"
+    );
 }
 
 /// REGRESSION: progressive filling could stall (and fire a debug assertion)
@@ -141,5 +144,8 @@ fn compass_from_domain_corner_terminates() {
     // endless *probing* of the same corner during search. Holding implies
     // the search finished: λ must have collapsed.
     assert!(t.lambda() < 0.5, "search never terminated from the corner");
-    assert!(repeats_at_corner > 10, "should settle and hold at the corner");
+    assert!(
+        repeats_at_corner > 10,
+        "should settle and hold at the corner"
+    );
 }

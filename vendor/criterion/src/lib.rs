@@ -160,11 +160,9 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_samples(
-            &format!("{}/{}", self.name, id),
-            self.throughput,
-            |b| f(b, input),
-        );
+        run_samples(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 

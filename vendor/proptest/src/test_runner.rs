@@ -14,9 +14,7 @@ impl TestRng {
     /// RNG for case `case` of the test whose name hashed to `test_hash`.
     pub fn for_case(test_hash: u64, case: u64) -> Self {
         TestRng {
-            inner: InnerRng::seed_from_u64(
-                test_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            ),
+            inner: InnerRng::seed_from_u64(test_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
         }
     }
 
