@@ -1,0 +1,55 @@
+//! Fleet orchestrator overhead benchmarks.
+//!
+//! The orchestrator's tick loop (arrivals, admission, completions, epoch
+//! boundaries) runs between every world step; it must stay cheap relative to
+//! the fluid-network allocation it wraps. These benches measure a whole
+//! fleet run at several job counts and the single-transfer baseline the
+//! overhead is compared against.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xferopt_orchestrator::{run_fleet, FleetConfig, HistoryStore, Workload};
+use xferopt_scenarios::{PaperWorld, Route};
+use xferopt_simcore::SimDuration;
+use xferopt_transfer::StreamParams;
+
+fn bench_fleet_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_run");
+    group.sample_size(10);
+    for jobs in [2usize, 8, 16] {
+        let workload = Workload::synthetic(jobs, 7);
+        let config = FleetConfig {
+            horizon_s: 1800.0,
+            ..FleetConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(jobs),
+            &(workload, config),
+            |b, (w, cfg)| {
+                b.iter(|| {
+                    let mut h = HistoryStore::in_memory();
+                    black_box(run_fleet(w, cfg, &mut h).report.total_moved_mb())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Baseline: the same 1800 simulated seconds stepped 5 s at a time with one
+/// bare transfer and no orchestration. Fleet overhead = fleet_run(n) minus
+/// roughly this per world.
+fn bench_bare_world_steps(c: &mut Criterion) {
+    c.bench_function("bare_world_1800s_5s_ticks", |b| {
+        b.iter(|| {
+            let mut pw = PaperWorld::new(7);
+            let tid = pw.start_transfer(Route::UChicago, StreamParams::globus_default());
+            for _ in 0..360 {
+                pw.world.step(SimDuration::from_secs(5));
+            }
+            black_box(pw.world.moved_mb(tid))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fleet_run, bench_bare_world_steps);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! Admission control: per-link stream budgets.
+//!
+//! Every WAN link (and the shared source NIC) has a stream budget — the
+//! maximum number of TCP streams the orchestrator will let admitted jobs
+//! reserve on it at once. A job asks for `min(spec.max_streams, ...)` streams
+//! on every link of its route; admission either grants the full reservation on
+//! all links atomically or rejects the job for this tick.
+//!
+//! The reservation is a *cap*, not a commitment: the job's tuner is built over
+//! a domain whose `nc × np` product cannot exceed the granted streams, so the
+//! running transfer never places more streams on the wire than admission
+//! granted (see DESIGN.md §11).
+
+use crate::job::{JobId, JobSpec};
+use xferopt_scenarios::Route;
+
+/// Default per-link stream budget (4× the 128-stream default reservation, so
+/// the golden contention scenario holds four full-size jobs per link).
+pub const DEFAULT_LINK_BUDGET: u32 = 512;
+
+/// Links of a route, as raw indices into the paper world's network
+/// (construction order: nic = 0, wan-uchicago = 1, wan-tacc = 2).
+pub fn route_links(route: Route) -> [usize; 2] {
+    [0, route.wan_link_index()]
+}
+
+/// One granted reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// The job holding the reservation.
+    pub job: JobId,
+    /// Route whose links the streams are reserved on.
+    pub route: Route,
+    /// Streams reserved on every link of the route.
+    pub streams: u32,
+}
+
+/// Tracks per-link stream budgets and outstanding reservations.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    /// Budget per link index.
+    budgets: Vec<u32>,
+    /// Streams currently reserved per link index.
+    reserved: Vec<u32>,
+    /// Outstanding reservations, in admission order.
+    grants: Vec<Reservation>,
+}
+
+impl AdmissionController {
+    /// A controller with the same `budget` on every one of `links` links.
+    pub fn uniform(links: usize, budget: u32) -> Self {
+        assert!(budget >= 1, "budget must admit at least one stream");
+        AdmissionController {
+            budgets: vec![budget; links],
+            reserved: vec![0; links],
+            grants: Vec::new(),
+        }
+    }
+
+    /// A controller for the paper world (3 links) with `budget` streams each.
+    pub fn paper(budget: u32) -> Self {
+        AdmissionController::uniform(3, budget)
+    }
+
+    /// Streams still available on `link`.
+    pub fn available(&self, link: usize) -> u32 {
+        self.budgets[link] - self.reserved[link]
+    }
+
+    /// Streams currently reserved on `link`.
+    pub fn reserved(&self, link: usize) -> u32 {
+        self.reserved[link]
+    }
+
+    /// The budget configured for `link`.
+    pub fn budget(&self, link: usize) -> u32 {
+        self.budgets[link]
+    }
+
+    /// Streams a job would be granted right now: the smallest of its
+    /// requested reservation and the tightest available link on its route.
+    /// Zero means it cannot be admitted this tick.
+    pub fn grantable(&self, spec: &JobSpec) -> u32 {
+        let avail = route_links(spec.route)
+            .iter()
+            .map(|&l| self.available(l))
+            .min()
+            .unwrap_or(0);
+        spec.max_streams.min(avail)
+    }
+
+    /// Try to admit `spec`. Grants `min(spec.max_streams, available)` streams
+    /// on every link of the route, but only when at least `spec.np` streams
+    /// fit (a reservation smaller than one stream per process is useless).
+    /// Returns the reservation on success.
+    pub fn try_admit(&mut self, spec: &JobSpec) -> Option<Reservation> {
+        let streams = self.grantable(spec);
+        if streams < spec.np.max(1) {
+            return None;
+        }
+        for l in route_links(spec.route) {
+            self.reserved[l] += streams;
+        }
+        let r = Reservation {
+            job: spec.id,
+            route: spec.route,
+            streams,
+        };
+        self.grants.push(r);
+        Some(r)
+    }
+
+    /// Release a job's reservation (on completion or at the horizon).
+    ///
+    /// # Panics
+    /// Panics if the job holds no reservation.
+    pub fn release(&mut self, job: JobId) {
+        let idx = self
+            .grants
+            .iter()
+            .position(|g| g.job == job)
+            .unwrap_or_else(|| panic!("{job} holds no reservation"));
+        let g = self.grants.remove(idx);
+        for l in route_links(g.route) {
+            debug_assert!(self.reserved[l] >= g.streams);
+            self.reserved[l] -= g.streams;
+        }
+    }
+
+    /// Outstanding reservations, in admission order.
+    pub fn grants(&self) -> &[Reservation] {
+        &self.grants
+    }
+
+    /// True when no link is oversubscribed (internal invariant; exercised by
+    /// the property test).
+    pub fn within_budget(&self) -> bool {
+        self.reserved.iter().zip(&self.budgets).all(|(r, b)| r <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn admits_until_the_tightest_link_is_full() {
+        let mut ac = AdmissionController::paper(256);
+        // Two 128-stream UChicago jobs fill the NIC and the UC WAN.
+        let a = JobSpec::new(0, 0.0, 100.0);
+        let b = JobSpec::new(1, 0.0, 100.0);
+        let c = JobSpec::new(2, 0.0, 100.0);
+        assert_eq!(ac.try_admit(&a).unwrap().streams, 128);
+        assert_eq!(ac.try_admit(&b).unwrap().streams, 128);
+        // The NIC is exhausted, so even a TACC job is refused.
+        let t = JobSpec::new(3, 0.0, 100.0).with_route(Route::Tacc);
+        assert!(ac.try_admit(&t).is_none());
+        assert!(ac.try_admit(&c).is_none());
+        // Releasing one frees both links.
+        ac.release(JobId(0));
+        assert_eq!(ac.try_admit(&c).unwrap().streams, 128);
+        assert!(ac.within_budget());
+    }
+
+    #[test]
+    fn partial_grants_shrink_to_the_available_headroom() {
+        let mut ac = AdmissionController::paper(160);
+        let a = JobSpec::new(0, 0.0, 100.0);
+        assert_eq!(ac.try_admit(&a).unwrap().streams, 128);
+        // 32 streams left; np=8 fits, so a partial grant of 32 is made.
+        let b = JobSpec::new(1, 0.0, 100.0);
+        assert_eq!(ac.try_admit(&b).unwrap().streams, 32);
+        // 0 left: refuse.
+        assert!(ac.try_admit(&JobSpec::new(2, 0.0, 100.0)).is_none());
+    }
+
+    #[test]
+    fn reservations_below_np_are_refused() {
+        let mut ac = AdmissionController::paper(4);
+        let a = JobSpec::new(0, 0.0, 100.0).with_np(8);
+        assert!(ac.try_admit(&a).is_none(), "4 < np=8 must be refused");
+        let b = JobSpec::new(1, 0.0, 100.0).with_np(4).with_max_streams(4);
+        assert_eq!(ac.try_admit(&b).unwrap().streams, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no reservation")]
+    fn double_release_panics() {
+        let mut ac = AdmissionController::paper(256);
+        ac.try_admit(&JobSpec::new(0, 0.0, 100.0)).unwrap();
+        ac.release(JobId(0));
+        ac.release(JobId(0));
+    }
+
+    proptest! {
+        /// Under any interleaving of admits and releases, no link ever
+        /// exceeds its budget and every grant is within the job's request.
+        #[test]
+        fn admission_never_oversubscribes(
+            budget in 8u32..512,
+            ops in prop::collection::vec((0u64..24, 1u32..300, any::<bool>(), any::<bool>()), 1..80)
+        ) {
+            let mut ac = AdmissionController::paper(budget);
+            let mut held: Vec<JobId> = Vec::new();
+            for (next_id, (seedish, max_streams, tacc, release_first)) in
+                ops.into_iter().enumerate()
+            {
+                if release_first && !held.is_empty() {
+                    let idx = (seedish as usize) % held.len();
+                    let job = held.remove(idx);
+                    ac.release(job);
+                    prop_assert!(ac.within_budget());
+                }
+                let route = if tacc { Route::Tacc } else { Route::UChicago };
+                let spec = JobSpec::new(next_id as u64, 0.0, 100.0)
+                    .with_route(route)
+                    .with_np(1)
+                    .with_max_streams(max_streams);
+                if let Some(g) = ac.try_admit(&spec) {
+                    prop_assert!(g.streams >= 1);
+                    prop_assert!(g.streams <= max_streams);
+                    held.push(g.job);
+                }
+                prop_assert!(ac.within_budget());
+                for l in 0..3 {
+                    prop_assert!(ac.reserved(l) <= ac.budget(l));
+                }
+            }
+            // Releasing everything restores a clean slate.
+            for job in held {
+                ac.release(job);
+            }
+            for l in 0..3 {
+                prop_assert_eq!(ac.reserved(l), 0);
+            }
+        }
+    }
+}

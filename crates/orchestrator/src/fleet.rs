@@ -1,0 +1,727 @@
+//! The fleet orchestrator: a deterministic tick loop that admits jobs,
+//! drives one online tuner per running job, and records outcomes.
+//!
+//! Per tick (`tick_s`, which must divide `epoch_s`), in this order:
+//!
+//! 1. arrivals — pending jobs whose arrival time has come join the queue;
+//! 2. admission — the [`Policy`] picks queued jobs; each is granted a stream
+//!    reservation by the [`AdmissionController`] or blocks the queue
+//!    (head-of-line blocking keeps policy semantics exact);
+//! 3. the world advances one tick;
+//! 4. completions — finished jobs close their epoch, release their
+//!    reservation, and append a [`HistoryRecord`];
+//! 5. epoch boundaries — running jobs whose control epoch elapsed report the
+//!    observed throughput to their tuner and start the next epoch.
+//!
+//! Steps 1, 2, 4, and 5 iterate in job-id order, so a fleet run is a pure
+//! function of `(workload, config)`: two runs with the same seed produce
+//! byte-identical reports (see `tests/fleet.rs`).
+
+use std::collections::BTreeMap;
+
+use crate::admission::{AdmissionController, DEFAULT_LINK_BUDGET};
+use crate::history::{HistoryRecord, HistoryStore};
+use crate::job::{JobId, JobSpec, JobState, Workload};
+use crate::policy::Policy;
+use xferopt_scenarios::PaperWorld;
+use xferopt_simcore::SimDuration;
+use xferopt_transfer::{EpochReport, EpochStart, StreamParams, TransferId};
+use xferopt_tuners::{Domain, OnlineTuner, Point, WarmStart};
+
+/// Fleet run configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Admission-order policy.
+    pub policy: Policy,
+    /// World seed (noise, fault RNG).
+    pub seed: u64,
+    /// Run horizon, simulated seconds.
+    pub horizon_s: f64,
+    /// Orchestrator tick, seconds. Must divide `epoch_s`.
+    pub tick_s: f64,
+    /// Control-epoch length handed to each job's tuner, seconds.
+    pub epoch_s: f64,
+    /// Per-link stream budget for admission control.
+    pub link_budget: u32,
+    /// Query the history store to warm-start tuners. When false the run is
+    /// cold (but still appends history), so a later warm run can be compared.
+    pub warm_start: bool,
+    /// Maximum history-match distance accepted for a warm start.
+    pub max_match_distance: f64,
+    /// Log-std of per-epoch throughput noise on each transfer.
+    pub noise_sigma: f64,
+    /// Enable per-job tuner audit logs (namespaced by job id).
+    pub audit: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            policy: Policy::Fifo,
+            seed: 7,
+            horizon_s: 3600.0,
+            tick_s: 5.0,
+            epoch_s: 30.0,
+            link_budget: DEFAULT_LINK_BUDGET,
+            warm_start: true,
+            max_match_distance: 2.0,
+            noise_sigma: 0.05,
+            audit: true,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validate tick/epoch/horizon alignment.
+    ///
+    /// # Panics
+    /// Panics when `tick_s` is non-positive or does not divide `epoch_s`.
+    pub fn validate(&self) {
+        assert!(self.tick_s > 0.0, "tick must be positive");
+        assert!(self.epoch_s > 0.0, "epoch must be positive");
+        assert!(self.horizon_s > 0.0, "horizon must be positive");
+        let ratio = self.epoch_s / self.tick_s;
+        assert!(
+            (ratio - ratio.round()).abs() < 1e-9 && ratio >= 1.0,
+            "tick {} must divide epoch {}",
+            self.tick_s,
+            self.epoch_s
+        );
+    }
+}
+
+/// Terminal record for one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job.
+    pub id: JobId,
+    /// Terminal lifecycle state (`completed`, `unfinished`, `queued`, or
+    /// `pending` — the latter two when the horizon arrives first).
+    pub state: JobState,
+    /// The spec the job ran with.
+    pub spec: JobSpec,
+    /// Admission time (fleet seconds), if admitted.
+    pub admitted_s: Option<f64>,
+    /// Completion time (fleet seconds), if completed.
+    pub finished_s: Option<f64>,
+    /// Streams granted by admission control (0 if never admitted).
+    pub granted_streams: u32,
+    /// Megabytes moved by the horizon.
+    pub moved_mb: f64,
+    /// Mean throughput while running, MB/s.
+    pub mean_mbs: f64,
+    /// Best per-epoch observed throughput, MB/s.
+    pub best_mbs: f64,
+    /// Parameters in force during the best epoch.
+    pub best_params: StreamParams,
+    /// Control epochs completed.
+    pub epochs: u32,
+    /// History-match distance when warm-started; `None` for cold starts.
+    pub warm_distance: Option<f64>,
+    /// Seconds from admission until an epoch first reached 90 % of the job's
+    /// best observed throughput (the warm-start convergence metric).
+    pub time_to_90_s: Option<f64>,
+    /// Whether the deadline was met (`None` when the job has no deadline).
+    pub deadline_met: Option<bool>,
+}
+
+impl JobOutcome {
+    /// Render as one fixed-format report line.
+    pub fn render(&self) -> String {
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.1}"),
+            None => "-".to_string(),
+        };
+        let warm = match self.warm_distance {
+            Some(d) => format!("warm:{d:.3}"),
+            None => "cold".to_string(),
+        };
+        let deadline = match self.deadline_met {
+            Some(true) => "met",
+            Some(false) => "missed",
+            None => "-",
+        };
+        format!(
+            "{} state={} route={} tuner={} size_mb={:.0} prio={} arrival_s={:.0} admitted_s={} finished_s={} granted={} start={} best={} best_mbs={:.1} mean_mbs={:.1} moved_mb={:.1} epochs={} t90_s={} deadline={}",
+            self.id,
+            self.state.name(),
+            self.spec.route.name(),
+            self.spec.tuner.name(),
+            self.spec.size_mb,
+            self.spec.priority,
+            self.spec.arrival_s,
+            opt(self.admitted_s),
+            opt(self.finished_s),
+            self.granted_streams,
+            warm,
+            self.best_params.compact(),
+            self.best_mbs,
+            self.mean_mbs,
+            self.moved_mb,
+            self.epochs,
+            opt(self.time_to_90_s),
+            deadline,
+        )
+    }
+}
+
+/// Deterministic summary of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The configuration the fleet ran with.
+    pub config: FleetConfig,
+    /// Number of jobs submitted.
+    pub submitted: usize,
+    /// Per-job outcomes, in job-id order.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl FleetReport {
+    /// Jobs that reached `state`.
+    pub fn count(&self, state: JobState) -> usize {
+        self.outcomes.iter().filter(|o| o.state == state).count()
+    }
+
+    /// Total megabytes moved across the fleet.
+    pub fn total_moved_mb(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.moved_mb).sum()
+    }
+
+    /// Completion time of the last finished job, if any completed.
+    pub fn makespan_s(&self) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.finished_s)
+            .fold(None, |m, t| Some(m.map_or(t, |x: f64| x.max(t))))
+    }
+
+    /// Mean time-to-90 % over jobs matching `warm` (the warm-vs-cold
+    /// comparison metric). `None` when no matching job converged.
+    pub fn mean_time_to_90_s(&self, warm: bool) -> Option<f64> {
+        let ts: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.warm_distance.is_some() == warm)
+            .filter_map(|o| o.time_to_90_s)
+            .collect();
+        if ts.is_empty() {
+            None
+        } else {
+            Some(ts.iter().sum::<f64>() / ts.len() as f64)
+        }
+    }
+
+    /// Render the whole report as deterministic fixed-format text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet policy={} seed={} jobs={} horizon_s={:.0} tick_s={:.0} epoch_s={:.0} budget={} warm={} audit={}\n",
+            self.config.policy,
+            self.config.seed,
+            self.submitted,
+            self.config.horizon_s,
+            self.config.tick_s,
+            self.config.epoch_s,
+            self.config.link_budget,
+            self.config.warm_start,
+            self.config.audit,
+        ));
+        for o in &self.outcomes {
+            out.push_str(&o.render());
+            out.push('\n');
+        }
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.1}"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "summary completed={} unfinished={} queued={} pending={} moved_mb={:.1} makespan_s={} t90_cold_s={} t90_warm_s={}\n",
+            self.count(JobState::Completed),
+            self.count(JobState::Unfinished),
+            self.count(JobState::Queued),
+            self.count(JobState::Pending),
+            self.total_moved_mb(),
+            opt(self.makespan_s()),
+            opt(self.mean_time_to_90_s(false)),
+            opt(self.mean_time_to_90_s(true)),
+        ));
+        out
+    }
+
+    /// Render per-job outcomes as CSV (header + one row per job).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "job,state,route,tuner,size_mb,priority,arrival_s,admitted_s,finished_s,granted,warm_distance,best,best_mbs,mean_mbs,moved_mb,epochs,t90_s,deadline_met\n",
+        );
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.3}"),
+            None => String::new(),
+        };
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{},{},{},{},{:.0},{},{:.0},{},{},{},{},{},{:.3},{:.3},{:.3},{},{},{}\n",
+                o.id.0,
+                o.state.name(),
+                o.spec.route.name(),
+                o.spec.tuner.name(),
+                o.spec.size_mb,
+                o.spec.priority,
+                o.spec.arrival_s,
+                opt(o.admitted_s),
+                opt(o.finished_s),
+                o.granted_streams,
+                opt(o.warm_distance),
+                o.best_params.compact(),
+                o.best_mbs,
+                o.mean_mbs,
+                o.moved_mb,
+                o.epochs,
+                opt(o.time_to_90_s),
+                o.deadline_met.map(|b| b.to_string()).unwrap_or_default(),
+            ));
+        }
+        out
+    }
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The deterministic report.
+    pub report: FleetReport,
+    /// Per-job tuner decision logs (namespaced JSONL), concatenated in
+    /// job-id order. Empty when auditing is off.
+    pub decisions_jsonl: String,
+    /// World telemetry epochs as JSONL (the flight recorder), one line per
+    /// control epoch across all transfers.
+    pub telemetry_jsonl: String,
+    /// History records appended during this run.
+    pub history_appended: usize,
+}
+
+/// One admitted job's live state.
+struct RunningJob {
+    spec: JobSpec,
+    tid: TransferId,
+    tuner: Box<dyn OnlineTuner + Send>,
+    epoch: Option<EpochStart>,
+    current: Point,
+    admitted_s: f64,
+    next_epoch_end_s: f64,
+    granted_streams: u32,
+    ext_streams: f64,
+    warm_distance: Option<f64>,
+    best_mbs: f64,
+    best_params: StreamParams,
+    epochs_done: u32,
+    /// `(epoch_end_s_rel_admission, observed_mbs)` per epoch.
+    trace: Vec<(f64, f64)>,
+}
+
+impl RunningJob {
+    fn params_for(&self, x: &Point) -> StreamParams {
+        StreamParams::new(x[0].max(1) as u32, self.spec.np)
+            .clamp_streams(self.granted_streams.max(1))
+    }
+}
+
+/// Run `workload` under `config`, appending completed jobs to `history`.
+pub fn run_fleet(
+    workload: &Workload,
+    config: &FleetConfig,
+    history: &mut HistoryStore,
+) -> FleetOutcome {
+    config.validate();
+    let mut pw = PaperWorld::new(config.seed);
+    pw.world.enable_telemetry();
+
+    let mut pending: Vec<JobSpec> = workload.jobs().to_vec();
+    let mut queued: Vec<JobSpec> = Vec::new();
+    let mut running: BTreeMap<JobId, RunningJob> = BTreeMap::new();
+    let mut admission = AdmissionController::paper(config.link_budget);
+    let mut admitted_by_class: Vec<(u32, u32)> = Vec::new();
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    let mut decisions: Vec<(JobId, String)> = Vec::new();
+    let mut history_appended = 0usize;
+
+    let mut t = 0.0f64;
+    loop {
+        // 1. Arrivals (pending is sorted by (arrival, id)).
+        while pending.first().is_some_and(|j| j.arrival_s <= t + 1e-9) {
+            queued.push(pending.remove(0));
+        }
+
+        // 2. Admission: policy pick with head-of-line blocking.
+        while let Some(idx) = config.policy.pick_next(&queued, &admitted_by_class) {
+            let Some(grant) = admission.try_admit(&queued[idx]) else {
+                break; // head-of-line blocked until a reservation frees up
+            };
+            let spec = queued.remove(idx);
+            match admitted_by_class
+                .iter_mut()
+                .find(|(p, _)| *p == spec.priority)
+            {
+                Some((_, n)) => *n += 1,
+                None => admitted_by_class.push((spec.priority, 1)),
+            }
+            // Context for the history query: external streams on the WAN
+            // link before this job places any of its own.
+            let ext_streams = pw.world.net().streams_per_link()[spec.route.wan_link_index()];
+            // Restrict the tuner's domain to the granted reservation:
+            // nc ≤ granted / np, so proposals can never oversubscribe.
+            let nc_hi = (grant.streams / spec.np.max(1)).max(1) as i64;
+            let domain = Domain::new(&[(1, nc_hi.min(512))]);
+            let cold = vec![spec.cold_start().nc as i64];
+            let seed = if config.warm_start {
+                history.warm_start(
+                    spec.route,
+                    spec.tuner,
+                    ext_streams,
+                    0.0,
+                    cold.clone(),
+                    config.max_match_distance,
+                )
+            } else {
+                WarmStart::cold(cold.clone())
+            };
+            let mut tuner = spec.tuner.build_seeded(domain, &seed);
+            if config.audit {
+                tuner.enable_audit();
+                if let Some(log) = tuner.audit_log_mut() {
+                    log.set_namespace(spec.id.to_string());
+                }
+            }
+            let x0 = tuner.initial();
+            let mut job = RunningJob {
+                tid: pw.start_sized_transfer(
+                    spec.route,
+                    StreamParams::new(1, 1), // placeholder; epoch sets real params
+                    spec.size_mb,
+                    config.noise_sigma,
+                ),
+                tuner,
+                epoch: None,
+                current: x0,
+                admitted_s: t,
+                next_epoch_end_s: t + config.epoch_s,
+                granted_streams: grant.streams,
+                ext_streams,
+                warm_distance: seed.distance(),
+                best_mbs: 0.0,
+                best_params: spec.cold_start(),
+                epochs_done: 0,
+                trace: Vec::new(),
+                spec,
+            };
+            pw.world.set_transfer_tag(job.tid, Some(job.spec.id.0));
+            let params = job.params_for(&job.current.clone());
+            job.epoch = Some(pw.world.begin_epoch(job.tid, params, false));
+            running.insert(job.spec.id, job);
+        }
+
+        let all_done = pending.is_empty() && queued.is_empty() && running.is_empty();
+        if all_done || t >= config.horizon_s - 1e-9 {
+            break;
+        }
+
+        // 3. Advance the world one tick.
+        pw.world.step(SimDuration::from_secs_f64(config.tick_s));
+        t += config.tick_s;
+
+        // 4. Completions, in job-id order (BTreeMap iteration).
+        let finished: Vec<JobId> = running
+            .iter()
+            .filter(|(_, j)| pw.world.is_done(j.tid))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in finished {
+            let mut job = running.remove(&id).expect("job is running");
+            if let Some(es) = job.epoch.take() {
+                let report = pw.world.end_epoch(es);
+                record_epoch(&mut job, t, &report);
+            }
+            admission.release(id);
+            let moved = pw.world.moved_mb(job.tid);
+            let elapsed = (t - job.admitted_s).max(config.tick_s);
+            if job.best_mbs > 0.0 {
+                history
+                    .append(HistoryRecord {
+                        route: job.spec.route,
+                        tuner: job.spec.tuner,
+                        ext_streams: job.ext_streams,
+                        cmp_jobs: 0.0,
+                        best: vec![job.best_params.nc as i64],
+                        achieved_mbs: job.best_mbs,
+                    })
+                    .expect("history append");
+                history_appended += 1;
+            }
+            outcomes.push(retire(
+                job,
+                JobState::Completed,
+                Some(t),
+                moved,
+                elapsed,
+                &mut decisions,
+            ));
+        }
+
+        // 5. Epoch boundaries, in job-id order.
+        let due: Vec<JobId> = running
+            .iter()
+            .filter(|(_, j)| t + 1e-9 >= j.next_epoch_end_s)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let job = running.get_mut(&id).expect("job is running");
+            let es = job.epoch.take().expect("running job has an open epoch");
+            let report = pw.world.end_epoch(es);
+            record_epoch(job, t, &report);
+            let next = job.tuner.observe(&job.current.clone(), report.observed_mbs);
+            job.current = next;
+            let params = job.params_for(&job.current.clone());
+            job.epoch = Some(pw.world.begin_epoch(job.tid, params, false));
+            job.next_epoch_end_s = t + config.epoch_s;
+        }
+    }
+
+    // Horizon: close out whatever is still in flight or waiting.
+    let ids: Vec<JobId> = running.keys().copied().collect();
+    for id in ids {
+        let mut job = running.remove(&id).expect("job is running");
+        if let Some(es) = job.epoch.take() {
+            let report = pw.world.end_epoch(es);
+            record_epoch(&mut job, t, &report);
+        }
+        admission.release(id);
+        let moved = pw.world.moved_mb(job.tid);
+        let elapsed = (t - job.admitted_s).max(config.tick_s);
+        outcomes.push(retire(
+            job,
+            JobState::Unfinished,
+            None,
+            moved,
+            elapsed,
+            &mut decisions,
+        ));
+    }
+    for spec in queued {
+        outcomes.push(never_ran(spec, JobState::Queued));
+    }
+    for spec in pending {
+        outcomes.push(never_ran(spec, JobState::Pending));
+    }
+    outcomes.sort_by_key(|o| o.id);
+    decisions.sort_by_key(|(id, _)| *id);
+
+    let telemetry_jsonl = pw
+        .world
+        .take_telemetry()
+        .map(|tel| {
+            let mut s = String::new();
+            for e in tel.epochs() {
+                s.push_str(&e.to_json());
+                s.push('\n');
+            }
+            s
+        })
+        .unwrap_or_default();
+
+    FleetOutcome {
+        report: FleetReport {
+            config: config.clone(),
+            submitted: workload.len(),
+            outcomes,
+        },
+        decisions_jsonl: decisions.into_iter().map(|(_, s)| s).collect(),
+        telemetry_jsonl,
+        history_appended,
+    }
+}
+
+/// Fold one closed epoch into the job's running statistics.
+fn record_epoch(job: &mut RunningJob, t: f64, report: &EpochReport) {
+    job.epochs_done += 1;
+    job.trace.push((t - job.admitted_s, report.observed_mbs));
+    if report.observed_mbs > job.best_mbs {
+        job.best_mbs = report.observed_mbs;
+        job.best_params = report.params;
+    }
+}
+
+/// Build the outcome for a job that ran (completed or unfinished).
+fn retire(
+    job: RunningJob,
+    state: JobState,
+    finished_s: Option<f64>,
+    moved_mb: f64,
+    elapsed_s: f64,
+    decisions: &mut Vec<(JobId, String)>,
+) -> JobOutcome {
+    if let Some(log) = job.tuner.audit_log() {
+        if !log.is_empty() {
+            decisions.push((job.spec.id, log.to_jsonl()));
+        }
+    }
+    let threshold = 0.9 * job.best_mbs;
+    let time_to_90_s = job
+        .trace
+        .iter()
+        .find(|(_, mbs)| *mbs >= threshold && *mbs > 0.0)
+        .map(|(dt, _)| *dt);
+    let deadline_met = job
+        .spec
+        .deadline_s
+        .map(|d| state == JobState::Completed && finished_s.is_some_and(|f| f <= d + 1e-9));
+    JobOutcome {
+        id: job.spec.id,
+        state,
+        admitted_s: Some(job.admitted_s),
+        finished_s,
+        granted_streams: job.granted_streams,
+        moved_mb,
+        mean_mbs: moved_mb / elapsed_s,
+        best_mbs: job.best_mbs,
+        best_params: job.best_params,
+        epochs: job.epochs_done,
+        warm_distance: job.warm_distance,
+        time_to_90_s,
+        deadline_met,
+        spec: job.spec,
+    }
+}
+
+/// Outcome for a job the horizon caught before admission.
+fn never_ran(spec: JobSpec, state: JobState) -> JobOutcome {
+    JobOutcome {
+        id: spec.id,
+        state,
+        admitted_s: None,
+        finished_s: None,
+        granted_streams: 0,
+        moved_mb: 0.0,
+        mean_mbs: 0.0,
+        best_mbs: 0.0,
+        best_params: spec.cold_start(),
+        epochs: 0,
+        warm_distance: None,
+        time_to_90_s: None,
+        deadline_met: spec.deadline_s.map(|_| false),
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(policy: Policy) -> FleetConfig {
+        FleetConfig {
+            policy,
+            horizon_s: 1800.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn contended_fleet_completes_under_every_policy() {
+        for policy in Policy::all() {
+            let mut h = HistoryStore::in_memory();
+            let out = run_fleet(&Workload::contended(3), &quick_config(policy), &mut h);
+            assert_eq!(
+                out.report.count(JobState::Completed),
+                3,
+                "policy {policy}: {}",
+                out.report.render()
+            );
+            assert_eq!(out.history_appended, 3);
+            assert!(!out.decisions_jsonl.is_empty(), "audit logs expected");
+            assert!(out.decisions_jsonl.contains("\"ns\":\"job0\""));
+            assert!(!out.telemetry_jsonl.is_empty(), "telemetry expected");
+        }
+    }
+
+    #[test]
+    fn same_seed_renders_identical_reports() {
+        let cfg = quick_config(Policy::Sjf);
+        let w = Workload::synthetic(8, 11);
+        let a = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+        let b = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+        assert_eq!(a.report.render(), b.report.render());
+        assert_eq!(a.decisions_jsonl, b.decisions_jsonl);
+        assert_eq!(a.telemetry_jsonl, b.telemetry_jsonl);
+    }
+
+    #[test]
+    fn horizon_marks_unfinished_and_queued() {
+        let cfg = FleetConfig {
+            horizon_s: 60.0,
+            ..quick_config(Policy::Fifo)
+        };
+        // Two huge jobs plus one arriving after the horizon.
+        let w = Workload::new(vec![
+            JobSpec::new(0, 0.0, 1_000_000.0),
+            JobSpec::new(1, 0.0, 1_000_000.0),
+            JobSpec::new(2, 7200.0, 100.0),
+        ]);
+        let out = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+        assert_eq!(out.report.count(JobState::Unfinished), 2);
+        assert_eq!(out.report.count(JobState::Pending), 1);
+        assert_eq!(out.history_appended, 0, "unfinished jobs leave no history");
+    }
+
+    #[test]
+    fn warm_start_uses_the_history_store() {
+        let cfg = FleetConfig {
+            warm_start: false,
+            ..quick_config(Policy::Fifo)
+        };
+        let mut h = HistoryStore::in_memory();
+        let cold = run_fleet(&Workload::contended(2), &cfg, &mut h);
+        assert!(cold
+            .report
+            .outcomes
+            .iter()
+            .all(|o| o.warm_distance.is_none()));
+        assert!(h.len() >= 2);
+        let warm_cfg = FleetConfig {
+            warm_start: true,
+            ..cfg
+        };
+        let warm = run_fleet(&Workload::contended(2), &warm_cfg, &mut h);
+        assert!(
+            warm.report
+                .outcomes
+                .iter()
+                .any(|o| o.warm_distance.is_some()),
+            "{}",
+            warm.report.render()
+        );
+    }
+
+    #[test]
+    fn csv_has_a_row_per_job() {
+        let out = run_fleet(
+            &Workload::contended(2),
+            &quick_config(Policy::Fifo),
+            &mut HistoryStore::in_memory(),
+        );
+        let csv = out.report.to_csv();
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        assert!(csv.starts_with("job,state,route"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn misaligned_tick_is_rejected() {
+        let cfg = FleetConfig {
+            tick_s: 7.0,
+            ..FleetConfig::default()
+        };
+        run_fleet(
+            &Workload::contended(1),
+            &cfg,
+            &mut HistoryStore::in_memory(),
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Persistent warm-start history store.
+//!
+//! Every completed job appends one [`HistoryRecord`] — the context it ran in
+//! (route, external stream load, tuner) and the outcome it found (best
+//! `nc × np`, achieved MB/s). New jobs query the store for the nearest
+//! historical match and seed their tuner at the recorded optimum instead of
+//! the Globus default, cutting the convergence transient (the paper's §V-C
+//! "log files" future-work direction, following Arslan & Kosar's historical
+//! tuning).
+//!
+//! Records are stored as JSONL (one file per store directory, append-only)
+//! with fixed key order, so the store is diffable and byte-deterministic.
+//!
+//! # Distance metric (see DESIGN.md §11)
+//!
+//! ```text
+//! d(a, b) = 1000 · [route differs]
+//!         + 0.5  · [tuner differs]
+//!         + |ln((1 + ext_streams_a) / (1 + ext_streams_b))|
+//!         + |ln((1 + cmp_jobs_a)    / (1 + cmp_jobs_b))|
+//! ```
+//!
+//! Route mismatch is effectively disqualifying; tuner mismatch is a mild
+//! penalty (an optimum found by compass search still seeds Nelder–Mead well);
+//! load terms compare on a log scale because contention effects are
+//! multiplicative. Ties break on insertion order (earliest record wins).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use xferopt_scenarios::Route;
+use xferopt_simcore::metrics::json_f64;
+use xferopt_tuners::{Point, TunerKind, WarmStart};
+
+/// File name used inside a history directory.
+pub const HISTORY_FILE: &str = "history.jsonl";
+
+/// One completed job's context and outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// WAN route the job ran on.
+    pub route: Route,
+    /// Tuner strategy that produced the optimum.
+    pub tuner: TunerKind,
+    /// External TCP streams on the route's WAN link at admission time
+    /// (other jobs' streams — the job's own are excluded).
+    pub ext_streams: f64,
+    /// Competing compute jobs on the source host at admission time.
+    pub cmp_jobs: f64,
+    /// Best parameters the tuner settled on.
+    pub best: Point,
+    /// Throughput observed at `best`, MB/s.
+    pub achieved_mbs: f64,
+}
+
+impl HistoryRecord {
+    /// Distance to a query context (see the module docs for the metric).
+    pub fn distance(&self, route: Route, tuner: TunerKind, ext_streams: f64, cmp_jobs: f64) -> f64 {
+        let mut d = 0.0;
+        if self.route != route {
+            d += 1000.0;
+        }
+        if self.tuner != tuner {
+            d += 0.5;
+        }
+        d += (((1.0 + self.ext_streams) / (1.0 + ext_streams)).ln()).abs();
+        d += (((1.0 + self.cmp_jobs) / (1.0 + cmp_jobs)).ln()).abs();
+        d
+    }
+
+    /// Render as one JSON line with fixed key order.
+    pub fn to_json(&self) -> String {
+        let best = self
+            .best
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"kind\":\"history\",\"route\":\"{}\",\"tuner\":\"{}\",\"ext_streams\":{},\"cmp_jobs\":{},\"best\":[{}],\"achieved_mbs\":{}}}",
+            self.route.name(),
+            self.tuner.name(),
+            json_f64(self.ext_streams),
+            json_f64(self.cmp_jobs),
+            best,
+            json_f64(self.achieved_mbs),
+        )
+    }
+
+    /// Parse one JSON line produced by [`HistoryRecord::to_json`]. Lines of
+    /// other kinds (or malformed lines) yield `None`.
+    pub fn from_json(line: &str) -> Option<HistoryRecord> {
+        if json_field(line, "kind")? != "history" {
+            return None;
+        }
+        let route = match json_field(line, "route")? {
+            "anl->uchicago" => Route::UChicago,
+            "anl->tacc" => Route::Tacc,
+            _ => return None,
+        };
+        let tuner: TunerKind = json_field(line, "tuner")?.parse().ok()?;
+        let ext_streams: f64 = json_field(line, "ext_streams")?.parse().ok()?;
+        let cmp_jobs: f64 = json_field(line, "cmp_jobs")?.parse().ok()?;
+        let best: Point = json_field(line, "best")?
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim().parse::<i64>())
+            .collect::<Result<_, _>>()
+            .ok()?;
+        if best.is_empty() {
+            return None;
+        }
+        let achieved_mbs: f64 = json_field(line, "achieved_mbs")?.parse().ok()?;
+        Some(HistoryRecord {
+            route,
+            tuner,
+            ext_streams,
+            cmp_jobs,
+            best,
+            achieved_mbs,
+        })
+    }
+}
+
+/// Append-only store of [`HistoryRecord`]s, optionally backed by a JSONL file.
+#[derive(Debug, Default)]
+pub struct HistoryStore {
+    records: Vec<HistoryRecord>,
+    path: Option<PathBuf>,
+}
+
+impl HistoryStore {
+    /// A store that lives only in memory (used by tests and cold runs).
+    pub fn in_memory() -> Self {
+        HistoryStore::default()
+    }
+
+    /// Open (or create) a store backed by `dir/history.jsonl`. Existing
+    /// records are loaded; malformed lines are skipped.
+    ///
+    /// # Errors
+    /// Returns any I/O error from creating the directory or reading the file.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(HISTORY_FILE);
+        let mut records = Vec::new();
+        if path.exists() {
+            for line in std::fs::read_to_string(&path)?.lines() {
+                if let Some(r) = HistoryRecord::from_json(line.trim()) {
+                    records.push(r);
+                }
+            }
+        }
+        Ok(HistoryStore {
+            records,
+            path: Some(path),
+        })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[HistoryRecord] {
+        &self.records
+    }
+
+    /// Append a record (and persist it when file-backed).
+    ///
+    /// # Errors
+    /// Returns any I/O error from appending to the backing file.
+    pub fn append(&mut self, record: HistoryRecord) -> std::io::Result<()> {
+        if let Some(path) = &self.path {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            writeln!(f, "{}", record.to_json())?;
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// The nearest record to a query context, with its distance. Ties break
+    /// on insertion order (earliest wins). `None` when the store is empty.
+    pub fn nearest(
+        &self,
+        route: Route,
+        tuner: TunerKind,
+        ext_streams: f64,
+        cmp_jobs: f64,
+    ) -> Option<(&HistoryRecord, f64)> {
+        let mut best: Option<(&HistoryRecord, f64)> = None;
+        for r in &self.records {
+            let d = r.distance(route, tuner, ext_streams, cmp_jobs);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((r, d)),
+            }
+        }
+        best
+    }
+
+    /// A [`WarmStart`] seed for a new job: the nearest record's optimum when
+    /// one exists within `max_distance`, else the cold default `x0`.
+    pub fn warm_start(
+        &self,
+        route: Route,
+        tuner: TunerKind,
+        ext_streams: f64,
+        cmp_jobs: f64,
+        cold_x0: Point,
+        max_distance: f64,
+    ) -> WarmStart {
+        match self.nearest(route, tuner, ext_streams, cmp_jobs) {
+            Some((r, d)) if d <= max_distance && r.best.len() == cold_x0.len() => {
+                WarmStart::from_history(r.best.clone(), d)
+            }
+            _ => WarmStart::cold(cold_x0),
+        }
+    }
+}
+
+/// Extract the raw text of a top-level JSON field (string contents, array
+/// interior, or bare scalar). Mirrors the scanner used by the scenarios
+/// telemetry summarizer.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    match rest.as_bytes().first()? {
+        b'"' => {
+            let end = rest[1..].find('"')? + 1;
+            Some(&rest[1..end])
+        }
+        b'[' => {
+            let end = rest.find(']')?;
+            Some(&rest[1..end])
+        }
+        _ => {
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Some(&rest[..end])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(route: Route, tuner: TunerKind, ext: f64, best: Point, mbs: f64) -> HistoryRecord {
+        HistoryRecord {
+            route,
+            tuner,
+            ext_streams: ext,
+            cmp_jobs: 0.0,
+            best,
+            achieved_mbs: mbs,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = rec(Route::Tacc, TunerKind::Nm, 48.5, vec![12, 8], 2210.25);
+        let line = r.to_json();
+        assert!(line.starts_with("{\"kind\":\"history\",\"route\":\"anl->tacc\""));
+        assert_eq!(HistoryRecord::from_json(&line).unwrap(), r);
+        // Non-history and malformed lines are skipped.
+        assert!(HistoryRecord::from_json("{\"kind\":\"decision\"}").is_none());
+        assert!(HistoryRecord::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn distance_prefers_same_route_and_similar_load() {
+        let same = rec(Route::UChicago, TunerKind::Cs, 100.0, vec![8], 3000.0);
+        let other_route = rec(Route::Tacc, TunerKind::Cs, 100.0, vec![8], 2000.0);
+        let other_tuner = rec(Route::UChicago, TunerKind::Nm, 100.0, vec![8], 3000.0);
+        let d_same = same.distance(Route::UChicago, TunerKind::Cs, 110.0, 0.0);
+        let d_route = other_route.distance(Route::UChicago, TunerKind::Cs, 110.0, 0.0);
+        let d_tuner = other_tuner.distance(Route::UChicago, TunerKind::Cs, 110.0, 0.0);
+        assert!(d_same < d_tuner, "{d_same} vs {d_tuner}");
+        assert!(d_tuner < d_route, "{d_tuner} vs {d_route}");
+        assert!(d_route >= 1000.0);
+        // Exact context match is distance 0.
+        assert_eq!(
+            same.distance(Route::UChicago, TunerKind::Cs, 100.0, 0.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn nearest_breaks_ties_on_insertion_order() {
+        let mut s = HistoryStore::in_memory();
+        s.append(rec(Route::UChicago, TunerKind::Cs, 0.0, vec![6], 3900.0))
+            .unwrap();
+        s.append(rec(Route::UChicago, TunerKind::Cs, 0.0, vec![9], 3800.0))
+            .unwrap();
+        let (r, d) = s.nearest(Route::UChicago, TunerKind::Cs, 0.0, 0.0).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(r.best, vec![6], "earliest exact match wins");
+    }
+
+    #[test]
+    fn warm_start_falls_back_to_cold() {
+        let mut s = HistoryStore::in_memory();
+        assert!(!s
+            .warm_start(Route::UChicago, TunerKind::Cs, 0.0, 0.0, vec![2, 8], 2.0)
+            .is_warm());
+        s.append(rec(Route::Tacc, TunerKind::Cs, 0.0, vec![12, 8], 2100.0))
+            .unwrap();
+        // Nearest is on the wrong route: distance 1000 exceeds the cutoff.
+        let w = s.warm_start(Route::UChicago, TunerKind::Cs, 0.0, 0.0, vec![2, 8], 2.0);
+        assert!(!w.is_warm());
+        s.append(rec(Route::UChicago, TunerKind::Cs, 3.0, vec![7, 8], 3900.0))
+            .unwrap();
+        let w = s.warm_start(Route::UChicago, TunerKind::Cs, 3.0, 0.0, vec![2, 8], 2.0);
+        assert!(w.is_warm());
+        assert_eq!(w.x0, vec![7, 8]);
+        // Dimension mismatch (1-D record, 2-D query) falls back to cold.
+        let mut s1 = HistoryStore::in_memory();
+        s1.append(rec(Route::UChicago, TunerKind::Cs, 3.0, vec![7], 3900.0))
+            .unwrap();
+        assert!(!s1
+            .warm_start(Route::UChicago, TunerKind::Cs, 3.0, 0.0, vec![2, 8], 2.0)
+            .is_warm());
+    }
+
+    #[test]
+    fn file_backed_store_persists_across_open() {
+        let dir = std::env::temp_dir().join(format!("xferopt-hist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = HistoryStore::open(&dir).unwrap();
+            assert!(s.is_empty());
+            s.append(rec(Route::UChicago, TunerKind::Cs, 5.0, vec![8, 8], 3500.0))
+                .unwrap();
+            s.append(rec(Route::Tacc, TunerKind::Nm, 0.0, vec![20, 8], 2300.0))
+                .unwrap();
+        }
+        let s = HistoryStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.records()[1].best, vec![20, 8]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

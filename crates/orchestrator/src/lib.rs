@@ -1,0 +1,33 @@
+//! Multi-tenant transfer orchestrator (DESIGN.md §11).
+//!
+//! The paper tunes one transfer at a time; this crate runs a *fleet*. A
+//! [`Workload`] of jobs arrives over time; an [`AdmissionController`] grants
+//! each job a stream reservation on its route's links under a per-link
+//! budget, in the order chosen by a [`Policy`]; every admitted job gets its
+//! own online tuner (seeded from the [`HistoryStore`]'s nearest historical
+//! match when warm starts are enabled) and a finite transfer in the shared
+//! [`xferopt_transfer::World`]. [`run_fleet`] drives the whole thing on a
+//! deterministic tick loop and returns a byte-stable [`FleetReport`].
+//!
+//! ```
+//! use xferopt_orchestrator::{run_fleet, FleetConfig, HistoryStore, Workload};
+//!
+//! let mut history = HistoryStore::in_memory();
+//! let out = run_fleet(&Workload::contended(2), &FleetConfig::default(), &mut history);
+//! assert_eq!(out.report.submitted, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod fleet;
+pub mod history;
+pub mod job;
+pub mod policy;
+
+pub use admission::{AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
+pub use fleet::{run_fleet, FleetConfig, FleetOutcome, FleetReport, JobOutcome};
+pub use history::{HistoryRecord, HistoryStore};
+pub use job::{JobId, JobSpec, JobState, Workload};
+pub use policy::Policy;

@@ -135,6 +135,24 @@ impl PaperWorld {
         self.world.add_transfer(cfg)
     }
 
+    /// Start a finite transfer of `size_mb` megabytes on `route` (fleet jobs
+    /// move real datasets, not the paper's infinite `/dev/zero` streams)
+    /// with explicit throughput-noise log-std.
+    pub fn start_sized_transfer(
+        &mut self,
+        route: Route,
+        params: StreamParams,
+        size_mb: f64,
+        noise_sigma: f64,
+    ) -> TransferId {
+        let cfg = TransferConfig::memory_to_memory(self.source, self.path(route))
+            .with_params(params)
+            .with_size_mb(size_mb)
+            .with_noise(noise_sigma, 45.0)
+            .with_cc(CongestionControl::HTcp);
+        self.world.add_transfer(cfg)
+    }
+
     /// Start a noiseless transfer (for calibration tests and benches).
     pub fn start_quiet_transfer(&mut self, route: Route, params: StreamParams) -> TransferId {
         let cfg = TransferConfig::memory_to_memory(self.source, self.path(route))
@@ -227,6 +245,15 @@ mod tests {
             uc_without > uc_with,
             "shared NIC coupling missing: {uc_with} vs {uc_without}"
         );
+    }
+
+    #[test]
+    fn sized_transfer_completes_and_conserves_bytes() {
+        let mut pw = PaperWorld::new(11);
+        let tid = pw.start_sized_transfer(Route::UChicago, StreamParams::new(8, 8), 50_000.0, 0.0);
+        pw.world.step(SimDuration::from_secs(120));
+        assert!(pw.world.is_done(tid));
+        assert!((pw.world.moved_mb(tid) - 50_000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -430,6 +430,46 @@ impl World {
         self.transfers[&tid].moved_mb
     }
 
+    /// Ids of all registered transfers, in id order.
+    pub fn transfer_ids(&self) -> Vec<TransferId> {
+        self.transfers.keys().copied().collect()
+    }
+
+    /// Number of registered transfers (done or not).
+    pub fn transfer_count(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Number of transfers still moving data (not done, regardless of
+    /// restart/stall state).
+    pub fn active_transfer_count(&self) -> usize {
+        self.transfers.values().filter(|e| !e.done).count()
+    }
+
+    /// Total megabytes moved by every transfer in this world.
+    pub fn total_moved_mb(&self) -> f64 {
+        self.transfers.values().map(|e| e.moved_mb).sum()
+    }
+
+    /// The network flow group carrying `tid`'s streams.
+    ///
+    /// # Panics
+    /// Panics if the transfer id is unknown.
+    pub fn flow_id(&self, tid: TransferId) -> FlowId {
+        self.transfers[&tid].flow
+    }
+
+    /// Tag `tid`'s network flow group with an owner id (fleet orchestrators
+    /// use the job id), so per-job shares can be read back from the shared
+    /// allocation via [`xferopt_net::Network::tag_allocation_mbs`].
+    ///
+    /// # Panics
+    /// Panics if the transfer id is unknown.
+    pub fn set_transfer_tag(&mut self, tid: TransferId, tag: Option<u64>) {
+        let flow = self.transfers[&tid].flow;
+        self.net.set_flow_tag(flow, tag);
+    }
+
     /// Megabytes remaining for `tid` (infinite for memory-to-memory runs).
     pub fn remaining_mb(&self, tid: TransferId) -> f64 {
         self.transfers[&tid].remaining_mb
@@ -922,6 +962,45 @@ mod tests {
     fn set_params_unknown_transfer_panics() {
         let (mut world, _) = uc_world(false);
         world.set_params(TransferId(9), StreamParams::new(1, 1), false);
+    }
+
+    #[test]
+    fn fleet_accessors_track_transfer_population() {
+        let (mut world, path) = uc_world(false);
+        assert_eq!(world.transfer_count(), 0);
+        assert_eq!(world.active_transfer_count(), 0);
+        assert_eq!(world.total_moved_mb(), 0.0);
+        let a = world.add_transfer(quiet_cfg(path).with_size_mb(10_000.0));
+        let b = world.add_transfer(quiet_cfg(path));
+        assert_eq!(world.transfer_ids(), vec![a, b]);
+        assert_eq!(world.transfer_count(), 2);
+        assert_eq!(world.active_transfer_count(), 2);
+        world.step(SimDuration::from_secs(120));
+        assert!(world.is_done(a));
+        assert_eq!(world.active_transfer_count(), 1, "a finished, b infinite");
+        let total = world.total_moved_mb();
+        assert!(
+            (total - world.moved_mb(a) - world.moved_mb(b)).abs() < 1e-9,
+            "total_moved_mb must sum per-transfer bytes"
+        );
+    }
+
+    #[test]
+    fn transfer_tags_flow_through_to_network() {
+        let (mut world, path) = uc_world(false);
+        let a = world.add_transfer(quiet_cfg(path));
+        let b = world.add_transfer(quiet_cfg(path));
+        world.set_transfer_tag(a, Some(3));
+        world.set_transfer_tag(b, Some(4));
+        world.step(SimDuration::from_secs(30));
+        let fa = world.flow_id(a);
+        assert_eq!(world.net().flows_with_tag(3), vec![fa]);
+        assert_eq!(world.net().tag_streams(3), 16, "globus default = 16");
+        // Per-tag allocation equals the tagged flow's share.
+        let alloc = world.net().allocate();
+        assert!((world.net().tag_allocation_mbs(4) - alloc[&world.flow_id(b)]).abs() < 1e-9);
+        world.set_transfer_tag(a, None);
+        assert!(world.net().flows_with_tag(3).is_empty());
     }
 
     /// A world over a single realistic WAN link (loss drives the dynamic

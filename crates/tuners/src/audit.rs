@@ -127,6 +127,15 @@ impl DecisionEvent {
     /// Render as one flat JSON object with a fixed key order (the JSONL
     /// `"kind":"decision"` record of the telemetry schema).
     pub fn to_json(&self) -> String {
+        self.to_json_ns(None)
+    }
+
+    /// [`DecisionEvent::to_json`] with an optional namespace label injected
+    /// as a `"ns"` field right after `"kind"`. Fleet orchestrators namespace
+    /// each job's audit log (`"job3"`) so the merged fleet-wide decision
+    /// stream stays attributable. `None` renders the exact single-transfer
+    /// schema (no `"ns"` key), keeping existing golden snapshots stable.
+    pub fn to_json_ns(&self, ns: Option<&str>) -> String {
         let point = |p: &Point| {
             let inner: Vec<String> = p.iter().map(|v| v.to_string()).collect();
             format!("[{}]", inner.join(","))
@@ -147,13 +156,18 @@ impl DecisionEvent {
             Some(c) => format!("\"{}\"", c.name()),
             None => "null".to_string(),
         };
+        let ns = match ns {
+            Some(ns) => format!("\"ns\":\"{ns}\","),
+            None => String::new(),
+        };
         format!(
             concat!(
-                "{{\"kind\":\"decision\",\"seq\":{},\"tuner\":\"{}\",",
+                "{{\"kind\":\"decision\",{}\"seq\":{},\"tuner\":\"{}\",",
                 "\"x\":{},\"observed\":{},\"action\":\"{}\",\"accepted\":{},",
                 "\"next\":{},\"lambda\":{},\"delta_pct\":{},",
                 "\"projected\":{},\"retrigger\":{}}}"
             ),
+            ns,
             self.seq,
             self.tuner,
             point(&self.x),
@@ -175,6 +189,10 @@ impl DecisionEvent {
 pub struct AuditLog {
     events: Vec<DecisionEvent>,
     enabled: bool,
+    /// Optional namespace label rendered into every JSONL record (fleet
+    /// orchestrators set the job id, e.g. `"job3"`). `None` renders the
+    /// single-transfer schema unchanged.
+    namespace: Option<String>,
 }
 
 impl AuditLog {
@@ -186,6 +204,18 @@ impl AuditLog {
     /// Turn recording on.
     pub fn enable(&mut self) {
         self.enabled = true;
+    }
+
+    /// Label every rendered record with `ns` (see
+    /// [`DecisionEvent::to_json_ns`]). Observational: affects only JSONL
+    /// rendering, never what is recorded.
+    pub fn set_namespace(&mut self, ns: impl Into<String>) {
+        self.namespace = Some(ns.into());
+    }
+
+    /// The namespace label, if set.
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
     }
 
     /// Whether recording is on.
@@ -234,9 +264,10 @@ impl AuditLog {
     /// Render every event as JSONL (one object per line, trailing newline
     /// when non-empty).
     pub fn to_jsonl(&self) -> String {
+        let ns = self.namespace.as_deref();
         let mut out = String::new();
         for e in &self.events {
-            out.push_str(&e.to_json());
+            out.push_str(&e.to_json_ns(ns));
             out.push('\n');
         }
         out
@@ -303,6 +334,33 @@ mod tests {
         let mut e = sample(DecisionAction::Probe);
         e.delta_pct = Some(f64::INFINITY);
         assert!(e.to_json().contains("\"delta_pct\":\"inf\""));
+    }
+
+    #[test]
+    fn namespaced_jsonl_labels_every_record() {
+        let mut log = AuditLog::new();
+        log.enable();
+        log.record(sample(DecisionAction::Probe));
+        log.record(sample(DecisionAction::Step));
+        // Without a namespace: the exact single-transfer schema.
+        assert!(log.namespace().is_none());
+        for line in log.to_jsonl().lines() {
+            assert!(line.starts_with("{\"kind\":\"decision\",\"seq\":"));
+            assert!(!line.contains("\"ns\":"));
+        }
+        // With a namespace: "ns" right after "kind", on every line.
+        log.set_namespace("job3");
+        assert_eq!(log.namespace(), Some("job3"));
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with("{\"kind\":\"decision\",\"ns\":\"job3\",\"seq\":"),
+                "{line}"
+            );
+        }
+        // The namespace affects rendering only, not the recorded events.
+        assert_eq!(log.len(), 2);
     }
 
     #[test]

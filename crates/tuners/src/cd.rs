@@ -246,6 +246,10 @@ impl OnlineTuner for CdTuner {
     fn audit_log(&self) -> Option<&AuditLog> {
         Some(&self.audit)
     }
+
+    fn audit_log_mut(&mut self) -> Option<&mut AuditLog> {
+        Some(&mut self.audit)
+    }
 }
 
 #[cfg(test)]

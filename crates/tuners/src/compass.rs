@@ -352,6 +352,10 @@ impl OnlineTuner for CompassTuner {
     fn audit_log(&self) -> Option<&AuditLog> {
         Some(&self.audit)
     }
+
+    fn audit_log_mut(&mut self) -> Option<&mut AuditLog> {
+        Some(&mut self.audit)
+    }
 }
 
 #[cfg(test)]

@@ -70,4 +70,4 @@ pub use neldermead::NelderMeadTuner;
 pub use online::{run_online, OnlineStep, OnlineTrajectory};
 pub use regret::{summarize_regret, RegretSummary};
 pub use trigger::SignificanceMonitor;
-pub use tuner::{OnlineTuner, TunerKind};
+pub use tuner::{OnlineTuner, TunerKind, WarmStart, WarmStartSource};

@@ -43,6 +43,75 @@ pub trait OnlineTuner {
     fn audit_log(&self) -> Option<&AuditLog> {
         None
     }
+
+    /// Mutable access to the audit log, when this tuner has one. Fleet
+    /// drivers use it to namespace per-job logs
+    /// ([`AuditLog::set_namespace`]); mutating the log never feeds back into
+    /// tuning decisions.
+    fn audit_log_mut(&mut self) -> Option<&mut AuditLog> {
+        None
+    }
+}
+
+/// A seed for a tuner's starting point, recording where it came from.
+///
+/// The paper's tuners always start from the Globus default and pay the full
+/// online search. A fleet orchestrator with a history store can instead seed
+/// new jobs from the best parameters of the nearest historical match (cf.
+/// Arslan & Kosar's historical-analysis warm start), cutting the search
+/// phase. `WarmStart` carries both the point and its provenance so reports
+/// can attribute the speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// The starting point handed to the tuner.
+    pub x0: Point,
+    /// Where the point came from.
+    pub source: WarmStartSource,
+}
+
+/// Provenance of a [`WarmStart`] point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarmStartSource {
+    /// No usable history: the static default (cold start).
+    ColdDefault,
+    /// Seeded from a history-store record at the given match distance
+    /// (0 = exact context match).
+    History {
+        /// Distance between the new job's context and the matched record
+        /// under the store's metric.
+        distance: f64,
+    },
+}
+
+impl WarmStart {
+    /// A cold start from `x0` (the Globus default in the paper's setup).
+    pub fn cold(x0: Point) -> Self {
+        WarmStart {
+            x0,
+            source: WarmStartSource::ColdDefault,
+        }
+    }
+
+    /// A history-seeded start from `x0` matched at `distance`.
+    pub fn from_history(x0: Point, distance: f64) -> Self {
+        WarmStart {
+            x0,
+            source: WarmStartSource::History { distance },
+        }
+    }
+
+    /// True when the seed came from the history store.
+    pub fn is_warm(&self) -> bool {
+        matches!(self.source, WarmStartSource::History { .. })
+    }
+
+    /// The match distance, when warm.
+    pub fn distance(&self) -> Option<f64> {
+        match self.source {
+            WarmStartSource::History { distance } => Some(distance),
+            WarmStartSource::ColdDefault => None,
+        }
+    }
 }
 
 /// The tuners evaluated in the paper, constructible by name.
@@ -102,6 +171,14 @@ impl TunerKind {
             TunerKind::Heur2 => Box::new(Heur2Tuner::new(domain, x0, EPS)),
         }
     }
+
+    /// [`TunerKind::build`] from a [`WarmStart`] seed: the point is clamped
+    /// into `domain` (a historical optimum may lie outside a narrower
+    /// per-job domain) before construction.
+    pub fn build_seeded(self, domain: Domain, seed: &WarmStart) -> Box<dyn OnlineTuner + Send> {
+        let x0 = domain.clamp(&seed.x0);
+        self.build(domain, x0)
+    }
 }
 
 impl std::str::FromStr for TunerKind {
@@ -131,6 +208,53 @@ mod tests {
             assert_eq!(t.initial(), vec![2]);
             assert_eq!(t.domain().dim(), 1);
         }
+    }
+
+    #[test]
+    fn warm_start_seed_round_trip() {
+        let cold = WarmStart::cold(vec![2, 8]);
+        assert!(!cold.is_warm());
+        assert_eq!(cold.distance(), None);
+        let warm = WarmStart::from_history(vec![48, 8], 0.25);
+        assert!(warm.is_warm());
+        assert_eq!(warm.distance(), Some(0.25));
+    }
+
+    #[test]
+    fn build_seeded_clamps_history_point_into_domain() {
+        // A historical optimum of nc=200 must be clamped into a narrower
+        // per-job domain before the tuner sees it.
+        let domain = Domain::new(&[(1, 16)]);
+        for kind in TunerKind::ALL {
+            let t = kind.build_seeded(domain.clone(), &WarmStart::from_history(vec![200], 0.1));
+            assert_eq!(t.initial(), vec![16], "{}", kind.name());
+            assert!(domain.contains(&t.initial()));
+        }
+        // An in-domain seed passes through unchanged.
+        let t = TunerKind::Cs.build_seeded(domain.clone(), &WarmStart::cold(vec![5]));
+        assert_eq!(t.initial(), vec![5]);
+    }
+
+    #[test]
+    fn audited_tuners_expose_mutable_logs_for_namespacing() {
+        for kind in [TunerKind::Cd, TunerKind::Cs, TunerKind::Nm] {
+            let mut t = kind.build(Domain::paper_nc(), vec![2]);
+            t.enable_audit();
+            t.audit_log_mut()
+                .expect("audited tuner must expose a mutable log")
+                .set_namespace("job1");
+            let x = t.initial();
+            t.observe(&x, 1000.0);
+            let jsonl = t.audit_log().unwrap().to_jsonl();
+            assert!(
+                jsonl.contains("\"ns\":\"job1\""),
+                "{}: {jsonl}",
+                kind.name()
+            );
+        }
+        // Baselines have no log to namespace.
+        let mut t = TunerKind::Default.build(Domain::paper_nc(), vec![2]);
+        assert!(t.audit_log_mut().is_none());
     }
 
     #[test]

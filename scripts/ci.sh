@@ -26,6 +26,17 @@ echo "==> telemetry suite (golden snapshots + determinism)"
 cargo test -q --test telemetry
 cargo test -q -p xferopt-tuners --test audit_sequences
 
+echo "==> fleet smoke (orchestrator determinism end-to-end)"
+cargo test -q --test fleet
+FLEET_TMP="$(mktemp -d)"
+trap 'rm -rf "$FLEET_TMP"' EXIT
+./target/release/xferopt fleet run --jobs 5 --seed 7 --policy sjf \
+  --report-out "$FLEET_TMP/a.txt"
+./target/release/xferopt fleet run --jobs 5 --seed 7 --policy sjf \
+  --report-out "$FLEET_TMP/b.txt"
+diff "$FLEET_TMP/a.txt" "$FLEET_TMP/b.txt" \
+  || { echo "fleet run is not deterministic"; exit 1; }
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

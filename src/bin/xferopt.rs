@@ -9,6 +9,13 @@
 //!               [--duration S] [--seed N]      # throughput vs nc table
 //! xferopt compare [--duration S] [--seed N]    # all tuners × all loads
 //! xferopt telemetry summarize --in PATH       # digest a JSONL bundle
+//! xferopt fleet run    [--jobs N] [--policy fifo|sjf|wfair] [--seed N]
+//!                      [--workload synthetic|contended] [--horizon S]
+//!                      [--epoch S] [--tick S] [--budget STREAMS]
+//!                      [--history DIR] [--cold] [--csv]
+//!                      [--report-out PATH] [--decisions-out PATH]
+//!                      [--telemetry-out PATH]
+//! xferopt fleet report [--history DIR]         # digest a history store
 //! ```
 //!
 //! Everything runs the calibrated fluid testbed (see DESIGN.md); use the
@@ -241,15 +248,131 @@ fn cmd_telemetry(sub: &str, args: &Args) -> Result<(), String> {
     }
 }
 
+/// `xferopt fleet run`: drive a multi-job fleet through the orchestrator.
+fn cmd_fleet_run(args: &Args) -> Result<(), String> {
+    use xferopt::orchestrator::{run_fleet, FleetConfig, HistoryStore, Workload};
+
+    let jobs = args.get_parsed("jobs", 10usize)?;
+    let seed = args.get_parsed("seed", 7u64)?;
+    let workload = match args.get("workload").unwrap_or("synthetic") {
+        "synthetic" => Workload::synthetic(jobs, seed),
+        "contended" => Workload::contended(jobs),
+        other => {
+            return Err(format!(
+                "unknown workload: {other} (use synthetic|contended)"
+            ))
+        }
+    };
+    let config = FleetConfig {
+        policy: args
+            .get("policy")
+            .unwrap_or("fifo")
+            .parse()
+            .map_err(|e: String| e)?,
+        seed,
+        horizon_s: args.get_parsed("horizon", 3600.0f64)?,
+        tick_s: args.get_parsed("tick", 5.0f64)?,
+        epoch_s: args.get_parsed("epoch", 30.0f64)?,
+        link_budget: args.get_parsed("budget", xferopt::orchestrator::DEFAULT_LINK_BUDGET)?,
+        warm_start: !args.has_flag("cold"),
+        ..FleetConfig::default()
+    };
+    let mut history = match args.get("history") {
+        Some(dir) => HistoryStore::open(std::path::Path::new(dir))
+            .map_err(|e| format!("cannot open history store {dir}: {e}"))?,
+        None => HistoryStore::in_memory(),
+    };
+    let out = run_fleet(&workload, &config, &mut history);
+    let report = if args.has_flag("csv") {
+        out.report.to_csv()
+    } else {
+        out.report.render()
+    };
+    match args.get("report-out") {
+        Some(path) => {
+            std::fs::write(path, &report).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("fleet: wrote report to {path}");
+        }
+        None => print!("{report}"),
+    }
+    if let Some(path) = args.get("decisions-out") {
+        std::fs::write(path, &out.decisions_jsonl)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("fleet: wrote per-job tuner decisions to {path}");
+    }
+    if let Some(path) = args.get("telemetry-out") {
+        std::fs::write(path, &out.telemetry_jsonl)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("fleet: wrote epoch telemetry to {path}");
+    }
+    if args.get("history").is_some() {
+        eprintln!(
+            "fleet: appended {} history record(s) ({} total)",
+            out.history_appended,
+            history.len()
+        );
+    }
+    Ok(())
+}
+
+/// `xferopt fleet report`: digest a history store directory.
+fn cmd_fleet_report(args: &Args) -> Result<(), String> {
+    use xferopt::orchestrator::HistoryStore;
+
+    let dir = args
+        .get("history")
+        .ok_or_else(|| "fleet report needs --history DIR".to_string())?;
+    let store = HistoryStore::open(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot open history store {dir}: {e}"))?;
+    if store.is_empty() {
+        println!("history store {dir}: empty");
+        return Ok(());
+    }
+    let mut table = Table::new(vec!["route", "tuner", "ext streams", "best", "MB/s"]);
+    for r in store.records() {
+        let best = r
+            .best
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        table.push_row(vec![
+            r.route.name().to_string(),
+            r.tuner.name().to_string(),
+            format!("{:.0}", r.ext_streams),
+            best,
+            format!("{:.0}", r.achieved_mbs),
+        ]);
+    }
+    println!("history store {dir}: {} record(s)\n", store.len());
+    println!("{}", table.to_markdown());
+    Ok(())
+}
+
+fn cmd_fleet(sub: &str, args: &Args) -> Result<(), String> {
+    match sub {
+        "run" => cmd_fleet_run(args),
+        "report" => cmd_fleet_report(args),
+        other => Err(format!(
+            "unknown fleet subcommand: {other} (use run|report)"
+        )),
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: xferopt <run|sweep|compare|telemetry> [--flags]\n\
+    "usage: xferopt <run|sweep|compare|telemetry|fleet> [--flags]\n\
      run:     --route uc|tacc --tuner default|cd|cs|nm|heur1|heur2 --dims nc|ncnp\n\
      \u{20}        --np N --tfr N --cmp N --duration S --epoch S --seed N --csv\n\
      \u{20}        --faults flaky-link|degraded-wan|lossy-tacc\n\
      \u{20}        --telemetry-out PATH   (writes PATH JSONL + PATH.prom)\n\
      sweep:   --route uc|tacc --tfr N --cmp N --np N --duration S --seed N\n\
      compare: --route uc|tacc --duration S --seed N\n\
-     telemetry summarize: --in PATH"
+     telemetry summarize: --in PATH\n\
+     fleet run:    --jobs N --policy fifo|sjf|wfair --seed N\n\
+     \u{20}            --workload synthetic|contended --horizon S --epoch S --tick S\n\
+     \u{20}            --budget STREAMS --history DIR --cold --csv\n\
+     \u{20}            --report-out PATH --decisions-out PATH --telemetry-out PATH\n\
+     fleet report: --history DIR"
 }
 
 fn main() -> ExitCode {
@@ -262,6 +385,10 @@ fn main() -> ExitCode {
         "telemetry" => match rest.split_first() {
             Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_telemetry(sub, &args)),
             None => Err(format!("telemetry needs a subcommand\n{}", usage())),
+        },
+        "fleet" => match rest.split_first() {
+            Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_fleet(sub, &args)),
+            None => Err(format!("fleet needs a subcommand\n{}", usage())),
         },
         _ => Args::parse(rest).and_then(|args| match cmd.as_str() {
             "run" => cmd_run(&args),

@@ -22,6 +22,12 @@
 //!   steppable [`transfer::World`] with control-epoch accounting.
 //! * [`scenarios`] — the paper's testbed topology, load schedules, tuning
 //!   driver, and one function per figure/table of the evaluation.
+//! * [`orchestrator`] — a multi-tenant fleet layer: deterministic job
+//!   queue, admission control under per-link stream budgets
+//!   (FIFO / shortest-job-first / weighted-fair policies), one online tuner
+//!   per admitted job sharing the simulated links, and a persistent JSONL
+//!   history store that warm-starts new jobs from the nearest historical
+//!   match (`xferopt fleet run`).
 //! * [`loopback`] — a real-TCP localhost harness (shaped sockets + CPU hogs)
 //!   so the same tuners can run against a non-simulated objective.
 //! * [`simcore`] — the discrete-event substrate: simulated time, event
@@ -74,6 +80,7 @@ pub use xferopt_gridftp as gridftp;
 pub use xferopt_host as host;
 pub use xferopt_loopback as loopback;
 pub use xferopt_net as net;
+pub use xferopt_orchestrator as orchestrator;
 pub use xferopt_scenarios as scenarios;
 pub use xferopt_simcore as simcore;
 pub use xferopt_transfer as transfer;
@@ -81,6 +88,10 @@ pub use xferopt_tuners as tuners;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use xferopt_orchestrator::{
+        run_fleet, AdmissionController, FleetConfig, FleetReport, HistoryStore, JobSpec, Policy,
+        Workload,
+    };
     pub use xferopt_scenarios::driver::{
         drive_transfer, DriveConfig, MultiDriver, MultiSpec, TuneDims,
     };

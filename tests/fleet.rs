@@ -1,0 +1,180 @@
+//! Workspace-level fleet orchestrator tests: golden report snapshot,
+//! byte-determinism under every policy, shared-link contention at scale, and
+//! the warm-start convergence claim.
+//!
+//! The golden files live in `tests/golden/fleet/`; re-bless intentional
+//! format changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test fleet
+//! ```
+
+use xferopt::orchestrator::{run_fleet, FleetConfig, HistoryStore, JobState, Policy, Workload};
+
+/// The fixed scenario behind the golden snapshot: 12 synthetic jobs under
+/// shortest-job-first, seed 7, one hour horizon.
+fn golden_cfg() -> FleetConfig {
+    FleetConfig {
+        policy: Policy::Sjf,
+        seed: 7,
+        horizon_s: 3600.0,
+        ..FleetConfig::default()
+    }
+}
+
+fn golden_workload() -> Workload {
+    Workload::synthetic(12, 7)
+}
+
+fn check_golden(path: &str, actual: &str, what: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap())
+            .expect("create golden dir");
+        std::fs::write(path, actual).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, golden,
+        "{what} drifted from {path}; if the change is intentional, \
+         re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_fleet_report_matches_snapshot() {
+    let mut h = HistoryStore::in_memory();
+    let out = run_fleet(&golden_workload(), &golden_cfg(), &mut h);
+    check_golden(
+        "tests/golden/fleet/report.txt",
+        &out.report.render(),
+        "fleet report",
+    );
+}
+
+#[test]
+fn fleet_runs_are_byte_deterministic_under_every_policy() {
+    for policy in Policy::all() {
+        let cfg = FleetConfig {
+            policy,
+            ..golden_cfg()
+        };
+        let a = run_fleet(&golden_workload(), &cfg, &mut HistoryStore::in_memory());
+        let b = run_fleet(&golden_workload(), &cfg, &mut HistoryStore::in_memory());
+        assert_eq!(
+            a.report.render(),
+            b.report.render(),
+            "policy {policy}: report must be byte-identical"
+        );
+        assert_eq!(a.decisions_jsonl, b.decisions_jsonl, "policy {policy}");
+        assert_eq!(a.telemetry_jsonl, b.telemetry_jsonl, "policy {policy}");
+        assert_eq!(a.report.to_csv(), b.report.to_csv(), "policy {policy}");
+    }
+}
+
+#[test]
+fn ten_concurrent_jobs_share_a_link_under_every_policy() {
+    // Ten identical jobs, all arriving at t=0 on the shared UChicago route.
+    // The 512-stream budget holds four 128-stream reservations plus partial
+    // grants, so the link is genuinely contended; every policy must still
+    // finish all ten deterministically.
+    let w = Workload::new(
+        (0..10)
+            .map(|i| {
+                xferopt::orchestrator::JobSpec::new(i, 0.0, 120_000.0)
+                    .with_priority(1 + (i % 4) as u32)
+            })
+            .collect(),
+    );
+    for policy in Policy::all() {
+        let cfg = FleetConfig {
+            policy,
+            horizon_s: 7200.0,
+            ..FleetConfig::default()
+        };
+        let out = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+        assert_eq!(
+            out.report.count(JobState::Completed),
+            10,
+            "policy {policy}:\n{}",
+            out.report.render()
+        );
+        // The fleet actually overlapped: total busy time far exceeds the
+        // makespan a serial schedule would need.
+        let makespan = out.report.makespan_s().expect("jobs completed");
+        assert!(
+            makespan < 7200.0,
+            "policy {policy}: makespan {makespan} too close to horizon"
+        );
+        // Per-job audit logs are namespaced and present.
+        assert!(out.decisions_jsonl.contains("\"ns\":\"job0\""), "{policy}");
+        assert!(!out.telemetry_jsonl.is_empty(), "{policy}");
+    }
+}
+
+#[test]
+fn warm_start_converges_faster_than_cold_in_the_golden_scenario() {
+    // Build history with a cold pass over the contended scenario, then rerun
+    // warm: the warm jobs must reach 90 % of their best throughput sooner on
+    // average (the history store's raison d'être).
+    let mut h = HistoryStore::in_memory();
+    let cold_cfg = FleetConfig {
+        warm_start: false,
+        horizon_s: 7200.0,
+        ..FleetConfig::default()
+    };
+    let cold = run_fleet(&Workload::contended(4), &cold_cfg, &mut h);
+    assert!(h.len() >= 4, "cold pass must seed the history store");
+    let cold_t90 = cold
+        .report
+        .mean_time_to_90_s(false)
+        .expect("cold jobs converged");
+
+    let warm_cfg = FleetConfig {
+        warm_start: true,
+        ..cold_cfg
+    };
+    let warm = run_fleet(&Workload::contended(4), &warm_cfg, &mut h);
+    let warmed: Vec<_> = warm
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| o.warm_distance.is_some())
+        .collect();
+    assert!(
+        !warmed.is_empty(),
+        "warm pass must match history:\n{}",
+        warm.report.render()
+    );
+    let warm_t90 = warm
+        .report
+        .mean_time_to_90_s(true)
+        .expect("warm jobs converged");
+    assert!(
+        warm_t90 < cold_t90,
+        "warm start must cut time-to-90%: warm {warm_t90} vs cold {cold_t90}\n\
+         cold:\n{}\nwarm:\n{}",
+        cold.report.render(),
+        warm.report.render()
+    );
+}
+
+#[test]
+fn history_store_round_trips_through_disk() {
+    let dir = std::env::temp_dir().join(format!("xferopt-fleet-hist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = FleetConfig {
+        horizon_s: 7200.0,
+        ..FleetConfig::default()
+    };
+    let appended = {
+        let mut h = HistoryStore::open(&dir).expect("open history dir");
+        let out = run_fleet(&Workload::contended(2), &cfg, &mut h);
+        out.history_appended
+    };
+    assert!(appended >= 2);
+    let h = HistoryStore::open(&dir).expect("reopen history dir");
+    assert_eq!(h.len(), appended, "records persist across open()");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
