@@ -11,6 +11,7 @@
 //! running transfer never places more streams on the wire than admission
 //! granted (see DESIGN.md §11).
 
+use crate::breaker::BreakerBoard;
 use crate::job::{JobId, JobSpec};
 use xferopt_scenarios::Route;
 
@@ -95,6 +96,34 @@ impl AdmissionController {
     /// Returns the reservation on success.
     pub fn try_admit(&mut self, spec: &JobSpec) -> Option<Reservation> {
         let streams = self.grantable(spec);
+        self.admit_streams(spec, streams)
+    }
+
+    /// Try to admit `spec` through the route's circuit breakers (DESIGN.md
+    /// §12): an open breaker on any link of the route denies admission
+    /// outright; a half-open breaker shrinks the grant by its probe factor
+    /// and the admitted job is marked as the breaker's single in-flight
+    /// probe. With all breakers closed this is exactly [`Self::try_admit`].
+    pub fn try_admit_gated(
+        &mut self,
+        spec: &JobSpec,
+        board: &mut BreakerBoard,
+    ) -> Option<Reservation> {
+        let links = route_links(spec.route);
+        if !board.route_admits(&links) {
+            return None;
+        }
+        let factor = board.route_grant_factor(&links);
+        let cap = ((spec.max_streams as f64) * factor).floor() as u32;
+        let streams = self.grantable(spec).min(cap);
+        let r = self.admit_streams(spec, streams)?;
+        board.mark_probe(&links);
+        Some(r)
+    }
+
+    /// Reserve `streams` on every link of the spec's route, refusing grants
+    /// smaller than one stream per process.
+    fn admit_streams(&mut self, spec: &JobSpec, streams: u32) -> Option<Reservation> {
         if streams < spec.np.max(1) {
             return None;
         }

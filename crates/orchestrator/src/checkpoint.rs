@@ -1,0 +1,367 @@
+//! Replay-based fleet checkpoint/resume (DESIGN.md §12).
+//!
+//! The fleet simulation is a pure function of `(workload, config)`, so a
+//! checkpoint does not serialize live state (tuner simplexes, world RNGs,
+//! AIMD windows — none of which have a stable wire form). It records the
+//! run's **inputs** plus the tick index and an FNV-1a digest of the live
+//! state:
+//!
+//! ```text
+//! {"kind":"fleet-checkpoint","version":1,"tick":K,...config fields...}
+//! {"kind":"fleet-job","id":0,...}            one line per workload job
+//! ...
+//! {"kind":"fleet-digest","fnv":"<16 hex>"}
+//! ```
+//!
+//! [`resume_fleet`] rebuilds the simulation from those inputs, replays ticks
+//! `0..K` with history persistence off (the killed run already flushed its
+//! pre-`K` appends to the backing file), verifies the digest, re-enables
+//! persistence, and runs to completion. The result is byte-identical to the
+//! uninterrupted run — reports, decision logs, telemetry, and the history
+//! file (enforced by `tests/supervision.rs` and the CI crash/resume gate).
+//!
+//! Watchdog/breaker thresholds are not serialized: they are compile-time
+//! defaults the CLI cannot override, so the rebuilt [`FleetConfig`] always
+//! matches the killed run's.
+
+use crate::fleet::{FleetConfig, FleetOutcome, FleetSim};
+use crate::history::{json_field, HistoryStore};
+use crate::job::{JobId, JobSpec, Workload};
+use crate::policy::Policy;
+use xferopt_scenarios::{FaultProfile, Route};
+use xferopt_simcore::metrics::json_f64;
+use xferopt_tuners::TunerKind;
+
+/// FNV-1a hash of a string (the checkpoint's state-digest hash — stable,
+/// dependency-free, and plenty for corruption detection).
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Render one workload job as a checkpoint JSONL line (fixed key order;
+/// `deadline_s` omitted when absent).
+pub(crate) fn job_to_json(j: &JobSpec) -> String {
+    let mut s = format!(
+        "{{\"kind\":\"fleet-job\",\"id\":{},\"arrival_s\":{},\"size_mb\":{},\"priority\":{},\"route\":\"{}\",\"tuner\":\"{}\",\"np\":{},\"max_streams\":{}",
+        j.id.0,
+        json_f64(j.arrival_s),
+        json_f64(j.size_mb),
+        j.priority,
+        j.route.name(),
+        j.tuner.name(),
+        j.np,
+        j.max_streams,
+    );
+    if let Some(d) = j.deadline_s {
+        s.push_str(&format!(",\"deadline_s\":{}", json_f64(d)));
+    }
+    s.push('}');
+    s
+}
+
+fn parse_job(line: &str) -> Result<JobSpec, String> {
+    let req = |key: &str| {
+        json_field(line, key).ok_or_else(|| format!("checkpoint job line missing '{key}': {line}"))
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        req(key)?
+            .parse::<f64>()
+            .map_err(|e| format!("bad '{key}' in checkpoint job line: {e}"))
+    };
+    let route: Route = req("route")?.parse()?;
+    let tuner: TunerKind = req("tuner")?
+        .parse()
+        .map_err(|e| format!("bad tuner in checkpoint job line: {e}"))?;
+    Ok(JobSpec {
+        id: JobId(num("id")? as u64),
+        arrival_s: num("arrival_s")?,
+        size_mb: num("size_mb")?,
+        priority: num("priority")? as u32,
+        deadline_s: match json_field(line, "deadline_s") {
+            Some(v) => Some(
+                v.parse::<f64>()
+                    .map_err(|e| format!("bad deadline_s in checkpoint job line: {e}"))?,
+            ),
+            None => None,
+        },
+        route,
+        tuner,
+        np: num("np")? as u32,
+        max_streams: num("max_streams")? as u32,
+    })
+}
+
+/// A parsed fleet checkpoint: the run's inputs plus the replay target.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The configuration the killed run was using.
+    pub config: FleetConfig,
+    /// The workload the killed run was driving.
+    pub workload: Workload,
+    /// Ticks the killed run had completed when the checkpoint was written.
+    pub tick: u64,
+    /// Fleet time at the checkpoint, seconds.
+    pub t_s: f64,
+    /// History-store length when the killed run started (replay rewinds the
+    /// in-memory store to this length).
+    pub history_start_len: usize,
+    /// History records the killed run had appended (and persisted) by the
+    /// checkpoint — replay re-appends them in memory only.
+    pub history_appended: usize,
+    /// FNV-1a hash of the killed run's state digest at `tick`; replay must
+    /// reproduce it exactly or resume refuses to continue.
+    pub digest: u64,
+}
+
+impl Checkpoint {
+    /// Parse the JSONL text produced by
+    /// [`FleetSim::checkpoint`](crate::fleet::FleetSim::checkpoint).
+    ///
+    /// # Errors
+    /// Returns a description of the first missing/malformed line or field.
+    pub fn parse(text: &str) -> Result<Checkpoint, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        let header = lines.next().ok_or("empty checkpoint")?;
+        if json_field(header, "kind") != Some("fleet-checkpoint") {
+            return Err(format!("not a fleet checkpoint header: {header}"));
+        }
+        let version = json_field(header, "version").ok_or("checkpoint missing version")?;
+        if version != "1" {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let req = |key: &str| {
+            json_field(header, key).ok_or_else(|| format!("checkpoint header missing '{key}'"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            req(key)?
+                .parse::<f64>()
+                .map_err(|e| format!("bad '{key}' in checkpoint header: {e}"))
+        };
+        let flag = |key: &str| -> Result<bool, String> {
+            req(key)?
+                .parse::<bool>()
+                .map_err(|e| format!("bad '{key}' in checkpoint header: {e}"))
+        };
+        let policy: Policy = req("policy")?.parse()?;
+        let faults: Option<FaultProfile> = match json_field(header, "faults") {
+            Some(name) => Some(name.parse()?),
+            None => None,
+        };
+        let config = FleetConfig {
+            policy,
+            seed: num("seed")? as u64,
+            horizon_s: num("horizon_s")?,
+            tick_s: num("tick_s")?,
+            epoch_s: num("epoch_s")?,
+            link_budget: num("budget")? as u32,
+            warm_start: flag("warm")?,
+            max_match_distance: num("max_match_distance")?,
+            noise_sigma: num("noise_sigma")?,
+            audit: flag("audit")?,
+            faults,
+            shed_after_s: num("shed_after_s")?,
+            ..FleetConfig::default()
+        };
+        let tick = num("tick")? as u64;
+        let t_s = num("t_s")?;
+        let njobs = num("jobs")? as usize;
+        let history_start_len = num("history_start_len")? as usize;
+        let history_appended = num("history_appended")? as usize;
+
+        let mut jobs = Vec::with_capacity(njobs);
+        let mut digest: Option<u64> = None;
+        for line in lines {
+            match json_field(line, "kind") {
+                Some("fleet-job") => jobs.push(parse_job(line)?),
+                Some("fleet-digest") => {
+                    let hex = json_field(line, "fnv").ok_or("digest line missing 'fnv'")?;
+                    digest = Some(
+                        u64::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad digest '{hex}': {e}"))?,
+                    );
+                }
+                other => return Err(format!("unexpected checkpoint line kind {other:?}: {line}")),
+            }
+        }
+        if jobs.len() != njobs {
+            return Err(format!(
+                "checkpoint declares {njobs} jobs but carries {}",
+                jobs.len()
+            ));
+        }
+        let digest = digest.ok_or("checkpoint missing its fleet-digest line")?;
+        Ok(Checkpoint {
+            config,
+            workload: Workload::new(jobs),
+            tick,
+            t_s,
+            history_start_len,
+            history_appended,
+            digest,
+        })
+    }
+}
+
+/// Resume a killed fleet run from `ck`: replay ticks `0..ck.tick` with
+/// history persistence off, verify the state digest, then run to completion
+/// with persistence back on. Byte-identical to the uninterrupted run.
+///
+/// # Errors
+/// Returns an error when the replay finishes early (checkpoint from a
+/// different workload/config) or the digest mismatches (corrupt checkpoint,
+/// or code drift between writer and reader).
+pub fn resume_fleet(ck: &Checkpoint, history: &mut HistoryStore) -> Result<FleetOutcome, String> {
+    // Rewind the in-memory store to the killed run's starting point; the
+    // backing file (which already holds the pre-checkpoint appends) is
+    // untouched.
+    history.truncate(ck.history_start_len);
+    let mut sim = FleetSim::new(&ck.workload, &ck.config, history);
+    sim.set_history_persist(false);
+    while sim.tick_index() < ck.tick {
+        if !sim.tick() {
+            return Err(format!(
+                "replay ended at tick {} before reaching checkpoint tick {}",
+                sim.tick_index(),
+                ck.tick
+            ));
+        }
+    }
+    let got = sim.digest_hash();
+    if got != ck.digest {
+        return Err(format!(
+            "checkpoint digest mismatch at tick {}: expected {:016x}, replay produced {:016x}",
+            ck.tick, ck.digest, got
+        ));
+    }
+    if sim.history_appended() != ck.history_appended {
+        return Err(format!(
+            "checkpoint recorded {} history appends, replay produced {}",
+            ck.history_appended,
+            sim.history_appended()
+        ));
+    }
+    sim.set_history_persist(true);
+    while sim.tick() {}
+    Ok(sim.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::run_fleet;
+
+    fn cfg() -> FleetConfig {
+        FleetConfig {
+            horizon_s: 1800.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_parse() {
+        let w = Workload::synthetic(4, 5);
+        let mut h = HistoryStore::in_memory();
+        let mut sim = FleetSim::new(&w, &cfg(), &mut h);
+        for _ in 0..30 {
+            assert!(sim.tick());
+        }
+        let text = sim.checkpoint();
+        let expect_digest = sim.digest_hash();
+        let ck = Checkpoint::parse(&text).unwrap();
+        assert_eq!(ck.tick, 30);
+        assert_eq!(ck.digest, expect_digest);
+        assert_eq!(ck.workload.len(), 4);
+        for (a, b) in ck.workload.jobs().iter().zip(w.jobs()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival_s, b.arrival_s);
+            assert_eq!(a.size_mb, b.size_mb);
+            assert_eq!(a.priority, b.priority);
+            assert_eq!(a.deadline_s, b.deadline_s);
+            assert_eq!(a.route, b.route);
+            assert_eq!(a.tuner, b.tuner);
+            assert_eq!(a.np, b.np);
+            assert_eq!(a.max_streams, b.max_streams);
+        }
+        assert_eq!(ck.config.policy, Policy::Fifo);
+        assert_eq!(ck.config.seed, 7);
+        assert_eq!(ck.config.faults, None);
+    }
+
+    #[test]
+    fn kill_and_resume_matches_the_uninterrupted_run() {
+        let w = Workload::synthetic(5, 9);
+        let full = run_fleet(&w, &cfg(), &mut HistoryStore::in_memory());
+        // "Kill" a run at tick 40 with only its checkpoint surviving.
+        let text = {
+            let mut h = HistoryStore::in_memory();
+            let mut sim = FleetSim::new(&w, &cfg(), &mut h);
+            for _ in 0..40 {
+                assert!(sim.tick());
+            }
+            sim.checkpoint()
+        };
+        let ck = Checkpoint::parse(&text).unwrap();
+        let mut h = HistoryStore::in_memory();
+        let resumed = resume_fleet(&ck, &mut h).unwrap();
+        assert_eq!(full.report.render(), resumed.report.render());
+        assert_eq!(full.decisions_jsonl, resumed.decisions_jsonl);
+        assert_eq!(full.telemetry_jsonl, resumed.telemetry_jsonl);
+        assert_eq!(full.supervision_jsonl, resumed.supervision_jsonl);
+        assert_eq!(full.history_appended, resumed.history_appended);
+    }
+
+    #[test]
+    fn tampered_digest_is_refused() {
+        let w = Workload::synthetic(3, 2);
+        let mut h = HistoryStore::in_memory();
+        let mut sim = FleetSim::new(&w, &cfg(), &mut h);
+        for _ in 0..10 {
+            assert!(sim.tick());
+        }
+        let text = sim
+            .checkpoint()
+            .lines()
+            .map(|l| {
+                if l.contains("fleet-digest") {
+                    "{\"kind\":\"fleet-digest\",\"fnv\":\"00000000deadbeef\"}".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        drop(sim);
+        let ck = Checkpoint::parse(&text).unwrap();
+        let err = resume_fleet(&ck, &mut HistoryStore::in_memory()).unwrap_err();
+        assert!(err.contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn malformed_checkpoints_report_what_is_wrong() {
+        assert!(Checkpoint::parse("").unwrap_err().contains("empty"));
+        assert!(Checkpoint::parse("{\"kind\":\"history\"}")
+            .unwrap_err()
+            .contains("not a fleet checkpoint"));
+        let missing_digest = "{\"kind\":\"fleet-checkpoint\",\"version\":1,\"tick\":0,\"t_s\":0,\
+             \"policy\":\"fifo\",\"seed\":7,\"horizon_s\":100,\"tick_s\":5,\"epoch_s\":30,\
+             \"budget\":512,\"warm\":true,\"max_match_distance\":2,\"noise_sigma\":0.05,\
+             \"audit\":true,\"shed_after_s\":300,\"jobs\":0,\"history_start_len\":0,\
+             \"history_appended\":0}";
+        assert!(Checkpoint::parse(missing_digest)
+            .unwrap_err()
+            .contains("fleet-digest"));
+    }
+}

@@ -1,29 +1,55 @@
 //! The fleet orchestrator: a deterministic tick loop that admits jobs,
-//! drives one online tuner per running job, and records outcomes.
+//! drives one online tuner per running job, supervises their health, and
+//! records outcomes.
 //!
 //! Per tick (`tick_s`, which must divide `epoch_s`), in this order:
 //!
 //! 1. arrivals — pending jobs whose arrival time has come join the queue;
-//! 2. admission — the [`Policy`] picks queued jobs; each is granted a stream
-//!    reservation by the [`AdmissionController`] or blocks the queue
-//!    (head-of-line blocking keeps policy semantics exact);
-//! 3. the world advances one tick;
-//! 4. completions — finished jobs close their epoch, release their
-//!    reservation, and append a [`HistoryRecord`];
-//! 5. epoch boundaries — running jobs whose control epoch elapsed report the
-//!    observed throughput to their tuner and start the next epoch.
+//!    quarantined jobs whose backoff elapsed are requeued;
+//! 2. supervision — route circuit breakers advance (open breakers half-open
+//!    when their cooldown elapses) and sustained-pressure shedding drops the
+//!    lowest-priority queued job on a sick link;
+//! 3. admission — the [`Policy`] picks queued jobs *whose route the breakers
+//!    admit*; each is granted a stream reservation by the
+//!    [`AdmissionController`] (shrunk through half-open breakers) or blocks
+//!    the queue (head-of-line blocking keeps policy semantics exact);
+//! 4. the world advances one tick;
+//! 5. completions — finished jobs close their epoch, release their
+//!    reservation, feed breaker successes, and append a [`HistoryRecord`];
+//! 6. epoch boundaries — running jobs whose control epoch elapsed report the
+//!    observed throughput to their tuner *and* their
+//!    [`HealthMonitor`](crate::health::HealthMonitor); a `Quarantine` verdict
+//!    pulls the job off the wire, releases its grant, feeds the route's
+//!    breakers a failure, and schedules a requeue after the shared
+//!    [`xferopt_transfer::RetryPolicy`] backoff (or fails the job once its
+//!    attempt budget is spent).
 //!
-//! Steps 1, 2, 4, and 5 iterate in job-id order, so a fleet run is a pure
-//! function of `(workload, config)`: two runs with the same seed produce
-//! byte-identical reports (see `tests/fleet.rs`).
+//! Every step iterates in job-id order, so a fleet run is a pure function of
+//! `(workload, config)`: two runs with the same seed produce byte-identical
+//! reports (see `tests/fleet.rs` and `tests/supervision.rs`). Supervision is
+//! *observational by default*: with no fault plan the watchdogs never trip,
+//! the breakers stay closed, and reports are byte-identical to
+//! pre-supervision runs (enforced by the golden snapshots).
+//!
+//! [`FleetSim`] exposes the loop one tick at a time so the CLI can write
+//! checkpoints and the resume path can replay deterministically (see
+//! `checkpoint.rs`).
 
 use std::collections::BTreeMap;
 
-use crate::admission::{AdmissionController, DEFAULT_LINK_BUDGET};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::admission::{route_links, AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
+use crate::breaker::{BreakerBoard, BreakerConfig};
+use crate::health::{
+    HealthConfig, HealthMonitor, HealthVerdict, SupervisionEvent, SupervisionSummary,
+};
 use crate::history::{HistoryRecord, HistoryStore};
 use crate::job::{JobId, JobSpec, JobState, Workload};
 use crate::policy::Policy;
-use xferopt_scenarios::PaperWorld;
+use xferopt_scenarios::{FaultProfile, PaperWorld};
+use xferopt_simcore::metrics::{json_f64, MetricsRegistry};
 use xferopt_simcore::SimDuration;
 use xferopt_transfer::{EpochReport, EpochStart, StreamParams, TransferId};
 use xferopt_tuners::{Domain, OnlineTuner, Point, WarmStart};
@@ -52,6 +78,17 @@ pub struct FleetConfig {
     pub noise_sigma: f64,
     /// Enable per-job tuner audit logs (namespaced by job id).
     pub audit: bool,
+    /// Fleet-scoped chaos plan (see [`FaultProfile::fleet_plan`]); `None`
+    /// keeps the world fault-free and draws nothing extra from the seed
+    /// stream, so no-fault runs stay byte-identical to pre-supervision ones.
+    pub faults: Option<FaultProfile>,
+    /// Per-job health-watchdog thresholds and the requeue attempt budget.
+    pub health: HealthConfig,
+    /// Route circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Shed the lowest-priority queued job on a link whose breaker has been
+    /// continuously non-closed for this long (and at most once per interval).
+    pub shed_after_s: f64,
 }
 
 impl Default for FleetConfig {
@@ -67,6 +104,10 @@ impl Default for FleetConfig {
             max_match_distance: 2.0,
             noise_sigma: 0.05,
             audit: true,
+            faults: None,
+            health: HealthConfig::default(),
+            breaker: BreakerConfig::default(),
+            shed_after_s: 300.0,
         }
     }
 }
@@ -95,8 +136,9 @@ impl FleetConfig {
 pub struct JobOutcome {
     /// The job.
     pub id: JobId,
-    /// Terminal lifecycle state (`completed`, `unfinished`, `queued`, or
-    /// `pending` — the latter two when the horizon arrives first).
+    /// Terminal lifecycle state (`completed`, `unfinished`, `failed`,
+    /// `queued`, or `pending` — the latter two when the horizon arrives
+    /// first).
     pub state: JobState,
     /// The spec the job ran with.
     pub spec: JobSpec,
@@ -174,6 +216,8 @@ pub struct FleetReport {
     pub submitted: usize,
     /// Per-job outcomes, in job-id order.
     pub outcomes: Vec<JobOutcome>,
+    /// Supervision activity counters (all zero in a quiet run).
+    pub supervision: SupervisionSummary,
 }
 
 impl FleetReport {
@@ -212,10 +256,14 @@ impl FleetReport {
     }
 
     /// Render the whole report as deterministic fixed-format text.
+    ///
+    /// Supervision is rendered only when it did something (or a fault
+    /// profile is configured): quiet runs are byte-identical to
+    /// pre-supervision reports.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "fleet policy={} seed={} jobs={} horizon_s={:.0} tick_s={:.0} epoch_s={:.0} budget={} warm={} audit={}\n",
+            "fleet policy={} seed={} jobs={} horizon_s={:.0} tick_s={:.0} epoch_s={:.0} budget={} warm={} audit={}",
             self.config.policy,
             self.config.seed,
             self.submitted,
@@ -226,6 +274,10 @@ impl FleetReport {
             self.config.warm_start,
             self.config.audit,
         ));
+        if let Some(p) = self.config.faults {
+            out.push_str(&format!(" faults={}", p.name()));
+        }
+        out.push('\n');
         for o in &self.outcomes {
             out.push_str(&o.render());
             out.push('\n');
@@ -234,10 +286,17 @@ impl FleetReport {
             Some(x) => format!("{x:.1}"),
             None => "-".to_string(),
         };
+        let failed = self.count(JobState::Failed);
+        let failed_part = if failed > 0 {
+            format!(" failed={failed}")
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "summary completed={} unfinished={} queued={} pending={} moved_mb={:.1} makespan_s={} t90_cold_s={} t90_warm_s={}\n",
+            "summary completed={} unfinished={}{} queued={} pending={} moved_mb={:.1} makespan_s={} t90_cold_s={} t90_warm_s={}\n",
             self.count(JobState::Completed),
             self.count(JobState::Unfinished),
+            failed_part,
             self.count(JobState::Queued),
             self.count(JobState::Pending),
             self.total_moved_mb(),
@@ -245,6 +304,10 @@ impl FleetReport {
             opt(self.mean_time_to_90_s(false)),
             opt(self.mean_time_to_90_s(true)),
         ));
+        if self.config.faults.is_some() || !self.supervision.is_quiet() {
+            out.push_str(&self.supervision.render());
+            out.push('\n');
+        }
         out
     }
 
@@ -295,6 +358,12 @@ pub struct FleetOutcome {
     /// World telemetry epochs as JSONL (the flight recorder), one line per
     /// control epoch across all transfers.
     pub telemetry_jsonl: String,
+    /// Supervision events (quarantines, requeues, breaker transitions,
+    /// sheds) as JSONL, in occurrence order. Empty in a quiet run.
+    pub supervision_jsonl: String,
+    /// Supervision counters from the telemetry registry as JSONL (empty when
+    /// no supervision metric was touched).
+    pub metrics_jsonl: String,
     /// History records appended during this run.
     pub history_appended: usize,
 }
@@ -316,6 +385,10 @@ struct RunningJob {
     epochs_done: u32,
     /// `(epoch_end_s_rel_admission, observed_mbs)` per epoch.
     trace: Vec<(f64, f64)>,
+    monitor: HealthMonitor,
+    /// Quarantines suffered so far (0 on a first admission).
+    attempts: u32,
+    degraded: bool,
 }
 
 impl RunningJob {
@@ -325,126 +398,267 @@ impl RunningJob {
     }
 }
 
-/// Run `workload` under `config`, appending completed jobs to `history`.
-pub fn run_fleet(
-    workload: &Workload,
-    config: &FleetConfig,
-    history: &mut HistoryStore,
-) -> FleetOutcome {
-    config.validate();
-    let mut pw = PaperWorld::new(config.seed);
-    pw.world.enable_telemetry();
+/// Stats carried across quarantine/requeue attempts (the transfer itself is
+/// kept alive but idle, so `moved_mb` is conserved).
+struct JobCarry {
+    tid: TransferId,
+    first_admitted_s: f64,
+    attempts: u32,
+    best_mbs: f64,
+    best_params: StreamParams,
+    epochs_done: u32,
+    trace: Vec<(f64, f64)>,
+    warm_distance: Option<f64>,
+    granted_streams: u32,
+}
 
-    let mut pending: Vec<JobSpec> = workload.jobs().to_vec();
-    let mut queued: Vec<JobSpec> = Vec::new();
-    let mut running: BTreeMap<JobId, RunningJob> = BTreeMap::new();
-    let mut admission = AdmissionController::paper(config.link_budget);
-    let mut admitted_by_class: Vec<(u32, u32)> = Vec::new();
-    let mut outcomes: Vec<JobOutcome> = Vec::new();
-    let mut decisions: Vec<(JobId, String)> = Vec::new();
-    let mut history_appended = 0usize;
+/// A quarantined job waiting out its requeue backoff.
+struct QuarantinedJob {
+    spec: JobSpec,
+    carry: JobCarry,
+    resume_at_s: f64,
+}
 
-    let mut t = 0.0f64;
-    loop {
-        // 1. Arrivals (pending is sorted by (arrival, id)).
-        while pending.first().is_some_and(|j| j.arrival_s <= t + 1e-9) {
-            queued.push(pending.remove(0));
+/// The fleet simulation, one tick at a time. [`run_fleet`] is the one-shot
+/// driver; the CLI uses the stepwise form to write checkpoints, and
+/// `checkpoint::resume_fleet` replays it deterministically.
+pub struct FleetSim<'h> {
+    config: FleetConfig,
+    workload_jobs: Vec<JobSpec>,
+    pw: PaperWorld,
+    pending: Vec<JobSpec>,
+    queued: Vec<JobSpec>,
+    running: BTreeMap<JobId, RunningJob>,
+    quarantined: BTreeMap<JobId, QuarantinedJob>,
+    /// Stats of requeued jobs currently back in the queue.
+    carry: BTreeMap<JobId, JobCarry>,
+    admission: AdmissionController,
+    breakers: BreakerBoard,
+    admitted_by_class: Vec<(u32, u32)>,
+    outcomes: Vec<JobOutcome>,
+    decisions: Vec<(JobId, String)>,
+    events: Vec<SupervisionEvent>,
+    supervision: SupervisionSummary,
+    metrics: MetricsRegistry,
+    history: &'h mut HistoryStore,
+    history_appended: usize,
+    history_start_len: usize,
+    last_shed_s: Vec<f64>,
+    tick: u64,
+    t: f64,
+    done: bool,
+}
+
+impl<'h> FleetSim<'h> {
+    /// Build the simulation at tick 0.
+    ///
+    /// # Panics
+    /// Panics when the config fails [`FleetConfig::validate`].
+    pub fn new(workload: &Workload, config: &FleetConfig, history: &'h mut HistoryStore) -> Self {
+        config.validate();
+        let mut pw = PaperWorld::new(config.seed);
+        pw.world.enable_telemetry();
+        // Strictly opt-in: enabling faults consumes one seed from the world's
+        // stream, so a fault-free fleet must not call it at all (keeps
+        // no-fault runs byte-identical to pre-supervision ones).
+        if let Some(profile) = config.faults {
+            let plan = profile.fleet_plan(config.seed, config.horizon_s, workload.len() as u64);
+            pw.world
+                .enable_faults_with_policy(plan, config.health.retry);
         }
+        let mut metrics = MetricsRegistry::new();
+        if history.skipped() > 0 {
+            metrics
+                .gauge("history_lines_skipped", &[])
+                .set(history.skipped() as f64);
+        }
+        let history_start_len = history.len();
+        FleetSim {
+            config: config.clone(),
+            workload_jobs: workload.jobs().to_vec(),
+            pw,
+            pending: workload.jobs().to_vec(),
+            queued: Vec::new(),
+            running: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            carry: BTreeMap::new(),
+            admission: AdmissionController::paper(config.link_budget),
+            breakers: BreakerBoard::new(3, config.breaker),
+            admitted_by_class: Vec::new(),
+            outcomes: Vec::new(),
+            decisions: Vec::new(),
+            events: Vec::new(),
+            supervision: SupervisionSummary::default(),
+            metrics,
+            history,
+            history_appended: 0,
+            history_start_len,
+            last_shed_s: vec![f64::NEG_INFINITY; 3],
+            tick: 0,
+            t: 0.0,
+            done: false,
+        }
+    }
 
-        // 2. Admission: policy pick with head-of-line blocking.
-        while let Some(idx) = config.policy.pick_next(&queued, &admitted_by_class) {
-            let Some(grant) = admission.try_admit(&queued[idx]) else {
+    /// Ticks completed so far.
+    pub fn tick_index(&self) -> u64 {
+        self.tick
+    }
+
+    /// Current fleet time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.t
+    }
+
+    /// Whether the run has reached its end (all jobs terminal or horizon).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Toggle history persistence (used by checkpoint replay: the pre-kill
+    /// appends are already in the backing file, so the replay re-appends them
+    /// in memory only).
+    pub fn set_history_persist(&mut self, persist: bool) {
+        self.history.set_persist(persist);
+    }
+
+    /// History records appended so far by this run.
+    pub fn history_appended(&self) -> usize {
+        self.history_appended
+    }
+
+    /// History length when the run started (checkpoint header field).
+    pub fn history_start_len(&self) -> usize {
+        self.history_start_len
+    }
+
+    fn push_event(
+        &mut self,
+        kind: &'static str,
+        ns: Option<String>,
+        link: Option<usize>,
+        detail: String,
+    ) {
+        self.metrics
+            .counter("fleet_supervision_total", &[("event", kind)])
+            .inc();
+        self.events.push(SupervisionEvent {
+            t_s: self.t,
+            kind,
+            ns,
+            link,
+            detail,
+        });
+    }
+
+    /// Advance one tick. Returns `false` once the run is finished (call
+    /// [`FleetSim::finish`] to collect the outcome).
+    pub fn tick(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        // 1. Arrivals (pending is sorted by (arrival, id)).
+        while self
+            .pending
+            .first()
+            .is_some_and(|j| j.arrival_s <= self.t + 1e-9)
+        {
+            self.queued.push(self.pending.remove(0));
+        }
+        // 1b. Requeues: quarantined jobs whose backoff elapsed rejoin the
+        // queue (in job-id order).
+        let due: Vec<JobId> = self
+            .quarantined
+            .iter()
+            .filter(|(_, q)| q.resume_at_s <= self.t + 1e-9)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let q = self.quarantined.remove(&id).expect("job is quarantined");
+            self.supervision.requeues += 1;
+            self.push_event(
+                "requeue",
+                Some(id.to_string()),
+                None,
+                format!("attempt={}", q.carry.attempts),
+            );
+            self.carry.insert(id, q.carry);
+            self.queued.push(q.spec);
+        }
+        // 1c. Breakers advance (cooldowns elapse into half-open probes).
+        for (l, tr) in self.breakers.tick(self.t) {
+            self.push_event(tr, None, Some(l), String::new());
+        }
+        // 1d. Sustained-pressure shedding.
+        self.shed();
+
+        // 2. Admission: policy pick over breaker-admissible jobs, with
+        // head-of-line blocking on link capacity.
+        loop {
+            let mask: Vec<usize> = self
+                .queued
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| self.breakers.route_admits(&route_links(j.route)))
+                .map(|(i, _)| i)
+                .collect();
+            if mask.is_empty() {
+                break;
+            }
+            let view: Vec<JobSpec> = mask.iter().map(|&i| self.queued[i].clone()).collect();
+            let Some(vidx) = self.config.policy.pick_next(&view, &self.admitted_by_class) else {
+                break;
+            };
+            let qidx = mask[vidx];
+            let Some(grant) = self
+                .admission
+                .try_admit_gated(&self.queued[qidx], &mut self.breakers)
+            else {
                 break; // head-of-line blocked until a reservation frees up
             };
-            let spec = queued.remove(idx);
-            match admitted_by_class
-                .iter_mut()
-                .find(|(p, _)| *p == spec.priority)
-            {
-                Some((_, n)) => *n += 1,
-                None => admitted_by_class.push((spec.priority, 1)),
-            }
-            // Context for the history query: external streams on the WAN
-            // link before this job places any of its own.
-            let ext_streams = pw.world.net().streams_per_link()[spec.route.wan_link_index()];
-            // Restrict the tuner's domain to the granted reservation:
-            // nc ≤ granted / np, so proposals can never oversubscribe.
-            let nc_hi = (grant.streams / spec.np.max(1)).max(1) as i64;
-            let domain = Domain::new(&[(1, nc_hi.min(512))]);
-            let cold = vec![spec.cold_start().nc as i64];
-            let seed = if config.warm_start {
-                history.warm_start(
-                    spec.route,
-                    spec.tuner,
-                    ext_streams,
-                    0.0,
-                    cold.clone(),
-                    config.max_match_distance,
-                )
-            } else {
-                WarmStart::cold(cold.clone())
-            };
-            let mut tuner = spec.tuner.build_seeded(domain, &seed);
-            if config.audit {
-                tuner.enable_audit();
-                if let Some(log) = tuner.audit_log_mut() {
-                    log.set_namespace(spec.id.to_string());
-                }
-            }
-            let x0 = tuner.initial();
-            let mut job = RunningJob {
-                tid: pw.start_sized_transfer(
-                    spec.route,
-                    StreamParams::new(1, 1), // placeholder; epoch sets real params
-                    spec.size_mb,
-                    config.noise_sigma,
-                ),
-                tuner,
-                epoch: None,
-                current: x0,
-                admitted_s: t,
-                next_epoch_end_s: t + config.epoch_s,
-                granted_streams: grant.streams,
-                ext_streams,
-                warm_distance: seed.distance(),
-                best_mbs: 0.0,
-                best_params: spec.cold_start(),
-                epochs_done: 0,
-                trace: Vec::new(),
-                spec,
-            };
-            pw.world.set_transfer_tag(job.tid, Some(job.spec.id.0));
-            let params = job.params_for(&job.current.clone());
-            job.epoch = Some(pw.world.begin_epoch(job.tid, params, false));
-            running.insert(job.spec.id, job);
+            let spec = self.queued.remove(qidx);
+            self.admit(spec, grant);
         }
 
-        let all_done = pending.is_empty() && queued.is_empty() && running.is_empty();
-        if all_done || t >= config.horizon_s - 1e-9 {
-            break;
+        let all_done = self.pending.is_empty()
+            && self.queued.is_empty()
+            && self.running.is_empty()
+            && self.quarantined.is_empty();
+        if all_done || self.t >= self.config.horizon_s - 1e-9 {
+            self.done = true;
+            return false;
         }
 
         // 3. Advance the world one tick.
-        pw.world.step(SimDuration::from_secs_f64(config.tick_s));
-        t += config.tick_s;
+        self.pw
+            .world
+            .step(SimDuration::from_secs_f64(self.config.tick_s));
+        self.t += self.config.tick_s;
+        self.tick += 1;
 
         // 4. Completions, in job-id order (BTreeMap iteration).
-        let finished: Vec<JobId> = running
+        let finished: Vec<JobId> = self
+            .running
             .iter()
-            .filter(|(_, j)| pw.world.is_done(j.tid))
+            .filter(|(_, j)| self.pw.world.is_done(j.tid))
             .map(|(&id, _)| id)
             .collect();
         for id in finished {
-            let mut job = running.remove(&id).expect("job is running");
+            let mut job = self.running.remove(&id).expect("job is running");
             if let Some(es) = job.epoch.take() {
-                let report = pw.world.end_epoch(es);
-                record_epoch(&mut job, t, &report);
+                let report = self.pw.world.end_epoch(es);
+                record_epoch(&mut job, self.t, &report);
             }
-            admission.release(id);
-            let moved = pw.world.moved_mb(job.tid);
-            let elapsed = (t - job.admitted_s).max(config.tick_s);
+            self.admission.release(id);
+            for l in route_links(job.spec.route) {
+                if let Some(tr) = self.breakers.on_success(l, self.t) {
+                    self.push_event(tr, None, Some(l), String::new());
+                }
+            }
+            let moved = self.pw.world.moved_mb(job.tid);
+            let elapsed = (self.t - job.admitted_s).max(self.config.tick_s);
             if job.best_mbs > 0.0 {
-                history
+                self.history
                     .append(HistoryRecord {
                         route: job.spec.route,
                         tuner: job.spec.tuner,
@@ -454,89 +668,531 @@ pub fn run_fleet(
                         achieved_mbs: job.best_mbs,
                     })
                     .expect("history append");
-                history_appended += 1;
+                self.history_appended += 1;
             }
-            outcomes.push(retire(
+            let o = retire(
                 job,
                 JobState::Completed,
-                Some(t),
+                Some(self.t),
                 moved,
                 elapsed,
-                &mut decisions,
-            ));
+                &mut self.decisions,
+            );
+            self.outcomes.push(o);
         }
 
-        // 5. Epoch boundaries, in job-id order.
-        let due: Vec<JobId> = running
+        // 5. Epoch boundaries + health verdicts, in job-id order.
+        let due: Vec<JobId> = self
+            .running
             .iter()
-            .filter(|(_, j)| t + 1e-9 >= j.next_epoch_end_s)
+            .filter(|(_, j)| self.t + 1e-9 >= j.next_epoch_end_s)
             .map(|(&id, _)| id)
             .collect();
         for id in due {
-            let job = running.get_mut(&id).expect("job is running");
-            let es = job.epoch.take().expect("running job has an open epoch");
-            let report = pw.world.end_epoch(es);
-            record_epoch(job, t, &report);
-            let next = job.tuner.observe(&job.current.clone(), report.observed_mbs);
-            job.current = next;
-            let params = job.params_for(&job.current.clone());
-            job.epoch = Some(pw.world.begin_epoch(job.tid, params, false));
-            job.next_epoch_end_s = t + config.epoch_s;
+            let (verdict, was_degraded, route, observed) = {
+                let job = self.running.get_mut(&id).expect("job is running");
+                let es = job.epoch.take().expect("running job has an open epoch");
+                let report = self.pw.world.end_epoch(es);
+                record_epoch(job, self.t, &report);
+                let v = job.monitor.observe(report.observed_mbs);
+                (v, job.degraded, job.spec.route, report.observed_mbs)
+            };
+            match verdict {
+                HealthVerdict::Healthy => {
+                    if was_degraded {
+                        self.running.get_mut(&id).expect("running").degraded = false;
+                    }
+                    for l in route_links(route) {
+                        if let Some(tr) = self.breakers.on_success(l, self.t) {
+                            self.push_event(tr, None, Some(l), String::new());
+                        }
+                    }
+                    self.next_epoch(id, observed);
+                }
+                HealthVerdict::Degraded => {
+                    if !was_degraded {
+                        let (zr, cr) = {
+                            let job = self.running.get_mut(&id).expect("running");
+                            job.degraded = true;
+                            (job.monitor.zero_run(), job.monitor.collapse_run())
+                        };
+                        self.push_event(
+                            "degrade",
+                            Some(id.to_string()),
+                            None,
+                            format!("zero_run={zr} collapse_run={cr}"),
+                        );
+                    }
+                    self.next_epoch(id, observed);
+                }
+                HealthVerdict::Quarantine => self.quarantine(id),
+            }
         }
+        true
     }
 
-    // Horizon: close out whatever is still in flight or waiting.
-    let ids: Vec<JobId> = running.keys().copied().collect();
-    for id in ids {
-        let mut job = running.remove(&id).expect("job is running");
-        if let Some(es) = job.epoch.take() {
-            let report = pw.world.end_epoch(es);
-            record_epoch(&mut job, t, &report);
+    /// Feed the closed epoch to the tuner and open the next one.
+    fn next_epoch(&mut self, id: JobId, observed_mbs: f64) {
+        let job = self.running.get_mut(&id).expect("job is running");
+        let next = job.tuner.observe(&job.current.clone(), observed_mbs);
+        job.current = next;
+        let params = job.params_for(&job.current.clone());
+        job.epoch = Some(self.pw.world.begin_epoch(job.tid, params, false));
+        job.next_epoch_end_s = self.t + self.config.epoch_s;
+    }
+
+    /// Admit `spec` under `grant`: build (or rebuild) its tuner, restart or
+    /// start its transfer, and open the first epoch.
+    fn admit(&mut self, spec: JobSpec, grant: Reservation) {
+        match self
+            .admitted_by_class
+            .iter_mut()
+            .find(|(p, _)| *p == spec.priority)
+        {
+            Some((_, n)) => *n += 1,
+            None => self.admitted_by_class.push((spec.priority, 1)),
         }
-        admission.release(id);
-        let moved = pw.world.moved_mb(job.tid);
-        let elapsed = (t - job.admitted_s).max(config.tick_s);
-        outcomes.push(retire(
-            job,
-            JobState::Unfinished,
+        let carried = self.carry.remove(&spec.id);
+        // Context for the history query: external streams on the WAN link
+        // before this job places any of its own.
+        let ext_streams = self.pw.world.net().streams_per_link()[spec.route.wan_link_index()];
+        // Restrict the tuner's domain to the granted reservation:
+        // nc ≤ granted / np, so proposals can never oversubscribe.
+        let nc_hi = (grant.streams / spec.np.max(1)).max(1) as i64;
+        let domain = Domain::new(&[(1, nc_hi.min(512))]);
+        let cold = vec![spec.cold_start().nc as i64];
+        let seed = match &carried {
+            // A requeued job re-tunes from its own best-so-far (Arslan &
+            // Kosar's restart-and-re-tune), clamped into the new domain.
+            Some(c) if c.best_mbs > 0.0 => WarmStart::from_history(
+                vec![(c.best_params.nc as i64).clamp(1, nc_hi.min(512))],
+                0.0,
+            ),
+            _ if self.config.warm_start => self.history.warm_start(
+                spec.route,
+                spec.tuner,
+                ext_streams,
+                0.0,
+                cold.clone(),
+                self.config.max_match_distance,
+            ),
+            _ => WarmStart::cold(cold.clone()),
+        };
+        let mut tuner = spec.tuner.build_seeded(domain, &seed);
+        if self.config.audit {
+            tuner.enable_audit();
+            if let Some(log) = tuner.audit_log_mut() {
+                log.set_namespace(spec.id.to_string());
+            }
+        }
+        let x0 = tuner.initial();
+        let restart = carried.is_some();
+        let (tid, admitted_s, attempts, warm_distance, best_mbs, best_params, epochs_done, trace) =
+            match carried {
+                Some(c) => (
+                    c.tid,
+                    c.first_admitted_s,
+                    c.attempts,
+                    c.warm_distance,
+                    c.best_mbs,
+                    c.best_params,
+                    c.epochs_done,
+                    c.trace,
+                ),
+                None => (
+                    self.pw.start_sized_transfer(
+                        spec.route,
+                        StreamParams::new(1, 1), // placeholder; epoch sets real params
+                        spec.size_mb,
+                        self.config.noise_sigma,
+                    ),
+                    self.t,
+                    0,
+                    seed.distance(),
+                    0.0,
+                    spec.cold_start(),
+                    0,
+                    Vec::new(),
+                ),
+            };
+        let mut job = RunningJob {
+            tid,
+            tuner,
+            epoch: None,
+            current: x0,
+            admitted_s,
+            next_epoch_end_s: self.t + self.config.epoch_s,
+            granted_streams: grant.streams,
+            ext_streams,
+            warm_distance,
+            best_mbs,
+            best_params,
+            epochs_done,
+            trace,
+            monitor: HealthMonitor::new(self.config.health),
+            attempts,
+            degraded: false,
+            spec,
+        };
+        self.pw.world.set_transfer_tag(job.tid, Some(job.spec.id.0));
+        let params = job.params_for(&job.current.clone());
+        job.epoch = Some(self.pw.world.begin_epoch(job.tid, params, restart));
+        self.running.insert(job.spec.id, job);
+    }
+
+    /// Pull a job off the wire: release its grant, feed the route's breakers
+    /// a failure, and either schedule a requeue after the shared
+    /// [`xferopt_transfer::RetryPolicy`] backoff or fail it when the attempt
+    /// budget is spent. The transfer is idled (`nc = 0`), not destroyed, so
+    /// `moved_mb` is conserved across the requeue.
+    fn quarantine(&mut self, id: JobId) {
+        let mut job = self.running.remove(&id).expect("job is running");
+        self.admission.release(id);
+        // Idle the transfer: zero streams move nothing but keep the byte
+        // counter alive for the resumed attempt.
+        self.pw
+            .world
+            .set_params(job.tid, StreamParams::new(0, 1), false);
+        let attempts = job.attempts + 1;
+        self.supervision.quarantines += 1;
+        self.push_event(
+            "quarantine",
+            Some(id.to_string()),
             None,
-            moved,
-            elapsed,
-            &mut decisions,
-        ));
+            format!(
+                "attempt={attempts} zero_run={} collapse_run={}",
+                job.monitor.zero_run(),
+                job.monitor.collapse_run()
+            ),
+        );
+        for l in route_links(job.spec.route) {
+            if let Some(tr) = self.breakers.on_failure(l, self.t) {
+                if tr == "breaker-open" {
+                    self.supervision.breaker_trips += 1;
+                }
+                self.push_event(tr, None, Some(l), String::new());
+            }
+        }
+        if attempts >= self.config.health.max_attempts {
+            self.supervision.failed += 1;
+            self.push_event(
+                "job-failed",
+                Some(id.to_string()),
+                None,
+                "attempts_exhausted".into(),
+            );
+            let moved = self.pw.world.moved_mb(job.tid);
+            let elapsed = (self.t - job.admitted_s).max(self.config.tick_s);
+            job.attempts = attempts;
+            let o = retire(
+                job,
+                JobState::Failed,
+                None,
+                moved,
+                elapsed,
+                &mut self.decisions,
+            );
+            self.outcomes.push(o);
+        } else {
+            // Flush this attempt's audit log now; a fresh tuner (and log) is
+            // built on re-admission.
+            if let Some(log) = job.tuner.audit_log() {
+                if !log.is_empty() {
+                    self.decisions.push((id, log.to_jsonl()));
+                }
+            }
+            // Shared backoff policy — the same RetryPolicy the transfer layer
+            // uses for abort retries (see xferopt_transfer::retry).
+            let mut rng = SmallRng::seed_from_u64(
+                self.config.seed
+                    ^ 0x7265_7175_6575_7565 // "requeuue"
+                    ^ id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ ((attempts as u64) << 32),
+            );
+            let delay = self.config.health.retry.delay_s(attempts, &mut rng);
+            let resume_at_s = self.t + delay;
+            self.quarantined.insert(
+                id,
+                QuarantinedJob {
+                    carry: JobCarry {
+                        tid: job.tid,
+                        first_admitted_s: job.admitted_s,
+                        attempts,
+                        best_mbs: job.best_mbs,
+                        best_params: job.best_params,
+                        epochs_done: job.epochs_done,
+                        trace: std::mem::take(&mut job.trace),
+                        warm_distance: job.warm_distance,
+                        granted_streams: job.granted_streams,
+                    },
+                    spec: job.spec,
+                    resume_at_s,
+                },
+            );
+        }
     }
-    for spec in queued {
-        outcomes.push(never_ran(spec, JobState::Queued));
-    }
-    for spec in pending {
-        outcomes.push(never_ran(spec, JobState::Pending));
-    }
-    outcomes.sort_by_key(|o| o.id);
-    decisions.sort_by_key(|(id, _)| *id);
 
-    let telemetry_jsonl = pw
-        .world
-        .take_telemetry()
-        .map(|tel| {
+    /// Shed the lowest-priority queued job crossing a link whose breaker has
+    /// been continuously unhealthy for `shed_after_s` (at most one job per
+    /// link per interval) — graceful degradation under sustained pressure.
+    fn shed(&mut self) {
+        for link in 0..self.breakers.len() {
+            if self.breakers.breaker(link).unhealthy_for_s(self.t) < self.config.shed_after_s {
+                continue;
+            }
+            if self.t - self.last_shed_s[link] < self.config.shed_after_s {
+                continue;
+            }
+            let victim = self
+                .queued
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| route_links(j.route).contains(&link))
+                .min_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.id)))
+                .map(|(i, _)| i);
+            let Some(pos) = victim else { continue };
+            let spec = self.queued.remove(pos);
+            self.supervision.shed += 1;
+            self.push_event(
+                "shed",
+                Some(spec.id.to_string()),
+                Some(link),
+                format!("priority={}", spec.priority),
+            );
+            let o = match self.carry.remove(&spec.id) {
+                Some(c) => outcome_from_carry(
+                    spec,
+                    c,
+                    JobState::Failed,
+                    self.t,
+                    self.config.tick_s,
+                    &self.pw,
+                ),
+                None => never_ran(spec, JobState::Failed),
+            };
+            self.outcomes.push(o);
+            self.last_shed_s[link] = self.t;
+        }
+    }
+
+    /// Deterministic digest of the live state (checkpoint verification).
+    pub fn state_digest(&self) -> String {
+        let ids = |v: &[JobSpec]| {
+            v.iter()
+                .map(|j| j.id.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut s = format!("tick={};t={};", self.tick, json_f64(self.t));
+        s.push_str(&format!(
+            "pending={};queued={};",
+            ids(&self.pending),
+            ids(&self.queued)
+        ));
+        for (id, j) in &self.running {
+            s.push_str(&format!(
+                "r{}:e{}:m{}:x{}:g{};",
+                id.0,
+                j.epochs_done,
+                json_f64(self.pw.world.moved_mb(j.tid)),
+                j.current
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                j.granted_streams,
+            ));
+        }
+        for (id, q) in &self.quarantined {
+            s.push_str(&format!(
+                "q{}:a{}:u{};",
+                id.0,
+                q.carry.attempts,
+                json_f64(q.resume_at_s)
+            ));
+        }
+        for (id, c) in &self.carry {
+            s.push_str(&format!("c{}:a{};", id.0, c.attempts));
+        }
+        s.push_str(&format!(
+            "res={},{},{};",
+            self.admission.reserved(0),
+            self.admission.reserved(1),
+            self.admission.reserved(2)
+        ));
+        s.push_str(&format!("brk={};", self.breakers.digest()));
+        for (p, n) in &self.admitted_by_class {
+            s.push_str(&format!("cls{p}:{n};"));
+        }
+        s.push_str(&format!(
+            "out={};dec={};ev={};hist={};sup={}",
+            self.outcomes.len(),
+            self.decisions.len(),
+            self.events.len(),
+            self.history_appended,
+            self.supervision.render(),
+        ));
+        s
+    }
+
+    /// FNV-1a hash of [`FleetSim::state_digest`].
+    pub fn digest_hash(&self) -> u64 {
+        crate::checkpoint::fnv1a(&self.state_digest())
+    }
+
+    /// Serialize a checkpoint of this run at the current tick (JSONL: one
+    /// header line, one line per workload job, one digest line). See
+    /// DESIGN.md §12 — the checkpoint is *replay-based*: it records the run's
+    /// inputs plus the tick and a state digest; resume replays ticks `0..k`
+    /// with history appends redirected to memory, verifies the digest, then
+    /// continues with persistence re-enabled.
+    pub fn checkpoint(&self) -> String {
+        let c = &self.config;
+        let mut out = format!(
+            "{{\"kind\":\"fleet-checkpoint\",\"version\":1,\"tick\":{},\"t_s\":{},\"policy\":\"{}\",\"seed\":{},\"horizon_s\":{},\"tick_s\":{},\"epoch_s\":{},\"budget\":{},\"warm\":{},\"max_match_distance\":{},\"noise_sigma\":{},\"audit\":{},\"shed_after_s\":{}",
+            self.tick,
+            json_f64(self.t),
+            c.policy,
+            c.seed,
+            json_f64(c.horizon_s),
+            json_f64(c.tick_s),
+            json_f64(c.epoch_s),
+            c.link_budget,
+            c.warm_start,
+            json_f64(c.max_match_distance),
+            json_f64(c.noise_sigma),
+            c.audit,
+            json_f64(c.shed_after_s),
+        );
+        if let Some(p) = c.faults {
+            out.push_str(&format!(",\"faults\":\"{}\"", p.name()));
+        }
+        out.push_str(&format!(
+            ",\"jobs\":{},\"history_start_len\":{},\"history_appended\":{}}}\n",
+            self.workload_jobs.len(),
+            self.history_start_len,
+            self.history_appended
+        ));
+        for j in &self.workload_jobs {
+            out.push_str(&crate::checkpoint::job_to_json(j));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"fleet-digest\",\"fnv\":\"{:016x}\"}}\n",
+            self.digest_hash()
+        ));
+        out
+    }
+
+    /// Close out the run and assemble the outcome. Jobs still running are
+    /// `Unfinished`; quarantined or requeued-but-not-readmitted jobs are
+    /// `Unfinished` with their carried statistics; never-admitted jobs stay
+    /// `Queued`/`Pending`.
+    pub fn finish(mut self) -> FleetOutcome {
+        let ids: Vec<JobId> = self.running.keys().copied().collect();
+        for id in ids {
+            let mut job = self.running.remove(&id).expect("job is running");
+            if let Some(es) = job.epoch.take() {
+                let report = self.pw.world.end_epoch(es);
+                record_epoch(&mut job, self.t, &report);
+            }
+            self.admission.release(id);
+            let moved = self.pw.world.moved_mb(job.tid);
+            let elapsed = (self.t - job.admitted_s).max(self.config.tick_s);
+            let o = retire(
+                job,
+                JobState::Unfinished,
+                None,
+                moved,
+                elapsed,
+                &mut self.decisions,
+            );
+            self.outcomes.push(o);
+        }
+        let qids: Vec<JobId> = self.quarantined.keys().copied().collect();
+        for id in qids {
+            let q = self.quarantined.remove(&id).expect("job is quarantined");
+            self.outcomes.push(outcome_from_carry(
+                q.spec,
+                q.carry,
+                JobState::Unfinished,
+                self.t,
+                self.config.tick_s,
+                &self.pw,
+            ));
+        }
+        for spec in std::mem::take(&mut self.queued) {
+            let o = match self.carry.remove(&spec.id) {
+                Some(c) => outcome_from_carry(
+                    spec,
+                    c,
+                    JobState::Unfinished,
+                    self.t,
+                    self.config.tick_s,
+                    &self.pw,
+                ),
+                None => never_ran(spec, JobState::Queued),
+            };
+            self.outcomes.push(o);
+        }
+        for spec in std::mem::take(&mut self.pending) {
+            self.outcomes.push(never_ran(spec, JobState::Pending));
+        }
+        self.outcomes.sort_by_key(|o| o.id);
+        self.decisions.sort_by_key(|(id, _)| *id);
+
+        let telemetry_jsonl = self
+            .pw
+            .world
+            .take_telemetry()
+            .map(|tel| {
+                let mut s = String::new();
+                for e in tel.epochs() {
+                    s.push_str(&e.to_json());
+                    s.push('\n');
+                }
+                s
+            })
+            .unwrap_or_default();
+        let supervision_jsonl = {
             let mut s = String::new();
-            for e in tel.epochs() {
+            for e in &self.events {
                 s.push_str(&e.to_json());
                 s.push('\n');
             }
             s
-        })
-        .unwrap_or_default();
+        };
+        let metrics_jsonl = if self.metrics.is_empty() {
+            String::new()
+        } else {
+            self.metrics.snapshot().to_jsonl()
+        };
 
-    FleetOutcome {
-        report: FleetReport {
-            config: config.clone(),
-            submitted: workload.len(),
-            outcomes,
-        },
-        decisions_jsonl: decisions.into_iter().map(|(_, s)| s).collect(),
-        telemetry_jsonl,
-        history_appended,
+        FleetOutcome {
+            report: FleetReport {
+                config: self.config.clone(),
+                submitted: self.workload_jobs.len(),
+                outcomes: self.outcomes,
+                supervision: self.supervision,
+            },
+            decisions_jsonl: self.decisions.into_iter().map(|(_, s)| s).collect(),
+            telemetry_jsonl,
+            supervision_jsonl,
+            metrics_jsonl,
+            history_appended: self.history_appended,
+        }
     }
+}
+
+/// Run `workload` under `config`, appending completed jobs to `history`.
+pub fn run_fleet(
+    workload: &Workload,
+    config: &FleetConfig,
+    history: &mut HistoryStore,
+) -> FleetOutcome {
+    let mut sim = FleetSim::new(workload, config, history);
+    while sim.tick() {}
+    sim.finish()
 }
 
 /// Fold one closed epoch into the job's running statistics.
@@ -549,7 +1205,7 @@ fn record_epoch(job: &mut RunningJob, t: f64, report: &EpochReport) {
     }
 }
 
-/// Build the outcome for a job that ran (completed or unfinished).
+/// Build the outcome for a job that ran (completed, unfinished, or failed).
 fn retire(
     job: RunningJob,
     state: JobState,
@@ -591,7 +1247,43 @@ fn retire(
     }
 }
 
-/// Outcome for a job the horizon caught before admission.
+/// Outcome for a job that ran at least once but sits off the wire (carried
+/// quarantine/requeue statistics).
+fn outcome_from_carry(
+    spec: JobSpec,
+    c: JobCarry,
+    state: JobState,
+    t: f64,
+    tick_s: f64,
+    pw: &PaperWorld,
+) -> JobOutcome {
+    let moved = pw.world.moved_mb(c.tid);
+    let elapsed = (t - c.first_admitted_s).max(tick_s);
+    let threshold = 0.9 * c.best_mbs;
+    let time_to_90_s = c
+        .trace
+        .iter()
+        .find(|(_, mbs)| *mbs >= threshold && *mbs > 0.0)
+        .map(|(dt, _)| *dt);
+    JobOutcome {
+        id: spec.id,
+        state,
+        admitted_s: Some(c.first_admitted_s),
+        finished_s: None,
+        granted_streams: c.granted_streams,
+        moved_mb: moved,
+        mean_mbs: moved / elapsed,
+        best_mbs: c.best_mbs,
+        best_params: c.best_params,
+        epochs: c.epochs_done,
+        warm_distance: c.warm_distance,
+        time_to_90_s,
+        deadline_met: spec.deadline_s.map(|_| false),
+        spec,
+    }
+}
+
+/// Outcome for a job the horizon (or shedding) caught before admission.
 fn never_ran(spec: JobSpec, state: JobState) -> JobOutcome {
     JobOutcome {
         id: spec.id,
@@ -638,6 +1330,11 @@ mod tests {
             assert!(!out.decisions_jsonl.is_empty(), "audit logs expected");
             assert!(out.decisions_jsonl.contains("\"ns\":\"job0\""));
             assert!(!out.telemetry_jsonl.is_empty(), "telemetry expected");
+            // Observational-by-default: no supervision activity in a quiet
+            // run, and nothing rendered about it.
+            assert!(out.report.supervision.is_quiet(), "{policy}");
+            assert!(out.supervision_jsonl.is_empty(), "{policy}");
+            assert!(!out.report.render().contains("supervision"), "{policy}");
         }
     }
 
@@ -650,6 +1347,8 @@ mod tests {
         assert_eq!(a.report.render(), b.report.render());
         assert_eq!(a.decisions_jsonl, b.decisions_jsonl);
         assert_eq!(a.telemetry_jsonl, b.telemetry_jsonl);
+        assert_eq!(a.supervision_jsonl, b.supervision_jsonl);
+        assert_eq!(a.metrics_jsonl, b.metrics_jsonl);
     }
 
     #[test]
@@ -723,5 +1422,58 @@ mod tests {
             &cfg,
             &mut HistoryStore::in_memory(),
         );
+    }
+
+    #[test]
+    fn stepwise_sim_matches_one_shot_run() {
+        let cfg = quick_config(Policy::Sjf);
+        let w = Workload::synthetic(6, 3);
+        let one = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+        let mut h = HistoryStore::in_memory();
+        let mut sim = FleetSim::new(&w, &cfg, &mut h);
+        let mut ticks = 0u64;
+        while sim.tick() {
+            ticks += 1;
+            assert_eq!(sim.tick_index(), ticks);
+        }
+        let step = sim.finish();
+        assert_eq!(one.report.render(), step.report.render());
+        assert_eq!(one.decisions_jsonl, step.decisions_jsonl);
+        assert_eq!(one.telemetry_jsonl, step.telemetry_jsonl);
+    }
+
+    #[test]
+    fn chaos_run_quarantines_and_recovers() {
+        let cfg = FleetConfig {
+            faults: Some(FaultProfile::FlakyLink),
+            horizon_s: 7200.0,
+            ..quick_config(Policy::Fifo)
+        };
+        // Big enough that the fleet is still on the wire when the plan's
+        // long (multi-epoch) outages land.
+        let w = Workload::new(
+            (0..4)
+                .map(|i| JobSpec::new(i, i as f64 * 60.0, 2_000_000.0))
+                .collect(),
+        );
+        let out = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+        // No job is lost: every admitted job ends terminal.
+        for o in &out.report.outcomes {
+            assert!(
+                matches!(o.state, JobState::Completed | JobState::Failed),
+                "{} stuck in {}:\n{}",
+                o.id,
+                o.state.name(),
+                out.report.render()
+            );
+        }
+        assert!(
+            out.report.supervision.quarantines > 0,
+            "flaky-link must trip the watchdog:\n{}",
+            out.report.render()
+        );
+        assert!(out.report.render().contains("supervision "));
+        assert!(!out.supervision_jsonl.is_empty());
+        assert!(out.metrics_jsonl.contains("fleet_supervision_total"));
     }
 }

@@ -1,0 +1,417 @@
+//! Per-job health watchdogs (DESIGN.md §12).
+//!
+//! Every admitted job gets a [`HealthMonitor`] fed with one sample per
+//! closed control epoch. The monitor tracks two failure signals:
+//!
+//! * **zero-throughput epochs** — consecutive epochs in which the transfer
+//!   moved (essentially) nothing, the signature of a flapped link, a stalled
+//!   server, or an abort/backoff loop that outlives the epoch; and
+//! * **throughput collapse** — the observed rate falling below a small
+//!   fraction of the job's *own* trailing mean, which catches brown-outs
+//!   that never quite reach zero.
+//!
+//! Verdicts drive the extended job state machine
+//!
+//! ```text
+//! Running ──degrade──▶ Degraded ──persist──▶ Quarantined ──backoff──▶ Requeued
+//!    ▲                    │                      │
+//!    └──────recover───────┘                      └──attempt budget──▶ Failed
+//! ```
+//!
+//! Quarantine releases the job's admission grant (so a sick job never camps
+//! on link budget) and schedules a requeue after a
+//! [`xferopt_transfer::RetryPolicy`] exponential backoff — the *same* policy
+//! type the transfer layer uses for abort retries, not a second
+//! implementation. Thresholds are deliberately conservative: with supervision
+//! enabled and no fault plan, epoch noise and fleet contention never trip the
+//! watchdog, so fleet reports stay byte-identical to unsupervised runs
+//! (enforced by the golden snapshots).
+
+use xferopt_transfer::RetryPolicy;
+
+/// Thresholds for the per-job watchdog and the requeue budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Consecutive zero-throughput epochs before quarantine.
+    pub zero_epoch_limit: u32,
+    /// An epoch below `collapse_ratio × trailing_mean` counts as collapsed.
+    pub collapse_ratio: f64,
+    /// Consecutive collapsed epochs before quarantine.
+    pub collapse_epoch_limit: u32,
+    /// Trailing-mean window, in epochs.
+    pub window: usize,
+    /// Throughput below this absolute floor (MB/s) counts as zero.
+    pub zero_floor_mbs: f64,
+    /// Requeue attempts allowed before the job is failed outright.
+    pub max_attempts: u32,
+    /// Backoff between quarantine and requeue (shared with the transfer
+    /// layer's abort retries — see `xferopt_transfer::retry`).
+    pub retry: RetryPolicy,
+}
+
+impl Default for HealthConfig {
+    /// Conservative defaults: two whole epochs of silence or three epochs
+    /// below 5 % of the trailing mean quarantine a job; three requeue
+    /// attempts; the transfer layer's default exponential backoff.
+    fn default() -> Self {
+        HealthConfig {
+            zero_epoch_limit: 2,
+            collapse_ratio: 0.05,
+            collapse_epoch_limit: 3,
+            window: 4,
+            zero_floor_mbs: 1e-6,
+            max_attempts: 3,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Watchdog health state of a running job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Throughput within expectations.
+    Healthy,
+    /// At least one bad epoch in the current run of bad epochs.
+    Degraded,
+}
+
+/// What the supervisor should do after one observed epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// Keep running.
+    Healthy,
+    /// Keep running but mark degraded (first bad epochs of a run).
+    Degraded,
+    /// Pull the job: release its grant and requeue (or fail) it.
+    Quarantine,
+}
+
+/// Per-job throughput watchdog. Feed it one observation per closed control
+/// epoch via [`HealthMonitor::observe`]; it answers with a [`HealthVerdict`].
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    /// Trailing window of healthy observations (ring, `cfg.window` long).
+    trailing: Vec<f64>,
+    /// Next slot to overwrite once the ring is full.
+    cursor: usize,
+    zero_run: u32,
+    collapse_run: u32,
+    state: HealthState,
+}
+
+impl HealthMonitor {
+    /// A fresh monitor (also used when a requeued job is re-admitted — the
+    /// old trailing mean belongs to pre-quarantine conditions).
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            trailing: Vec::with_capacity(cfg.window),
+            cursor: 0,
+            zero_run: 0,
+            collapse_run: 0,
+            state: HealthState::Healthy,
+        }
+    }
+
+    /// Current watchdog state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Mean of the trailing healthy observations (`None` until one exists).
+    pub fn trailing_mean(&self) -> Option<f64> {
+        if self.trailing.is_empty() {
+            None
+        } else {
+            Some(self.trailing.iter().sum::<f64>() / self.trailing.len() as f64)
+        }
+    }
+
+    /// Consecutive zero-throughput epochs observed so far.
+    pub fn zero_run(&self) -> u32 {
+        self.zero_run
+    }
+
+    /// Consecutive collapsed epochs observed so far.
+    pub fn collapse_run(&self) -> u32 {
+        self.collapse_run
+    }
+
+    /// Feed one closed epoch's observed throughput; returns the verdict.
+    pub fn observe(&mut self, observed_mbs: f64) -> HealthVerdict {
+        if observed_mbs <= self.cfg.zero_floor_mbs {
+            self.zero_run += 1;
+            self.collapse_run = 0;
+            self.state = HealthState::Degraded;
+            return if self.zero_run >= self.cfg.zero_epoch_limit {
+                HealthVerdict::Quarantine
+            } else {
+                HealthVerdict::Degraded
+            };
+        }
+        let collapsed = self
+            .trailing_mean()
+            .is_some_and(|m| observed_mbs < self.cfg.collapse_ratio * m);
+        if collapsed {
+            self.zero_run = 0;
+            self.collapse_run += 1;
+            self.state = HealthState::Degraded;
+            return if self.collapse_run >= self.cfg.collapse_epoch_limit {
+                HealthVerdict::Quarantine
+            } else {
+                HealthVerdict::Degraded
+            };
+        }
+        // Healthy observation: reset runs, fold into the trailing window.
+        self.zero_run = 0;
+        self.collapse_run = 0;
+        self.state = HealthState::Healthy;
+        if self.trailing.len() < self.cfg.window {
+            self.trailing.push(observed_mbs);
+        } else {
+            self.trailing[self.cursor] = observed_mbs;
+            self.cursor = (self.cursor + 1) % self.cfg.window;
+        }
+        HealthVerdict::Healthy
+    }
+}
+
+/// One supervision event (quarantine, requeue, breaker transition, shed,
+/// checkpoint, resume), rendered into the namespaced supervision JSONL and
+/// counted into the telemetry registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisionEvent {
+    /// Fleet time, seconds.
+    pub t_s: f64,
+    /// Event kind (stable label: `quarantine`, `requeue`, `failed`,
+    /// `breaker-open`, `breaker-half-open`, `breaker-close`, `shed`,
+    /// `checkpoint`, `resume`).
+    pub kind: &'static str,
+    /// Job namespace (`jobN`), when the event concerns one job.
+    pub ns: Option<String>,
+    /// Link index, when the event concerns one link.
+    pub link: Option<usize>,
+    /// Free-form detail (deterministic text only).
+    pub detail: String,
+}
+
+impl SupervisionEvent {
+    /// Render as one JSON line with fixed key order (optional keys are
+    /// omitted, mirroring the tuner audit log's namespace convention).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"kind\":\"supervision\",\"t_s\":{},\"event\":\"{}\"",
+            xferopt_simcore::metrics::json_f64(self.t_s),
+            self.kind
+        );
+        if let Some(ns) = &self.ns {
+            s.push_str(&format!(",\"ns\":\"{ns}\""));
+        }
+        if let Some(link) = self.link {
+            s.push_str(&format!(",\"link\":{link}"));
+        }
+        if !self.detail.is_empty() {
+            s.push_str(&format!(",\"detail\":\"{}\"", self.detail));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Deterministic counters summarizing one fleet run's supervision activity.
+/// Rendered into the report only when anything actually happened (or a fault
+/// profile is configured), so no-fault reports stay byte-identical to
+/// pre-supervision ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionSummary {
+    /// Jobs pulled from their route by the watchdog.
+    pub quarantines: u64,
+    /// Quarantined jobs returned to the queue after backoff.
+    pub requeues: u64,
+    /// Jobs failed after exhausting their attempt budget.
+    pub failed: u64,
+    /// Queued jobs shed under sustained breaker pressure.
+    pub shed: u64,
+    /// Closed→open breaker transitions.
+    pub breaker_trips: u64,
+    /// Checkpoints written during the run.
+    pub checkpoints: u64,
+}
+
+impl SupervisionSummary {
+    /// True when no supervision event fired.
+    pub fn is_quiet(&self) -> bool {
+        *self == SupervisionSummary::default()
+    }
+
+    /// Fixed-format report line (appended to the fleet report when loud).
+    pub fn render(&self) -> String {
+        format!(
+            "supervision quarantines={} requeues={} failed={} shed={} breaker_trips={} checkpoints={}",
+            self.quarantines, self.requeues, self.failed, self.shed, self.breaker_trips,
+            self.checkpoints,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(HealthConfig::default())
+    }
+
+    #[test]
+    fn healthy_stream_never_trips() {
+        let mut m = monitor();
+        for i in 0..100 {
+            let mbs = 2000.0 + (i % 7) as f64 * 100.0;
+            assert_eq!(m.observe(mbs), HealthVerdict::Healthy);
+        }
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.zero_run(), 0);
+    }
+
+    #[test]
+    fn consecutive_zero_epochs_quarantine() {
+        let mut m = monitor();
+        assert_eq!(m.observe(2000.0), HealthVerdict::Healthy);
+        assert_eq!(m.observe(0.0), HealthVerdict::Degraded);
+        assert_eq!(m.state(), HealthState::Degraded);
+        assert_eq!(m.observe(0.0), HealthVerdict::Quarantine);
+    }
+
+    #[test]
+    fn recovery_resets_the_zero_run() {
+        let mut m = monitor();
+        assert_eq!(m.observe(0.0), HealthVerdict::Degraded);
+        assert_eq!(m.observe(1500.0), HealthVerdict::Healthy);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.observe(0.0), HealthVerdict::Degraded, "run restarts");
+    }
+
+    #[test]
+    fn collapse_against_trailing_mean_quarantines_after_persisting() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            assert_eq!(m.observe(2000.0), HealthVerdict::Healthy);
+        }
+        // 1% of the trailing mean: collapsed but nonzero.
+        assert_eq!(m.observe(20.0), HealthVerdict::Degraded);
+        assert_eq!(m.observe(20.0), HealthVerdict::Degraded);
+        assert_eq!(m.observe(20.0), HealthVerdict::Quarantine);
+    }
+
+    #[test]
+    fn halved_throughput_is_not_a_collapse() {
+        // Fleet contention routinely halves a job's rate; the watchdog must
+        // not quarantine for that (observational-by-default requirement).
+        let mut m = monitor();
+        for _ in 0..4 {
+            assert_eq!(m.observe(2000.0), HealthVerdict::Healthy);
+        }
+        for _ in 0..50 {
+            assert_eq!(m.observe(1000.0), HealthVerdict::Healthy);
+        }
+    }
+
+    #[test]
+    fn no_trailing_mean_means_no_collapse_verdict() {
+        let mut m = monitor();
+        // First-ever epoch is tiny but nonzero: no baseline, so healthy.
+        assert_eq!(m.observe(3.0), HealthVerdict::Healthy);
+        assert_eq!(m.trailing_mean(), Some(3.0));
+    }
+
+    #[test]
+    fn trailing_window_is_bounded() {
+        let mut m = monitor();
+        for i in 0..20 {
+            m.observe(1000.0 + i as f64);
+        }
+        // Window of 4: mean over the last four healthy observations.
+        let mean = m.trailing_mean().unwrap();
+        assert!(
+            (mean - (1016.0 + 1017.0 + 1018.0 + 1019.0) / 4.0).abs() < 1e-9,
+            "mean={mean}"
+        );
+    }
+
+    #[test]
+    fn event_json_has_fixed_key_order() {
+        let ev = SupervisionEvent {
+            t_s: 120.0,
+            kind: "quarantine",
+            ns: Some("job3".into()),
+            link: Some(1),
+            detail: "zero_epochs=2".into(),
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"kind\":\"supervision\",\"t_s\":120,\"event\":\"quarantine\",\
+             \"ns\":\"job3\",\"link\":1,\"detail\":\"zero_epochs=2\"}"
+        );
+        let bare = SupervisionEvent {
+            t_s: 0.0,
+            kind: "checkpoint",
+            ns: None,
+            link: None,
+            detail: String::new(),
+        };
+        assert_eq!(
+            bare.to_json(),
+            "{\"kind\":\"supervision\",\"t_s\":0,\"event\":\"checkpoint\"}"
+        );
+    }
+
+    #[test]
+    fn summary_renders_and_detects_quiet() {
+        let mut s = SupervisionSummary::default();
+        assert!(s.is_quiet());
+        s.quarantines = 2;
+        s.requeues = 1;
+        assert!(!s.is_quiet());
+        assert_eq!(
+            s.render(),
+            "supervision quarantines=2 requeues=1 failed=0 shed=0 breaker_trips=0 checkpoints=0"
+        );
+    }
+
+    proptest! {
+        /// The watchdog quarantines within a bounded number of bad epochs and
+        /// never quarantines a healthy stream.
+        #[test]
+        fn quarantine_is_bounded_and_sound(
+            obs in prop::collection::vec(0f64..4000.0, 1..200),
+        ) {
+            let cfg = HealthConfig::default();
+            let mut m = HealthMonitor::new(cfg);
+            let mut bad_run = 0u32;
+            for &x in &obs {
+                let v = m.observe(x);
+                if x <= cfg.zero_floor_mbs
+                    || m.state() == HealthState::Degraded && v != HealthVerdict::Healthy
+                {
+                    bad_run += 1;
+                } else {
+                    bad_run = 0;
+                }
+                match v {
+                    HealthVerdict::Quarantine => {
+                        // Quarantine only after at least zero_epoch_limit bad
+                        // epochs in a row.
+                        prop_assert!(bad_run >= cfg.zero_epoch_limit);
+                        // Reset as the supervisor would.
+                        m = HealthMonitor::new(cfg);
+                        bad_run = 0;
+                    }
+                    HealthVerdict::Degraded => prop_assert_eq!(m.state(), HealthState::Degraded),
+                    HealthVerdict::Healthy => prop_assert_eq!(m.state(), HealthState::Healthy),
+                }
+            }
+        }
+    }
+}

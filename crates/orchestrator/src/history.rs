@@ -123,10 +123,26 @@ impl HistoryRecord {
 }
 
 /// Append-only store of [`HistoryRecord`]s, optionally backed by a JSONL file.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HistoryStore {
     records: Vec<HistoryRecord>,
     path: Option<PathBuf>,
+    /// Malformed / foreign lines skipped while loading the backing file.
+    skipped: usize,
+    /// When false, `append` updates memory only (used by checkpoint replay,
+    /// which re-runs ticks whose records the backing file already holds).
+    persist: bool,
+}
+
+impl Default for HistoryStore {
+    fn default() -> Self {
+        HistoryStore {
+            records: Vec::new(),
+            path: None,
+            skipped: 0,
+            persist: true,
+        }
+    }
 }
 
 impl HistoryStore {
@@ -136,7 +152,9 @@ impl HistoryStore {
     }
 
     /// Open (or create) a store backed by `dir/history.jsonl`. Existing
-    /// records are loaded; malformed lines are skipped.
+    /// records are loaded; malformed lines are skipped (and counted — see
+    /// [`HistoryStore::skipped`], surfaced as the `history_lines_skipped`
+    /// metric by the fleet runner).
     ///
     /// # Errors
     /// Returns any I/O error from creating the directory or reading the file.
@@ -144,17 +162,48 @@ impl HistoryStore {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(HISTORY_FILE);
         let mut records = Vec::new();
+        let mut skipped = 0usize;
         if path.exists() {
             for line in std::fs::read_to_string(&path)?.lines() {
-                if let Some(r) = HistoryRecord::from_json(line.trim()) {
-                    records.push(r);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match HistoryRecord::from_json(line) {
+                    Some(r) => records.push(r),
+                    None => skipped += 1,
                 }
             }
         }
         Ok(HistoryStore {
             records,
             path: Some(path),
+            skipped,
+            persist: true,
         })
+    }
+
+    /// Malformed lines skipped when the backing file was loaded.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Directory the store persists to, when file-backed.
+    pub fn dir(&self) -> Option<&Path> {
+        self.path.as_deref().and_then(Path::parent)
+    }
+
+    /// Toggle persistence: when off, [`HistoryStore::append`] updates memory
+    /// only. Checkpoint resume replays already-persisted ticks with
+    /// persistence off so the backing file never holds duplicate records.
+    pub fn set_persist(&mut self, persist: bool) {
+        self.persist = persist;
+    }
+
+    /// Drop in-memory records beyond `len` (checkpoint replay rewinds the
+    /// store to its state at run start). The backing file is untouched.
+    pub fn truncate(&mut self, len: usize) {
+        self.records.truncate(len);
     }
 
     /// Number of records.
@@ -177,6 +226,10 @@ impl HistoryStore {
     /// # Errors
     /// Returns any I/O error from appending to the backing file.
     pub fn append(&mut self, record: HistoryRecord) -> std::io::Result<()> {
+        if !self.persist {
+            self.records.push(record);
+            return Ok(());
+        }
         if let Some(path) = &self.path {
             let mut f = std::fs::OpenOptions::new()
                 .create(true)
@@ -230,8 +283,8 @@ impl HistoryStore {
 
 /// Extract the raw text of a top-level JSON field (string contents, array
 /// interior, or bare scalar). Mirrors the scanner used by the scenarios
-/// telemetry summarizer.
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+/// telemetry summarizer. Shared with the checkpoint parser.
+pub(crate) fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];

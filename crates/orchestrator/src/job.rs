@@ -6,12 +6,20 @@
 //! ([`Workload::synthetic`]), so two runs with the same seed see byte-for-byte
 //! the same job stream.
 //!
-//! Job lifecycle (see DESIGN.md §11):
+//! Job lifecycle (see DESIGN.md §11 and the supervision extension in §12):
 //!
 //! ```text
 //! Pending ──arrival──▶ Queued ──admission──▶ Running ──all bytes──▶ Completed
-//!                                               │
-//!                                               └──horizon reached──▶ Unfinished
+//!                        ▲                      │
+//!                        │                      ├──horizon reached──▶ Unfinished
+//!                        │                      │
+//!                        │   watchdog trip      ▼
+//!                        │  (zero-throughput / collapse)
+//!                        │                  Degraded ──▶ Quarantined
+//!                        │                                  │
+//!                        └────── Requeued (backoff) ◀───────┤
+//!                                                           └──attempts
+//!                                                              exhausted──▶ Failed
 //! ```
 
 use rand::rngs::SmallRng;
@@ -40,10 +48,18 @@ pub enum JobState {
     Queued,
     /// Admitted; its transfer is moving bytes.
     Running,
+    /// Admitted but the health watchdog has flagged its throughput (first
+    /// strike; still on the wire).
+    Degraded,
+    /// Pulled off the wire by the watchdog; its admission grant is released
+    /// and it waits out an exponential backoff before requeueing.
+    Quarantined,
     /// All bytes moved.
     Completed,
     /// Horizon reached before completion.
     Unfinished,
+    /// Retry attempt budget exhausted (terminal; see DESIGN.md §12).
+    Failed,
 }
 
 impl JobState {
@@ -53,9 +69,20 @@ impl JobState {
             JobState::Pending => "pending",
             JobState::Queued => "queued",
             JobState::Running => "running",
+            JobState::Degraded => "degraded",
+            JobState::Quarantined => "quarantined",
             JobState::Completed => "completed",
             JobState::Unfinished => "unfinished",
+            JobState::Failed => "failed",
         }
+    }
+
+    /// True for states a job can never leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Unfinished | JobState::Failed
+        )
     }
 }
 
@@ -301,8 +328,14 @@ mod tests {
         assert_eq!(JobState::Pending.name(), "pending");
         assert_eq!(JobState::Queued.name(), "queued");
         assert_eq!(JobState::Running.name(), "running");
+        assert_eq!(JobState::Degraded.name(), "degraded");
+        assert_eq!(JobState::Quarantined.name(), "quarantined");
         assert_eq!(JobState::Completed.name(), "completed");
         assert_eq!(JobState::Unfinished.name(), "unfinished");
+        assert_eq!(JobState::Failed.name(), "failed");
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Quarantined.is_terminal());
         assert_eq!(JobId(3).to_string(), "job3");
     }
 

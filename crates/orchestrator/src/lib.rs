@@ -21,13 +21,21 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod breaker;
+pub mod checkpoint;
 pub mod fleet;
+pub mod health;
 pub mod history;
 pub mod job;
 pub mod policy;
 
 pub use admission::{AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
-pub use fleet::{run_fleet, FleetConfig, FleetOutcome, FleetReport, JobOutcome};
+pub use breaker::{BreakerBoard, BreakerConfig, BreakerState, RouteBreaker};
+pub use checkpoint::{resume_fleet, Checkpoint};
+pub use fleet::{run_fleet, FleetConfig, FleetOutcome, FleetReport, FleetSim, JobOutcome};
+pub use health::{
+    HealthConfig, HealthMonitor, HealthState, HealthVerdict, SupervisionEvent, SupervisionSummary,
+};
 pub use history::{HistoryRecord, HistoryStore};
 pub use job::{JobId, JobSpec, JobState, Workload};
 pub use policy::Policy;

@@ -83,6 +83,84 @@ impl FaultProfile {
             }
         }
     }
+    /// Build the *fleet-scoped* plan for this profile: where
+    /// [`FaultProfile::plan`] targets one driven transfer on one route, this
+    /// covers **both** WAN links/paths and every one of the fleet's `jobs`
+    /// transfers (transfer ids are assigned in admission order, `0..jobs`).
+    /// Intensities are tuned for multi-hour fleet horizons: outages are rarer
+    /// than in the single-transfer profiles but long enough (≳ two 30 s
+    /// control epochs) to trip the orchestrator's health watchdogs.
+    /// Deterministic in `(profile, seed, horizon, jobs)`.
+    ///
+    /// # Panics
+    /// Panics if `horizon_s` is not strictly positive.
+    pub fn fleet_plan(self, seed: u64, horizon_s: f64, jobs: u64) -> FaultPlan {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        let uc = Route::UChicago;
+        let tx = Route::Tacc;
+        match self {
+            // Both WAN links flap dark for ~2 min (≥ two whole zero control
+            // epochs) every ~4 min up, and each transfer is occasionally
+            // killed outright.
+            FaultProfile::FlakyLink => {
+                let mut plan =
+                    FaultPlan::flaps(seed, uc.wan_link_index(), horizon_s, 240.0, 120.0).merge(
+                        FaultPlan::flaps(seed, tx.wan_link_index(), horizon_s, 240.0, 120.0),
+                    );
+                for t in 0..jobs {
+                    plan = plan.merge(FaultPlan::aborts(seed, t, horizon_s, 900.0));
+                }
+                plan
+            }
+            // Rolling brown-outs and RTT spikes on both routes — soft
+            // pressure the watchdogs should *observe*, not quarantine.
+            FaultProfile::DegradedWan => {
+                FaultPlan::degradations(seed, uc.wan_link_index(), horizon_s, 420.0, 60.0, 0.3)
+                    .merge(FaultPlan::degradations(
+                        seed,
+                        tx.wan_link_index(),
+                        horizon_s,
+                        420.0,
+                        60.0,
+                        0.3,
+                    ))
+                    .merge(FaultPlan::rtt_spikes(
+                        seed,
+                        uc.path_index(),
+                        horizon_s,
+                        480.0,
+                        30.0,
+                        4.0,
+                    ))
+                    .merge(FaultPlan::rtt_spikes(
+                        seed,
+                        tx.path_index(),
+                        horizon_s,
+                        480.0,
+                        30.0,
+                        4.0,
+                    ))
+            }
+            // The TACC link turns lossy and every transfer suffers long
+            // server-side stalls (mean 75 s — enough to quarantine).
+            FaultProfile::LossyTacc => {
+                let mut plan =
+                    FaultPlan::degradations(seed, tx.wan_link_index(), horizon_s, 300.0, 45.0, 0.5)
+                        .merge(FaultPlan::rtt_spikes(
+                            seed,
+                            tx.path_index(),
+                            horizon_s,
+                            250.0,
+                            20.0,
+                            3.0,
+                        ));
+                for t in 0..jobs {
+                    plan = plan.merge(FaultPlan::stalls(seed, t, horizon_s, 900.0, 75.0));
+                }
+                plan
+            }
+        }
+    }
 }
 
 impl fmt::Display for FaultProfile {
@@ -162,6 +240,40 @@ mod tests {
             assert_eq!(format!("{p}"), p.name());
         }
         assert!("bogus".parse::<FaultProfile>().is_err());
+    }
+
+    #[test]
+    fn fleet_plans_cover_both_links_and_all_transfers() {
+        let plan = FaultProfile::FlakyLink.fleet_plan(7, 7200.0, 4);
+        let again = FaultProfile::FlakyLink.fleet_plan(7, 7200.0, 4);
+        assert_eq!(plan, again, "fleet plans are deterministic");
+        for link in [1usize, 2] {
+            assert!(
+                plan.events()
+                    .iter()
+                    .any(|e| matches!(e.kind, FaultKind::LinkFlap { link: l, .. } if l == link)),
+                "flaky fleet plan must flap link {link}"
+            );
+        }
+        for t in 0..4u64 {
+            assert!(
+                plan.events().iter().any(
+                    |e| matches!(e.kind, FaultKind::TransferAbort { transfer } if transfer == t)
+                ),
+                "flaky fleet plan must abort transfer {t}"
+            );
+        }
+        let lossy = FaultProfile::LossyTacc.fleet_plan(7, 7200.0, 2);
+        assert!(lossy
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::FlowStall { .. })));
+        for p in FaultProfile::ALL {
+            for ev in p.fleet_plan(3, 1800.0, 3).events() {
+                assert!(ev.at.as_secs_f64() < 1800.0);
+                assert!(ev.end().as_secs_f64() <= 1800.0 + 1e-6);
+            }
+        }
     }
 
     #[test]

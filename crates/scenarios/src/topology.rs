@@ -61,6 +61,26 @@ impl Route {
     }
 }
 
+impl std::fmt::Display for Route {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Route {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "anl->uchicago" | "uchicago" | "uc" => Ok(Route::UChicago),
+            "anl->tacc" | "tacc" => Ok(Route::Tacc),
+            other => Err(format!(
+                "unknown route '{other}' (expected anl->uchicago or anl->tacc)"
+            )),
+        }
+    }
+}
+
 /// A built world with handles to the paper's routes and hosts.
 #[derive(Debug)]
 pub struct PaperWorld {

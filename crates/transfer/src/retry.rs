@@ -8,6 +8,18 @@
 //! soon as the transfer moves bytes again) and is jittered so that repeated
 //! aborts of co-located transfers do not resynchronise — mirroring how real
 //! transfer tools (`globus-url-copy -rst`, Globus service retries) behave.
+//!
+//! [`RetryPolicy`] is deliberately the *single* backoff implementation in the
+//! workspace; it has two call sites:
+//!
+//! 1. the transfer layer itself, for abort retries of a single transfer
+//!    (`World::enable_faults` / `enable_faults_with_policy`); and
+//! 2. the fleet orchestrator's supervision loop, which reuses the same
+//!    policy (via `HealthConfig::retry`) to space out requeues of
+//!    quarantined jobs (see `xferopt-orchestrator`'s `fleet::FleetSim` and
+//!    DESIGN.md §12).
+//!
+//! Keep any backoff tuning here so both layers stay in agreement.
 
 use rand::rngs::SmallRng;
 use xferopt_simcore::rng::sample_jitter;

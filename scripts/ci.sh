@@ -37,6 +37,31 @@ trap 'rm -rf "$FLEET_TMP"' EXIT
 diff "$FLEET_TMP/a.txt" "$FLEET_TMP/b.txt" \
   || { echo "fleet run is not deterministic"; exit 1; }
 
+echo "==> supervision suite (chaos determinism + golden chaos snapshot)"
+cargo test -q --test supervision
+
+echo "==> chaos smoke (--faults produces supervision events)"
+./target/release/xferopt fleet run --jobs 6 --seed 7 --horizon 7200 \
+  --faults flaky-link --report-out "$FLEET_TMP/chaos.txt" \
+  --supervision-out "$FLEET_TMP/chaos.jsonl"
+grep -q 'fleet_supervision_total' "$FLEET_TMP/chaos.jsonl" \
+  || { echo "chaos run emitted no supervision metrics"; exit 1; }
+
+echo "==> crash/resume gate (kill at tick 70, resume byte-identical)"
+./target/release/xferopt fleet run --jobs 6 --seed 7 --horizon 7200 \
+  --faults flaky-link --history "$FLEET_TMP/hist-crash" \
+  --checkpoint-out "$FLEET_TMP/ck.jsonl" --checkpoint-every 20 \
+  --stop-at-tick 70
+./target/release/xferopt fleet resume --checkpoint "$FLEET_TMP/ck.jsonl" \
+  --history "$FLEET_TMP/hist-crash" --report-out "$FLEET_TMP/resumed.txt"
+./target/release/xferopt fleet run --jobs 6 --seed 7 --horizon 7200 \
+  --faults flaky-link --history "$FLEET_TMP/hist-full" \
+  --report-out "$FLEET_TMP/full.txt"
+diff "$FLEET_TMP/full.txt" "$FLEET_TMP/resumed.txt" \
+  || { echo "resume diverged from the uninterrupted run"; exit 1; }
+diff "$FLEET_TMP/hist-crash/history.jsonl" "$FLEET_TMP/hist-full/history.jsonl" \
+  || { echo "resume diverged in the history file"; exit 1; }
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

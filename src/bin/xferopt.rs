@@ -13,8 +13,12 @@
 //!                      [--workload synthetic|contended] [--horizon S]
 //!                      [--epoch S] [--tick S] [--budget STREAMS]
 //!                      [--history DIR] [--cold] [--csv]
+//!                      [--faults flaky-link|degraded-wan|lossy-tacc]
 //!                      [--report-out PATH] [--decisions-out PATH]
-//!                      [--telemetry-out PATH]
+//!                      [--telemetry-out PATH] [--supervision-out PATH]
+//!                      [--checkpoint-out PATH] [--checkpoint-every TICKS]
+//!                      [--stop-at-tick K]      # simulate a crash
+//! xferopt fleet resume --checkpoint PATH       # continue a killed run
 //! xferopt fleet report [--history DIR]         # digest a history store
 //! ```
 //!
@@ -248,41 +252,30 @@ fn cmd_telemetry(sub: &str, args: &Args) -> Result<(), String> {
     }
 }
 
-/// `xferopt fleet run`: drive a multi-job fleet through the orchestrator.
-fn cmd_fleet_run(args: &Args) -> Result<(), String> {
-    use xferopt::orchestrator::{run_fleet, FleetConfig, HistoryStore, Workload};
-
-    let jobs = args.get_parsed("jobs", 10usize)?;
-    let seed = args.get_parsed("seed", 7u64)?;
-    let workload = match args.get("workload").unwrap_or("synthetic") {
-        "synthetic" => Workload::synthetic(jobs, seed),
-        "contended" => Workload::contended(jobs),
-        other => {
-            return Err(format!(
-                "unknown workload: {other} (use synthetic|contended)"
-            ))
-        }
-    };
-    let config = FleetConfig {
-        policy: args
-            .get("policy")
-            .unwrap_or("fifo")
-            .parse()
-            .map_err(|e: String| e)?,
-        seed,
-        horizon_s: args.get_parsed("horizon", 3600.0f64)?,
-        tick_s: args.get_parsed("tick", 5.0f64)?,
-        epoch_s: args.get_parsed("epoch", 30.0f64)?,
-        link_budget: args.get_parsed("budget", xferopt::orchestrator::DEFAULT_LINK_BUDGET)?,
-        warm_start: !args.has_flag("cold"),
-        ..FleetConfig::default()
-    };
-    let mut history = match args.get("history") {
+/// Open the `--history DIR` store (in-memory without the flag), reporting
+/// malformed lines skipped while loading.
+fn open_history(args: &Args) -> Result<xferopt::orchestrator::HistoryStore, String> {
+    use xferopt::orchestrator::HistoryStore;
+    let store = match args.get("history") {
         Some(dir) => HistoryStore::open(std::path::Path::new(dir))
             .map_err(|e| format!("cannot open history store {dir}: {e}"))?,
         None => HistoryStore::in_memory(),
     };
-    let out = run_fleet(&workload, &config, &mut history);
+    if store.skipped() > 0 {
+        eprintln!(
+            "fleet: history store skipped {} malformed line(s)",
+            store.skipped()
+        );
+    }
+    Ok(store)
+}
+
+/// Write a fleet outcome's report and optional JSONL side-channels.
+fn write_fleet_outputs(
+    args: &Args,
+    out: &xferopt::orchestrator::FleetOutcome,
+    history: &xferopt::orchestrator::HistoryStore,
+) -> Result<(), String> {
     let report = if args.has_flag("csv") {
         out.report.to_csv()
     } else {
@@ -305,6 +298,11 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("fleet: wrote epoch telemetry to {path}");
     }
+    if let Some(path) = args.get("supervision-out") {
+        let doc = format!("{}{}", out.supervision_jsonl, out.metrics_jsonl);
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("fleet: wrote supervision events + metrics to {path}");
+    }
     if args.get("history").is_some() {
         eprintln!(
             "fleet: appended {} history record(s) ({} total)",
@@ -313,6 +311,107 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `xferopt fleet run`: drive a multi-job fleet through the orchestrator,
+/// optionally under a chaos profile and/or writing periodic checkpoints.
+fn cmd_fleet_run(args: &Args) -> Result<(), String> {
+    use xferopt::orchestrator::{FleetConfig, FleetSim, Workload};
+
+    let jobs = args.get_parsed("jobs", 10usize)?;
+    let seed = args.get_parsed("seed", 7u64)?;
+    let workload = match args.get("workload").unwrap_or("synthetic") {
+        "synthetic" => Workload::synthetic(jobs, seed),
+        "contended" => Workload::contended(jobs),
+        other => {
+            return Err(format!(
+                "unknown workload: {other} (use synthetic|contended)"
+            ))
+        }
+    };
+    let faults = match args.get("faults") {
+        None => None,
+        Some(v) => Some(v.parse::<FaultProfile>()?),
+    };
+    let config = FleetConfig {
+        policy: args
+            .get("policy")
+            .unwrap_or("fifo")
+            .parse()
+            .map_err(|e: String| e)?,
+        seed,
+        horizon_s: args.get_parsed("horizon", 3600.0f64)?,
+        tick_s: args.get_parsed("tick", 5.0f64)?,
+        epoch_s: args.get_parsed("epoch", 30.0f64)?,
+        link_budget: args.get_parsed("budget", xferopt::orchestrator::DEFAULT_LINK_BUDGET)?,
+        warm_start: !args.has_flag("cold"),
+        faults,
+        ..FleetConfig::default()
+    };
+    let checkpoint_out = args.get("checkpoint-out").map(str::to_string);
+    let checkpoint_every = args.get_parsed("checkpoint-every", 0u64)?;
+    let stop_at_tick = match args.get("stop-at-tick") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad value for --stop-at-tick: {v}"))?,
+        ),
+    };
+    if (checkpoint_every > 0 || stop_at_tick.is_some()) && checkpoint_out.is_none() {
+        return Err("--checkpoint-every/--stop-at-tick need --checkpoint-out PATH".into());
+    }
+
+    let mut history = open_history(args)?;
+    let mut sim = FleetSim::new(&workload, &config, &mut history);
+    while sim.tick() {
+        let k = sim.tick_index();
+        if let Some(stop) = stop_at_tick {
+            if k >= stop {
+                break;
+            }
+        }
+        if checkpoint_every > 0 && k.is_multiple_of(checkpoint_every) {
+            let path = checkpoint_out.as_deref().expect("checked above");
+            std::fs::write(path, sim.checkpoint())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("fleet: checkpoint at tick {k} -> {path}");
+        }
+    }
+    if let Some(stop) = stop_at_tick {
+        // Simulated crash: write the final checkpoint and exit without a
+        // report (the CI crash/resume gate picks it up with `fleet resume`).
+        let path = checkpoint_out.as_deref().expect("checked above");
+        std::fs::write(path, sim.checkpoint()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "fleet: stopped at tick {} (requested {stop}); checkpoint -> {path}",
+            sim.tick_index()
+        );
+        return Ok(());
+    }
+    let out = sim.finish();
+    write_fleet_outputs(args, &out, &history)
+}
+
+/// `xferopt fleet resume`: continue a killed run from its checkpoint. The
+/// replayed portion re-derives the killed run's state (verified by digest),
+/// so the final report is byte-identical to an uninterrupted run.
+fn cmd_fleet_resume(args: &Args) -> Result<(), String> {
+    use xferopt::orchestrator::{resume_fleet, Checkpoint};
+
+    let path = args
+        .get("checkpoint")
+        .ok_or_else(|| "fleet resume needs --checkpoint PATH".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ck = Checkpoint::parse(&text)?;
+    eprintln!(
+        "fleet: resuming from {path} (tick {}, t={:.0} s, {} job(s))",
+        ck.tick,
+        ck.t_s,
+        ck.workload.len()
+    );
+    let mut history = open_history(args)?;
+    let out = resume_fleet(&ck, &mut history)?;
+    write_fleet_outputs(args, &out, &history)
 }
 
 /// `xferopt fleet report`: digest a history store directory.
@@ -352,9 +451,10 @@ fn cmd_fleet_report(args: &Args) -> Result<(), String> {
 fn cmd_fleet(sub: &str, args: &Args) -> Result<(), String> {
     match sub {
         "run" => cmd_fleet_run(args),
+        "resume" => cmd_fleet_resume(args),
         "report" => cmd_fleet_report(args),
         other => Err(format!(
-            "unknown fleet subcommand: {other} (use run|report)"
+            "unknown fleet subcommand: {other} (use run|resume|report)"
         )),
     }
 }
@@ -371,7 +471,12 @@ fn usage() -> &'static str {
      fleet run:    --jobs N --policy fifo|sjf|wfair --seed N\n\
      \u{20}            --workload synthetic|contended --horizon S --epoch S --tick S\n\
      \u{20}            --budget STREAMS --history DIR --cold --csv\n\
+     \u{20}            --faults flaky-link|degraded-wan|lossy-tacc\n\
      \u{20}            --report-out PATH --decisions-out PATH --telemetry-out PATH\n\
+     \u{20}            --supervision-out PATH\n\
+     \u{20}            --checkpoint-out PATH --checkpoint-every TICKS\n\
+     \u{20}            --stop-at-tick K   (simulate a crash; resume later)\n\
+     fleet resume: --checkpoint PATH [--history DIR + fleet-run output flags]\n\
      fleet report: --history DIR"
 }
 

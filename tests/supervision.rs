@@ -1,0 +1,229 @@
+//! Workspace-level supervision tests (DESIGN.md §12): chaos determinism,
+//! the no-job-lost guarantee under every fleet fault preset, kill/resume
+//! byte-equivalence, the golden chaos snapshot, and the history store's
+//! malformed-line accounting.
+//!
+//! Golden files live in `tests/golden/fleet/`; re-bless intentional format
+//! changes with `UPDATE_GOLDEN=1 cargo test --test supervision`.
+
+use xferopt::orchestrator::{
+    resume_fleet, run_fleet, Checkpoint, FleetConfig, FleetSim, HistoryStore, JobSpec, JobState,
+    Policy, Workload,
+};
+use xferopt::scenarios::FaultProfile;
+
+fn check_golden(path: &str, actual: &str, what: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap())
+            .expect("create golden dir");
+        std::fs::write(path, actual).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, golden,
+        "{what} drifted from {path}; if the change is intentional, \
+         re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The fixed chaos scenario behind the golden snapshot: four long transfers
+/// on the shared UChicago route under the flaky-link fleet preset, long
+/// enough that the plan's multi-epoch outages land mid-run.
+fn chaos_cfg() -> FleetConfig {
+    FleetConfig {
+        policy: Policy::Fifo,
+        seed: 7,
+        horizon_s: 7200.0,
+        faults: Some(FaultProfile::FlakyLink),
+        ..FleetConfig::default()
+    }
+}
+
+fn chaos_workload() -> Workload {
+    Workload::new(
+        (0..4)
+            .map(|i| JobSpec::new(i, i as f64 * 60.0, 2_000_000.0))
+            .collect(),
+    )
+}
+
+#[test]
+fn golden_chaos_report_matches_snapshot() {
+    let out = run_fleet(
+        &chaos_workload(),
+        &chaos_cfg(),
+        &mut HistoryStore::in_memory(),
+    );
+    assert!(
+        out.report.supervision.quarantines > 0,
+        "golden chaos scenario must exercise the watchdog:\n{}",
+        out.report.render()
+    );
+    check_golden(
+        "tests/golden/fleet/chaos_report.txt",
+        &out.report.render(),
+        "chaos fleet report",
+    );
+}
+
+#[test]
+fn ten_job_chaos_runs_are_byte_deterministic() {
+    // Same seed + same fault plan ⇒ byte-identical everything, for every
+    // preset (the fleet is a pure function of its inputs even under chaos).
+    let w = Workload::synthetic(10, 7);
+    for profile in FaultProfile::ALL {
+        let cfg = FleetConfig {
+            faults: Some(profile),
+            ..chaos_cfg()
+        };
+        let a = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+        let b = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+        assert_eq!(a.report.render(), b.report.render(), "{profile}");
+        assert_eq!(a.report.to_csv(), b.report.to_csv(), "{profile}");
+        assert_eq!(a.decisions_jsonl, b.decisions_jsonl, "{profile}");
+        assert_eq!(a.telemetry_jsonl, b.telemetry_jsonl, "{profile}");
+        assert_eq!(a.supervision_jsonl, b.supervision_jsonl, "{profile}");
+        assert_eq!(a.metrics_jsonl, b.metrics_jsonl, "{profile}");
+    }
+}
+
+#[test]
+fn no_job_is_lost_under_any_fleet_fault_preset() {
+    // Every admitted job must end terminal — Completed, or Failed with its
+    // attempt budget exhausted. Nothing may stay stuck in quarantine or in
+    // the queue once the run drains (generous horizon).
+    for profile in FaultProfile::ALL {
+        let cfg = FleetConfig {
+            horizon_s: 4.0 * 3600.0,
+            faults: Some(profile),
+            ..chaos_cfg()
+        };
+        let out = run_fleet(&chaos_workload(), &cfg, &mut HistoryStore::in_memory());
+        for o in &out.report.outcomes {
+            assert!(
+                matches!(o.state, JobState::Completed | JobState::Failed),
+                "{profile}: {} ended {} — job lost:\n{}",
+                o.id,
+                o.state.name(),
+                out.report.render()
+            );
+        }
+        // Supervision bookkeeping is coherent: every quarantine is matched
+        // by a requeue or a terminal failure.
+        let s = out.report.supervision;
+        assert!(
+            s.quarantines >= s.requeues,
+            "{profile}: {} requeues but only {} quarantines",
+            s.requeues,
+            s.quarantines
+        );
+        assert_eq!(
+            s.failed,
+            out.report.count(JobState::Failed) as u64,
+            "{profile}: failed counter must match failed outcomes"
+        );
+    }
+}
+
+#[test]
+fn kill_at_any_tick_then_resume_is_byte_identical() {
+    // The crash/resume contract: for several kill points k, serializing a
+    // checkpoint at tick k and resuming from it reproduces the uninterrupted
+    // run byte for byte — reports, audit logs, telemetry, supervision.
+    let cfg = chaos_cfg();
+    let w = chaos_workload();
+    let full = run_fleet(&w, &cfg, &mut HistoryStore::in_memory());
+    for k in [1u64, 17, 60, 240] {
+        let text = {
+            let mut h = HistoryStore::in_memory();
+            let mut sim = FleetSim::new(&w, &cfg, &mut h);
+            while sim.tick_index() < k {
+                assert!(sim.tick(), "run ended before kill tick {k}");
+            }
+            sim.checkpoint()
+        };
+        let ck = Checkpoint::parse(&text).unwrap_or_else(|e| panic!("tick {k}: {e}"));
+        assert_eq!(ck.tick, k);
+        let resumed = resume_fleet(&ck, &mut HistoryStore::in_memory())
+            .unwrap_or_else(|e| panic!("tick {k}: {e}"));
+        assert_eq!(full.report.render(), resumed.report.render(), "tick {k}");
+        assert_eq!(full.decisions_jsonl, resumed.decisions_jsonl, "tick {k}");
+        assert_eq!(full.telemetry_jsonl, resumed.telemetry_jsonl, "tick {k}");
+        assert_eq!(
+            full.supervision_jsonl, resumed.supervision_jsonl,
+            "tick {k}"
+        );
+        assert_eq!(full.metrics_jsonl, resumed.metrics_jsonl, "tick {k}");
+    }
+}
+
+#[test]
+fn resume_refuses_a_checkpoint_from_a_different_run() {
+    // Checkpoint from the chaos run, but doctored to claim a different seed:
+    // the replay's digest cannot match and resume must refuse.
+    let mut h = HistoryStore::in_memory();
+    let mut sim = FleetSim::new(&chaos_workload(), &chaos_cfg(), &mut h);
+    for _ in 0..40 {
+        assert!(sim.tick());
+    }
+    let text = sim.checkpoint().replace("\"seed\":7", "\"seed\":8");
+    let ck = Checkpoint::parse(&text).expect("still parses");
+    let err = resume_fleet(&ck, &mut HistoryStore::in_memory())
+        .expect_err("digest must not match a different seed");
+    assert!(err.contains("digest mismatch"), "{err}");
+}
+
+#[test]
+fn supervision_is_observational_by_default() {
+    // With supervision compiled in but no fault plan, a fleet run reports
+    // exactly what it did before supervision existed: no supervision line,
+    // no events, no metrics (the golden fleet snapshot enforces the bytes).
+    let cfg = FleetConfig {
+        policy: Policy::Sjf,
+        seed: 7,
+        horizon_s: 3600.0,
+        ..FleetConfig::default()
+    };
+    let out = run_fleet(
+        &Workload::synthetic(12, 7),
+        &cfg,
+        &mut HistoryStore::in_memory(),
+    );
+    assert!(out.report.supervision.is_quiet());
+    assert!(out.supervision_jsonl.is_empty());
+    assert!(out.metrics_jsonl.is_empty());
+    assert!(!out.report.render().contains("supervision"));
+}
+
+#[test]
+fn history_store_counts_malformed_lines_and_surfaces_a_metric() {
+    let dir = std::env::temp_dir().join(format!("xferopt-sup-hist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create dir");
+    std::fs::write(
+        dir.join("history.jsonl"),
+        "{\"kind\":\"history\",\"route\":\"anl->uchicago\",\"tuner\":\"cs-tuner\",\
+         \"ext_streams\":0,\"cmp_jobs\":0,\"best\":[8],\"achieved_mbs\":3000}\n\
+         this line is garbage\n\
+         {\"kind\":\"history\",\"route\":\"mars\"}\n",
+    )
+    .expect("seed history file");
+    let mut h = HistoryStore::open(&dir).expect("open");
+    assert_eq!(h.len(), 1, "one valid record");
+    assert_eq!(h.skipped(), 2, "two malformed lines counted");
+    let cfg = FleetConfig {
+        horizon_s: 1800.0,
+        ..FleetConfig::default()
+    };
+    let out = run_fleet(&Workload::contended(1), &cfg, &mut h);
+    assert!(
+        out.metrics_jsonl
+            .contains("\"name\":\"history_lines_skipped\""),
+        "metric must surface the skipped count:\n{}",
+        out.metrics_jsonl
+    );
+    assert!(out.metrics_jsonl.contains("\"value\":2"));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
