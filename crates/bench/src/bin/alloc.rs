@@ -1,0 +1,200 @@
+//! Allocation-engine microbenchmarks: incremental (cached) vs from-scratch
+//! (uncached) max–min solves, plus fleet-tick throughput.
+//!
+//! Grid: 10/100/1000 flows × 1/8/64 links. Each *epoch* mutates one flow's
+//! stream count and then reads every flow's rate — the paper's
+//! observe-per-epoch pattern. The cached engine pays one solve per epoch;
+//! the baseline (the pre-engine code path, kept as
+//! [`xferopt_net::Network::allocate_uncached`]) pays one full solve per
+//! read, which is exactly what `World::step`, `tag_allocation_mbs`, and
+//! `allocation_of` used to do.
+//!
+//! Writes `BENCH_alloc.json` into the current directory (the repo root when
+//! run via `scripts/bench.sh` or `scripts/ci.sh`).
+//!
+//! Usage: `alloc [--quick]` — `--quick` shrinks epoch counts for CI smoke.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use xferopt_net::{CongestionControl, FlowId, Link, Network, Path};
+use xferopt_orchestrator::{FleetConfig, FleetSim, HistoryStore, Workload};
+
+/// `flows` flow groups spread over `links` links: link 0 is the shared NIC;
+/// path `i` crosses the NIC plus WAN link `1 + (i mod (links-1))` (or just
+/// the NIC when there is a single link).
+fn build(flows: usize, links: usize) -> (Network, Vec<FlowId>) {
+    let mut net = Network::new();
+    let mut lids = Vec::new();
+    for l in 0..links {
+        let cap = if l == 0 { 5000.0 } else { 2500.0 };
+        lids.push(net.add_link(Link::new(format!("l{l}"), cap).with_half_streams(16.0)));
+    }
+    let npaths = links.max(2) - 1;
+    let mut pids = Vec::new();
+    for p in 0..npaths {
+        let route = if links == 1 {
+            vec![lids[0]]
+        } else {
+            vec![lids[0], lids[1 + (p % (links - 1))]]
+        };
+        pids.push(
+            net.add_path(
+                Path::new(format!("p{p}"), route)
+                    .with_rtt_ms(2.0 + p as f64)
+                    .with_loss(1e-5),
+            ),
+        );
+    }
+    let mut fids = Vec::new();
+    for f in 0..flows {
+        fids.push(net.add_flow(
+            pids[f % pids.len()],
+            1 + (f % 32) as u32,
+            CongestionControl::HTcp,
+        ));
+    }
+    (net, fids)
+}
+
+struct Cell {
+    flows: usize,
+    links: usize,
+    cached_epochs_per_s: f64,
+    cached_reads_per_s: f64,
+    uncached_reads_per_s: f64,
+    speedup: f64,
+}
+
+/// One grid cell: `epochs` mutate-then-read-everything rounds on the cached
+/// engine vs `epochs_u` rounds against the uncached baseline.
+fn bench_cell(flows: usize, links: usize, epochs: usize, epochs_u: usize) -> Cell {
+    // Cached engine: one amortized solve per epoch, O(log F) per read.
+    let (mut net, fids) = build(flows, links);
+    let t0 = Instant::now();
+    let mut sink = 0.0f64;
+    for e in 0..epochs {
+        net.set_streams(fids[e % flows], 1 + ((e * 7) % 64) as u32);
+        for &id in &fids {
+            sink += net.flow_rate(id);
+        }
+    }
+    black_box(sink);
+    let cached_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let cached_reads = (epochs * flows) as f64;
+
+    // Baseline: the pre-engine path — a full from-scratch solve per read.
+    let (mut net, fids) = build(flows, links);
+    let t0 = Instant::now();
+    let mut sink = 0.0f64;
+    for e in 0..epochs_u {
+        net.set_streams(fids[e % flows], 1 + ((e * 7) % 64) as u32);
+        for &id in &fids {
+            sink += net.allocate_uncached()[&id];
+        }
+    }
+    black_box(sink);
+    let uncached_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let uncached_reads = (epochs_u * flows) as f64;
+
+    let cached_rps = cached_reads / cached_s;
+    let uncached_rps = uncached_reads / uncached_s;
+    Cell {
+        flows,
+        links,
+        cached_epochs_per_s: epochs as f64 / cached_s,
+        cached_reads_per_s: cached_rps,
+        uncached_reads_per_s: uncached_rps,
+        speedup: cached_rps / uncached_rps,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("alloc bench ({mode}): cached vs uncached repeated-read grid");
+
+    let mut cells = Vec::new();
+    for &flows in &[10usize, 100, 1000] {
+        for &links in &[1usize, 8, 64] {
+            let epochs = if quick { 10 } else { 100 };
+            // Keep the slow baseline bounded: fewer epochs at high flow
+            // counts (rates are per-read, so this stays comparable).
+            let epochs_u = if quick {
+                2
+            } else {
+                (2000 / flows).clamp(2, 50)
+            };
+            let c = bench_cell(flows, links, epochs, epochs_u);
+            eprintln!(
+                "  {}f x {}l: cached {:.0} reads/s, uncached {:.0} reads/s, speedup {:.1}x",
+                c.flows, c.links, c.cached_reads_per_s, c.uncached_reads_per_s, c.speedup
+            );
+            cells.push(c);
+        }
+    }
+    let speedup_100: f64 = cells
+        .iter()
+        .filter(|c| c.flows == 100)
+        .map(|c| c.speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    // Fleet-tick throughput: ten contended jobs, default config, no faults.
+    let workload = Workload::contended(10);
+    let cfg = FleetConfig::default();
+    let mut history = HistoryStore::in_memory();
+    let mut sim = FleetSim::new(&workload, &cfg, &mut history);
+    let solves0 = sim.world().net().allocation_solves();
+    let t0 = Instant::now();
+    while sim.tick() {}
+    let fleet_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let ticks = sim.tick_index();
+    let solves = sim.world().net().allocation_solves() - solves0;
+    let ticks_per_s = ticks as f64 / fleet_s;
+    let solves_per_tick = solves as f64 / ticks.max(1) as f64;
+    eprintln!(
+        "  fleet contended(10): {ticks} ticks in {fleet_s:.3}s ({ticks_per_s:.0} ticks/s), \
+         {solves} solves ({solves_per_tick:.3} per tick)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"alloc\",");
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    json.push_str("  \"grid\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"flows\": {}, \"links\": {}, \"cached_epochs_per_s\": {:.1}, \
+             \"cached_reads_per_s\": {:.1}, \"uncached_reads_per_s\": {:.1}, \
+             \"speedup\": {:.2}}}{}",
+            c.flows,
+            c.links,
+            c.cached_epochs_per_s,
+            c.cached_reads_per_s,
+            c.uncached_reads_per_s,
+            c.speedup,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"repeated_read_100_flow_speedup\": {speedup_100:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"fleet\": {{\"workload\": \"contended(10)\", \"ticks\": {ticks}, \
+         \"ticks_per_s\": {ticks_per_s:.1}, \"solves\": {solves}, \
+         \"solves_per_tick\": {solves_per_tick:.4}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_alloc.json", &json).expect("cannot write BENCH_alloc.json");
+    println!("wrote BENCH_alloc.json (100-flow repeated-read speedup: {speedup_100:.1}x)");
+
+    assert!(
+        speedup_100 >= 5.0,
+        "perf regression: 100-flow repeated-read speedup {speedup_100:.2}x < 5x"
+    );
+}

@@ -9,7 +9,7 @@
 //! as one reason multiple streams help ("scale more rapidly to peak
 //! bandwidth") and the AIMD sawtooth that leaves bandwidth unused.
 
-use crate::fairness::{max_min_allocate, FlowDemand};
+use crate::fairness::{max_min_allocate_into, AllocScratch, FlowDemand};
 use crate::flow::FlowId;
 use crate::network::Network;
 use rand::rngs::SmallRng;
@@ -59,6 +59,15 @@ pub struct DynamicSim {
     /// Cumulative loss events per flow since construction (survives stream
     /// retirement, unlike the per-step [`FlowStepStats::losses`]).
     cum_losses: BTreeMap<FlowId, u64>,
+    /// Reused per-step buffers (scratch, not logical state): effective link
+    /// capacities, per-stream demands, solver output, per-link demand sums,
+    /// and the progressive-filling working arrays. Steady-state stepping
+    /// performs no heap allocation.
+    caps_buf: Vec<f64>,
+    demands_buf: Vec<FlowDemand>,
+    alloc_buf: Vec<f64>,
+    link_demand_buf: Vec<f64>,
+    scratch: AllocScratch,
 }
 
 impl DynamicSim {
@@ -72,6 +81,11 @@ impl DynamicSim {
             init_cwnd: 10.0 * crate::tcp::DEFAULT_MSS_BYTES,
             elapsed_s: 0.0,
             cum_losses: BTreeMap::new(),
+            caps_buf: Vec::new(),
+            demands_buf: Vec::new(),
+            alloc_buf: Vec::new(),
+            link_demand_buf: Vec::new(),
+            scratch: AllocScratch::new(),
         }
     }
 
@@ -140,7 +154,7 @@ impl DynamicSim {
             self.streams = kept;
         }
         // Spawn streams for flows that grew.
-        for flow in net.flow_ids() {
+        for flow in net.iter_flow_ids() {
             let want = net.flow(flow).map(|f| f.streams).unwrap_or(0);
             let have_n = self.streams.iter().filter(|s| s.flow == flow).count() as u32;
             for _ in have_n..want {
@@ -169,34 +183,52 @@ impl DynamicSim {
         let mss = net.mss_bytes();
 
         // 1. Per-stream demand: cwnd/RTT capped by the socket buffer.
-        let caps = net.link_capacities();
-        let demands: Vec<FlowDemand> = self
-            .streams
-            .iter()
-            .map(|s| {
-                let f = net.flow(s.flow).expect("stream references removed flow");
-                let p = net.path(f.path);
-                let rate = (s.cwnd.min(p.wmax_bytes)) / net.effective_rtt_s(f.path) / 1e6;
-                FlowDemand {
-                    weight: 1.0,
-                    demand_cap: rate,
-                    links: p.links.iter().map(|l| l.0).collect(),
-                }
-            })
-            .collect();
-        let alloc = max_min_allocate(&caps, &demands);
+        // All solver inputs live in reused buffers — no per-step allocation
+        // once the working set has been reached.
+        self.caps_buf.clear();
+        self.caps_buf.extend(net.iter_link_capacities());
+        self.demands_buf.truncate(self.streams.len());
+        while self.demands_buf.len() < self.streams.len() {
+            self.demands_buf.push(FlowDemand {
+                weight: 0.0,
+                demand_cap: 0.0,
+                links: Vec::new(),
+            });
+        }
+        for (s, d) in self.streams.iter().zip(self.demands_buf.iter_mut()) {
+            let f = net.flow(s.flow).expect("stream references removed flow");
+            let p = net.path(f.path);
+            let rate = (s.cwnd.min(p.wmax_bytes)) / net.effective_rtt_s(f.path) / 1e6;
+            d.weight = 1.0;
+            d.demand_cap = rate;
+            d.links.clear();
+            d.links.extend(p.links.iter().map(|l| l.0));
+        }
+        self.scratch
+            .rebuild_adjacency(self.caps_buf.len(), &self.demands_buf);
+        max_min_allocate_into(
+            &self.caps_buf,
+            &self.demands_buf,
+            &mut self.scratch,
+            &mut self.alloc_buf,
+        );
+        let caps: &[f64] = &self.caps_buf;
+        let demands: &[FlowDemand] = &self.demands_buf;
+        let alloc: &[f64] = &self.alloc_buf;
 
         // 2. Congestion pressure per link: demand / capacity.
-        let mut link_demand = vec![0.0f64; caps.len()];
-        for d in &demands {
+        self.link_demand_buf.clear();
+        self.link_demand_buf.resize(caps.len(), 0.0);
+        for d in demands {
             for &l in &d.links {
-                link_demand[l] += d.demand_cap;
+                self.link_demand_buf[l] += d.demand_cap;
             }
         }
+        let link_demand: &[f64] = &self.link_demand_buf;
 
         // 3. Evolve each stream.
         let mut out: BTreeMap<FlowId, FlowStepStats> = BTreeMap::new();
-        for (s, (d, &rate)) in self.streams.iter_mut().zip(demands.iter().zip(&alloc)) {
+        for (s, (d, &rate)) in self.streams.iter_mut().zip(demands.iter().zip(alloc)) {
             let f = net.flow(s.flow).expect("stream references removed flow");
             let p = net.path(f.path);
             let rtt_s = net.effective_rtt_s(f.path);

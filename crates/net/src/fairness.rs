@@ -46,6 +46,56 @@ pub struct FlowDemand {
     pub links: Vec<usize>,
 }
 
+/// Reusable buffers for [`max_min_allocate_into`].
+///
+/// Progressive filling needs four working arrays: the per-flow `active`
+/// mask, per-link `remaining` headroom, and the link→flows adjacency
+/// (`flows_on_link`). Allocating them per solve dominates the cost of small
+/// problems; a scratch lets hot callers (the [`crate::Network`] allocation
+/// cache, [`crate::DynamicSim`]) amortize the allocations to zero.
+///
+/// The adjacency is the only piece whose *contents* survive between solves:
+/// it depends only on the flow membership and link count, not on weights or
+/// demand caps. Callers that know membership has not changed skip
+/// [`AllocScratch::rebuild_adjacency`] entirely — the fast path for
+/// "only demand caps changed" re-solves.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    active: Vec<bool>,
+    remaining: Vec<f64>,
+    flows_on_link: Vec<Vec<usize>>,
+}
+
+impl AllocScratch {
+    /// A scratch with no buffers allocated yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild the link→flows adjacency for `flows` over `n_links` links.
+    ///
+    /// Must be called before [`max_min_allocate_into`] whenever the flow
+    /// membership, any flow's link list, or the link count changed since the
+    /// previous solve. Reuses inner buffers; no allocation once capacities
+    /// have grown to the working-set size.
+    pub fn rebuild_adjacency(&mut self, n_links: usize, flows: &[FlowDemand]) {
+        for v in &mut self.flows_on_link {
+            v.clear();
+        }
+        if self.flows_on_link.len() > n_links {
+            self.flows_on_link.truncate(n_links);
+        } else {
+            self.flows_on_link.resize_with(n_links, Vec::new);
+        }
+        for (i, f) in flows.iter().enumerate() {
+            for &l in &f.links {
+                assert!(l < n_links, "flow {i} references missing link {l}");
+                self.flows_on_link[l].push(i);
+            }
+        }
+    }
+}
+
 /// Compute the weighted max–min fair allocation.
 ///
 /// `capacities[l]` is link `l`'s capacity in MB/s. Returns the per-flow
@@ -78,6 +128,32 @@ pub struct FlowDemand {
 /// Panics if a flow references a link index out of range, or if any weight,
 /// cap, or capacity is negative/NaN.
 pub fn max_min_allocate(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
+    let mut scratch = AllocScratch::new();
+    scratch.rebuild_adjacency(capacities.len(), flows);
+    let mut out = Vec::new();
+    max_min_allocate_into(capacities, flows, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free core of [`max_min_allocate`]: solve into `out`, reusing
+/// `scratch` buffers.
+///
+/// The caller is responsible for keeping `scratch`'s adjacency current via
+/// [`AllocScratch::rebuild_adjacency`]; only the adjacency carries state
+/// between solves — `active`, `remaining`, and `out` are fully
+/// re-initialized here. The arithmetic is **bit-identical** to
+/// [`max_min_allocate`] (same operations in the same order), which the
+/// golden-snapshot suite depends on.
+///
+/// # Panics
+/// Panics on the same invalid inputs as [`max_min_allocate`], and (debug
+/// builds) if the scratch adjacency does not match `capacities.len()`.
+pub fn max_min_allocate_into(
+    capacities: &[f64],
+    flows: &[FlowDemand],
+    scratch: &mut AllocScratch,
+    out: &mut Vec<f64>,
+) {
     for (i, c) in capacities.iter().enumerate() {
         assert!(*c >= 0.0, "link {i} has negative or NaN capacity: {c}");
     }
@@ -91,25 +167,30 @@ pub fn max_min_allocate(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
             assert!(l < capacities.len(), "flow {i} references missing link {l}");
         }
     }
+    debug_assert_eq!(
+        scratch.flows_on_link.len(),
+        capacities.len(),
+        "stale scratch adjacency: call rebuild_adjacency after membership changes"
+    );
 
     let n = flows.len();
-    let mut alloc = vec![0.0f64; n];
+    out.clear();
+    out.resize(n, 0.0);
+    let alloc: &mut [f64] = out.as_mut_slice();
     // Per-weight rate level each frozen flow stopped at; active flows all sit
     // at the current common level.
-    let mut active: Vec<bool> = flows
-        .iter()
-        .map(|f| f.weight > 0.0 && f.demand_cap > 0.0)
-        .collect();
-    let mut remaining: Vec<f64> = capacities.to_vec();
+    scratch.active.clear();
+    scratch
+        .active
+        .extend(flows.iter().map(|f| f.weight > 0.0 && f.demand_cap > 0.0));
+    let active: &mut [bool] = scratch.active.as_mut_slice();
+    scratch.remaining.clear();
+    scratch.remaining.extend_from_slice(capacities);
+    let remaining: &mut [f64] = scratch.remaining.as_mut_slice();
     let mut level = 0.0f64; // current common per-weight rate of active flows
 
-    // Pre-compute which flows cross each link.
-    let mut flows_on_link: Vec<Vec<usize>> = vec![Vec::new(); capacities.len()];
-    for (i, f) in flows.iter().enumerate() {
-        for &l in &f.links {
-            flows_on_link[l].push(i);
-        }
-    }
+    // Which flows cross each link (maintained by the caller between solves).
+    let flows_on_link: &[Vec<usize>] = &scratch.flows_on_link;
 
     loop {
         // Active weight per link.
@@ -191,7 +272,6 @@ pub fn max_min_allocate(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
             break;
         }
     }
-    alloc
 }
 
 #[cfg(test)]

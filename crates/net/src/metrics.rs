@@ -32,15 +32,15 @@ use xferopt_simcore::MetricsRegistry;
 /// * `net_link_capacity_mbs{link="<i>"}` and `net_link_factor{link="<i>"}`,
 /// * `net_path_rtt_factor{path="<i>"}`.
 pub fn export_network(reg: &mut MetricsRegistry, net: &Network) {
-    let alloc = net.allocate();
-    for flow in net.flow_ids() {
+    // Reads the cached allocation: exporting after a `World::step` costs no
+    // extra solve, and repeated exports of unchanged state cost none at all.
+    for (flow, group) in net.flows() {
         let id = flow.0.to_string();
         let labels = [("flow", id.as_str())];
         reg.gauge("net_flow_fair_share_mbs", &labels)
-            .set(alloc.get(&flow).copied().unwrap_or(0.0));
-        let streams = net.flow(flow).map(|f| f.streams).unwrap_or(0);
+            .set(net.flow_rate(flow));
         reg.gauge("net_flow_streams", &labels)
-            .set(f64::from(streams));
+            .set(f64::from(group.streams));
         reg.gauge("net_flow_demand_mbs", &labels)
             .set(net.flow_demand_mbs(flow));
     }
@@ -69,7 +69,7 @@ pub fn export_network(reg: &mut MetricsRegistry, net: &Network) {
 /// * `net_flow_cwnd_bytes{flow="<id>"}` — mean congestion window over the
 ///   flow's live streams (omitted when the flow has none).
 pub fn export_dynamic(reg: &mut MetricsRegistry, net: &Network, sim: &DynamicSim) {
-    for flow in net.flow_ids() {
+    for flow in net.iter_flow_ids() {
         let id = flow.0.to_string();
         let labels = [("flow", id.as_str())];
         let total = sim.total_losses(flow);
@@ -81,6 +81,31 @@ pub fn export_dynamic(reg: &mut MetricsRegistry, net: &Network, sim: &DynamicSim
             reg.gauge("net_flow_cwnd_bytes", &labels).set(cwnd);
         }
     }
+}
+
+/// Export allocation-engine statistics of `net` into `reg`.
+///
+/// Emits:
+///
+/// * `net_alloc_solves_total` — cumulative max–min solves actually performed
+///   (cache misses; a monotone counter, repeated exports advance it),
+/// * `net_alloc_epoch` — current allocation generation (bumped by every
+///   allocation-affecting mutation),
+/// * `net_alloc_flows` — registered flow-group count.
+///
+/// Deliberately **not** part of [`export_network`]: the standard telemetry
+/// stream must stay byte-identical across engine changes, so perf
+/// instrumentation is opt-in (benchmarks and the fleet perf gate call this).
+pub fn export_alloc_stats(reg: &mut MetricsRegistry, net: &Network) {
+    let c = reg.counter("net_alloc_solves_total", &[]);
+    let cur = c.get();
+    let total = net.allocation_solves();
+    debug_assert!(total >= cur, "solve counter went backwards");
+    c.add(total.saturating_sub(cur));
+    reg.gauge("net_alloc_epoch", &[])
+        .set(net.allocation_epoch() as f64);
+    reg.gauge("net_alloc_flows", &[])
+        .set(net.flow_count() as f64);
 }
 
 #[cfg(test)]

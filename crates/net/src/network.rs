@@ -7,38 +7,122 @@
 //! stream count, external traffic appeared) and integrate bytes between
 //! changes — the standard fluid discrete-event pattern.
 
-use crate::fairness::{max_min_allocate, FlowDemand};
+use crate::fairness::{max_min_allocate, max_min_allocate_into, AllocScratch, FlowDemand};
 use crate::flow::{FlowGroup, FlowId};
 use crate::link::{Link, LinkId, Path, PathId};
 use crate::tcp::{CongestionControl, DEFAULT_MSS_BYTES};
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
+/// Cached solver state: the last allocation plus every reusable buffer
+/// needed to recompute it without allocating.
+///
+/// Validity is tracked with two generation counters mirrored from
+/// [`Network`]: `built_gen` stamps the allocation itself (any mutation that
+/// can change rates invalidates it), `adjacency_gen` stamps the link→flow
+/// adjacency and per-flow link lists (only membership/topology mutations
+/// invalidate those, so a stream-count or fault-factor change re-solves
+/// without rebuilding adjacency — the fast path).
+#[derive(Debug, Clone, Default)]
+struct AllocCache {
+    /// `Network::generation` at the time of the last solve.
+    built_gen: u64,
+    /// `Network::membership_gen` at the time the adjacency (scratch +
+    /// per-demand link lists) was last rebuilt.
+    adjacency_gen: u64,
+    /// Cached rates, parallel to `Network::order`.
+    rates: Vec<f64>,
+    /// Reused solver inputs, parallel to `Network::order`.
+    demands: Vec<FlowDemand>,
+    /// Reused effective link capacities, indexed by `LinkId.0`.
+    caps: Vec<f64>,
+    /// Reused progressive-filling working arrays.
+    scratch: AllocScratch,
+}
+
 /// A network of links, paths, and active flow groups.
+///
+/// Flow groups live in a flat slot arena (`slots` + `free` list) with a
+/// separate id-sorted `order` index, so lookups are a binary search,
+/// iteration stays in id order (identical to the former `BTreeMap`
+/// registry — all byte-deterministic outputs are preserved), and removal
+/// recycles slots without shifting. Flow ids come from a monotone counter
+/// and are never reused, so a new flow always appends to `order`.
+///
+/// The max–min allocation is computed lazily and cached: every read
+/// ([`Network::allocate`], [`Network::flow_rate`],
+/// [`Network::tag_allocation_mbs`], …) reuses one solve until a mutation
+/// bumps the generation counter. See `DESIGN.md` §13 for the invalidation
+/// rules.
 #[derive(Debug, Clone, Default)]
 pub struct Network {
     links: Vec<Link>,
     paths: Vec<Path>,
-    flows: BTreeMap<FlowId, FlowGroup>,
+    /// Flow storage; `None` slots are free and listed in `free`.
+    slots: Vec<Option<FlowGroup>>,
+    /// Recyclable slot indices.
+    free: Vec<u32>,
+    /// `(id, slot)` pairs sorted by id — the iteration order.
+    order: Vec<(FlowId, u32)>,
     next_flow: u64,
     mss_bytes: f64,
     /// Multiplicative capacity factor per link (fault injection); 1.0 = healthy.
     link_factor: Vec<f64>,
     /// Multiplicative RTT factor per path (fault injection); 1.0 = nominal.
     rtt_factor: Vec<f64>,
+    /// Total stream weight per link, maintained incrementally on
+    /// `add_flow`/`remove_flow`/`set_streams`. Stream counts are integers,
+    /// so the running f64 sums are exact and order-independent.
+    link_weight: Vec<f64>,
+    /// Bumped by every mutation that can change the allocation.
+    generation: u64,
+    /// Bumped by mutations that change flow membership or topology
+    /// (add/remove flow, add link/path) — these also invalidate adjacency.
+    membership_gen: u64,
+    /// Lazily rebuilt allocation state; interior mutability keeps
+    /// [`Network::allocate`] a `&self` read.
+    cache: RefCell<AllocCache>,
+    /// Number of actual max–min solves performed (cache misses).
+    solves: Cell<u64>,
 }
 
 impl Network {
     /// An empty network with the default MSS.
     pub fn new() -> Self {
         Network {
-            links: Vec::new(),
-            paths: Vec::new(),
-            flows: BTreeMap::new(),
-            next_flow: 0,
             mss_bytes: DEFAULT_MSS_BYTES,
-            link_factor: Vec::new(),
-            rtt_factor: Vec::new(),
+            ..Network::default()
         }
+    }
+
+    /// Record a mutation that can change allocation results.
+    fn touch(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// Record a mutation that changes flow membership or topology.
+    fn touch_membership(&mut self) {
+        self.membership_gen = self.membership_gen.wrapping_add(1);
+        self.touch();
+    }
+
+    /// Binary-search `order` for a flow id; `Ok(position)` if present.
+    fn find(&self, id: FlowId) -> Result<usize, usize> {
+        self.order.binary_search_by_key(&id, |&(fid, _)| fid)
+    }
+
+    /// Slot index of `id`, or a panic naming the unknown flow.
+    fn slot_of(&self, id: FlowId) -> u32 {
+        match self.find(id) {
+            Ok(pos) => self.order[pos].1,
+            Err(_) => panic!("unknown flow {id:?}"),
+        }
+    }
+
+    fn group(&self, slot: u32) -> &FlowGroup {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("arena invariant: ordered slot must be occupied")
     }
 
     /// Override the TCP maximum segment size in bytes (e.g. 8960 for jumbo
@@ -49,6 +133,7 @@ impl Network {
     pub fn set_mss_bytes(&mut self, mss: f64) {
         assert!(mss > 0.0, "MSS must be positive");
         self.mss_bytes = mss;
+        self.touch();
     }
 
     /// The configured MSS in bytes.
@@ -60,6 +145,9 @@ impl Network {
     pub fn add_link(&mut self, link: Link) -> LinkId {
         self.links.push(link);
         self.link_factor.push(1.0);
+        self.link_weight.push(0.0);
+        // Adjacency arrays are sized by the link count.
+        self.touch_membership();
         LinkId(self.links.len() - 1)
     }
 
@@ -73,6 +161,7 @@ impl Network {
         }
         self.paths.push(path);
         self.rtt_factor.push(1.0);
+        self.touch_membership();
         PathId(self.paths.len() - 1)
     }
 
@@ -84,67 +173,111 @@ impl Network {
         assert!(path.0 < self.paths.len(), "unknown path {path:?}");
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
-        self.flows.insert(id, FlowGroup::new(path, streams, cc));
+        let group = FlowGroup::new(path, streams, cc);
+        for &l in &self.paths[path.0].links {
+            self.link_weight[l.0] += streams as f64;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].is_none());
+                self.slots[s as usize] = Some(group);
+                s
+            }
+            None => {
+                self.slots.push(Some(group));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        // Ids are monotone and never reused: a new flow sorts after every
+        // existing one, so `order` stays sorted by appending.
+        self.order.push((id, slot));
+        self.touch_membership();
         id
     }
 
     /// Change the stream count of an existing flow group.
     ///
+    /// Setting the count a flow already has is a no-op and does **not**
+    /// invalidate the cached allocation — harness sync loops call this for
+    /// every flow every piece.
+    ///
     /// # Panics
     /// Panics if the flow id is unknown.
     pub fn set_streams(&mut self, flow: FlowId, streams: u32) {
-        self.flows
-            .get_mut(&flow)
-            .unwrap_or_else(|| panic!("unknown flow {flow:?}"))
-            .streams = streams;
+        let slot = self.slot_of(flow) as usize;
+        let group = self.slots[slot].as_mut().expect("occupied slot");
+        let old = group.streams;
+        if old == streams {
+            return;
+        }
+        group.streams = streams;
+        let path = group.path;
+        for &l in &self.paths[path.0].links {
+            // Exact: stream counts are integers, and integer-valued f64 sums
+            // below 2^53 add/subtract without rounding.
+            self.link_weight[l.0] += streams as f64 - old as f64;
+        }
+        self.touch();
     }
 
     /// Remove a flow group. Removing an unknown id is a no-op (idempotent
     /// teardown).
     pub fn remove_flow(&mut self, flow: FlowId) {
-        self.flows.remove(&flow);
+        let Ok(pos) = self.find(flow) else {
+            return;
+        };
+        let (_, slot) = self.order.remove(pos);
+        let group = self.slots[slot as usize]
+            .take()
+            .expect("arena invariant: ordered slot must be occupied");
+        for &l in &self.paths[group.path.0].links {
+            self.link_weight[l.0] -= group.streams as f64;
+        }
+        self.free.push(slot);
+        self.touch_membership();
     }
 
     /// Set (or clear) the owner tag of a flow group. Fleet orchestrators tag
     /// each job's flow with the job id so a shared allocation can be read
     /// back per job.
     ///
+    /// Tags do not affect the allocation, so this never invalidates the
+    /// cached solve.
+    ///
     /// # Panics
     /// Panics if the flow id is unknown.
     pub fn set_flow_tag(&mut self, flow: FlowId, tag: Option<u64>) {
-        self.flows
-            .get_mut(&flow)
-            .unwrap_or_else(|| panic!("unknown flow {flow:?}"))
-            .tag = tag;
+        let slot = self.slot_of(flow) as usize;
+        self.slots[slot].as_mut().expect("occupied slot").tag = tag;
     }
 
     /// Ids of all flow groups carrying `tag`, in id order.
     pub fn flows_with_tag(&self, tag: u64) -> Vec<FlowId> {
-        self.flows
-            .iter()
+        self.flows()
             .filter(|(_, f)| f.tag == Some(tag))
-            .map(|(&id, _)| id)
+            .map(|(id, _)| id)
             .collect()
     }
 
     /// Total TCP streams currently registered under `tag`.
     pub fn tag_streams(&self, tag: u64) -> u32 {
-        self.flows
-            .values()
-            .filter(|f| f.tag == Some(tag))
-            .map(|f| f.streams)
+        self.flows()
+            .filter(|(_, f)| f.tag == Some(tag))
+            .map(|(_, f)| f.streams)
             .sum()
     }
 
     /// Aggregate max–min fair goodput of every flow group carrying `tag`, in
-    /// MB/s (zero when no flow carries the tag). Runs one full allocation;
-    /// use [`Network::allocate`] + [`Network::flows_with_tag`] to amortize
-    /// when reading many tags.
+    /// MB/s (zero when no flow carries the tag). Reads the cached
+    /// allocation, so looping over many tags costs one (amortized) solve.
     pub fn tag_allocation_mbs(&self, tag: u64) -> f64 {
-        let alloc = self.allocate();
-        self.flows_with_tag(tag)
-            .into_iter()
-            .map(|id| alloc[&id])
+        self.ensure_solved();
+        let cache = self.cache.borrow();
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, slot))| self.group(slot).tag == Some(tag))
+            .map(|(i, _)| cache.rates[i])
             .sum()
     }
 
@@ -160,12 +293,12 @@ impl Network {
 
     /// Access a flow group, if it exists.
     pub fn flow(&self, id: FlowId) -> Option<&FlowGroup> {
-        self.flows.get(&id)
+        self.find(id).ok().map(|pos| self.group(self.order[pos].1))
     }
 
     /// Number of registered flow groups.
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.order.len()
     }
 
     /// Number of registered links.
@@ -190,7 +323,11 @@ impl Network {
             (0.0..=1.0).contains(&factor),
             "link factor must be in [0,1], got {factor}"
         );
+        if self.link_factor[id.0] == factor {
+            return; // no-op: keep the cached allocation valid
+        }
         self.link_factor[id.0] = factor;
+        self.touch();
     }
 
     /// Current capacity factor of a link (1.0 when healthy).
@@ -212,7 +349,11 @@ impl Network {
             factor >= 1.0 && factor.is_finite(),
             "RTT factor must be finite and >= 1, got {factor}"
         );
+        if self.rtt_factor[id.0] == factor {
+            return; // no-op: keep the cached allocation valid
+        }
         self.rtt_factor[id.0] = factor;
+        self.touch();
     }
 
     /// Current RTT factor of a path (1.0 when nominal).
@@ -231,19 +372,40 @@ impl Network {
         self.paths[id.0].rtt_s * self.rtt_factor[id.0]
     }
 
-    /// Link capacities in MB/s, indexed by `LinkId.0`, with any
-    /// fault-injected capacity factors applied.
-    pub fn link_capacities(&self) -> Vec<f64> {
+    /// Effective link capacities in MB/s (fault factors applied), in
+    /// `LinkId.0` order, without allocating.
+    pub fn iter_link_capacities(&self) -> impl Iterator<Item = f64> + '_ {
         self.links
             .iter()
             .zip(&self.link_factor)
             .map(|(l, &f)| l.capacity_mbs * f)
-            .collect()
+    }
+
+    /// Link capacities in MB/s, indexed by `LinkId.0`, with any
+    /// fault-injected capacity factors applied.
+    ///
+    /// Thin collecting wrapper over [`Network::iter_link_capacities`];
+    /// prefer the iterator on hot paths.
+    pub fn link_capacities(&self) -> Vec<f64> {
+        self.iter_link_capacities().collect()
+    }
+
+    /// Ids of all registered flow groups, in id order, without allocating.
+    pub fn iter_flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.order.iter().map(|&(id, _)| id)
+    }
+
+    /// All registered flow groups with their ids, in id order.
+    pub fn flows(&self) -> impl Iterator<Item = (FlowId, &FlowGroup)> + '_ {
+        self.order.iter().map(|&(id, slot)| (id, self.group(slot)))
     }
 
     /// Ids of all registered flow groups, in id order.
+    ///
+    /// Thin collecting wrapper over [`Network::iter_flow_ids`]; prefer the
+    /// iterator on hot paths.
     pub fn flow_ids(&self) -> Vec<FlowId> {
-        self.flows.keys().copied().collect()
+        self.iter_flow_ids().collect()
     }
 
     /// Aggregate demand cap of one flow in MB/s (before fair sharing).
@@ -251,7 +413,7 @@ impl Network {
     /// # Panics
     /// Panics if the flow id is unknown.
     pub fn flow_demand_mbs(&self, id: FlowId) -> f64 {
-        let f = &self.flows[&id];
+        let f = self.group(self.slot_of(id));
         let p = &self.paths[f.path.0];
         f.demand_mbs(
             self.effective_rtt_s(f.path),
@@ -262,14 +424,99 @@ impl Network {
     }
 
     /// Total TCP streams crossing each link, indexed by `LinkId.0`.
+    ///
+    /// Maintained incrementally — this is a clone of the running sums, not
+    /// a rebuild. Use [`Network::link_streams`] for a single link.
     pub fn streams_per_link(&self) -> Vec<f64> {
-        let mut n = vec![0.0f64; self.links.len()];
-        for f in self.flows.values() {
-            for &l in &self.paths[f.path.0].links {
-                n[l.0] += f.streams as f64;
+        self.link_weight.clone()
+    }
+
+    /// Total TCP streams crossing one link (O(1) incremental readout).
+    ///
+    /// # Panics
+    /// Panics if the link id is unknown.
+    pub fn link_streams(&self, id: LinkId) -> f64 {
+        self.link_weight[id.0]
+    }
+
+    /// Re-solve the cached allocation if any mutation occurred since the
+    /// last solve. Rebuilds adjacency only when membership changed.
+    fn ensure_solved(&self) {
+        if self.cache.borrow().built_gen == self.generation {
+            return;
+        }
+        let mut cache = self.cache.borrow_mut();
+        let cache = &mut *cache;
+
+        // Effective capacities: derate by multiplexed stream count, then by
+        // the fault factor — identical arithmetic to the uncached path.
+        cache.caps.clear();
+        cache.caps.extend(
+            self.links
+                .iter()
+                .zip(&self.link_weight)
+                .zip(&self.link_factor)
+                .map(|((l, &n), &factor)| l.effective_capacity_mbs(n) * factor),
+        );
+
+        let rebuild_links = cache.adjacency_gen != self.membership_gen;
+        if rebuild_links {
+            // Size the demand vector to the membership, recycling the inner
+            // link lists positionally.
+            cache.demands.truncate(self.order.len());
+            while cache.demands.len() < self.order.len() {
+                cache.demands.push(FlowDemand {
+                    weight: 0.0,
+                    demand_cap: 0.0,
+                    links: Vec::new(),
+                });
+            }
+        } else {
+            debug_assert_eq!(cache.demands.len(), self.order.len());
+        }
+        for (&(_, slot), d) in self.order.iter().zip(cache.demands.iter_mut()) {
+            let f = self.group(slot);
+            let p = &self.paths[f.path.0];
+            d.weight = f.streams as f64;
+            d.demand_cap = f.demand_mbs(
+                self.effective_rtt_s(f.path),
+                p.loss,
+                p.wmax_bytes,
+                self.mss_bytes,
+            );
+            if rebuild_links {
+                d.links.clear();
+                d.links.extend(p.links.iter().map(|l| l.0));
             }
         }
-        n
+        if rebuild_links {
+            cache
+                .scratch
+                .rebuild_adjacency(self.links.len(), &cache.demands);
+            cache.adjacency_gen = self.membership_gen;
+        }
+
+        max_min_allocate_into(
+            &cache.caps,
+            &cache.demands,
+            &mut cache.scratch,
+            &mut cache.rates,
+        );
+        self.solves.set(self.solves.get() + 1);
+        cache.built_gen = self.generation;
+    }
+
+    /// Number of max–min solves actually performed so far (cache misses).
+    /// Cached reads do not increment this — the whole point of the engine.
+    pub fn allocation_solves(&self) -> u64 {
+        self.solves.get()
+    }
+
+    /// Current allocation generation: bumped by every mutation that can
+    /// change the allocation. Equal generations between two reads guarantee
+    /// the reads came from the same cached solve.
+    pub fn allocation_epoch(&self) -> u64 {
+        self.generation
     }
 
     /// Compute the max–min fair goodput allocation for every registered flow
@@ -279,8 +526,31 @@ impl Network {
     /// the total stream count multiplexed onto each link (see
     /// [`Link::effective_capacity_mbs`]), then shared max–min fairly with
     /// stream counts as weights and TCP-model demand caps.
+    ///
+    /// The solve is cached: repeated calls without an intervening mutation
+    /// reuse the previous result (only the returned map is rebuilt). Use
+    /// [`Network::flow_rate`] to read a single flow without building a map.
     pub fn allocate(&self) -> BTreeMap<FlowId, f64> {
-        let streams = self.streams_per_link();
+        self.ensure_solved();
+        let cache = self.cache.borrow();
+        self.order
+            .iter()
+            .map(|&(id, _)| id)
+            .zip(cache.rates.iter().copied())
+            .collect()
+    }
+
+    /// Reference implementation: recompute the allocation from scratch,
+    /// bypassing the incremental cache (fresh buffers, full adjacency
+    /// rebuild). This is the pre-cache code path, kept for equivalence
+    /// testing and as the baseline in the allocation microbenchmarks.
+    pub fn allocate_uncached(&self) -> BTreeMap<FlowId, f64> {
+        let mut streams = vec![0.0f64; self.links.len()];
+        for (_, f) in self.flows() {
+            for &l in &self.paths[f.path.0].links {
+                streams[l.0] += f.streams as f64;
+            }
+        }
         let caps: Vec<f64> = self
             .links
             .iter()
@@ -288,11 +558,11 @@ impl Network {
             .zip(&self.link_factor)
             .map(|((l, &n), &factor)| l.effective_capacity_mbs(n) * factor)
             .collect();
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let ids: Vec<FlowId> = self.flow_ids();
         let demands: Vec<FlowDemand> = ids
             .iter()
             .map(|id| {
-                let f = &self.flows[id];
+                let f = self.flow(*id).expect("registered flow");
                 let p = &self.paths[f.path.0];
                 FlowDemand {
                     weight: f.streams as f64,
@@ -310,14 +580,27 @@ impl Network {
         ids.into_iter().zip(alloc).collect()
     }
 
-    /// Convenience: the allocation of a single flow (other flows still
-    /// contend), in MB/s.
+    /// The max–min fair goodput of a single flow (other flows still
+    /// contend), in MB/s, read from the cached allocation — an O(log F)
+    /// lookup after one amortized solve, not a solve per call.
+    ///
+    /// # Panics
+    /// Panics if the flow id is unknown.
+    pub fn flow_rate(&self, id: FlowId) -> f64 {
+        let pos = match self.find(id) {
+            Ok(pos) => pos,
+            Err(_) => panic!("unknown flow {id:?}"),
+        };
+        self.ensure_solved();
+        self.cache.borrow().rates[pos]
+    }
+
+    /// Convenience alias for [`Network::flow_rate`] (historical name).
     ///
     /// # Panics
     /// Panics if the flow id is unknown.
     pub fn allocation_of(&self, id: FlowId) -> f64 {
-        assert!(self.flows.contains_key(&id), "unknown flow {id:?}");
-        self.allocate()[&id]
+        self.flow_rate(id)
     }
 }
 

@@ -505,6 +505,12 @@ impl<'h> FleetSim<'h> {
         self.tick
     }
 
+    /// Read-only view of the shared transfer world (perf gates read the
+    /// network's allocation-engine counters through this).
+    pub fn world(&self) -> &xferopt_transfer::World {
+        &self.pw.world
+    }
+
     /// Current fleet time, seconds.
     pub fn now_s(&self) -> f64 {
         self.t
@@ -754,8 +760,13 @@ impl<'h> FleetSim<'h> {
         }
         let carried = self.carry.remove(&spec.id);
         // Context for the history query: external streams on the WAN link
-        // before this job places any of its own.
-        let ext_streams = self.pw.world.net().streams_per_link()[spec.route.wan_link_index()];
+        // before this job places any of its own — an O(1) incremental
+        // readout, not a per-admission rebuild of every link's sum.
+        let ext_streams = self
+            .pw
+            .world
+            .net()
+            .link_streams(xferopt_net::LinkId(spec.route.wan_link_index()));
         // Restrict the tuner's domain to the granted reservation:
         // nc ≤ granted / np, so proposals can never oversubscribe.
         let nc_hi = (grant.streams / spec.np.max(1)).max(1) as i64;

@@ -171,8 +171,9 @@ enum Fidelity {
     QuasiStatic,
     /// Dynamic: per-stream congestion windows evolved on a fixed sub-step
     /// (slow start, AIMD, Poisson loss) — ramp-up transients and sawtooth
-    /// noise are *simulated* rather than assumed.
-    Dynamic { sim: DynamicSim, dt_s: f64 },
+    /// noise are *simulated* rather than assumed. Boxed: the sim carries
+    /// reusable solver scratch buffers and dwarfs the quasi-static variant.
+    Dynamic { sim: Box<DynamicSim>, dt_s: f64 },
 }
 
 /// Hosts + network + transfers, integrated in fluid steps.
@@ -285,7 +286,7 @@ impl World {
     /// Panics if `dt_s` is not strictly positive.
     pub fn enable_dynamic_network(&mut self, dt_s: f64) {
         assert!(dt_s > 0.0, "sub-step must be positive");
-        let mut sim = DynamicSim::new(self.seeds.next_seed());
+        let mut sim = Box::new(DynamicSim::new(self.seeds.next_seed()));
         sim.sync_streams(&self.net);
         self.fidelity = Fidelity::Dynamic { sim, dt_s };
     }
@@ -491,7 +492,6 @@ impl World {
         if !e.active_at(self.now) {
             return 0.0;
         }
-        let alloc = self.net.allocate();
         let host = &self.hosts[e.host.0];
         let mut cap = host.cpu_cap_mbs(e.app);
         let mut eff = host.efficiency(e.app);
@@ -500,7 +500,9 @@ impl World {
             cap = cap.min(dst.cpu_cap_mbs(da));
             eff = eff.min(dst.efficiency(da));
         }
-        alloc[&e.flow].min(cap) * eff * e.noise.current()
+        // Cached read: repeated goodput polls between mutations cost one
+        // amortized max–min solve, not one per call.
+        self.net.flow_rate(e.flow).min(cap) * eff * e.noise.current()
     }
 
     /// Keep network stream counts in sync with transfer activity: a transfer
@@ -628,8 +630,11 @@ impl World {
             let mut done_tids: Vec<TransferId> = Vec::new();
             if piece_s > 0.0 {
                 // Per-flow network rates over this piece, by fidelity mode.
-                let rates: BTreeMap<FlowId, f64> = match &mut self.fidelity {
-                    Fidelity::QuasiStatic => self.net.allocate(),
+                // The quasi-static mode reads the cached allocation directly
+                // (one amortized solve for every transfer in the world, with
+                // no per-piece map); the dynamic mode averages stepped rates.
+                let dyn_rates: Option<BTreeMap<FlowId, f64>> = match &mut self.fidelity {
+                    Fidelity::QuasiStatic => None,
                     Fidelity::Dynamic { sim, dt_s } => {
                         sim.sync_streams(&self.net);
                         // Average the dynamic rates over the piece.
@@ -643,10 +648,10 @@ impl World {
                         }
                         acc.values_mut().for_each(|v| *v /= steps as f64);
                         // Flows with zero live streams simply have no entry.
-                        for f in self.net.flow_ids() {
+                        for f in self.net.iter_flow_ids() {
                             acc.entry(f).or_insert(0.0);
                         }
-                        acc
+                        Some(acc)
                     }
                 };
                 let now = self.now;
@@ -663,7 +668,11 @@ impl World {
                         cap = cap.min(dst.cpu_cap_mbs(da));
                         eff = eff.min(dst.efficiency(da));
                     }
-                    let rate = rates[&e.flow].min(cap) * eff * e.noise.advance(piece_s);
+                    let net_rate = match &dyn_rates {
+                        Some(m) => m[&e.flow],
+                        None => self.net.flow_rate(e.flow),
+                    };
+                    let rate = net_rate.min(cap) * eff * e.noise.advance(piece_s);
                     let moved = (rate * piece_s).min(e.remaining_mb);
                     e.moved_mb += moved;
                     if moved > 0.0 {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Microbenchmark runner: builds the bench binaries in release mode and
+# runs the allocation-engine benchmark in full mode from the repo root,
+# so BENCH_alloc.json lands next to the other BENCH_* artifacts.
+#
+# Usage: scripts/bench.sh [--quick]
+#
+#   --quick   shrink epoch counts (the CI smoke gate uses this mode)
+#
+# The alloc benchmark itself asserts the 100-flow repeated-read speedup
+# is >= 5x, so a perf regression makes this script fail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release -p xferopt-bench"
+cargo build --release -p xferopt-bench
+
+echo "==> alloc benchmark (cached vs uncached max-min solves)"
+./target/release/alloc "$@"
+
+echo "==> BENCH_alloc.json"
+grep -E '"(repeated_read_100_flow_speedup|solves_per_tick)"' BENCH_alloc.json

@@ -36,6 +36,24 @@ trap 'rm -rf "$FLEET_TMP"' EXIT
   --report-out "$FLEET_TMP/b.txt"
 diff "$FLEET_TMP/a.txt" "$FLEET_TMP/b.txt" \
   || { echo "fleet run is not deterministic"; exit 1; }
+./target/release/xferopt fleet run --jobs 5 --seed 7 --policy wfair \
+  --report-out "$FLEET_TMP/wa.txt"
+./target/release/xferopt fleet run --jobs 5 --seed 7 --policy wfair \
+  --report-out "$FLEET_TMP/wb.txt"
+diff "$FLEET_TMP/wa.txt" "$FLEET_TMP/wb.txt" \
+  || { echo "fleet run (wfair) is not deterministic"; exit 1; }
+
+echo "==> perf smoke (allocation engine, quick mode)"
+# Run inside the temp dir so the quick-mode JSON does not clobber the
+# committed full-mode BENCH_alloc.json at the repo root.
+(cd "$FLEET_TMP" && "$OLDPWD/target/release/alloc" --quick)
+[ -f "$FLEET_TMP/BENCH_alloc.json" ] \
+  || { echo "BENCH_alloc.json missing"; exit 1; }
+SPEEDUP="$(awk -F': ' '/"repeated_read_100_flow_speedup"/ \
+  {gsub(/[,"]/, "", $2); print $2}' "$FLEET_TMP/BENCH_alloc.json")"
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 5.0) }' \
+  || { echo "perf regression: 100-flow speedup ${SPEEDUP}x < 5x"; exit 1; }
+echo "    100-flow repeated-read speedup: ${SPEEDUP}x"
 
 echo "==> supervision suite (chaos determinism + golden chaos snapshot)"
 cargo test -q --test supervision
