@@ -672,6 +672,7 @@ impl<'h> FleetSim<'h> {
                         cmp_jobs: 0.0,
                         best: vec![job.best_params.nc as i64],
                         achieved_mbs: job.best_mbs,
+                        scenario: "fleet".to_string(),
                     })
                     .expect("history append");
                 self.history_appended += 1;
@@ -784,6 +785,7 @@ impl<'h> FleetSim<'h> {
                 spec.tuner,
                 ext_streams,
                 0.0,
+                "fleet",
                 cold.clone(),
                 self.config.max_match_distance,
             ),

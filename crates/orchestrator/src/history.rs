@@ -23,7 +23,13 @@
 //! Route mismatch is effectively disqualifying; tuner mismatch is a mild
 //! penalty (an optimum found by compass search still seeds Nelder–Mead well);
 //! load terms compare on a log scale because contention effects are
-//! multiplicative. Ties break on insertion order (earliest record wins).
+//! multiplicative.
+//!
+//! Distance ties are broken deterministically so reruns are byte-identical:
+//! first a record from the *same scenario* as the query wins, then the
+//! lexicographically smallest context key
+//! ([`HistoryRecord::context_key`]), then insertion order (earliest record
+//! wins).
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -51,6 +57,10 @@ pub struct HistoryRecord {
     pub best: Point,
     /// Throughput observed at `best`, MB/s.
     pub achieved_mbs: f64,
+    /// Scenario label the job ran under (`"fleet"`, a tournament preset
+    /// name, …). Empty on records written before the field existed; used
+    /// only as a tiebreak, never in the distance metric.
+    pub scenario: String,
 }
 
 impl HistoryRecord {
@@ -77,13 +87,27 @@ impl HistoryRecord {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"kind\":\"history\",\"route\":\"{}\",\"tuner\":\"{}\",\"ext_streams\":{},\"cmp_jobs\":{},\"best\":[{}],\"achieved_mbs\":{}}}",
+            "{{\"kind\":\"history\",\"route\":\"{}\",\"tuner\":\"{}\",\"ext_streams\":{},\"cmp_jobs\":{},\"best\":[{}],\"achieved_mbs\":{},\"scenario\":\"{}\"}}",
             self.route.name(),
             self.tuner.name(),
             json_f64(self.ext_streams),
             json_f64(self.cmp_jobs),
             best,
             json_f64(self.achieved_mbs),
+            self.scenario,
+        )
+    }
+
+    /// Deterministic, human-readable context key used as the lexicographic
+    /// tiebreak between equidistant records.
+    pub fn context_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.route.name(),
+            self.tuner.name(),
+            json_f64(self.ext_streams),
+            json_f64(self.cmp_jobs),
+            self.scenario,
         )
     }
 
@@ -111,6 +135,8 @@ impl HistoryRecord {
             return None;
         }
         let achieved_mbs: f64 = json_field(line, "achieved_mbs")?.parse().ok()?;
+        // Records written before the scenario field existed parse as "".
+        let scenario = json_field(line, "scenario").unwrap_or("").to_string();
         Some(HistoryRecord {
             route,
             tuner,
@@ -118,6 +144,7 @@ impl HistoryRecord {
             cmp_jobs,
             best,
             achieved_mbs,
+            scenario,
         })
     }
 }
@@ -241,38 +268,61 @@ impl HistoryStore {
         Ok(())
     }
 
-    /// The nearest record to a query context, with its distance. Ties break
-    /// on insertion order (earliest wins). `None` when the store is empty.
+    /// The nearest record to a query context, with its distance. Distance
+    /// ties break deterministically: same-`scenario` records first (when the
+    /// query names one), then the lexicographically smallest
+    /// [`HistoryRecord::context_key`], then insertion order (earliest wins).
+    /// `None` when the store is empty.
     pub fn nearest(
         &self,
         route: Route,
         tuner: TunerKind,
         ext_streams: f64,
         cmp_jobs: f64,
+        scenario: &str,
     ) -> Option<(&HistoryRecord, f64)> {
-        let mut best: Option<(&HistoryRecord, f64)> = None;
+        let mut best: Option<(&HistoryRecord, f64, bool, String)> = None;
         for r in &self.records {
             let d = r.distance(route, tuner, ext_streams, cmp_jobs);
-            match best {
-                Some((_, bd)) if bd <= d => {}
-                _ => best = Some((r, d)),
+            let mismatch = !scenario.is_empty() && r.scenario != scenario;
+            let better = match &best {
+                None => true,
+                Some((_, bd, bmis, bkey)) => {
+                    if d != *bd {
+                        d < *bd
+                    } else if mismatch != *bmis {
+                        // Same distance: prefer the same-scenario record.
+                        !mismatch
+                    } else {
+                        // Same distance and scenario class: lexicographic
+                        // context key; equal keys keep the earliest record.
+                        r.context_key() < *bkey
+                    }
+                }
+            };
+            if better {
+                best = Some((r, d, mismatch, r.context_key()));
             }
         }
-        best
+        best.map(|(r, d, _, _)| (r, d))
     }
 
     /// A [`WarmStart`] seed for a new job: the nearest record's optimum when
     /// one exists within `max_distance`, else the cold default `x0`.
+    /// `scenario` participates only in tie-breaking (see
+    /// [`HistoryStore::nearest`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn warm_start(
         &self,
         route: Route,
         tuner: TunerKind,
         ext_streams: f64,
         cmp_jobs: f64,
+        scenario: &str,
         cold_x0: Point,
         max_distance: f64,
     ) -> WarmStart {
-        match self.nearest(route, tuner, ext_streams, cmp_jobs) {
+        match self.nearest(route, tuner, ext_streams, cmp_jobs, scenario) {
             Some((r, d)) if d <= max_distance && r.best.len() == cold_x0.len() => {
                 WarmStart::from_history(r.best.clone(), d)
             }
@@ -316,18 +366,39 @@ mod tests {
             cmp_jobs: 0.0,
             best,
             achieved_mbs: mbs,
+            scenario: String::new(),
+        }
+    }
+
+    fn rec_in(scenario: &str, ext: f64, best: Point) -> HistoryRecord {
+        HistoryRecord {
+            scenario: scenario.to_string(),
+            ..rec(Route::UChicago, TunerKind::Cs, ext, best, 3000.0)
         }
     }
 
     #[test]
     fn json_round_trips() {
-        let r = rec(Route::Tacc, TunerKind::Nm, 48.5, vec![12, 8], 2210.25);
+        let r = HistoryRecord {
+            scenario: "fleet".to_string(),
+            ..rec(Route::Tacc, TunerKind::Nm, 48.5, vec![12, 8], 2210.25)
+        };
         let line = r.to_json();
         assert!(line.starts_with("{\"kind\":\"history\",\"route\":\"anl->tacc\""));
+        assert!(line.ends_with("\"scenario\":\"fleet\"}"));
         assert_eq!(HistoryRecord::from_json(&line).unwrap(), r);
         // Non-history and malformed lines are skipped.
         assert!(HistoryRecord::from_json("{\"kind\":\"decision\"}").is_none());
         assert!(HistoryRecord::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn pre_scenario_lines_still_parse() {
+        // A line written before the scenario field existed.
+        let line = "{\"kind\":\"history\",\"route\":\"anl->uchicago\",\"tuner\":\"cs-tuner\",\"ext_streams\":5,\"cmp_jobs\":0,\"best\":[8,8],\"achieved_mbs\":3500}";
+        let r = HistoryRecord::from_json(line).expect("legacy line parses");
+        assert_eq!(r.scenario, "", "missing scenario defaults to empty");
+        assert_eq!(r.best, vec![8, 8]);
     }
 
     #[test]
@@ -355,25 +426,105 @@ mod tests {
             .unwrap();
         s.append(rec(Route::UChicago, TunerKind::Cs, 0.0, vec![9], 3800.0))
             .unwrap();
-        let (r, d) = s.nearest(Route::UChicago, TunerKind::Cs, 0.0, 0.0).unwrap();
+        let (r, d) = s
+            .nearest(Route::UChicago, TunerKind::Cs, 0.0, 0.0, "")
+            .unwrap();
         assert_eq!(d, 0.0);
         assert_eq!(r.best, vec![6], "earliest exact match wins");
+    }
+
+    #[test]
+    fn nearest_prefers_same_scenario_on_distance_ties() {
+        let mut s = HistoryStore::in_memory();
+        s.append(rec_in("fleet", 4.0, vec![6])).unwrap();
+        s.append(rec_in("uc-contended", 4.0, vec![9])).unwrap();
+        // Both are at the same distance from the query; the same-scenario
+        // record must win even though it was inserted later.
+        let (r, _) = s
+            .nearest(Route::UChicago, TunerKind::Cs, 4.0, 0.0, "uc-contended")
+            .unwrap();
+        assert_eq!(r.best, vec![9], "same-scenario record wins the tie");
+        // Without a scenario in the query the tiebreak is the lexicographic
+        // context key ("...|fleet" < "...|uc-contended").
+        let (r, _) = s
+            .nearest(Route::UChicago, TunerKind::Cs, 4.0, 0.0, "")
+            .unwrap();
+        assert_eq!(r.best, vec![6]);
+        // Scenario never overrides a genuinely closer record.
+        s.append(rec_in("uc-quiet", 4.05, vec![12])).unwrap();
+        let (r, _) = s
+            .nearest(Route::UChicago, TunerKind::Cs, 4.05, 0.0, "uc-contended")
+            .unwrap();
+        assert_eq!(r.best, vec![12], "distance dominates the scenario tiebreak");
+    }
+
+    #[test]
+    fn equidistant_tiebreak_is_lexicographic_then_insertion_order() {
+        let mut s = HistoryStore::in_memory();
+        // Two records whose distance to the query is exactly the tuner
+        // mismatch penalty (0.5), same scenario class: the smaller context
+        // key must win regardless of insertion order.
+        let nm = rec(Route::UChicago, TunerKind::Nm, 3.0, vec![30], 3000.0);
+        let cd = rec(Route::UChicago, TunerKind::Cd, 3.0, vec![20], 3000.0);
+        s.append(nm).unwrap();
+        s.append(cd).unwrap();
+        let (r, d) = s
+            .nearest(Route::UChicago, TunerKind::Cs, 3.0, 0.0, "")
+            .unwrap();
+        assert_eq!(d, 0.5);
+        assert_eq!(
+            r.best,
+            vec![20],
+            "cd-tuner key sorts before nm-tuner, so it wins the tie"
+        );
+        // Identical contexts: earliest insertion wins.
+        let mut s2 = HistoryStore::in_memory();
+        s2.append(rec_in("fleet", 3.0, vec![5])).unwrap();
+        s2.append(rec_in("fleet", 3.0, vec![8])).unwrap();
+        let (r, _) = s2
+            .nearest(Route::UChicago, TunerKind::Cs, 3.0, 0.0, "fleet")
+            .unwrap();
+        assert_eq!(r.best, vec![5]);
     }
 
     #[test]
     fn warm_start_falls_back_to_cold() {
         let mut s = HistoryStore::in_memory();
         assert!(!s
-            .warm_start(Route::UChicago, TunerKind::Cs, 0.0, 0.0, vec![2, 8], 2.0)
+            .warm_start(
+                Route::UChicago,
+                TunerKind::Cs,
+                0.0,
+                0.0,
+                "",
+                vec![2, 8],
+                2.0
+            )
             .is_warm());
         s.append(rec(Route::Tacc, TunerKind::Cs, 0.0, vec![12, 8], 2100.0))
             .unwrap();
         // Nearest is on the wrong route: distance 1000 exceeds the cutoff.
-        let w = s.warm_start(Route::UChicago, TunerKind::Cs, 0.0, 0.0, vec![2, 8], 2.0);
+        let w = s.warm_start(
+            Route::UChicago,
+            TunerKind::Cs,
+            0.0,
+            0.0,
+            "",
+            vec![2, 8],
+            2.0,
+        );
         assert!(!w.is_warm());
         s.append(rec(Route::UChicago, TunerKind::Cs, 3.0, vec![7, 8], 3900.0))
             .unwrap();
-        let w = s.warm_start(Route::UChicago, TunerKind::Cs, 3.0, 0.0, vec![2, 8], 2.0);
+        let w = s.warm_start(
+            Route::UChicago,
+            TunerKind::Cs,
+            3.0,
+            0.0,
+            "",
+            vec![2, 8],
+            2.0,
+        );
         assert!(w.is_warm());
         assert_eq!(w.x0, vec![7, 8]);
         // Dimension mismatch (1-D record, 2-D query) falls back to cold.
@@ -381,7 +532,15 @@ mod tests {
         s1.append(rec(Route::UChicago, TunerKind::Cs, 3.0, vec![7], 3900.0))
             .unwrap();
         assert!(!s1
-            .warm_start(Route::UChicago, TunerKind::Cs, 3.0, 0.0, vec![2, 8], 2.0)
+            .warm_start(
+                Route::UChicago,
+                TunerKind::Cs,
+                3.0,
+                0.0,
+                "",
+                vec![2, 8],
+                2.0
+            )
             .is_warm());
     }
 

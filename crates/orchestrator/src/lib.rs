@@ -28,6 +28,7 @@ pub mod health;
 pub mod history;
 pub mod job;
 pub mod policy;
+pub mod tournament;
 
 pub use admission::{AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
 pub use breaker::{BreakerBoard, BreakerConfig, BreakerState, RouteBreaker};
@@ -39,3 +40,7 @@ pub use health::{
 pub use history::{HistoryRecord, HistoryStore};
 pub use job::{JobId, JobSpec, JobState, Workload};
 pub use policy::Policy;
+pub use tournament::{
+    run_tournament, CellResult, Leaderboard, RankRow, ScenarioPreset, TournamentConfig,
+    TournamentOutcome,
+};

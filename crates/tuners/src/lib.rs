@@ -48,26 +48,32 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod bandit;
 pub mod baselines;
 pub mod cd;
 pub mod compass;
 pub mod domain;
 pub mod extra;
+pub mod heuristic;
 pub mod neldermead;
 pub mod offline;
 pub mod online;
 pub mod regret;
+pub mod surrogate;
 pub mod trigger;
 pub mod tuner;
 
 pub use audit::{AuditLog, DecisionAction, DecisionEvent, RetriggerCause};
+pub use bandit::BanditTuner;
 pub use baselines::{Heur1Tuner, Heur2Tuner, StaticTuner};
 pub use cd::CdTuner;
 pub use compass::CompassTuner;
 pub use domain::{Domain, Point};
 pub use extra::{GoldenSectionTuner, RandomSearchTuner, RecordingTuner};
+pub use heuristic::HeuristicTuner;
 pub use neldermead::NelderMeadTuner;
 pub use online::{run_online, OnlineStep, OnlineTrajectory};
 pub use regret::{summarize_regret, RegretSummary};
+pub use surrogate::HistoryTuner;
 pub use trigger::SignificanceMonitor;
 pub use tuner::{OnlineTuner, TunerKind, WarmStart, WarmStartSource};

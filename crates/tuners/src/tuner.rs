@@ -1,11 +1,14 @@
 //! The online tuner interface and a name-based factory.
 
 use crate::audit::AuditLog;
+use crate::bandit::BanditTuner;
 use crate::baselines::{Heur1Tuner, Heur2Tuner, StaticTuner};
 use crate::cd::CdTuner;
 use crate::compass::CompassTuner;
 use crate::domain::{Domain, Point};
+use crate::heuristic::HeuristicTuner;
 use crate::neldermead::NelderMeadTuner;
+use crate::surrogate::HistoryTuner;
 use serde::{Deserialize, Serialize};
 
 /// An online tuner: a pull-style state machine that proposes the parameter
@@ -129,21 +132,32 @@ pub enum TunerKind {
     Heur1,
     /// Yildirim's exponential heuristic (`heur2`).
     Heur2,
+    /// History-surrogate tuner: offline knowledge + adaptive sampling
+    /// (arXiv:1707.09455).
+    History,
+    /// Closed-form geometric-midpoint baseline.
+    Heuristic,
+    /// Tabular UCB1 bandit over a power-of-two arm ladder (arXiv:2211.11949).
+    Bandit,
 }
 
 impl TunerKind {
-    /// All kinds, in the order the paper's figures list them.
-    pub const ALL: [TunerKind; 6] = [
+    /// All kinds: the paper's six first (in the order its figures list
+    /// them), then the tournament additions.
+    pub const ALL: [TunerKind; 9] = [
         TunerKind::Default,
         TunerKind::Cd,
         TunerKind::Cs,
         TunerKind::Nm,
         TunerKind::Heur1,
         TunerKind::Heur2,
+        TunerKind::History,
+        TunerKind::Heuristic,
+        TunerKind::Bandit,
     ];
 
     /// Report name (`default`, `cd-tuner`, `cs-tuner`, `nm-tuner`, `heur1`,
-    /// `heur2`).
+    /// `heur2`, `history`, `heuristic`, `bandit`).
     pub fn name(self) -> &'static str {
         match self {
             TunerKind::Default => "default",
@@ -152,6 +166,9 @@ impl TunerKind {
             TunerKind::Nm => "nm-tuner",
             TunerKind::Heur1 => "heur1",
             TunerKind::Heur2 => "heur2",
+            TunerKind::History => "history",
+            TunerKind::Heuristic => "heuristic",
+            TunerKind::Bandit => "bandit",
         }
     }
 
@@ -169,6 +186,9 @@ impl TunerKind {
             TunerKind::Nm => Box::new(NelderMeadTuner::new(domain, x0, EPS)),
             TunerKind::Heur1 => Box::new(Heur1Tuner::new(domain, x0, EPS)),
             TunerKind::Heur2 => Box::new(Heur2Tuner::new(domain, x0, EPS)),
+            TunerKind::History => Box::new(HistoryTuner::new(domain, x0, EPS)),
+            TunerKind::Heuristic => Box::new(HeuristicTuner::new(domain, x0, EPS)),
+            TunerKind::Bandit => Box::new(BanditTuner::new(domain, x0, EPS)),
         }
     }
 
@@ -191,6 +211,9 @@ impl std::str::FromStr for TunerKind {
             "nm" | "nm-tuner" | "nelder-mead" => Ok(TunerKind::Nm),
             "heur1" => Ok(TunerKind::Heur1),
             "heur2" => Ok(TunerKind::Heur2),
+            "history" | "history-tuner" | "surrogate" => Ok(TunerKind::History),
+            "heuristic" => Ok(TunerKind::Heuristic),
+            "bandit" | "ucb" => Ok(TunerKind::Bandit),
             other => Err(format!("unknown tuner kind: {other}")),
         }
     }
@@ -237,7 +260,14 @@ mod tests {
 
     #[test]
     fn audited_tuners_expose_mutable_logs_for_namespacing() {
-        for kind in [TunerKind::Cd, TunerKind::Cs, TunerKind::Nm] {
+        for kind in [
+            TunerKind::Cd,
+            TunerKind::Cs,
+            TunerKind::Nm,
+            TunerKind::History,
+            TunerKind::Heuristic,
+            TunerKind::Bandit,
+        ] {
             let mut t = kind.build(Domain::paper_nc(), vec![2]);
             t.enable_audit();
             t.audit_log_mut()
@@ -390,6 +420,58 @@ mod proptests {
                     // epochs are a zero-throughput hole (abort/backoff).
                     let base = (4000.0 - ((x[0] - peak) as f64).powi(2) * 0.5).max(0.0);
                     let f = if rng.gen_bool(0.1) {
+                        0.0
+                    } else {
+                        base * rng.gen_range(0.5..1.5)
+                    };
+                    x = tuner.observe(&x.clone(), f);
+                    prop_assert!(
+                        domain.contains(&x),
+                        "{} (seed {seed}): proposed {:?} outside {:?}..{:?}",
+                        kind.name(), x, domain.lo(), domain.hi()
+                    );
+                }
+            }
+        }
+
+        /// The tournament additions (history, heuristic, bandit) under the
+        /// same regime the fleet imposes: a *reservation-restricted* domain
+        /// (the admission controller narrows `nc_hi` to the granted stream
+        /// budget) and a seeded fault tape of zero-throughput holes. Every
+        /// proposal must stay inside the restricted domain; the history
+        /// tuner must additionally survive arbitrary stored samples, which
+        /// may lie far outside the narrowed bounds.
+        #[test]
+        fn fuzz_new_tuner_kinds_respect_restricted_domains(
+            seed in 0u64..u64::MAX,
+            peak in 5i64..250,
+            (domain, x0) in arb_domain_and_start(),
+            samples in prop::collection::vec(
+                (prop::collection::vec(1i64..2000, 1..4), -10.0f64..5000.0),
+                0..12,
+            ),
+        ) {
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            for kind in [TunerKind::History, TunerKind::Heuristic, TunerKind::Bandit] {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut tuner: Box<dyn OnlineTuner + Send> =
+                    if kind == TunerKind::History {
+                        // Exercise the surrogate path: random stored samples
+                        // of random dimension (wrong-dim ones are dropped,
+                        // out-of-domain ones clamped).
+                        Box::new(
+                            HistoryTuner::new(domain.clone(), x0.clone(), 5.0)
+                                .with_samples(&samples),
+                        )
+                    } else {
+                        kind.build(domain.clone(), x0.clone())
+                    };
+                let mut x = tuner.initial();
+                prop_assert!(domain.contains(&x), "{}: initial {:?}", kind.name(), x);
+                for _ in 0..60 {
+                    let base = (4000.0 - ((x[0] - peak) as f64).powi(2) * 0.5).max(0.0);
+                    let f = if rng.gen_bool(0.15) {
                         0.0
                     } else {
                         base * rng.gen_range(0.5..1.5)

@@ -8,6 +8,7 @@
 # (tests/golden/) are compared byte-for-byte; re-bless with
 #   UPDATE_GOLDEN=1 cargo test --test determinism golden_fault_trace
 #   UPDATE_GOLDEN=1 cargo test --test telemetry
+#   UPDATE_GOLDEN=1 cargo test --test tournament
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,6 +80,28 @@ diff "$FLEET_TMP/full.txt" "$FLEET_TMP/resumed.txt" \
   || { echo "resume diverged from the uninterrupted run"; exit 1; }
 diff "$FLEET_TMP/hist-crash/history.jsonl" "$FLEET_TMP/hist-full/history.jsonl" \
   || { echo "resume diverged in the history file"; exit 1; }
+
+echo "==> tournament smoke (quick matrix, golden leaderboard diff)"
+cargo test -q --test tournament
+# Quick-mode matrix (capped epochs for the CI budget) must reproduce the
+# committed golden snapshot byte for byte from the CLI too.
+./target/release/xferopt tournament run --quick --seed 7 \
+  --report-out "$FLEET_TMP/tour.txt" --jsonl-out "$FLEET_TMP/tour.jsonl"
+diff "$FLEET_TMP/tour.txt" tests/golden/tournament/leaderboard.txt \
+  || { echo "tournament leaderboard drifted from golden"; exit 1; }
+./target/release/xferopt tournament report --in "$FLEET_TMP/tour.jsonl" \
+  > "$FLEET_TMP/tour-replay.txt"
+diff "$FLEET_TMP/tour-replay.txt" tests/golden/tournament/leaderboard.txt \
+  || { echo "tournament report replay drifted from golden"; exit 1; }
+head -c 80 "$FLEET_TMP/tour.jsonl" > "$FLEET_TMP/tour-trunc.jsonl"
+if ./target/release/xferopt tournament report --in "$FLEET_TMP/tour-trunc.jsonl" \
+  >/dev/null 2>&1; then
+  echo "tournament report accepted a truncated file"; exit 1
+fi
+
+echo "==> tuner domain-safety proptests (new tuner kinds)"
+cargo test -q -p xferopt-tuners fuzz_new_tuner_kinds_respect_restricted_domains
+cargo test -q -p xferopt-tuners fuzz_every_tuner_domain_safety
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

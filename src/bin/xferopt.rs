@@ -20,6 +20,12 @@
 //!                      [--stop-at-tick K]      # simulate a crash
 //! xferopt fleet resume --checkpoint PATH       # continue a killed run
 //! xferopt fleet report [--history DIR]         # digest a history store
+//! xferopt tournament run    [--quick] [--seed N] [--epochs N] [--epoch S]
+//!                           [--tuners a,b,...] [--scenarios a,b,...]
+//!                           [--history DIR] [--report-out PATH]
+//!                           [--csv-out PATH] [--jsonl-out PATH]
+//!                           [--decisions-out PATH]
+//! xferopt tournament report --in PATH [--csv]  # re-render a JSONL dump
 //! ```
 //!
 //! Everything runs the calibrated fluid testbed (see DESIGN.md); use the
@@ -423,9 +429,15 @@ fn cmd_fleet_report(args: &Args) -> Result<(), String> {
         .ok_or_else(|| "fleet report needs --history DIR".to_string())?;
     let store = HistoryStore::open(std::path::Path::new(dir))
         .map_err(|e| format!("cannot open history store {dir}: {e}"))?;
+    if store.skipped() > 0 {
+        return Err(format!(
+            "history store {dir} is truncated or corrupt: {} malformed line(s); \
+             refusing to print a partial table",
+            store.skipped()
+        ));
+    }
     if store.is_empty() {
-        println!("history store {dir}: empty");
-        return Ok(());
+        return Err(format!("history store {dir} is empty: nothing to report"));
     }
     let mut table = Table::new(vec!["route", "tuner", "ext streams", "best", "MB/s"]);
     for r in store.records() {
@@ -448,6 +460,101 @@ fn cmd_fleet_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `xferopt tournament run`: sweep every tuner × scenario preset × fault
+/// profile and emit the byte-deterministic leaderboard.
+fn cmd_tournament_run(args: &Args) -> Result<(), String> {
+    use xferopt::orchestrator::{run_tournament, ScenarioPreset, TournamentConfig};
+
+    let mut cfg = if args.has_flag("quick") {
+        TournamentConfig::quick()
+    } else {
+        TournamentConfig::default()
+    };
+    cfg.seed = args.get_parsed("seed", cfg.seed)?;
+    cfg.epochs = args.get_parsed("epochs", cfg.epochs)?;
+    cfg.epoch_s = args.get_parsed("epoch", cfg.epoch_s)?;
+    if cfg.epochs == 0 {
+        return Err("tournament needs --epochs >= 1".to_string());
+    }
+    if cfg.epoch_s <= 0.0 || cfg.epoch_s.is_nan() {
+        return Err("tournament needs --epoch > 0".to_string());
+    }
+    if let Some(list) = args.get("tuners") {
+        cfg.tuners = list
+            .split(',')
+            .map(|s| s.trim().parse::<TunerKind>())
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("scenarios") {
+        cfg.scenarios = list
+            .split(',')
+            .map(|s| s.trim().parse::<ScenarioPreset>())
+            .collect::<Result<_, _>>()?;
+    }
+    let mut history = open_history(args)?;
+    let out = run_tournament(&cfg, &mut history);
+
+    match args.get("report-out") {
+        Some(path) => {
+            std::fs::write(path, out.leaderboard.render())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("tournament: wrote leaderboard to {path}");
+        }
+        None => print!("{}", out.leaderboard.render()),
+    }
+    if let Some(path) = args.get("csv-out") {
+        std::fs::write(path, out.leaderboard.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("tournament: wrote CSV to {path}");
+    }
+    if let Some(path) = args.get("jsonl-out") {
+        std::fs::write(path, out.leaderboard.to_jsonl())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("tournament: wrote JSONL to {path}");
+    }
+    if let Some(path) = args.get("decisions-out") {
+        std::fs::write(path, &out.decisions_jsonl)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("tournament: wrote tuner decisions to {path}");
+    }
+    if args.get("history").is_some() {
+        eprintln!(
+            "tournament: appended {} history record(s) ({} total)",
+            out.history_appended,
+            history.len()
+        );
+    }
+    Ok(())
+}
+
+/// `xferopt tournament report`: re-render a leaderboard from its JSONL dump,
+/// failing loudly on empty or truncated input.
+fn cmd_tournament_report(args: &Args) -> Result<(), String> {
+    use xferopt::orchestrator::Leaderboard;
+
+    let path = args
+        .get("in")
+        .ok_or_else(|| "tournament report needs --in PATH".to_string())?;
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let board = Leaderboard::from_jsonl(&doc).map_err(|e| format!("{path}: {e}"))?;
+    if args.has_flag("csv") {
+        print!("{}", board.to_csv());
+    } else {
+        print!("{}", board.render());
+    }
+    Ok(())
+}
+
+fn cmd_tournament(sub: &str, args: &Args) -> Result<(), String> {
+    match sub {
+        "run" => cmd_tournament_run(args),
+        "report" => cmd_tournament_report(args),
+        other => Err(format!(
+            "unknown tournament subcommand: {other} (use run|report)"
+        )),
+    }
+}
+
 fn cmd_fleet(sub: &str, args: &Args) -> Result<(), String> {
     match sub {
         "run" => cmd_fleet_run(args),
@@ -460,7 +567,7 @@ fn cmd_fleet(sub: &str, args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: xferopt <run|sweep|compare|telemetry|fleet> [--flags]\n\
+    "usage: xferopt <run|sweep|compare|telemetry|fleet|tournament> [--flags]\n\
      run:     --route uc|tacc --tuner default|cd|cs|nm|heur1|heur2 --dims nc|ncnp\n\
      \u{20}        --np N --tfr N --cmp N --duration S --epoch S --seed N --csv\n\
      \u{20}        --faults flaky-link|degraded-wan|lossy-tacc\n\
@@ -477,7 +584,12 @@ fn usage() -> &'static str {
      \u{20}            --checkpoint-out PATH --checkpoint-every TICKS\n\
      \u{20}            --stop-at-tick K   (simulate a crash; resume later)\n\
      fleet resume: --checkpoint PATH [--history DIR + fleet-run output flags]\n\
-     fleet report: --history DIR"
+     fleet report: --history DIR\n\
+     tournament run:    --quick --seed N --epochs N --epoch S\n\
+     \u{20}                 --tuners a,b,... --scenarios uc-quiet,uc-contended,tacc-mixed\n\
+     \u{20}                 --history DIR --report-out PATH --csv-out PATH\n\
+     \u{20}                 --jsonl-out PATH --decisions-out PATH\n\
+     tournament report: --in PATH [--csv]"
 }
 
 fn main() -> ExitCode {
@@ -494,6 +606,10 @@ fn main() -> ExitCode {
         "fleet" => match rest.split_first() {
             Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_fleet(sub, &args)),
             None => Err(format!("fleet needs a subcommand\n{}", usage())),
+        },
+        "tournament" => match rest.split_first() {
+            Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_tournament(sub, &args)),
+            None => Err(format!("tournament needs a subcommand\n{}", usage())),
         },
         _ => Args::parse(rest).and_then(|args| match cmd.as_str() {
             "run" => cmd_run(&args),
