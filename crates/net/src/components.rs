@@ -1,0 +1,174 @@
+//! Connected components of the link-sharing graph.
+//!
+//! Two flows (or jobs) interact under max–min allocation only if their paths
+//! can reach a common bottleneck link, i.e. they are in the same connected
+//! component of the graph whose vertices are links and whose edges join
+//! links that appear on one path together. Progressive filling treats
+//! components independently: freezing a flow in one component never changes
+//! the fair share computed in another. The fleet orchestrator exploits this
+//! to shard a workload by component and tick the shards in parallel without
+//! changing a single allocated byte (DESIGN.md §15).
+//!
+//! [`UnionFind`] is the classic disjoint-set forest (path halving + union by
+//! rank); [`connected_groups`] maps each item (a set of link keys) to a
+//! dense component index, numbering components by first appearance so the
+//! grouping is deterministic for a deterministic input order.
+
+/// Disjoint-set forest over `usize` keys with path halving and union by
+/// rank. Amortised near-constant time per operation.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// A forest of `n` singleton sets `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements (not sets).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the forest holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    ///
+    /// # Panics
+    /// Panics if `x >= self.len()`.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets holding `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True when `a` and `b` are currently in the same set.
+    ///
+    /// # Panics
+    /// Panics if `a` or `b` is out of range.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Group items by connected component of the link-sharing graph.
+///
+/// Each item is the set of link keys its flow traverses; two items share a
+/// component when their key sets are connected (directly or transitively)
+/// through common keys. Returns one dense component index per item,
+/// numbered by first appearance (item 0 is always component 0), so equal
+/// inputs yield equal groupings — the determinism the sharded fleet path
+/// relies on. Items with no keys are isolated singleton components.
+#[must_use]
+pub fn connected_groups<I: AsRef<[usize]>>(items: &[I]) -> Vec<usize> {
+    // Union link keys per item, then collapse items onto their first key.
+    let max_key = items
+        .iter()
+        .flat_map(|it| it.as_ref().iter().copied())
+        .max()
+        .map_or(0, |m| m + 1);
+    // Extra slots past `max_key` give keyless items a private vertex each.
+    let mut uf = UnionFind::new(max_key + items.len());
+    for (i, item) in items.iter().enumerate() {
+        let keys = item.as_ref();
+        let anchor = keys.first().copied().unwrap_or(max_key + i);
+        for &k in keys.iter().skip(1) {
+            uf.union(anchor, k);
+        }
+    }
+    let mut order: Vec<usize> = Vec::new();
+    let mut groups = Vec::with_capacity(items.len());
+    let mut root_to_group = std::collections::HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        let keys = item.as_ref();
+        let anchor = keys.first().copied().unwrap_or(max_key + i);
+        let root = uf.find(anchor);
+        let g = *root_to_group.entry(root).or_insert_with(|| {
+            order.push(root);
+            order.len() - 1
+        });
+        groups.push(g);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_merges_and_finds() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(4, 5));
+        assert_eq!(uf.len(), 6);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn groups_number_by_first_appearance() {
+        // Items 0 and 2 share key 7; item 1 is alone on key 3.
+        let groups = connected_groups(&[vec![1, 7], vec![3], vec![7, 9]]);
+        assert_eq!(groups, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn transitive_sharing_joins_components() {
+        // 0-{a,b}, 1-{b,c}, 2-{c,d}: all one component through b and c.
+        let groups = connected_groups(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert_eq!(groups, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn keyless_items_are_singletons() {
+        let groups = connected_groups(&[vec![], vec![5], vec![], vec![5]]);
+        assert_eq!(groups, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let groups = connected_groups::<Vec<usize>>(&[]);
+        assert!(groups.is_empty());
+    }
+}

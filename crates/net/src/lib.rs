@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod components;
 pub mod dynamic;
 pub mod fairness;
 pub mod flow;
@@ -54,6 +55,7 @@ pub mod network;
 pub mod tcp;
 pub mod topology;
 
+pub use components::{connected_groups, UnionFind};
 pub use fairness::{jain_index, max_min_allocate, max_min_allocate_into, AllocScratch, FlowDemand};
 pub use flow::{FlowGroup, FlowId};
 pub use link::{Link, LinkId, Path, PathId};

@@ -57,6 +57,9 @@ pub(crate) fn job_to_json(j: &JobSpec) -> String {
         j.np,
         j.max_streams,
     );
+    if j.site != 0 {
+        s.push_str(&format!(",\"site\":{}", j.site));
+    }
     if let Some(d) = j.deadline_s {
         s.push_str(&format!(",\"deadline_s\":{}", json_f64(d)));
     }
@@ -93,6 +96,12 @@ fn parse_job(line: &str) -> Result<JobSpec, String> {
         tuner,
         np: num("np")? as u32,
         max_streams: num("max_streams")? as u32,
+        site: match json_field(line, "site") {
+            Some(v) => v
+                .parse::<u32>()
+                .map_err(|e| format!("bad site in checkpoint job line: {e}"))?,
+            None => 0,
+        },
     })
 }
 

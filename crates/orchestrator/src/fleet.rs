@@ -35,7 +35,7 @@
 //! checkpoints and the resume path can replay deterministically (see
 //! `checkpoint.rs`).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -368,6 +368,35 @@ pub struct FleetOutcome {
     pub history_appended: usize,
 }
 
+/// How a [`FleetSim`] reaches its history store: borrowed from the caller
+/// (the classic single-threaded path) or owned outright (shard component
+/// sims, which must be `'static` + `Send` to live on worker threads).
+pub(crate) enum HistoryHandle<'h> {
+    /// The caller's store, borrowed for the run.
+    Borrowed(&'h mut HistoryStore),
+    /// A store the sim owns (a [`HistoryStore::shard_snapshot`]).
+    Owned(HistoryStore),
+}
+
+impl std::ops::Deref for HistoryHandle<'_> {
+    type Target = HistoryStore;
+    fn deref(&self) -> &HistoryStore {
+        match self {
+            HistoryHandle::Borrowed(h) => h,
+            HistoryHandle::Owned(h) => h,
+        }
+    }
+}
+
+impl std::ops::DerefMut for HistoryHandle<'_> {
+    fn deref_mut(&mut self) -> &mut HistoryStore {
+        match self {
+            HistoryHandle::Borrowed(h) => h,
+            HistoryHandle::Owned(h) => h,
+        }
+    }
+}
+
 /// One admitted job's live state.
 struct RunningJob {
     spec: JobSpec,
@@ -426,7 +455,7 @@ pub struct FleetSim<'h> {
     config: FleetConfig,
     workload_jobs: Vec<JobSpec>,
     pw: PaperWorld,
-    pending: Vec<JobSpec>,
+    pending: VecDeque<JobSpec>,
     queued: Vec<JobSpec>,
     running: BTreeMap<JobId, RunningJob>,
     quarantined: BTreeMap<JobId, QuarantinedJob>,
@@ -440,29 +469,70 @@ pub struct FleetSim<'h> {
     events: Vec<SupervisionEvent>,
     supervision: SupervisionSummary,
     metrics: MetricsRegistry,
-    history: &'h mut HistoryStore,
+    history: HistoryHandle<'h>,
     history_appended: usize,
     history_start_len: usize,
+    /// Records appended during the current tick, drained by the sharded
+    /// runner (which re-serializes them into the real store in job-id order).
+    tick_appends: Vec<(JobId, HistoryRecord)>,
+    /// False while the admission picture is unchanged since the last blocked
+    /// admission pass; the next tick then skips the O(queue) policy scan
+    /// entirely. Any queue mutation, reservation release, or breaker state
+    /// transition sets it (the admission loop itself has no side effects on
+    /// a blocked attempt, so skipping it is byte-exact — enforced by the
+    /// golden snapshots).
+    admission_dirty: bool,
     last_shed_s: Vec<f64>,
     tick: u64,
     t: f64,
     done: bool,
 }
 
+/// Per-site world seed: site 0 keeps the configured seed verbatim (so the
+/// classic single-site fleet and its goldens see identical RNG streams);
+/// other sites mix the site index in.
+fn site_world_seed(seed: u64, site: u32) -> u64 {
+    seed ^ (site as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 impl<'h> FleetSim<'h> {
     /// Build the simulation at tick 0.
     ///
     /// # Panics
-    /// Panics when the config fails [`FleetConfig::validate`].
+    /// Panics when the config fails [`FleetConfig::validate`], or when the
+    /// workload spans multiple sites — one `FleetSim` simulates one site's
+    /// 3-link world; multi-site fleets go through
+    /// [`run_fleet_sharded`](crate::shard::run_fleet_sharded).
     pub fn new(workload: &Workload, config: &FleetConfig, history: &'h mut HistoryStore) -> Self {
+        Self::build(workload, config, HistoryHandle::Borrowed(history))
+    }
+
+    /// Build a simulation that owns its history store (shard component sims
+    /// are moved onto worker threads, so they cannot borrow).
+    pub(crate) fn new_owned(
+        workload: &Workload,
+        config: &FleetConfig,
+        history: HistoryStore,
+    ) -> FleetSim<'static> {
+        FleetSim::build(workload, config, HistoryHandle::Owned(history))
+    }
+
+    fn build(workload: &Workload, config: &FleetConfig, history: HistoryHandle<'h>) -> Self {
         config.validate();
-        let mut pw = PaperWorld::new(config.seed);
+        let site = workload.jobs().first().map_or(0, |j| j.site);
+        assert!(
+            workload.jobs().iter().all(|j| j.site == site),
+            "FleetSim simulates a single site; shard multi-site workloads \
+             with run_fleet_sharded"
+        );
+        let world_seed = site_world_seed(config.seed, site);
+        let mut pw = PaperWorld::new(world_seed);
         pw.world.enable_telemetry();
         // Strictly opt-in: enabling faults consumes one seed from the world's
         // stream, so a fault-free fleet must not call it at all (keeps
         // no-fault runs byte-identical to pre-supervision ones).
         if let Some(profile) = config.faults {
-            let plan = profile.fleet_plan(config.seed, config.horizon_s, workload.len() as u64);
+            let plan = profile.fleet_plan(world_seed, config.horizon_s, workload.len() as u64);
             pw.world
                 .enable_faults_with_policy(plan, config.health.retry);
         }
@@ -477,7 +547,7 @@ impl<'h> FleetSim<'h> {
             config: config.clone(),
             workload_jobs: workload.jobs().to_vec(),
             pw,
-            pending: workload.jobs().to_vec(),
+            pending: workload.jobs().iter().cloned().collect(),
             queued: Vec::new(),
             running: BTreeMap::new(),
             quarantined: BTreeMap::new(),
@@ -493,6 +563,8 @@ impl<'h> FleetSim<'h> {
             history,
             history_appended: 0,
             history_start_len,
+            tick_appends: Vec::new(),
+            admission_dirty: true,
             last_shed_s: vec![f64::NEG_INFINITY; 3],
             tick: 0,
             t: 0.0,
@@ -563,13 +635,16 @@ impl<'h> FleetSim<'h> {
         if self.done {
             return false;
         }
+        self.tick_appends.clear();
         // 1. Arrivals (pending is sorted by (arrival, id)).
         while self
             .pending
-            .first()
+            .front()
             .is_some_and(|j| j.arrival_s <= self.t + 1e-9)
         {
-            self.queued.push(self.pending.remove(0));
+            let j = self.pending.pop_front().expect("front checked");
+            self.queued.push(j);
+            self.admission_dirty = true;
         }
         // 1b. Requeues: quarantined jobs whose backoff elapsed rejoin the
         // queue (in job-id order).
@@ -590,17 +665,23 @@ impl<'h> FleetSim<'h> {
             );
             self.carry.insert(id, q.carry);
             self.queued.push(q.spec);
+            self.admission_dirty = true;
         }
         // 1c. Breakers advance (cooldowns elapse into half-open probes).
         for (l, tr) in self.breakers.tick(self.t) {
             self.push_event(tr, None, Some(l), String::new());
+            self.admission_dirty = true;
         }
         // 1d. Sustained-pressure shedding.
         self.shed();
 
         // 2. Admission: policy pick over breaker-admissible jobs, with
-        // head-of-line blocking on link capacity.
-        loop {
+        // head-of-line blocking on link capacity. Skipped outright while
+        // nothing that feeds the pick (queue, reservations, breaker states,
+        // admitted-by-class counters) has changed since the last blocked
+        // pass: a re-run would rebuild the same view, pick the same job, and
+        // block the same way, with zero side effects.
+        while self.admission_dirty {
             let mask: Vec<usize> = self
                 .queued
                 .iter()
@@ -609,10 +690,12 @@ impl<'h> FleetSim<'h> {
                 .map(|(i, _)| i)
                 .collect();
             if mask.is_empty() {
+                self.admission_dirty = false;
                 break;
             }
             let view: Vec<JobSpec> = mask.iter().map(|&i| self.queued[i].clone()).collect();
             let Some(vidx) = self.config.policy.pick_next(&view, &self.admitted_by_class) else {
+                self.admission_dirty = false;
                 break;
             };
             let qidx = mask[vidx];
@@ -620,6 +703,7 @@ impl<'h> FleetSim<'h> {
                 .admission
                 .try_admit_gated(&self.queued[qidx], &mut self.breakers)
             else {
+                self.admission_dirty = false;
                 break; // head-of-line blocked until a reservation frees up
             };
             let spec = self.queued.remove(qidx);
@@ -656,6 +740,7 @@ impl<'h> FleetSim<'h> {
                 record_epoch(&mut job, self.t, &report);
             }
             self.admission.release(id);
+            self.admission_dirty = true;
             for l in route_links(job.spec.route) {
                 if let Some(tr) = self.breakers.on_success(l, self.t) {
                     self.push_event(tr, None, Some(l), String::new());
@@ -664,17 +749,17 @@ impl<'h> FleetSim<'h> {
             let moved = self.pw.world.moved_mb(job.tid);
             let elapsed = (self.t - job.admitted_s).max(self.config.tick_s);
             if job.best_mbs > 0.0 {
-                self.history
-                    .append(HistoryRecord {
-                        route: job.spec.route,
-                        tuner: job.spec.tuner,
-                        ext_streams: job.ext_streams,
-                        cmp_jobs: 0.0,
-                        best: vec![job.best_params.nc as i64],
-                        achieved_mbs: job.best_mbs,
-                        scenario: "fleet".to_string(),
-                    })
-                    .expect("history append");
+                let record = HistoryRecord {
+                    route: job.spec.route,
+                    tuner: job.spec.tuner,
+                    ext_streams: job.ext_streams,
+                    cmp_jobs: 0.0,
+                    best: vec![job.best_params.nc as i64],
+                    achieved_mbs: job.best_mbs,
+                    scenario: "fleet".to_string(),
+                };
+                self.tick_appends.push((id, record.clone()));
+                self.history.append(record).expect("history append");
                 self.history_appended += 1;
             }
             let o = retire(
@@ -712,6 +797,9 @@ impl<'h> FleetSim<'h> {
                     for l in route_links(route) {
                         if let Some(tr) = self.breakers.on_success(l, self.t) {
                             self.push_event(tr, None, Some(l), String::new());
+                            // A state transition (half-open closing) widens
+                            // what admission may grant next tick.
+                            self.admission_dirty = true;
                         }
                     }
                     self.next_epoch(id, observed);
@@ -861,6 +949,7 @@ impl<'h> FleetSim<'h> {
     fn quarantine(&mut self, id: JobId) {
         let mut job = self.running.remove(&id).expect("job is running");
         self.admission.release(id);
+        self.admission_dirty = true;
         // Idle the transfer: zero streams move nothing but keep the byte
         // counter alive for the resumed attempt.
         self.pw
@@ -965,6 +1054,7 @@ impl<'h> FleetSim<'h> {
                 .map(|(i, _)| i);
             let Some(pos) = victim else { continue };
             let spec = self.queued.remove(pos);
+            self.admission_dirty = true;
             self.supervision.shed += 1;
             self.push_event(
                 "shed",
@@ -988,19 +1078,23 @@ impl<'h> FleetSim<'h> {
         }
     }
 
+    /// Records appended to the history store during the last completed tick,
+    /// in completion (job-id) order. The sharded runner drains this every
+    /// tick to serialize all shards' appends into the real store.
+    pub(crate) fn take_tick_appends(&mut self) -> Vec<(JobId, HistoryRecord)> {
+        std::mem::take(&mut self.tick_appends)
+    }
+
     /// Deterministic digest of the live state (checkpoint verification).
     pub fn state_digest(&self) -> String {
-        let ids = |v: &[JobSpec]| {
-            v.iter()
-                .map(|j| j.id.0.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        };
+        fn ids<'a>(it: impl Iterator<Item = &'a JobSpec>) -> String {
+            it.map(|j| j.id.0.to_string()).collect::<Vec<_>>().join(",")
+        }
         let mut s = format!("tick={};t={};", self.tick, json_f64(self.t));
         s.push_str(&format!(
             "pending={};queued={};",
-            ids(&self.pending),
-            ids(&self.queued)
+            ids(self.pending.iter()),
+            ids(self.queued.iter())
         ));
         for (id, j) in &self.running {
             s.push_str(&format!(
@@ -1060,48 +1154,30 @@ impl<'h> FleetSim<'h> {
     /// with history appends redirected to memory, verifies the digest, then
     /// continues with persistence re-enabled.
     pub fn checkpoint(&self) -> String {
-        let c = &self.config;
-        let mut out = format!(
-            "{{\"kind\":\"fleet-checkpoint\",\"version\":1,\"tick\":{},\"t_s\":{},\"policy\":\"{}\",\"seed\":{},\"horizon_s\":{},\"tick_s\":{},\"epoch_s\":{},\"budget\":{},\"warm\":{},\"max_match_distance\":{},\"noise_sigma\":{},\"audit\":{},\"shed_after_s\":{}",
+        render_checkpoint(
+            &self.config,
             self.tick,
-            json_f64(self.t),
-            c.policy,
-            c.seed,
-            json_f64(c.horizon_s),
-            json_f64(c.tick_s),
-            json_f64(c.epoch_s),
-            c.link_budget,
-            c.warm_start,
-            json_f64(c.max_match_distance),
-            json_f64(c.noise_sigma),
-            c.audit,
-            json_f64(c.shed_after_s),
-        );
-        if let Some(p) = c.faults {
-            out.push_str(&format!(",\"faults\":\"{}\"", p.name()));
-        }
-        out.push_str(&format!(
-            ",\"jobs\":{},\"history_start_len\":{},\"history_appended\":{}}}\n",
-            self.workload_jobs.len(),
+            self.t,
+            &self.workload_jobs,
             self.history_start_len,
-            self.history_appended
-        ));
-        for j in &self.workload_jobs {
-            out.push_str(&crate::checkpoint::job_to_json(j));
-            out.push('\n');
-        }
-        out.push_str(&format!(
-            "{{\"kind\":\"fleet-digest\",\"fnv\":\"{:016x}\"}}\n",
-            self.digest_hash()
-        ));
-        out
+            self.history_appended,
+            self.digest_hash(),
+        )
     }
 
     /// Close out the run and assemble the outcome. Jobs still running are
     /// `Unfinished`; quarantined or requeued-but-not-readmitted jobs are
     /// `Unfinished` with their carried statistics; never-admitted jobs stay
     /// `Queued`/`Pending`.
-    pub fn finish(mut self) -> FleetOutcome {
+    pub fn finish(self) -> FleetOutcome {
+        self.finish_parts().into_outcome()
+    }
+
+    /// Close out the run into structured parts (the sharded runner merges
+    /// per-component parts with deterministic keys before rendering; the
+    /// single-threaded path renders them directly, so both paths share one
+    /// formatter).
+    pub(crate) fn finish_parts(mut self) -> FleetParts {
         let ids: Vec<JobId> = self.running.keys().copied().collect();
         for id in ids {
             let mut job = self.running.remove(&id).expect("job is running");
@@ -1154,47 +1230,131 @@ impl<'h> FleetSim<'h> {
         self.outcomes.sort_by_key(|o| o.id);
         self.decisions.sort_by_key(|(id, _)| *id);
 
-        let telemetry_jsonl = self
+        let telemetry = self
             .pw
             .world
             .take_telemetry()
             .map(|tel| {
-                let mut s = String::new();
-                for e in tel.epochs() {
-                    s.push_str(&e.to_json());
-                    s.push('\n');
-                }
-                s
+                tel.epochs()
+                    .iter()
+                    .map(|e| (e.start_s, e.to_json()))
+                    .collect()
             })
             .unwrap_or_default();
-        let supervision_jsonl = {
-            let mut s = String::new();
-            for e in &self.events {
-                s.push_str(&e.to_json());
-                s.push('\n');
-            }
-            s
-        };
-        let metrics_jsonl = if self.metrics.is_empty() {
-            String::new()
+        let metrics = if self.metrics.is_empty() {
+            None
         } else {
-            self.metrics.snapshot().to_jsonl()
+            Some(self.metrics.snapshot())
         };
 
+        FleetParts {
+            config: self.config,
+            submitted: self.workload_jobs.len(),
+            outcomes: self.outcomes,
+            decisions: self.decisions,
+            telemetry,
+            events: self.events,
+            supervision: self.supervision,
+            metrics,
+            history_appended: self.history_appended,
+        }
+    }
+}
+
+/// Structured output of one finished [`FleetSim`]: everything a
+/// [`FleetOutcome`] renders, before rendering. Component parts of a sharded
+/// run are merged field-by-field with deterministic ordering keys (job id
+/// for outcomes/decisions, epoch start time for telemetry, event time for
+/// supervision — component order breaks ties) and then rendered through the
+/// same formatter as the single-threaded path.
+pub(crate) struct FleetParts {
+    pub(crate) config: FleetConfig,
+    pub(crate) submitted: usize,
+    pub(crate) outcomes: Vec<JobOutcome>,
+    pub(crate) decisions: Vec<(JobId, String)>,
+    /// `(epoch start_s, rendered JSON line)` in the world's recording order.
+    pub(crate) telemetry: Vec<(f64, String)>,
+    pub(crate) events: Vec<SupervisionEvent>,
+    pub(crate) supervision: SupervisionSummary,
+    pub(crate) metrics: Option<xferopt_simcore::metrics::MetricsSnapshot>,
+    pub(crate) history_appended: usize,
+}
+
+impl FleetParts {
+    /// Render into the public [`FleetOutcome`] form.
+    pub(crate) fn into_outcome(self) -> FleetOutcome {
+        let mut telemetry_jsonl = String::new();
+        for (_, line) in &self.telemetry {
+            telemetry_jsonl.push_str(line);
+            telemetry_jsonl.push('\n');
+        }
+        let mut supervision_jsonl = String::new();
+        for e in &self.events {
+            supervision_jsonl.push_str(&e.to_json());
+            supervision_jsonl.push('\n');
+        }
         FleetOutcome {
             report: FleetReport {
-                config: self.config.clone(),
-                submitted: self.workload_jobs.len(),
+                config: self.config,
+                submitted: self.submitted,
                 outcomes: self.outcomes,
                 supervision: self.supervision,
             },
             decisions_jsonl: self.decisions.into_iter().map(|(_, s)| s).collect(),
             telemetry_jsonl,
             supervision_jsonl,
-            metrics_jsonl,
+            metrics_jsonl: self.metrics.map(|m| m.to_jsonl()).unwrap_or_default(),
             history_appended: self.history_appended,
         }
     }
+}
+
+/// Render a fleet checkpoint (JSONL: header, one line per workload job, one
+/// digest line) — shared by [`FleetSim::checkpoint`] and the sharded runner,
+/// so the wire format cannot drift between the two paths.
+pub(crate) fn render_checkpoint(
+    config: &FleetConfig,
+    tick: u64,
+    t: f64,
+    jobs: &[JobSpec],
+    history_start_len: usize,
+    history_appended: usize,
+    digest: u64,
+) -> String {
+    let c = config;
+    let mut out = format!(
+        "{{\"kind\":\"fleet-checkpoint\",\"version\":1,\"tick\":{},\"t_s\":{},\"policy\":\"{}\",\"seed\":{},\"horizon_s\":{},\"tick_s\":{},\"epoch_s\":{},\"budget\":{},\"warm\":{},\"max_match_distance\":{},\"noise_sigma\":{},\"audit\":{},\"shed_after_s\":{}",
+        tick,
+        json_f64(t),
+        c.policy,
+        c.seed,
+        json_f64(c.horizon_s),
+        json_f64(c.tick_s),
+        json_f64(c.epoch_s),
+        c.link_budget,
+        c.warm_start,
+        json_f64(c.max_match_distance),
+        json_f64(c.noise_sigma),
+        c.audit,
+        json_f64(c.shed_after_s),
+    );
+    if let Some(p) = c.faults {
+        out.push_str(&format!(",\"faults\":\"{}\"", p.name()));
+    }
+    out.push_str(&format!(
+        ",\"jobs\":{},\"history_start_len\":{},\"history_appended\":{}}}\n",
+        jobs.len(),
+        history_start_len,
+        history_appended
+    ));
+    for j in jobs {
+        out.push_str(&crate::checkpoint::job_to_json(j));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{{\"kind\":\"fleet-digest\",\"fnv\":\"{digest:016x}\"}}\n"
+    ));
+    out
 }
 
 /// Run `workload` under `config`, appending completed jobs to `history`.

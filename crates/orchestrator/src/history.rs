@@ -215,6 +215,22 @@ impl HistoryStore {
         self.skipped
     }
 
+    /// An in-memory snapshot of this store for one shard of a sharded fleet
+    /// run: same records and `skipped` count, but no backing file — the
+    /// shard appends locally while the sharded runner serializes the same
+    /// records into the real store in deterministic job-id order (DESIGN.md
+    /// §15). For a single-component run the snapshot's contents track the
+    /// real store exactly, keeping warm-start lookups byte-identical to the
+    /// single-threaded reference path.
+    pub fn shard_snapshot(&self) -> HistoryStore {
+        HistoryStore {
+            records: self.records.clone(),
+            path: None,
+            skipped: self.skipped,
+            persist: true,
+        }
+    }
+
     /// Directory the store persists to, when file-backed.
     pub fn dir(&self) -> Option<&Path> {
         self.path.as_deref().and_then(Path::parent)

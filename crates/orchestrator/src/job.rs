@@ -109,6 +109,11 @@ pub struct JobSpec {
     /// Stream reservation requested from admission control (caps the tuner's
     /// domain so the job can never exceed its granted share).
     pub max_streams: u32,
+    /// Testbed site (independent replica of the paper's 3-link topology)
+    /// the job transfers from. Jobs on different sites share no link, so the
+    /// sharded runner simulates each site as its own connected component
+    /// (see DESIGN.md §15). Site 0 is the classic single-site fleet.
+    pub site: u32,
 }
 
 impl JobSpec {
@@ -127,6 +132,7 @@ impl JobSpec {
             tuner: TunerKind::Cs,
             np: 8,
             max_streams: 128,
+            site: 0,
         }
     }
 
@@ -166,6 +172,13 @@ impl JobSpec {
     pub fn with_np(mut self, np: u32) -> Self {
         assert!(np >= 1, "np must be >= 1");
         self.np = np;
+        self
+    }
+
+    /// Place the job on a testbed site (an independent replica of the
+    /// 3-link paper topology). Jobs on different sites never share a link.
+    pub fn with_site(mut self, site: u32) -> Self {
+        self.site = site;
         self
     }
 
@@ -235,6 +248,52 @@ impl Workload {
             jobs.push(spec);
         }
         Workload::new(jobs)
+    }
+
+    /// [`Workload::synthetic`] spread round-robin over `sites` independent
+    /// testbed sites: job `i` keeps its synthetic spec but runs at site
+    /// `i % sites`. With `sites == 1` this is exactly [`Workload::synthetic`]
+    /// (every job at site 0), so single-site callers see unchanged bytes.
+    pub fn synthetic_sites(n: usize, seed: u64, sites: u32) -> Self {
+        assert!(sites >= 1, "need at least one site");
+        let mut jobs = Workload::synthetic(n, seed).jobs;
+        if sites > 1 {
+            for j in &mut jobs {
+                j.site = (j.id.0 % sites as u64) as u32;
+            }
+        }
+        Workload::new(jobs)
+    }
+
+    /// The fleet-scaling benchmark workload: `n` identical long jobs over
+    /// `sites` sites. 90% of the jobs are preloaded at `t = 0` (a deep
+    /// standing queue — the admission-bound regime a 100k-job fleet lives
+    /// in) and the rest arrive one per 5 s tick, cycling sites, so each
+    /// tick perturbs exactly one site's admission state — the event-locality
+    /// pattern the sharded runner exploits (DESIGN.md §15). Sizes are large
+    /// enough that nothing completes inside a bounded measurement window.
+    pub fn fleet_scale(n: usize, sites: u32) -> Self {
+        assert!(sites >= 1, "need at least one site");
+        let preload = n * 9 / 10;
+        Workload::new(
+            (0..n)
+                .map(|i| {
+                    let arrival = if i < preload {
+                        0.0
+                    } else {
+                        (i - preload) as f64 * 5.0
+                    };
+                    JobSpec::new(i as u64, arrival, 400_000.0)
+                        .with_tuner(TunerKind::Cs)
+                        .with_site(i as u32 % sites)
+                })
+                .collect(),
+        )
+    }
+
+    /// Highest site index any job uses (0 for classic single-site fleets).
+    pub fn max_site(&self) -> u32 {
+        self.jobs.iter().map(|j| j.site).max().unwrap_or(0)
     }
 
     /// The golden contention scenario: `n` identical compass-search jobs on

@@ -28,6 +28,7 @@ pub mod health;
 pub mod history;
 pub mod job;
 pub mod policy;
+pub mod shard;
 pub mod tournament;
 
 pub use admission::{AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
@@ -40,6 +41,7 @@ pub use health::{
 pub use history::{HistoryRecord, HistoryStore};
 pub use job::{JobId, JobSpec, JobState, Workload};
 pub use policy::Policy;
+pub use shard::{resume_fleet_sharded, run_fleet_sharded, ShardPlan, ShardedFleetSim};
 pub use tournament::{
     run_tournament, CellResult, Leaderboard, RankRow, ScenarioPreset, TournamentConfig,
     TournamentOutcome,

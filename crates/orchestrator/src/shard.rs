@@ -1,0 +1,658 @@
+//! Sharded parallel fleet execution (DESIGN.md §15).
+//!
+//! Jobs whose flows share no link are independent under max–min allocation:
+//! progressive filling never lets one component's flows change another's
+//! fair share. [`ShardPlan`] partitions a workload by connected component of
+//! the link-sharing graph (union-find over each job's `(site, link)` keys,
+//! via [`xferopt_net::connected_groups`]); every component becomes its own
+//! [`FleetSim`] with a site-derived world seed, and [`ShardedFleetSim`]
+//! ticks the components — inline for `--shards 1`, on a persistent worker
+//! pool for `--shards N` — then merges their outputs with deterministic
+//! ordering keys:
+//!
+//! * outcomes and decision logs sort by job id;
+//! * telemetry epochs stable-merge by epoch start time (component order
+//!   breaks ties);
+//! * supervision events stable-merge by event time;
+//! * summary counters add; metrics snapshots merge (counters add, identical
+//!   gauges are right-biased no-ops);
+//! * per-tick history appends flush to the backing store sorted by job id.
+//!
+//! The decomposition and every merge key are pure functions of the
+//! workload, so **the byte output is independent of the shard count** —
+//! `--shards 8` replays exactly what `--shards 1` produces, and a
+//! single-component workload reproduces the plain [`run_fleet`] bytes
+//! (the merge degenerates to passthrough). Checkpoints use the same wire
+//! format as the single-threaded path with the digest taken over the
+//! per-component state digests joined in component order, so a run
+//! checkpointed under `--shards 4` can resume under any other shard count
+//! ([`resume_fleet_sharded`]).
+//!
+//! The worker pool is plain `std::thread` + `std::sync::mpsc` in strict
+//! lockstep: the runner broadcasts one command per tick and waits for every
+//! worker's response before advancing, so parallelism never reorders
+//! anything observable.
+
+use std::sync::mpsc;
+use std::thread;
+
+use crate::admission::route_links;
+use crate::checkpoint::{fnv1a, Checkpoint};
+use crate::fleet::{render_checkpoint, FleetConfig, FleetOutcome, FleetParts, FleetSim};
+use crate::history::{HistoryRecord, HistoryStore};
+use crate::job::{JobId, JobSpec, Workload};
+use xferopt_net::connected_groups;
+
+/// The workload split by connected component of the link-sharing graph.
+///
+/// Component `i` holds every job whose route links are (transitively)
+/// connected to component `i`'s links within the same site; components are
+/// numbered by first appearance in the `(arrival, id)`-sorted job order, so
+/// the plan is a pure function of the workload.
+#[derive(Debug)]
+pub struct ShardPlan {
+    components: Vec<Workload>,
+}
+
+impl ShardPlan {
+    /// Partition `workload` by link-sharing component.
+    ///
+    /// Each job contributes the links of its route keyed by site (sites are
+    /// independent replicas of the 3-link topology, so links on different
+    /// sites never alias). Within today's topology every route crosses the
+    /// shared WAN bottleneck, so components coincide with sites — but the
+    /// rule is stated over links so finer topologies shard for free.
+    #[must_use]
+    pub fn compute(workload: &Workload) -> ShardPlan {
+        let items: Vec<[usize; 2]> = workload
+            .jobs()
+            .iter()
+            .map(|j| {
+                let [a, b] = route_links(j.route);
+                let base = j.site as usize * 8;
+                [base + a, base + b]
+            })
+            .collect();
+        let groups = connected_groups(&items);
+        let ncomps = groups.iter().copied().max().map_or(0, |m| m + 1);
+        let mut buckets: Vec<Vec<JobSpec>> = vec![Vec::new(); ncomps];
+        for (j, g) in workload.jobs().iter().zip(&groups) {
+            buckets[*g].push(j.clone());
+        }
+        ShardPlan {
+            components: buckets.into_iter().map(Workload::new).collect(),
+        }
+    }
+
+    /// The per-component workloads, in component order.
+    #[must_use]
+    pub fn components(&self) -> &[Workload] {
+        &self.components
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the workload was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// History appends from one batch, tagged `(tick offset, job id, record)` —
+/// the offset is 1-based into the batch so the runner can flush them in
+/// global `(tick, job id)` order.
+type TickAppends = Vec<(u64, JobId, HistoryRecord)>;
+
+/// One component's batch result: `(component index, ticks advanced,
+/// tick-tagged history appends)`.
+type BatchOut = (usize, u64, TickAppends);
+
+enum Cmd {
+    Run(u64),
+    Digest,
+    Finish,
+}
+
+enum Rsp {
+    Run(Vec<BatchOut>),
+    Digest(Vec<(usize, String)>),
+    Finish(Vec<(usize, FleetParts)>),
+}
+
+/// Tick one component up to `max` times (stopping early when it finishes).
+/// Returns the ticks advanced and every history append tagged with the tick
+/// it happened on, so the runner can flush the global per-tick job-id order
+/// regardless of batch size.
+fn run_comp(idx: usize, sim: &mut FleetSim<'static>, max: u64) -> BatchOut {
+    let mut appends = Vec::new();
+    let mut advanced = 0;
+    while advanced < max {
+        if !sim.tick() {
+            break;
+        }
+        advanced += 1;
+        for (id, rec) in sim.take_tick_appends() {
+            appends.push((advanced, id, rec));
+        }
+    }
+    (idx, advanced, appends)
+}
+
+/// Persistent worker threads, each owning a slice of the component sims.
+/// Commands broadcast in lockstep; responses are re-sorted by component
+/// index so thread scheduling never reorders anything.
+struct WorkerPool {
+    cmd_txs: Vec<mpsc::Sender<Cmd>>,
+    rsp_rx: mpsc::Receiver<Rsp>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+fn worker_loop(
+    mut sims: Vec<(usize, FleetSim<'static>)>,
+    cmd_rx: &mpsc::Receiver<Cmd>,
+    rsp_tx: &mpsc::Sender<Rsp>,
+) {
+    while let Ok(cmd) = cmd_rx.recv() {
+        let rsp = match cmd {
+            Cmd::Run(max) => Rsp::Run(sims.iter_mut().map(|(i, s)| run_comp(*i, s, max)).collect()),
+            Cmd::Digest => Rsp::Digest(sims.iter().map(|(i, s)| (*i, s.state_digest())).collect()),
+            Cmd::Finish => {
+                let parts = sims.drain(..).map(|(i, s)| (i, s.finish_parts())).collect();
+                let _ = rsp_tx.send(Rsp::Finish(parts));
+                return;
+            }
+        };
+        if rsp_tx.send(rsp).is_err() {
+            return;
+        }
+    }
+}
+
+impl WorkerPool {
+    fn new(sims: Vec<FleetSim<'static>>, shards: usize) -> WorkerPool {
+        let n = shards.min(sims.len()).max(1);
+        let mut buckets: Vec<Vec<(usize, FleetSim<'static>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (i, sim) in sims.into_iter().enumerate() {
+            buckets[i % n].push((i, sim));
+        }
+        let (rsp_tx, rsp_rx) = mpsc::channel();
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for bucket in buckets {
+            let (cmd_tx, cmd_rx) = mpsc::channel();
+            let tx = rsp_tx.clone();
+            handles.push(thread::spawn(move || worker_loop(bucket, &cmd_rx, &tx)));
+            cmd_txs.push(cmd_tx);
+        }
+        WorkerPool {
+            cmd_txs,
+            rsp_rx,
+            handles,
+        }
+    }
+
+    fn broadcast(&self, cmd: impl Fn() -> Cmd) {
+        for tx in &self.cmd_txs {
+            tx.send(cmd()).expect("shard worker alive");
+        }
+    }
+
+    fn run_all(&mut self, max: u64) -> Vec<(u64, TickAppends)> {
+        self.broadcast(|| Cmd::Run(max));
+        let mut out: Vec<BatchOut> = Vec::new();
+        for _ in 0..self.cmd_txs.len() {
+            match self.rsp_rx.recv().expect("shard worker alive") {
+                Rsp::Run(v) => out.extend(v),
+                _ => unreachable!("lockstep protocol: run response expected"),
+            }
+        }
+        out.sort_by_key(|(i, _, _)| *i);
+        out.into_iter().map(|(_, a, ap)| (a, ap)).collect()
+    }
+
+    fn digests(&mut self) -> Vec<String> {
+        self.broadcast(|| Cmd::Digest);
+        let mut out: Vec<(usize, String)> = Vec::new();
+        for _ in 0..self.cmd_txs.len() {
+            match self.rsp_rx.recv().expect("shard worker alive") {
+                Rsp::Digest(v) => out.extend(v),
+                _ => unreachable!("lockstep protocol: digest response expected"),
+            }
+        }
+        out.sort_by_key(|(i, _)| *i);
+        out.into_iter().map(|(_, d)| d).collect()
+    }
+
+    fn finish_all(mut self) -> Vec<FleetParts> {
+        self.broadcast(|| Cmd::Finish);
+        let mut out: Vec<(usize, FleetParts)> = Vec::new();
+        for _ in 0..self.cmd_txs.len() {
+            match self.rsp_rx.recv().expect("shard worker alive") {
+                Rsp::Finish(v) => out.extend(v),
+                _ => unreachable!("lockstep protocol: finish response expected"),
+            }
+        }
+        for h in self.handles.drain(..) {
+            h.join().expect("shard worker exits cleanly");
+        }
+        out.sort_by_key(|(i, _)| *i);
+        out.into_iter().map(|(_, p)| p).collect()
+    }
+}
+
+/// How the component sims execute: inline on the caller's thread (the
+/// retained reference path, `--shards 1`) or on the worker pool. Both paths
+/// run the identical per-component code and the identical merge.
+enum Exec {
+    Inline(Vec<FleetSim<'static>>),
+    Pool(WorkerPool),
+}
+
+impl Exec {
+    fn run_all(&mut self, max: u64) -> Vec<(u64, TickAppends)> {
+        match self {
+            Exec::Inline(sims) => sims
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| {
+                    let (_, a, ap) = run_comp(i, s, max);
+                    (a, ap)
+                })
+                .collect(),
+            Exec::Pool(pool) => pool.run_all(max),
+        }
+    }
+
+    fn digests(&mut self) -> Vec<String> {
+        match self {
+            Exec::Inline(sims) => sims.iter().map(FleetSim::state_digest).collect(),
+            Exec::Pool(pool) => pool.digests(),
+        }
+    }
+
+    fn finish_all(self) -> Vec<FleetParts> {
+        match self {
+            Exec::Inline(sims) => sims.into_iter().map(FleetSim::finish_parts).collect(),
+            Exec::Pool(pool) => pool.finish_all(),
+        }
+    }
+}
+
+/// A fleet run sharded by link-sharing component, stepped one global tick at
+/// a time (the CLI's checkpoint loop drives this exactly like a plain
+/// [`FleetSim`]). See the module docs for the determinism argument.
+pub struct ShardedFleetSim<'h> {
+    config: FleetConfig,
+    workload_jobs: Vec<JobSpec>,
+    history: &'h mut HistoryStore,
+    exec: Exec,
+    tick: u64,
+    t: f64,
+    done: bool,
+    history_start_len: usize,
+    history_appended: usize,
+}
+
+impl<'h> ShardedFleetSim<'h> {
+    /// Build the sharded simulation at tick 0. `shards` is the worker-thread
+    /// budget: `<= 1` runs every component inline (the reference path);
+    /// `>= 2` spreads components round-robin over `min(shards, components)`
+    /// persistent workers. The byte output is the same either way.
+    ///
+    /// # Panics
+    /// Panics when the config fails [`FleetConfig::validate`].
+    pub fn new(
+        workload: &Workload,
+        config: &FleetConfig,
+        history: &'h mut HistoryStore,
+        shards: usize,
+    ) -> Self {
+        config.validate();
+        let plan = ShardPlan::compute(workload);
+        let mut components = plan.components;
+        if components.is_empty() {
+            // Degenerate empty workload: keep one empty component so the
+            // finish path still renders a (trivially empty) report through
+            // the same formatter as the plain path.
+            components.push(Workload::new(Vec::new()));
+        }
+        let history_start_len = history.len();
+        let sims: Vec<FleetSim<'static>> = components
+            .iter()
+            .map(|w| FleetSim::new_owned(w, config, history.shard_snapshot()))
+            .collect();
+        let exec = if shards >= 2 && sims.len() >= 2 {
+            Exec::Pool(WorkerPool::new(sims, shards))
+        } else {
+            Exec::Inline(sims)
+        };
+        ShardedFleetSim {
+            config: config.clone(),
+            workload_jobs: workload.jobs().to_vec(),
+            history,
+            exec,
+            tick: 0,
+            t: 0.0,
+            done: false,
+            history_start_len,
+            history_appended: 0,
+        }
+    }
+
+    /// Global ticks completed so far.
+    #[must_use]
+    pub fn tick_index(&self) -> u64 {
+        self.tick
+    }
+
+    /// Current fleet time, seconds.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.t
+    }
+
+    /// Whether every component has finished.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// History records appended so far across all components.
+    #[must_use]
+    pub fn history_appended(&self) -> usize {
+        self.history_appended
+    }
+
+    /// Toggle persistence on the backing history store (checkpoint replay
+    /// runs with it off; component stores are always memory-only snapshots).
+    pub fn set_history_persist(&mut self, persist: bool) {
+        self.history.set_persist(persist);
+    }
+
+    /// Advance every live component one tick, then flush their history
+    /// appends to the backing store in job-id order (the byte-stability fix
+    /// for concurrent shards). Returns `false` once all components are done;
+    /// the final call advances nothing, exactly like [`FleetSim::tick`].
+    pub fn tick(&mut self) -> bool {
+        self.run_ticks(1) == 1
+    }
+
+    /// Advance up to `max` global ticks in one worker-pool round trip and
+    /// return the ticks actually advanced (0 once done). Components are
+    /// independent, so each runs its slice of the batch without
+    /// synchronizing; the runner then flushes history appends in
+    /// `(tick, job id)` order — byte-identical to ticking one at a time.
+    /// Batching only amortizes coordination; digests and checkpoints are
+    /// taken at batch boundaries.
+    pub fn run_ticks(&mut self, max: u64) -> u64 {
+        if self.done || max == 0 {
+            return 0;
+        }
+        let results = self.exec.run_all(max);
+        let advanced = results.iter().map(|(a, _)| *a).max().unwrap_or(0);
+        if advanced == 0 {
+            self.done = true;
+            return 0;
+        }
+        let mut appends: Vec<(u64, JobId, HistoryRecord)> =
+            results.into_iter().flat_map(|(_, ap)| ap).collect();
+        appends.sort_by_key(|(off, id, _)| (*off, *id));
+        for (_, _, rec) in appends {
+            self.history.append(rec).expect("history append");
+            self.history_appended += 1;
+        }
+        self.tick += advanced;
+        // Repeated addition, not multiplication: keeps `t` bit-identical to
+        // the tick-at-a-time path (and to the plain FleetSim).
+        for _ in 0..advanced {
+            self.t += self.config.tick_s;
+        }
+        if advanced < max {
+            // Every component stopped before exhausting the batch: done.
+            self.done = true;
+        }
+        advanced
+    }
+
+    /// Deterministic digest of the live state: the per-component digests
+    /// joined with `\n` in component order (for one component this is the
+    /// plain [`FleetSim::state_digest`] verbatim).
+    pub fn state_digest(&mut self) -> String {
+        self.exec.digests().join("\n")
+    }
+
+    /// FNV-1a hash of [`ShardedFleetSim::state_digest`]. Shard-count
+    /// independent, so a checkpoint resumes under any `--shards`.
+    pub fn digest_hash(&mut self) -> u64 {
+        fnv1a(&self.state_digest())
+    }
+
+    /// Serialize a checkpoint at the current global tick — same wire format
+    /// as [`FleetSim::checkpoint`] (the full workload is recorded; resume
+    /// recomputes the shard plan from it).
+    pub fn checkpoint(&mut self) -> String {
+        let digest = self.digest_hash();
+        render_checkpoint(
+            &self.config,
+            self.tick,
+            self.t,
+            &self.workload_jobs,
+            self.history_start_len,
+            self.history_appended,
+            digest,
+        )
+    }
+
+    /// Close out all components and merge their parts into one outcome.
+    pub fn finish(self) -> FleetOutcome {
+        let parts = self.exec.finish_all();
+        merge_parts(self.workload_jobs.len(), self.history_appended, parts).into_outcome()
+    }
+}
+
+/// Merge per-component [`FleetParts`] in component order with the
+/// deterministic keys from the module docs. A single component passes
+/// through untouched, which is what keeps single-component sharded runs
+/// byte-identical to the plain path.
+fn merge_parts(submitted: usize, history_appended: usize, parts: Vec<FleetParts>) -> FleetParts {
+    let mut it = parts.into_iter();
+    let mut merged = it.next().expect("at least one component");
+    merged.submitted = submitted;
+    merged.history_appended = history_appended;
+    for p in it {
+        merged.outcomes.extend(p.outcomes);
+        merged.decisions.extend(p.decisions);
+        merged.telemetry.extend(p.telemetry);
+        merged.events.extend(p.events);
+        merged.supervision.quarantines += p.supervision.quarantines;
+        merged.supervision.requeues += p.supervision.requeues;
+        merged.supervision.failed += p.supervision.failed;
+        merged.supervision.shed += p.supervision.shed;
+        merged.supervision.breaker_trips += p.supervision.breaker_trips;
+        merged.supervision.checkpoints += p.supervision.checkpoints;
+        match (&mut merged.metrics, p.metrics) {
+            (Some(m), Some(o)) => m.merge(&o),
+            (m @ None, Some(o)) => *m = Some(o),
+            (_, None) => {}
+        }
+        merged.outcomes.sort_by_key(|o| o.id);
+        merged.decisions.sort_by_key(|(id, _)| *id);
+        // Stable sorts: ties keep component order (concat order above).
+        merged
+            .telemetry
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite epoch start"));
+        merged
+            .events
+            .sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).expect("finite event time"));
+    }
+    merged
+}
+
+/// Run `workload` sharded by link-sharing component on up to `shards` worker
+/// threads. Byte-identical output for every `shards` value; `shards <= 1`
+/// is the retained single-threaded reference path.
+pub fn run_fleet_sharded(
+    workload: &Workload,
+    config: &FleetConfig,
+    history: &mut HistoryStore,
+    shards: usize,
+) -> FleetOutcome {
+    let mut sim = ShardedFleetSim::new(workload, config, history, shards);
+    while sim.tick() {}
+    sim.finish()
+}
+
+/// Resume a killed sharded run from `ck` — the sharded mirror of
+/// [`crate::resume_fleet`], and because the checkpoint format and digest are
+/// shard-count independent, `shards` may differ from the killed run's.
+///
+/// # Errors
+/// Returns an error when the replay finishes early or the digest or append
+/// count mismatches (corrupt checkpoint, or writer/reader drift).
+pub fn resume_fleet_sharded(
+    ck: &Checkpoint,
+    history: &mut HistoryStore,
+    shards: usize,
+) -> Result<FleetOutcome, String> {
+    history.truncate(ck.history_start_len);
+    let mut sim = ShardedFleetSim::new(&ck.workload, &ck.config, history, shards);
+    sim.set_history_persist(false);
+    while sim.tick_index() < ck.tick {
+        if !sim.tick() {
+            return Err(format!(
+                "replay ended at tick {} before reaching checkpoint tick {}",
+                sim.tick_index(),
+                ck.tick
+            ));
+        }
+    }
+    let got = sim.digest_hash();
+    if got != ck.digest {
+        return Err(format!(
+            "checkpoint digest mismatch at tick {}: expected {:016x}, replay produced {:016x}",
+            ck.tick, ck.digest, got
+        ));
+    }
+    if sim.history_appended() != ck.history_appended {
+        return Err(format!(
+            "checkpoint recorded {} history appends, replay produced {}",
+            ck.history_appended,
+            sim.history_appended()
+        ));
+    }
+    sim.set_history_persist(true);
+    while sim.tick() {}
+    Ok(sim.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::run_fleet;
+    use crate::policy::Policy;
+
+    fn cfg() -> FleetConfig {
+        FleetConfig {
+            policy: Policy::Sjf,
+            seed: 11,
+            horizon_s: 3.0 * 3600.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_groups_by_site() {
+        let wl = Workload::synthetic_sites(12, 5, 3);
+        let plan = ShardPlan::compute(&wl);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        let total: usize = plan.components().iter().map(Workload::len).sum();
+        assert_eq!(total, 12);
+        for comp in plan.components() {
+            let site = comp.jobs()[0].site;
+            assert!(comp.jobs().iter().all(|j| j.site == site));
+        }
+        // Component order follows first appearance in (arrival, id) order.
+        assert_eq!(plan.components()[0].jobs()[0].site, wl.jobs()[0].site);
+    }
+
+    #[test]
+    fn single_site_is_one_component() {
+        let wl = Workload::synthetic(8, 3);
+        let plan = ShardPlan::compute(&wl);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.components()[0].len(), 8);
+    }
+
+    #[test]
+    fn single_component_matches_plain_run_fleet() {
+        let wl = Workload::synthetic(8, 3);
+        let config = cfg();
+        let mut h1 = HistoryStore::in_memory();
+        let mut h2 = HistoryStore::in_memory();
+        let plain = run_fleet(&wl, &config, &mut h1);
+        let sharded = run_fleet_sharded(&wl, &config, &mut h2, 1);
+        assert_eq!(plain.report.render(), sharded.report.render());
+        assert_eq!(plain.report.to_csv(), sharded.report.to_csv());
+        assert_eq!(plain.telemetry_jsonl, sharded.telemetry_jsonl);
+        assert_eq!(plain.decisions_jsonl, sharded.decisions_jsonl);
+        assert_eq!(plain.supervision_jsonl, sharded.supervision_jsonl);
+        assert_eq!(plain.metrics_jsonl, sharded.metrics_jsonl);
+        assert_eq!(plain.history_appended, sharded.history_appended);
+        assert_eq!(h1.len(), h2.len());
+    }
+
+    #[test]
+    fn shard_counts_are_byte_identical_multi_site() {
+        let wl = Workload::synthetic_sites(10, 7, 4);
+        let config = cfg();
+        let mut base = HistoryStore::in_memory();
+        let reference = run_fleet_sharded(&wl, &config, &mut base, 1);
+        for shards in [2, 4, 8] {
+            let mut h = HistoryStore::in_memory();
+            let out = run_fleet_sharded(&wl, &config, &mut h, shards);
+            assert_eq!(reference.report.render(), out.report.render(), "{shards}");
+            assert_eq!(reference.telemetry_jsonl, out.telemetry_jsonl, "{shards}");
+            assert_eq!(reference.metrics_jsonl, out.metrics_jsonl, "{shards}");
+            assert_eq!(base.len(), h.len(), "{shards}");
+        }
+    }
+
+    #[test]
+    fn batched_ticks_match_tick_at_a_time() {
+        let wl = Workload::synthetic_sites(10, 7, 4);
+        let config = cfg();
+        let mut h1 = HistoryStore::in_memory();
+        let reference = run_fleet_sharded(&wl, &config, &mut h1, 1);
+        let mut h2 = HistoryStore::in_memory();
+        let mut sim = ShardedFleetSim::new(&wl, &config, &mut h2, 4);
+        // Uneven batch sizes on purpose: boundaries must not matter.
+        for batch in [1u64, 7, 64, 3, 1000] {
+            sim.run_ticks(batch);
+        }
+        while sim.run_ticks(97) > 0 {}
+        let out = sim.finish();
+        assert_eq!(reference.report.render(), out.report.render());
+        assert_eq!(reference.telemetry_jsonl, out.telemetry_jsonl);
+        assert_eq!(reference.history_appended, out.history_appended);
+        assert_eq!(
+            h1.records().iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+            h2.records().iter().map(|r| r.to_json()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_workload_finishes_immediately() {
+        let wl = Workload::new(Vec::new());
+        let mut h = HistoryStore::in_memory();
+        let out = run_fleet_sharded(&wl, &cfg(), &mut h, 4);
+        assert_eq!(out.report.submitted, 0);
+        assert!(out.report.outcomes.is_empty());
+    }
+}

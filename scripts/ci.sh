@@ -44,6 +44,33 @@ diff "$FLEET_TMP/a.txt" "$FLEET_TMP/b.txt" \
 diff "$FLEET_TMP/wa.txt" "$FLEET_TMP/wb.txt" \
   || { echo "fleet run (wfair) is not deterministic"; exit 1; }
 
+echo "==> shard-determinism smoke (--shards N is a byte-level no-op)"
+cargo test -q --test shard_equiv
+./target/release/xferopt fleet run --jobs 5 --seed 7 --policy sjf \
+  --shards 4 --report-out "$FLEET_TMP/s4a.txt"
+./target/release/xferopt fleet run --jobs 5 --seed 7 --policy sjf \
+  --shards 4 --report-out "$FLEET_TMP/s4b.txt"
+diff "$FLEET_TMP/s4a.txt" "$FLEET_TMP/s4b.txt" \
+  || { echo "sharded fleet run is not deterministic"; exit 1; }
+diff "$FLEET_TMP/a.txt" "$FLEET_TMP/s4a.txt" \
+  || { echo "--shards 4 diverged from the single-threaded reference"; exit 1; }
+./target/release/xferopt fleet run --jobs 9 --seed 7 --policy sjf \
+  --sites 3 --shards 1 --report-out "$FLEET_TMP/m1.txt"
+./target/release/xferopt fleet run --jobs 9 --seed 7 --policy sjf \
+  --sites 3 --shards 8 --report-out "$FLEET_TMP/m8.txt"
+diff "$FLEET_TMP/m1.txt" "$FLEET_TMP/m8.txt" \
+  || { echo "multi-site --shards 8 diverged from --shards 1"; exit 1; }
+
+echo "==> perf smoke (fleet scaling, quick mode)"
+(cd "$FLEET_TMP" && "$OLDPWD/target/release/fleet" --quick)
+[ -f "$FLEET_TMP/BENCH_fleet.json" ] \
+  || { echo "BENCH_fleet.json missing"; exit 1; }
+FSPEEDUP="$(awk -F': ' '/"fleet_10k_shard8_speedup"/ \
+  {gsub(/[,"]/, "", $2); print $2}' "$FLEET_TMP/BENCH_fleet.json")"
+awk -v s="$FSPEEDUP" 'BEGIN { exit !(s >= 2.0) }' \
+  || { echo "scaling regression: 10k-job sharded speedup ${FSPEEDUP}x < 2x"; exit 1; }
+echo "    10k-job 8-shard tick-throughput speedup: ${FSPEEDUP}x"
+
 echo "==> perf smoke (allocation engine, quick mode)"
 # Run inside the temp dir so the quick-mode JSON does not clobber the
 # committed full-mode BENCH_alloc.json at the repo root.

@@ -326,9 +326,22 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
 
     let jobs = args.get_parsed("jobs", 10usize)?;
     let seed = args.get_parsed("seed", 7u64)?;
+    let sites = args.get_parsed("sites", 1u32)?;
+    if sites == 0 {
+        return Err("--sites must be >= 1".into());
+    }
+    let shards = args.get_parsed("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
     let workload = match args.get("workload").unwrap_or("synthetic") {
-        "synthetic" => Workload::synthetic(jobs, seed),
-        "contended" => Workload::contended(jobs),
+        "synthetic" => Workload::synthetic_sites(jobs, seed, sites),
+        "contended" => {
+            if sites > 1 {
+                return Err("--sites > 1 requires --workload synthetic".into());
+            }
+            Workload::contended(jobs)
+        }
         other => {
             return Err(format!(
                 "unknown workload: {other} (use synthetic|contended)"
@@ -368,6 +381,44 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
     }
 
     let mut history = open_history(args)?;
+    if shards > 1 || sites > 1 {
+        // Sharded path: same stepwise checkpoint loop over the component
+        // runner (byte-identical output for every --shards value).
+        let mut sim =
+            xferopt::orchestrator::ShardedFleetSim::new(&workload, &config, &mut history, shards);
+        if checkpoint_every == 0 && stop_at_tick.is_none() {
+            // No per-tick obligations: batch ticks through the worker pool
+            // (one round trip per batch, byte-identical output).
+            while sim.run_ticks(1024) > 0 {}
+        } else {
+            while sim.tick() {
+                let k = sim.tick_index();
+                if let Some(stop) = stop_at_tick {
+                    if k >= stop {
+                        break;
+                    }
+                }
+                if checkpoint_every > 0 && k.is_multiple_of(checkpoint_every) {
+                    let path = checkpoint_out.as_deref().expect("checked above");
+                    std::fs::write(path, sim.checkpoint())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("fleet: checkpoint at tick {k} -> {path}");
+                }
+            }
+        }
+        if let Some(stop) = stop_at_tick {
+            let path = checkpoint_out.as_deref().expect("checked above");
+            std::fs::write(path, sim.checkpoint())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "fleet: stopped at tick {} (requested {stop}); checkpoint -> {path}",
+                sim.tick_index()
+            );
+            return Ok(());
+        }
+        let out = sim.finish();
+        return write_fleet_outputs(args, &out, &history);
+    }
     let mut sim = FleetSim::new(&workload, &config, &mut history);
     while sim.tick() {
         let k = sim.tick_index();
@@ -402,11 +453,15 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
 /// replayed portion re-derives the killed run's state (verified by digest),
 /// so the final report is byte-identical to an uninterrupted run.
 fn cmd_fleet_resume(args: &Args) -> Result<(), String> {
-    use xferopt::orchestrator::{resume_fleet, Checkpoint};
+    use xferopt::orchestrator::{resume_fleet, resume_fleet_sharded, Checkpoint};
 
     let path = args
         .get("checkpoint")
         .ok_or_else(|| "fleet resume needs --checkpoint PATH".to_string())?;
+    let shards = args.get_parsed("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let ck = Checkpoint::parse(&text)?;
     eprintln!(
@@ -416,7 +471,14 @@ fn cmd_fleet_resume(args: &Args) -> Result<(), String> {
         ck.workload.len()
     );
     let mut history = open_history(args)?;
-    let out = resume_fleet(&ck, &mut history)?;
+    // Multi-site checkpoints must resume through the sharded runner (a plain
+    // FleetSim simulates one site); the shard count is free to differ from
+    // the killed run's because the checkpoint format is shard-independent.
+    let out = if shards > 1 || ck.workload.max_site() > 0 {
+        resume_fleet_sharded(&ck, &mut history, shards)?
+    } else {
+        resume_fleet(&ck, &mut history)?
+    };
     write_fleet_outputs(args, &out, &history)
 }
 
@@ -577,13 +639,14 @@ fn usage() -> &'static str {
      telemetry summarize: --in PATH\n\
      fleet run:    --jobs N --policy fifo|sjf|wfair --seed N\n\
      \u{20}            --workload synthetic|contended --horizon S --epoch S --tick S\n\
+     \u{20}            --sites K --shards N   (component-sharded parallel run)\n\
      \u{20}            --budget STREAMS --history DIR --cold --csv\n\
      \u{20}            --faults flaky-link|degraded-wan|lossy-tacc\n\
      \u{20}            --report-out PATH --decisions-out PATH --telemetry-out PATH\n\
      \u{20}            --supervision-out PATH\n\
      \u{20}            --checkpoint-out PATH --checkpoint-every TICKS\n\
      \u{20}            --stop-at-tick K   (simulate a crash; resume later)\n\
-     fleet resume: --checkpoint PATH [--history DIR + fleet-run output flags]\n\
+     fleet resume: --checkpoint PATH [--shards N] [--history DIR + fleet-run output flags]\n\
      fleet report: --history DIR\n\
      tournament run:    --quick --seed N --epochs N --epoch S\n\
      \u{20}                 --tuners a,b,... --scenarios uc-quiet,uc-contended,tacc-mixed\n\

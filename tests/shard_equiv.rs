@@ -1,0 +1,205 @@
+//! Shard-equivalence harness (DESIGN.md §15): the component-sharded fleet
+//! runner must be a *byte-level* no-op relative to the single-threaded
+//! reference, for every shard count, across every output surface.
+//!
+//! Layers of defence:
+//!
+//! 1. property tests — random workloads × policies × fault tapes × site
+//!    counts, asserting `--shards {2,4,8}` reproduce the `--shards 1`
+//!    reference byte-for-byte on the report, CSV, decision audit JSONL,
+//!    telemetry JSONL, supervision JSONL, and metrics snapshot, plus the
+//!    mid-run checkpoint (whose digest is shard-count independent);
+//! 2. single-component workloads must also match the plain `run_fleet`
+//!    path bit-for-bit (the structural theorem that keeps every existing
+//!    golden valid with any shard count);
+//! 3. kill-and-resume across shard counts — checkpoint under `--shards 4`,
+//!    resume under a different count, byte-identical final outputs;
+//! 4. the on-disk history file must be byte-stable across shard counts
+//!    (appends buffered per tick and flushed in job-id order).
+
+use proptest::prelude::*;
+use xferopt::orchestrator::{
+    resume_fleet_sharded, run_fleet, run_fleet_sharded, Checkpoint, FleetConfig, FleetOutcome,
+    HistoryStore, Policy, ShardedFleetSim, Workload,
+};
+use xferopt::scenarios::FaultProfile;
+
+fn cfg(policy: Policy, seed: u64, faults: Option<FaultProfile>) -> FleetConfig {
+    FleetConfig {
+        policy,
+        seed,
+        horizon_s: 3600.0,
+        faults,
+        audit: true,
+        ..FleetConfig::default()
+    }
+}
+
+/// Every output surface of a fleet run, byte for byte.
+fn assert_identical(a: &FleetOutcome, b: &FleetOutcome, what: &str) {
+    assert_eq!(a.report.render(), b.report.render(), "{what}: report");
+    assert_eq!(a.report.to_csv(), b.report.to_csv(), "{what}: csv");
+    assert_eq!(
+        a.decisions_jsonl, b.decisions_jsonl,
+        "{what}: decision audit"
+    );
+    assert_eq!(a.telemetry_jsonl, b.telemetry_jsonl, "{what}: telemetry");
+    assert_eq!(
+        a.supervision_jsonl, b.supervision_jsonl,
+        "{what}: supervision events"
+    );
+    assert_eq!(a.metrics_jsonl, b.metrics_jsonl, "{what}: metrics");
+    assert_eq!(
+        a.history_appended, b.history_appended,
+        "{what}: history appends"
+    );
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fifo),
+        Just(Policy::Sjf),
+        Just(Policy::WeightedFair),
+    ]
+}
+
+fn fault_strategy() -> impl Strategy<Value = Option<FaultProfile>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(FaultProfile::FlakyLink)),
+        Just(Some(FaultProfile::DegradedWan)),
+        Just(Some(FaultProfile::LossyTacc)),
+    ]
+}
+
+proptest! {
+    /// The headline harness: random workload + policy + fault tape + site
+    /// count; every shard count must reproduce the reference bytes on every
+    /// output, and the mid-run checkpoint must be shard-count independent.
+    #[test]
+    fn sharded_run_is_byte_identical_to_reference(
+        jobs in 4usize..12,
+        seed in 0u64..1000,
+        sites in 1u32..5,
+        policy in policy_strategy(),
+        faults in fault_strategy(),
+    ) {
+        let wl = Workload::synthetic_sites(jobs, seed, sites);
+        let config = cfg(policy, seed, faults);
+
+        let mut h_ref = HistoryStore::in_memory();
+        let reference = run_fleet_sharded(&wl, &config, &mut h_ref, 1);
+
+        // Mid-run checkpoint under the reference execution.
+        let ck_ref = {
+            let mut h = HistoryStore::in_memory();
+            let mut sim = ShardedFleetSim::new(&wl, &config, &mut h, 1);
+            for _ in 0..25 { if !sim.tick() { break; } }
+            sim.checkpoint()
+        };
+
+        for shards in [2usize, 4, 8] {
+            let mut h = HistoryStore::in_memory();
+            let out = run_fleet_sharded(&wl, &config, &mut h, shards);
+            assert_identical(&reference, &out, &format!("shards={shards}"));
+            prop_assert_eq!(
+                h_ref.records().iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+                h.records().iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+                "shards={}: history record order", shards
+            );
+
+            let ck = {
+                let mut h = HistoryStore::in_memory();
+                let mut sim = ShardedFleetSim::new(&wl, &config, &mut h, shards);
+                for _ in 0..25 { if !sim.tick() { break; } }
+                sim.checkpoint()
+            };
+            prop_assert_eq!(&ck_ref, &ck, "shards={}: checkpoint bytes", shards);
+        }
+    }
+
+    /// Single-component workloads must match the *plain* single-threaded
+    /// `run_fleet` bit-for-bit — the invariant that keeps every existing
+    /// golden snapshot valid under any `--shards` value.
+    #[test]
+    fn single_site_sharded_matches_plain_run_fleet(
+        jobs in 3usize..10,
+        seed in 0u64..1000,
+        policy in policy_strategy(),
+        faults in fault_strategy(),
+        shards in 1usize..9,
+    ) {
+        let wl = Workload::synthetic(jobs, seed);
+        let config = cfg(policy, seed, faults);
+        let mut h_plain = HistoryStore::in_memory();
+        let plain = run_fleet(&wl, &config, &mut h_plain);
+        let mut h_shard = HistoryStore::in_memory();
+        let sharded = run_fleet_sharded(&wl, &config, &mut h_shard, shards);
+        assert_identical(&plain, &sharded, &format!("plain vs shards={shards}"));
+    }
+}
+
+/// Kill a sharded run mid-flight, checkpoint, and resume with a *different*
+/// shard count: the checkpoint digest is taken over per-component state (in
+/// workload order, not execution order), so the final outputs must be
+/// byte-identical to the uninterrupted reference.
+#[test]
+fn kill_under_shards_4_resume_under_other_counts() {
+    let wl = Workload::synthetic_sites(12, 9, 3);
+    let config = cfg(Policy::Sjf, 9, Some(FaultProfile::FlakyLink));
+
+    let mut h_full = HistoryStore::in_memory();
+    let full = run_fleet_sharded(&wl, &config, &mut h_full, 1);
+
+    for resume_shards in [1usize, 2, 8] {
+        // Simulated crash at tick 37 under --shards 4.
+        let mut h = HistoryStore::in_memory();
+        let ck_text = {
+            let mut sim = ShardedFleetSim::new(&wl, &config, &mut h, 4);
+            while sim.tick_index() < 37 {
+                assert!(sim.tick(), "run ended before the kill point");
+            }
+            sim.checkpoint()
+        };
+        let ck = Checkpoint::parse(&ck_text).expect("checkpoint parses");
+        assert_eq!(ck.tick, 37);
+        let resumed = resume_fleet_sharded(&ck, &mut h, resume_shards)
+            .expect("digest verifies under a different shard count");
+        assert_identical(&full, &resumed, &format!("resume shards={resume_shards}"));
+        assert_eq!(
+            h_full
+                .records()
+                .iter()
+                .map(|r| r.to_json())
+                .collect::<Vec<_>>(),
+            h.records().iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+            "resume shards={resume_shards}: history records"
+        );
+    }
+}
+
+/// Regression for the concurrent-shard history ordering fix: with a
+/// file-backed store, the on-disk `history.jsonl` must be byte-identical
+/// whether the fleet ran monolithic or sharded — appends are buffered per
+/// tick and flushed in job-id order by the runner, never interleaved by
+/// worker-thread timing.
+#[test]
+fn on_disk_history_file_is_byte_stable_across_shard_counts() {
+    let wl = Workload::synthetic_sites(12, 7, 4);
+    let config = cfg(Policy::Sjf, 7, None);
+    let base = std::env::temp_dir().join(format!("xferopt-shard-hist-{}", std::process::id()));
+
+    let mut files = Vec::new();
+    for shards in [1usize, 8] {
+        let dir = base.join(format!("s{shards}"));
+        std::fs::create_dir_all(&dir).expect("create history dir");
+        let mut store = HistoryStore::open(&dir).expect("open history store");
+        let out = run_fleet_sharded(&wl, &config, &mut store, shards);
+        assert!(out.history_appended > 0, "scenario must append history");
+        files.push(
+            std::fs::read_to_string(dir.join("history.jsonl")).expect("history file written"),
+        );
+    }
+    assert_eq!(files[0], files[1], "on-disk history bytes diverged");
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -227,3 +227,107 @@ fn history_store_counts_malformed_lines_and_surfaces_a_metric() {
     assert!(out.metrics_jsonl.contains("\"value\":2"));
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+/// Component partitioning under supervision (DESIGN.md §15): fault-plan link
+/// outages, breaker trips, and quarantine requeues all happen *inside* a
+/// job's link-sharing component, so a multi-site chaos run must (a) keep
+/// every job accounted for, (b) conserve moved bytes across shard counts,
+/// and (c) produce byte-identical reports however many workers tick it.
+#[test]
+fn multi_site_chaos_conserves_jobs_and_bytes_across_shard_counts() {
+    use xferopt::orchestrator::{run_fleet_sharded, ShardPlan};
+
+    // Three sites, long transfers, flaky-link chaos: the fault plan fires
+    // independently per site world, so breaker trips and quarantines land in
+    // several components.
+    let workload = Workload::new(
+        (0..9)
+            .map(|i| JobSpec::new(i, (i / 3) as f64 * 60.0, 1_200_000.0).with_site(i as u32 % 3))
+            .collect(),
+    );
+    let cfg = FleetConfig {
+        horizon_s: 4.0 * 3600.0,
+        ..chaos_cfg()
+    };
+
+    let plan = ShardPlan::compute(&workload);
+    assert_eq!(plan.len(), 3, "three sites give three components");
+
+    let mut h = HistoryStore::in_memory();
+    let reference = run_fleet_sharded(&workload, &cfg, &mut h, 1);
+
+    // (a) no job lost: every submitted job has exactly one terminal outcome.
+    assert_eq!(reference.report.outcomes.len(), 9);
+    let mut ids: Vec<u64> = reference.report.outcomes.iter().map(|o| o.id.0).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..9).collect::<Vec<_>>(), "job ids must be complete");
+    for o in &reference.report.outcomes {
+        assert!(
+            matches!(o.state, JobState::Completed | JobState::Failed),
+            "{} ended {} — job lost:\n{}",
+            o.id,
+            o.state.name(),
+            reference.report.render()
+        );
+    }
+    // The chaos actually exercised supervision (else this test is vacuous).
+    assert!(
+        !reference.report.supervision.is_quiet(),
+        "flaky-link chaos must trip supervision:\n{}",
+        reference.report.render()
+    );
+
+    // (b)+(c) byte conservation and report identity for every shard count.
+    for shards in [2usize, 4, 8] {
+        let mut h = HistoryStore::in_memory();
+        let out = run_fleet_sharded(&workload, &cfg, &mut h, shards);
+        assert_eq!(
+            reference.report.render(),
+            out.report.render(),
+            "shards={shards}: chaos report diverged"
+        );
+        assert_eq!(
+            reference.report.total_moved_mb(),
+            out.report.total_moved_mb(),
+            "shards={shards}: moved bytes diverged"
+        );
+        assert_eq!(
+            reference.supervision_jsonl, out.supervision_jsonl,
+            "shards={shards}: supervision events diverged"
+        );
+    }
+}
+
+/// A breaker trip or quarantine must never move a job *between* components:
+/// the shard plan is a pure function of the workload (routes and sites), so
+/// the same job set maps to the same component before and after any
+/// supervision event — requeues re-enter their own component's queue.
+#[test]
+fn shard_plan_is_stable_under_supervision_events() {
+    use xferopt::orchestrator::ShardPlan;
+
+    let workload = Workload::new(
+        (0..6)
+            .map(|i| JobSpec::new(i, 0.0, 800_000.0).with_site(i as u32 % 2))
+            .collect(),
+    );
+    let before = ShardPlan::compute(&workload);
+    // Recompute after a chaos run: membership depends only on the workload.
+    let cfg = FleetConfig {
+        horizon_s: 2.0 * 3600.0,
+        ..chaos_cfg()
+    };
+    let _ = xferopt::orchestrator::run_fleet_sharded(
+        &workload,
+        &cfg,
+        &mut HistoryStore::in_memory(),
+        4,
+    );
+    let after = ShardPlan::compute(&workload);
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.components().iter().zip(after.components()) {
+        let aj: Vec<u64> = a.jobs().iter().map(|j| j.id.0).collect();
+        let bj: Vec<u64> = b.jobs().iter().map(|j| j.id.0).collect();
+        assert_eq!(aj, bj, "component membership drifted");
+    }
+}
