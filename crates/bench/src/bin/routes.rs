@@ -1,0 +1,135 @@
+//! Route-search benchmark: offline planet search throughput plus the
+//! regional-outage re-route gain (DESIGN.md §16).
+//!
+//! Two measurements:
+//!
+//! 1. `search_routes` wall time per preset × k — the offline sweep must stay
+//!    cheap enough to rerun on every topology change (searches/s, best of
+//!    N reps).
+//! 2. The chaos headline: a mesh fleet under a region-1 outage with
+//!    breaker-aware re-routing vs the same fleet pinned to its original
+//!    routes, compared on total megabytes moved. The gain ratio is the
+//!    asserted gate.
+//!
+//! Writes `BENCH_routes.json` into the current directory.
+//!
+//! Usage: `routes [--quick]` — `--quick` shrinks reps for the CI smoke gate
+//! (both modes measure the gated re-route point).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use xferopt_orchestrator::{
+    run_fleet, topo_workload, FleetConfig, HistoryStore, TopoFleetConfig, Workload,
+};
+use xferopt_topo::{search_routes, Planet, RouteCatalog, SearchConfig};
+
+struct SearchRow {
+    preset: &'static str,
+    k: usize,
+    searches_per_s: f64,
+    score: f64,
+    total_mbs: f64,
+}
+
+fn bench_search(preset: &'static str, k: usize, reps: usize) -> SearchRow {
+    let planet = Planet::preset(preset).expect("known preset");
+    let cfg = SearchConfig {
+        k,
+        ..SearchConfig::default()
+    };
+    let mut best = 0f64;
+    let mut table = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let t = search_routes(&planet, &cfg).expect("search succeeds");
+        best = best.max(1.0 / t0.elapsed().as_secs_f64().max(1e-9));
+        table = Some(t);
+    }
+    let table = table.expect("at least one rep");
+    SearchRow {
+        preset,
+        k,
+        searches_per_s: best,
+        score: table.score,
+        total_mbs: table.total_mbs,
+    }
+}
+
+fn topo_fleet(reroute: bool, wl: &Workload) -> f64 {
+    let mut tc = TopoFleetConfig::preset("mesh");
+    tc.outage_region = Some(1);
+    tc.reroute = reroute;
+    let cfg = FleetConfig {
+        seed: 7,
+        horizon_s: 3600.0,
+        topo: Some(tc),
+        ..FleetConfig::default()
+    };
+    run_fleet(wl, &cfg, &mut HistoryStore::in_memory())
+        .report
+        .total_moved_mb()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    let reps = if quick { 2 } else { 5 };
+    eprintln!("routes bench ({mode}): offline search sweep + outage re-route gain");
+
+    let mut rows = Vec::new();
+    for preset in ["mesh", "hub-spoke", "asymmetric"] {
+        for k in [2usize, 3] {
+            let r = bench_search(preset, k, reps);
+            eprintln!(
+                "  {} k={}: {:.1} searches/s, score {:.0}, {:.0} MB/s placed",
+                r.preset, r.k, r.searches_per_s, r.score, r.total_mbs
+            );
+            rows.push(r);
+        }
+    }
+
+    let planet = Planet::preset("mesh").expect("mesh preset");
+    let placement = search_routes(&planet, &SearchConfig::default()).expect("search succeeds");
+    let catalog = RouteCatalog::enumerate(&planet, 3).expect("catalog");
+    let wl = topo_workload(&placement, &catalog, 20);
+    let rerouted_mb = topo_fleet(true, &wl);
+    let fixed_mb = topo_fleet(false, &wl);
+    let reroute_gain = rerouted_mb / fixed_mb.max(1e-9);
+    eprintln!(
+        "  outage mesh: rerouted {rerouted_mb:.0} MB vs fixed {fixed_mb:.0} MB \
+         (gain {reroute_gain:.3}x)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"routes\",");
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"search\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"preset\": \"{}\", \"k\": {}, \"searches_per_s\": {:.1}, \
+             \"score\": {:.1}, \"total_mbs\": {:.1}}}{}",
+            r.preset,
+            r.k,
+            r.searches_per_s,
+            r.score,
+            r.total_mbs,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"outage_rerouted_mb\": {rerouted_mb:.1},");
+    let _ = writeln!(json, "  \"outage_fixed_mb\": {fixed_mb:.1},");
+    let _ = writeln!(json, "  \"outage_reroute_gain\": {reroute_gain:.3}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_routes.json", &json).expect("cannot write BENCH_routes.json");
+    println!("wrote BENCH_routes.json (outage re-route gain: {reroute_gain:.3}x)");
+
+    assert!(
+        reroute_gain > 1.0,
+        "re-route regression: outage gain {reroute_gain:.3}x <= 1x"
+    );
+}

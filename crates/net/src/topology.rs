@@ -36,6 +36,8 @@ pub enum TopologyError {
     NoRoute(String, String),
     /// A connection was declared twice between the same pair.
     DuplicateEdge(String, String),
+    /// An explicit route referenced an edge index that does not exist.
+    BadEdge(usize),
 }
 
 impl std::fmt::Display for TopologyError {
@@ -45,6 +47,7 @@ impl std::fmt::Display for TopologyError {
             TopologyError::UnknownSite(s) => write!(f, "unknown site: {s}"),
             TopologyError::NoRoute(a, b) => write!(f, "no route from {a} to {b}"),
             TopologyError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} <-> {b}"),
+            TopologyError::BadEdge(i) => write!(f, "edge index {i} out of range"),
         }
     }
 }
@@ -226,31 +229,264 @@ impl TopologyBuilder {
         Some(edges)
     }
 
-    /// Build a [`Network`] and one path per requested `(src, dst)` pair,
-    /// routed by lowest latency. RTT accumulates along the route; loss
-    /// compounds (`1 − Π(1 − p_l)`).
-    pub fn build(&self, pairs: &[(&str, &str)]) -> Result<(Network, Vec<PathId>), TopologyError> {
-        let mut net = Network::new();
-        // One Link per builder edge.
-        let mut edge_caps: Vec<Option<(f64, f64, f64)>> = vec![None; self.n_edges];
-        for (node, edges) in self.adj.iter().enumerate() {
+    /// Per-edge `(capacity_mbs, one_way_ms, loss)` metadata, indexed by
+    /// edge index.
+    fn edge_caps(&self) -> Vec<(f64, f64, f64)> {
+        let mut caps: Vec<Option<(f64, f64, f64)>> = vec![None; self.n_edges];
+        for edges in &self.adj {
             for e in edges {
-                edge_caps[e.edge_idx] = Some((e.capacity_mbs, e.one_way_ms, e.loss));
-                let _ = node;
+                caps[e.edge_idx] = Some((e.capacity_mbs, e.one_way_ms, e.loss));
             }
         }
+        caps.into_iter()
+            .map(|c| c.expect("edge without metadata"))
+            .collect()
+    }
+
+    /// Number of declared edges (= number of links a build will create).
+    pub fn edge_count(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Number of declared sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Index of a declared site, if any.
+    pub fn site_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Aggregate `(rtt_ms, loss, bottleneck_mbs)` along an explicit edge
+    /// list: RTT accumulates, loss compounds, capacity is the minimum.
+    ///
+    /// # Errors
+    /// Returns [`TopologyError::BadEdge`] on an out-of-range edge index.
+    pub fn route_stats(&self, edges: &[usize]) -> Result<(f64, f64, f64), TopologyError> {
+        let caps = self.edge_caps();
+        let mut rtt_ms = 0.0;
+        let mut pass = 1.0;
+        let mut bottleneck = f64::INFINITY;
+        for &e in edges {
+            let (cap, ms, loss) = *caps.get(e).ok_or(TopologyError::BadEdge(e))?;
+            rtt_ms += 2.0 * ms;
+            pass *= 1.0 - loss;
+            bottleneck = bottleneck.min(cap);
+        }
+        Ok((rtt_ms, (1.0 - pass).clamp(0.0, 0.999_999), bottleneck))
+    }
+
+    /// Dijkstra over one-way latency with edges/nodes masked out (the spur
+    /// machinery of Yen's algorithm). Ties are broken toward the
+    /// lexicographically smallest edge list so enumeration is deterministic.
+    fn route_masked(
+        &self,
+        from: usize,
+        to: usize,
+        banned_edges: &[bool],
+        banned_nodes: &[bool],
+    ) -> Option<(f64, Vec<usize>)> {
+        #[derive(PartialEq)]
+        struct State {
+            cost_ms: f64,
+            node: usize,
+        }
+        impl Eq for State {}
+        impl Ord for State {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .cost_ms
+                    .partial_cmp(&self.cost_ms)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for State {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let n = self.sites.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev_edge: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from] = 0.0;
+        heap.push(State {
+            cost_ms: 0.0,
+            node: from,
+        });
+        while let Some(State { cost_ms, node }) = heap.pop() {
+            if cost_ms > dist[node] {
+                continue;
+            }
+            for e in &self.adj[node] {
+                if banned_edges.get(e.edge_idx).copied().unwrap_or(false)
+                    || banned_nodes.get(e.to).copied().unwrap_or(false)
+                {
+                    continue;
+                }
+                let next = cost_ms + e.one_way_ms;
+                let better = next < dist[e.to]
+                    || (next == dist[e.to]
+                        && prev_edge[e.to].is_some_and(|(_, pe)| e.edge_idx < pe));
+                if better {
+                    dist[e.to] = next;
+                    prev_edge[e.to] = Some((node, e.edge_idx));
+                    heap.push(State {
+                        cost_ms: next,
+                        node: e.to,
+                    });
+                }
+            }
+        }
+        if dist[to].is_infinite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cursor = to;
+        while cursor != from {
+            let (prev, edge) = prev_edge[cursor]?;
+            edges.push(edge);
+            cursor = prev;
+        }
+        edges.reverse();
+        Some((dist[to], edges))
+    }
+
+    /// Node sequence visited by an edge list starting at `from`.
+    fn node_sequence(&self, from: usize, edges: &[usize]) -> Vec<usize> {
+        let mut nodes = vec![from];
+        let mut cur = from;
+        for &e in edges {
+            let next = self.adj[cur]
+                .iter()
+                .find(|a| a.edge_idx == e)
+                .map(|a| a.to)
+                .expect("edge list does not continue the walk");
+            nodes.push(next);
+            cur = next;
+        }
+        nodes
+    }
+
+    /// Up to `k` loopless lowest-latency routes between two sites (Yen's
+    /// algorithm), each as an edge-index list. Deterministic: candidates are
+    /// ordered by latency, then by the lexicographic edge list. Fewer than
+    /// `k` routes are returned when the graph has fewer distinct loopless
+    /// routes.
+    ///
+    /// # Errors
+    /// Returns [`TopologyError::UnknownSite`] / [`TopologyError::NoRoute`]
+    /// on bad endpoints.
+    pub fn k_shortest_routes(
+        &self,
+        from: &str,
+        to: &str,
+        k: usize,
+    ) -> Result<Vec<Vec<usize>>, TopologyError> {
+        let ia = *self
+            .index
+            .get(from)
+            .ok_or_else(|| TopologyError::UnknownSite(from.to_string()))?;
+        let ib = *self
+            .index
+            .get(to)
+            .ok_or_else(|| TopologyError::UnknownSite(to.to_string()))?;
+        let caps = self.edge_caps();
+        let no_edges = vec![false; self.n_edges];
+        let no_nodes = vec![false; self.sites.len()];
+        let (cost0, first) = self
+            .route_masked(ia, ib, &no_edges, &no_nodes)
+            .ok_or_else(|| TopologyError::NoRoute(from.to_string(), to.to_string()))?;
+        let mut shortest: Vec<(f64, Vec<usize>)> = vec![(cost0, first)];
+        // Candidate pool, kept sorted by (cost, edges) for deterministic pops.
+        let mut candidates: Vec<(f64, Vec<usize>)> = Vec::new();
+        while shortest.len() < k {
+            let (_, last) = shortest.last().expect("non-empty").clone();
+            let last_nodes = self.node_sequence(ia, &last);
+            for spur in 0..last.len() {
+                let root = &last[..spur];
+                let spur_node = last_nodes[spur];
+                let mut banned_edges = no_edges.clone();
+                for (_, path) in shortest.iter().chain(candidates.iter()) {
+                    if path.len() > spur && path[..spur] == *root {
+                        banned_edges[path[spur]] = true;
+                    }
+                }
+                let mut banned_nodes = no_nodes.clone();
+                for &n in &last_nodes[..spur] {
+                    banned_nodes[n] = true;
+                }
+                if let Some((spur_cost, tail)) =
+                    self.route_masked(spur_node, ib, &banned_edges, &banned_nodes)
+                {
+                    let mut total: Vec<usize> = root.to_vec();
+                    total.extend(tail);
+                    let root_cost: f64 = root.iter().map(|&e| caps[e].1).sum::<f64>();
+                    let cand = (root_cost + spur_cost, total);
+                    if !shortest.contains(&cand) && !candidates.contains(&cand) {
+                        candidates.push(cand);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            shortest.push(candidates.remove(0));
+        }
+        Ok(shortest.into_iter().map(|(_, e)| e).collect())
+    }
+
+    /// Build a [`Network`] with one [`Link`] per declared edge and one
+    /// [`Path`] per explicit `(name, edge list)` route. RTT accumulates
+    /// along the route; loss compounds (`1 − Π(1 − p_l)`).
+    ///
+    /// # Errors
+    /// Returns [`TopologyError::BadEdge`] on an out-of-range edge index.
+    pub fn build_explicit(
+        &self,
+        routes: &[(String, Vec<usize>)],
+    ) -> Result<(Network, Vec<PathId>), TopologyError> {
+        let mut net = Network::new();
+        let edge_caps = self.edge_caps();
         let link_ids: Vec<LinkId> = edge_caps
             .iter()
             .enumerate()
-            .map(|(i, caps)| {
-                let (cap, _, _) = caps.expect("edge without metadata");
+            .map(|(i, &(cap, _, _))| {
                 net.add_link(
                     Link::new(format!("edge{i}"), cap).with_half_streams(self.half_streams),
                 )
             })
             .collect();
-
         let mut paths = Vec::new();
+        for (name, edges) in routes {
+            let mut rtt_ms = 0.0;
+            let mut pass = 1.0;
+            for &e in edges {
+                let (_, ms, loss) = *edge_caps.get(e).ok_or(TopologyError::BadEdge(e))?;
+                rtt_ms += 2.0 * ms;
+                pass *= 1.0 - loss;
+            }
+            let links: Vec<LinkId> = edges.iter().map(|&e| link_ids[e]).collect();
+            let path = Path::new(name.clone(), links)
+                .with_rtt_ms(rtt_ms.max(1e-3))
+                .with_loss((1.0 - pass).clamp(0.0, 0.999_999));
+            paths.push(net.add_path(path));
+        }
+        Ok((net, paths))
+    }
+
+    /// Build a [`Network`] and one path per requested `(src, dst)` pair,
+    /// routed by lowest latency. RTT accumulates along the route; loss
+    /// compounds (`1 − Π(1 − p_l)`).
+    pub fn build(&self, pairs: &[(&str, &str)]) -> Result<(Network, Vec<PathId>), TopologyError> {
+        let mut routes = Vec::new();
         for &(a, b) in pairs {
             let ia = *self
                 .index
@@ -263,20 +499,9 @@ impl TopologyBuilder {
             let edges = self
                 .route(ia, ib)
                 .ok_or_else(|| TopologyError::NoRoute(a.to_string(), b.to_string()))?;
-            let mut rtt_ms = 0.0;
-            let mut pass = 1.0;
-            for &e in &edges {
-                let (_, ms, loss) = edge_caps[e].expect("edge metadata");
-                rtt_ms += 2.0 * ms;
-                pass *= 1.0 - loss;
-            }
-            let links: Vec<LinkId> = edges.iter().map(|&e| link_ids[e]).collect();
-            let path = Path::new(format!("{a}->{b}"), links)
-                .with_rtt_ms(rtt_ms.max(1e-3))
-                .with_loss((1.0 - pass).clamp(0.0, 0.999_999));
-            paths.push(net.add_path(path));
+            routes.push((format!("{a}->{b}"), edges));
         }
-        Ok((net, paths))
+        self.build_explicit(&routes)
     }
 }
 
@@ -384,6 +609,65 @@ mod tests {
             b.build(&[("a", "island")]),
             Err(TopologyError::NoRoute(_, _))
         ));
+    }
+
+    #[test]
+    fn k_shortest_enumerates_in_latency_order() {
+        let b = esnet_like();
+        let routes = b.k_shortest_routes("anl", "tacc", 4).unwrap();
+        // Loopless routes: anl->kansas->tacc (17 ms), then via starlight
+        // (anl->starlight->kansas->tacc, 17.5 ms). There is no third.
+        assert_eq!(routes.len(), 2, "{routes:?}");
+        assert_eq!(routes[0], vec![2, 4]);
+        assert_eq!(routes[1], vec![0, 3, 4]);
+        let (rtt0, _, _) = b.route_stats(&routes[0]).unwrap();
+        let (rtt1, _, _) = b.route_stats(&routes[1]).unwrap();
+        assert!(rtt0 <= rtt1);
+        // Rank 0 matches the plain Dijkstra build.
+        let (net, paths) = b.build(&[("anl", "tacc")]).unwrap();
+        assert_eq!(net.path(paths[0]).links.len(), routes[0].len());
+    }
+
+    #[test]
+    fn k_shortest_is_deterministic_and_loopless() {
+        let b = esnet_like();
+        let a = b.k_shortest_routes("anl", "cern", 5).unwrap();
+        let again = b.k_shortest_routes("anl", "cern", 5).unwrap();
+        assert_eq!(a, again);
+        for route in &a {
+            let mut seen = std::collections::BTreeSet::new();
+            assert!(route.iter().all(|e| seen.insert(*e)), "loop in {route:?}");
+        }
+        assert!(b.k_shortest_routes("anl", "mars", 2).is_err());
+    }
+
+    #[test]
+    fn build_explicit_matches_dijkstra_build() {
+        let b = esnet_like();
+        let routes = b.k_shortest_routes("anl", "tacc", 1).unwrap();
+        let (net_a, pa) = b.build(&[("anl", "tacc")]).unwrap();
+        let (net_b, pb) = b
+            .build_explicit(&[("anl->tacc".to_string(), routes[0].clone())])
+            .unwrap();
+        assert_eq!(net_a.link_count(), net_b.link_count());
+        let (a, b2) = (net_a.path(pa[0]), net_b.path(pb[0]));
+        assert_eq!(a.links, b2.links);
+        assert!((a.rtt_s - b2.rtt_s).abs() < 1e-12);
+        assert!((a.loss - b2.loss).abs() < 1e-12);
+        assert!(matches!(
+            b.build_explicit(&[("bad".to_string(), vec![99])]),
+            Err(TopologyError::BadEdge(99))
+        ));
+    }
+
+    #[test]
+    fn route_stats_aggregate() {
+        let b = esnet_like();
+        // anl->starlight->cern: rtt 2*(0.5+45), loss compounds, cap min.
+        let (rtt, loss, cap) = b.route_stats(&[0, 1]).unwrap();
+        assert!((rtt - 91.0).abs() < 1e-9);
+        assert!(loss > 1e-5 && loss < 2e-5);
+        assert!((cap - 1250.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Admission control: per-link stream budgets.
 //!
-//! Every WAN link (and the shared source NIC) has a stream budget — the
-//! maximum number of TCP streams the orchestrator will let admitted jobs
-//! reserve on it at once. A job asks for `min(spec.max_streams, ...)` streams
-//! on every link of its route; admission either grants the full reservation on
-//! all links atomically or rejects the job for this tick.
+//! Every link a route crosses (the shared source NIC, each WAN hop) has a
+//! stream budget — the maximum number of TCP streams the orchestrator will
+//! let admitted jobs reserve on it at once. A job asks for
+//! `min(spec.max_streams, ...)` streams on every link of its route; admission
+//! either grants the full reservation on all links atomically or rejects the
+//! job for this tick. Routes are variable-length ([`crate::route::JobRoute`]):
+//! the classic paper world crosses 2 links, a planet-catalog route crosses
+//! however many hops the topology dictates.
 //!
 //! The reservation is a *cap*, not a commitment: the job's tuner is built over
 //! a domain whose `nc × np` product cannot exceed the granted streams, so the
@@ -13,25 +16,18 @@
 
 use crate::breaker::BreakerBoard;
 use crate::job::{JobId, JobSpec};
-use xferopt_scenarios::Route;
 
 /// Default per-link stream budget (4× the 128-stream default reservation, so
 /// the golden contention scenario holds four full-size jobs per link).
 pub const DEFAULT_LINK_BUDGET: u32 = 512;
 
-/// Links of a route, as raw indices into the paper world's network
-/// (construction order: nic = 0, wan-uchicago = 1, wan-tacc = 2).
-pub fn route_links(route: Route) -> [usize; 2] {
-    [0, route.wan_link_index()]
-}
-
 /// One granted reservation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reservation {
     /// The job holding the reservation.
     pub job: JobId,
-    /// Route whose links the streams are reserved on.
-    pub route: Route,
+    /// Links the streams are reserved on (the job's route link list).
+    pub links: Vec<usize>,
     /// Streams reserved on every link of the route.
     pub streams: u32,
 }
@@ -82,7 +78,9 @@ impl AdmissionController {
     /// requested reservation and the tightest available link on its route.
     /// Zero means it cannot be admitted this tick.
     pub fn grantable(&self, spec: &JobSpec) -> u32 {
-        let avail = route_links(spec.route)
+        let avail = spec
+            .route
+            .links()
             .iter()
             .map(|&l| self.available(l))
             .min()
@@ -109,15 +107,14 @@ impl AdmissionController {
         spec: &JobSpec,
         board: &mut BreakerBoard,
     ) -> Option<Reservation> {
-        let links = route_links(spec.route);
-        if !board.route_admits(&links) {
+        if !board.route_admits(spec.route.links()) {
             return None;
         }
-        let factor = board.route_grant_factor(&links);
+        let factor = board.route_grant_factor(spec.route.links());
         let cap = ((spec.max_streams as f64) * factor).floor() as u32;
         let streams = self.grantable(spec).min(cap);
         let r = self.admit_streams(spec, streams)?;
-        board.mark_probe(&links);
+        board.mark_probe(spec.route.links());
         Some(r)
     }
 
@@ -127,15 +124,15 @@ impl AdmissionController {
         if streams < spec.np.max(1) {
             return None;
         }
-        for l in route_links(spec.route) {
+        for &l in spec.route.links() {
             self.reserved[l] += streams;
         }
         let r = Reservation {
             job: spec.id,
-            route: spec.route,
+            links: spec.route.links().to_vec(),
             streams,
         };
-        self.grants.push(r);
+        self.grants.push(r.clone());
         Some(r)
     }
 
@@ -150,7 +147,7 @@ impl AdmissionController {
             .position(|g| g.job == job)
             .unwrap_or_else(|| panic!("{job} holds no reservation"));
         let g = self.grants.remove(idx);
-        for l in route_links(g.route) {
+        for &l in &g.links {
             debug_assert!(self.reserved[l] >= g.streams);
             self.reserved[l] -= g.streams;
         }
@@ -172,6 +169,7 @@ impl AdmissionController {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use xferopt_scenarios::Route;
 
     #[test]
     fn admits_until_the_tightest_link_is_full() {
@@ -211,6 +209,35 @@ mod tests {
         assert!(ac.try_admit(&a).is_none(), "4 < np=8 must be refused");
         let b = JobSpec::new(1, 0.0, 100.0).with_np(4).with_max_streams(4);
         assert_eq!(ac.try_admit(&b).unwrap().streams, 4);
+    }
+
+    #[test]
+    fn multi_hop_routes_reserve_every_link() {
+        use crate::route::JobRoute;
+        let mut ac = AdmissionController::uniform(6, 100);
+        let spec = JobSpec::new(0, 0.0, 100.0)
+            .with_route(JobRoute::new("a->b:0", vec![0, 3, 5], 0))
+            .with_max_streams(64);
+        let g = ac.try_admit(&spec).unwrap();
+        assert_eq!(g.streams, 64);
+        assert_eq!(g.links, vec![0, 3, 5]);
+        for l in [0, 3, 5] {
+            assert_eq!(ac.reserved(l), 64);
+        }
+        for l in [1, 2, 4] {
+            assert_eq!(ac.reserved(l), 0);
+        }
+        // The tightest hop of the route caps the grant.
+        let tight = JobSpec::new(1, 0.0, 100.0)
+            .with_route(JobRoute::new("a->b:1", vec![1, 3], 1))
+            .with_max_streams(64)
+            .with_np(8);
+        assert_eq!(ac.try_admit(&tight).unwrap().streams, 36);
+        ac.release(JobId(0));
+        ac.release(JobId(1));
+        for l in 0..6 {
+            assert_eq!(ac.reserved(l), 0);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::fleet::{FleetConfig, FleetOutcome, FleetSim};
 use crate::history::{json_field, HistoryStore};
 use crate::job::{JobId, JobSpec, Workload};
 use crate::policy::Policy;
+use crate::route::JobRoute;
 use xferopt_scenarios::{FaultProfile, Route};
 use xferopt_simcore::metrics::json_f64;
 use xferopt_tuners::TunerKind;
@@ -63,6 +64,29 @@ pub(crate) fn job_to_json(j: &JobSpec) -> String {
     if let Some(d) = j.deadline_s {
         s.push_str(&format!(",\"deadline_s\":{}", json_f64(d)));
     }
+    // Classic enum routes round-trip through their name alone (keeps old
+    // checkpoints and goldens byte-identical); catalog routes carry their
+    // explicit link list and sim path.
+    let classic = j
+        .route
+        .name()
+        .parse::<Route>()
+        .map(|r| j.route == r)
+        .unwrap_or(false);
+    if !classic {
+        let links = j
+            .route
+            .links()
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        s.push_str(&format!(
+            ",\"links\":\"{}\",\"path\":{}",
+            links,
+            j.route.path_index()
+        ));
+    }
     s.push('}');
     s
 }
@@ -76,7 +100,23 @@ fn parse_job(line: &str) -> Result<JobSpec, String> {
             .parse::<f64>()
             .map_err(|e| format!("bad '{key}' in checkpoint job line: {e}"))
     };
-    let route: Route = req("route")?.parse()?;
+    let name = req("route")?;
+    let route: JobRoute = match json_field(line, "links") {
+        Some(raw) => {
+            let links = raw
+                .split(';')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("bad links in checkpoint job line: {e}"))?;
+            if links.is_empty() {
+                return Err(format!("empty links in checkpoint job line: {line}"));
+            }
+            let path = num("path")? as usize;
+            JobRoute::new(name, links, path)
+        }
+        None => name.parse::<Route>()?.into(),
+    };
     let tuner: TunerKind = req("tuner")?
         .parse()
         .map_err(|e| format!("bad tuner in checkpoint job line: {e}"))?;
@@ -161,6 +201,22 @@ impl Checkpoint {
             Some(name) => Some(name.parse()?),
             None => None,
         };
+        let topo =
+            match json_field(header, "topo") {
+                Some(preset) => Some(crate::fleet::TopoFleetConfig {
+                    preset: preset.to_string(),
+                    k: num("topo_k")? as usize,
+                    outage_region: match json_field(header, "outage_region") {
+                        Some(v) => Some(v.parse::<usize>().map_err(|e| {
+                            format!("bad 'outage_region' in checkpoint header: {e}")
+                        })?),
+                        None => None,
+                    },
+                    multipath: num("multipath")? as u32,
+                    reroute: flag("reroute")?,
+                }),
+                None => None,
+            };
         let config = FleetConfig {
             policy,
             seed: num("seed")? as u64,
@@ -174,6 +230,7 @@ impl Checkpoint {
             audit: flag("audit")?,
             faults,
             shed_after_s: num("shed_after_s")?,
+            topo,
             ..FleetConfig::default()
         };
         let tick = num("tick")? as u64;

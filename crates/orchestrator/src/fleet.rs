@@ -40,7 +40,7 @@ use std::collections::{BTreeMap, VecDeque};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::admission::{route_links, AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
+use crate::admission::{AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
 use crate::breaker::{BreakerBoard, BreakerConfig};
 use crate::health::{
     HealthConfig, HealthMonitor, HealthVerdict, SupervisionEvent, SupervisionSummary,
@@ -48,11 +48,55 @@ use crate::health::{
 use crate::history::{HistoryRecord, HistoryStore};
 use crate::job::{JobId, JobSpec, JobState, Workload};
 use crate::policy::Policy;
-use xferopt_scenarios::{FaultProfile, PaperWorld};
+use crate::route::JobRoute;
+use xferopt_scenarios::{FaultProfile, PaperWorld, Route};
 use xferopt_simcore::metrics::{json_f64, MetricsRegistry};
 use xferopt_simcore::SimDuration;
-use xferopt_transfer::{EpochReport, EpochStart, StreamParams, TransferId};
+use xferopt_topo::{
+    outage_plan, search_routes, PlacementTable, Planet, PlanetWorld, RouteCatalog, SearchConfig,
+};
+use xferopt_transfer::{EpochReport, EpochStart, StreamParams, TransferId, World};
 use xferopt_tuners::{Domain, OnlineTuner, Point, WarmStart};
+
+/// Planet-topology fleet settings. `None` runs the classic single-pipe
+/// paper world; `Some` places jobs on an N-region planet using the offline
+/// route search's placement table (DESIGN.md §16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoFleetConfig {
+    /// Planet preset name (`mesh`, `hub-spoke`, `asymmetric`).
+    pub preset: String,
+    /// Candidate routes enumerated per ordered region pair.
+    pub k: usize,
+    /// Region whose incident links flap dark under the regional-outage
+    /// chaos plan (`None` keeps the planet fault-free).
+    pub outage_region: Option<usize>,
+    /// Routes one job's streams are split across (1 = single-path).
+    pub multipath: u32,
+    /// Re-route breaker-blocked requeued jobs onto the placement's
+    /// next-ranked candidate (bytes conserved across the hop).
+    pub reroute: bool,
+}
+
+impl TopoFleetConfig {
+    /// Topology config for a named preset with search defaults.
+    pub fn preset(name: &str) -> Self {
+        TopoFleetConfig {
+            preset: name.to_string(),
+            k: 3,
+            outage_region: None,
+            multipath: 1,
+            reroute: true,
+        }
+    }
+
+    /// Resolve the preset into a [`Planet`].
+    ///
+    /// # Panics
+    /// Panics on an unknown preset name (validated at CLI parse time).
+    pub fn planet(&self) -> Planet {
+        Planet::preset(&self.preset).expect("known planet preset")
+    }
+}
 
 /// Fleet run configuration.
 #[derive(Debug, Clone)]
@@ -89,6 +133,9 @@ pub struct FleetConfig {
     /// Shed the lowest-priority queued job on a link whose breaker has been
     /// continuously non-closed for this long (and at most once per interval).
     pub shed_after_s: f64,
+    /// Planet-topology settings; `None` keeps the classic paper world (and
+    /// its byte-identical goldens).
+    pub topo: Option<TopoFleetConfig>,
 }
 
 impl Default for FleetConfig {
@@ -108,6 +155,7 @@ impl Default for FleetConfig {
             health: HealthConfig::default(),
             breaker: BreakerConfig::default(),
             shed_after_s: 300.0,
+            topo: None,
         }
     }
 }
@@ -277,6 +325,15 @@ impl FleetReport {
         if let Some(p) = self.config.faults {
             out.push_str(&format!(" faults={}", p.name()));
         }
+        if let Some(tc) = &self.config.topo {
+            out.push_str(&format!(
+                " topo={} k={} multipath={} reroute={}",
+                tc.preset, tc.k, tc.multipath, tc.reroute
+            ));
+            if let Some(r) = tc.outage_region {
+                out.push_str(&format!(" outage_region={r}"));
+            }
+        }
         out.push('\n');
         for o in &self.outcomes {
             out.push_str(&o.render());
@@ -397,10 +454,102 @@ impl std::ops::DerefMut for HistoryHandle<'_> {
     }
 }
 
+/// A built planet fleet: the compiled world plus the searched placement
+/// table that drives job routing and breaker-aware re-routes.
+pub(crate) struct PlanetFleet {
+    pub(crate) pw: PlanetWorld,
+    pub(crate) placement: PlacementTable,
+}
+
+impl PlanetFleet {
+    /// The placement's next-ranked candidate for `route`'s pair whose links
+    /// the breakers currently admit (skipping the route itself), if any.
+    fn reroute_candidate(&self, route: &JobRoute, breakers: &BreakerBoard) -> Option<JobRoute> {
+        let entry = self
+            .placement
+            .entries
+            .iter()
+            .find(|e| e.routes.iter().any(|r| r == route.name()))?;
+        for (name, links) in entry.routes.iter().zip(&entry.links) {
+            if name == route.name() || !breakers.route_admits(links) {
+                continue;
+            }
+            let path = self.pw.catalog.route_by_name(name)?;
+            return Some(JobRoute::new(name.clone(), links.clone(), path));
+        }
+        None
+    }
+}
+
+/// The world a fleet runs against: the classic single-pipe paper testbed or
+/// a compiled N-region planet. Classic keeps every constant (3 links, enum
+/// route names, digest bytes) exactly as before.
+pub(crate) enum FleetWorld {
+    /// The paper's 3-link world (`anl->uchicago` / `anl->tacc`).
+    Classic(Box<PaperWorld>),
+    /// An N-region planet with a searched placement table.
+    Planet(Box<PlanetFleet>),
+}
+
+impl FleetWorld {
+    fn world(&self) -> &World {
+        match self {
+            FleetWorld::Classic(pw) => &pw.world,
+            FleetWorld::Planet(pf) => &pf.pw.world,
+        }
+    }
+
+    fn world_mut(&mut self) -> &mut World {
+        match self {
+            FleetWorld::Classic(pw) => &mut pw.world,
+            FleetWorld::Planet(pf) => &mut pf.pw.world,
+        }
+    }
+
+    /// Links the admission controller and breaker board must cover.
+    fn nlinks(&self) -> usize {
+        match self {
+            FleetWorld::Classic(_) => 3,
+            FleetWorld::Planet(pf) => pf.pw.catalog.nlinks,
+        }
+    }
+
+    /// Start a sized transfer on `route` (by classic name or catalog path).
+    fn start_sized_transfer(
+        &mut self,
+        route: &JobRoute,
+        params: StreamParams,
+        size_mb: f64,
+        noise_sigma: f64,
+    ) -> TransferId {
+        match self {
+            FleetWorld::Classic(pw) => {
+                let r: Route = route
+                    .name()
+                    .parse()
+                    .expect("classic fleet routes are paper routes");
+                pw.start_sized_transfer(r, params, size_mb, noise_sigma)
+            }
+            FleetWorld::Planet(pf) => {
+                pf.pw
+                    .start_sized_transfer(route.path_index(), params, size_mb, noise_sigma)
+            }
+        }
+    }
+}
+
 /// One admitted job's live state.
 struct RunningJob {
     spec: JobSpec,
     tid: TransferId,
+    /// Extra multipath transfers riding fallback routes (fixed params, no
+    /// tuner). Always empty on the classic world.
+    extra_tids: Vec<TransferId>,
+    /// Megabytes moved by transfers this job abandoned on earlier routes
+    /// (breaker-aware re-routes conserve bytes through this). Always 0 on
+    /// the classic world, so `moved_base + moved_mb(tid)` is bit-identical
+    /// to the old readout there.
+    moved_base: f64,
     tuner: Box<dyn OnlineTuner + Send>,
     epoch: Option<EpochStart>,
     current: Point,
@@ -431,6 +580,12 @@ impl RunningJob {
 /// kept alive but idle, so `moved_mb` is conserved).
 struct JobCarry {
     tid: TransferId,
+    /// Bytes abandoned on earlier routes (see `RunningJob::moved_base`).
+    moved_base: f64,
+    /// Route name the live transfer was created on; a differing spec route
+    /// at re-admission means the job was re-routed while queued and needs a
+    /// fresh transfer for the remainder.
+    route_name: String,
     first_admitted_s: f64,
     attempts: u32,
     best_mbs: f64,
@@ -454,7 +609,7 @@ struct QuarantinedJob {
 pub struct FleetSim<'h> {
     config: FleetConfig,
     workload_jobs: Vec<JobSpec>,
-    pw: PaperWorld,
+    world: FleetWorld,
     pending: VecDeque<JobSpec>,
     queued: Vec<JobSpec>,
     running: BTreeMap<JobId, RunningJob>,
@@ -526,16 +681,49 @@ impl<'h> FleetSim<'h> {
              with run_fleet_sharded"
         );
         let world_seed = site_world_seed(config.seed, site);
-        let mut pw = PaperWorld::new(world_seed);
-        pw.world.enable_telemetry();
-        // Strictly opt-in: enabling faults consumes one seed from the world's
-        // stream, so a fault-free fleet must not call it at all (keeps
-        // no-fault runs byte-identical to pre-supervision ones).
-        if let Some(profile) = config.faults {
-            let plan = profile.fleet_plan(world_seed, config.horizon_s, workload.len() as u64);
-            pw.world
-                .enable_faults_with_policy(plan, config.health.retry);
-        }
+        let world = match &config.topo {
+            None => {
+                let mut pw = PaperWorld::new(world_seed);
+                pw.world.enable_telemetry();
+                // Strictly opt-in: enabling faults consumes one seed from the
+                // world's stream, so a fault-free fleet must not call it at
+                // all (keeps no-fault runs byte-identical to pre-supervision
+                // ones).
+                if let Some(profile) = config.faults {
+                    let plan =
+                        profile.fleet_plan(world_seed, config.horizon_s, workload.len() as u64);
+                    pw.world
+                        .enable_faults_with_policy(plan, config.health.retry);
+                }
+                FleetWorld::Classic(Box::new(pw))
+            }
+            Some(tc) => {
+                assert!(
+                    config.faults.is_none(),
+                    "classic fault profiles target the 3-link paper world; \
+                     planet fleets take an outage_region instead"
+                );
+                let planet = tc.planet();
+                let placement = search_routes(
+                    &planet,
+                    &SearchConfig {
+                        k: tc.k,
+                        ..SearchConfig::default()
+                    },
+                )
+                .expect("preset planets search cleanly");
+                let mut pw =
+                    PlanetWorld::new(&planet, tc.k, world_seed).expect("preset planets compile");
+                pw.world.enable_telemetry();
+                if let Some(region) = tc.outage_region {
+                    let plan = outage_plan(&planet, region, world_seed, config.horizon_s);
+                    pw.world
+                        .enable_faults_with_policy(plan, config.health.retry);
+                }
+                FleetWorld::Planet(Box::new(PlanetFleet { pw, placement }))
+            }
+        };
+        let nlinks = world.nlinks();
         let mut metrics = MetricsRegistry::new();
         if history.skipped() > 0 {
             metrics
@@ -546,14 +734,14 @@ impl<'h> FleetSim<'h> {
         FleetSim {
             config: config.clone(),
             workload_jobs: workload.jobs().to_vec(),
-            pw,
+            world,
             pending: workload.jobs().iter().cloned().collect(),
             queued: Vec::new(),
             running: BTreeMap::new(),
             quarantined: BTreeMap::new(),
             carry: BTreeMap::new(),
-            admission: AdmissionController::paper(config.link_budget),
-            breakers: BreakerBoard::new(3, config.breaker),
+            admission: AdmissionController::uniform(nlinks, config.link_budget),
+            breakers: BreakerBoard::new(nlinks, config.breaker),
             admitted_by_class: Vec::new(),
             outcomes: Vec::new(),
             decisions: Vec::new(),
@@ -565,7 +753,7 @@ impl<'h> FleetSim<'h> {
             history_start_len,
             tick_appends: Vec::new(),
             admission_dirty: true,
-            last_shed_s: vec![f64::NEG_INFINITY; 3],
+            last_shed_s: vec![f64::NEG_INFINITY; nlinks],
             tick: 0,
             t: 0.0,
             done: false,
@@ -579,8 +767,17 @@ impl<'h> FleetSim<'h> {
 
     /// Read-only view of the shared transfer world (perf gates read the
     /// network's allocation-engine counters through this).
-    pub fn world(&self) -> &xferopt_transfer::World {
-        &self.pw.world
+    pub fn world(&self) -> &World {
+        self.world.world()
+    }
+
+    /// The placement table driving a planet fleet's routing (`None` on the
+    /// classic world).
+    pub fn placement(&self) -> Option<&PlacementTable> {
+        match &self.world {
+            FleetWorld::Classic(_) => None,
+            FleetWorld::Planet(pf) => Some(&pf.placement),
+        }
     }
 
     /// Current fleet time, seconds.
@@ -674,6 +871,36 @@ impl<'h> FleetSim<'h> {
         }
         // 1d. Sustained-pressure shedding.
         self.shed();
+        // 1e. Breaker-aware re-route: a requeued (carried) job whose route
+        // the breakers block hops to the placement's next-ranked candidate;
+        // its bytes are conserved (re-admission folds the old transfer's
+        // progress into `moved_base` and runs the remainder).
+        if self.config.topo.as_ref().is_some_and(|t| t.reroute) {
+            let moves: Vec<(usize, JobRoute)> = match &self.world {
+                FleetWorld::Classic(_) => Vec::new(),
+                FleetWorld::Planet(pf) => self
+                    .queued
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| {
+                        self.carry.contains_key(&j.id)
+                            && !self.breakers.route_admits(j.route.links())
+                    })
+                    .filter_map(|(i, j)| {
+                        pf.reroute_candidate(&j.route, &self.breakers)
+                            .map(|r| (i, r))
+                    })
+                    .collect(),
+            };
+            for (i, next) in moves {
+                let id = self.queued[i].id;
+                let detail = format!("{}=>{}", self.queued[i].route.name(), next.name());
+                self.supervision.reroutes += 1;
+                self.push_event("reroute", Some(id.to_string()), None, detail);
+                self.queued[i].route = next;
+                self.admission_dirty = true;
+            }
+        }
 
         // 2. Admission: policy pick over breaker-admissible jobs, with
         // head-of-line blocking on link capacity. Skipped outright while
@@ -686,7 +913,7 @@ impl<'h> FleetSim<'h> {
                 .queued
                 .iter()
                 .enumerate()
-                .filter(|(_, j)| self.breakers.route_admits(&route_links(j.route)))
+                .filter(|(_, j)| self.breakers.route_admits(j.route.links()))
                 .map(|(i, _)| i)
                 .collect();
             if mask.is_empty() {
@@ -720,37 +947,40 @@ impl<'h> FleetSim<'h> {
         }
 
         // 3. Advance the world one tick.
-        self.pw
-            .world
+        self.world
+            .world_mut()
             .step(SimDuration::from_secs_f64(self.config.tick_s));
         self.t += self.config.tick_s;
         self.tick += 1;
 
-        // 4. Completions, in job-id order (BTreeMap iteration).
-        let finished: Vec<JobId> = self
-            .running
-            .iter()
-            .filter(|(_, j)| self.pw.world.is_done(j.tid))
-            .map(|(&id, _)| id)
-            .collect();
+        // 4. Completions, in job-id order (BTreeMap iteration). A multipath
+        // job finishes when every one of its transfers has.
+        let finished: Vec<JobId> = {
+            let w = self.world.world();
+            self.running
+                .iter()
+                .filter(|(_, j)| w.is_done(j.tid) && j.extra_tids.iter().all(|&e| w.is_done(e)))
+                .map(|(&id, _)| id)
+                .collect()
+        };
         for id in finished {
             let mut job = self.running.remove(&id).expect("job is running");
             if let Some(es) = job.epoch.take() {
-                let report = self.pw.world.end_epoch(es);
+                let report = self.world.world_mut().end_epoch(es);
                 record_epoch(&mut job, self.t, &report);
             }
             self.admission.release(id);
             self.admission_dirty = true;
-            for l in route_links(job.spec.route) {
+            for &l in job.spec.route.links() {
                 if let Some(tr) = self.breakers.on_success(l, self.t) {
                     self.push_event(tr, None, Some(l), String::new());
                 }
             }
-            let moved = self.pw.world.moved_mb(job.tid);
+            let moved = moved_total(self.world.world(), &job);
             let elapsed = (self.t - job.admitted_s).max(self.config.tick_s);
             if job.best_mbs > 0.0 {
                 let record = HistoryRecord {
-                    route: job.spec.route,
+                    route: job.spec.route.name().to_string(),
                     tuner: job.spec.tuner,
                     ext_streams: job.ext_streams,
                     cmp_jobs: 0.0,
@@ -784,17 +1014,17 @@ impl<'h> FleetSim<'h> {
             let (verdict, was_degraded, route, observed) = {
                 let job = self.running.get_mut(&id).expect("job is running");
                 let es = job.epoch.take().expect("running job has an open epoch");
-                let report = self.pw.world.end_epoch(es);
+                let report = self.world.world_mut().end_epoch(es);
                 record_epoch(job, self.t, &report);
                 let v = job.monitor.observe(report.observed_mbs);
-                (v, job.degraded, job.spec.route, report.observed_mbs)
+                (v, job.degraded, job.spec.route.clone(), report.observed_mbs)
             };
             match verdict {
                 HealthVerdict::Healthy => {
                     if was_degraded {
                         self.running.get_mut(&id).expect("running").degraded = false;
                     }
-                    for l in route_links(route) {
+                    for &l in route.links() {
                         if let Some(tr) = self.breakers.on_success(l, self.t) {
                             self.push_event(tr, None, Some(l), String::new());
                             // A state transition (half-open closing) widens
@@ -832,7 +1062,7 @@ impl<'h> FleetSim<'h> {
         let next = job.tuner.observe(&job.current.clone(), observed_mbs);
         job.current = next;
         let params = job.params_for(&job.current.clone());
-        job.epoch = Some(self.pw.world.begin_epoch(job.tid, params, false));
+        job.epoch = Some(self.world.world_mut().begin_epoch(job.tid, params, false));
         job.next_epoch_end_s = self.t + self.config.epoch_s;
     }
 
@@ -852,13 +1082,17 @@ impl<'h> FleetSim<'h> {
         // before this job places any of its own — an O(1) incremental
         // readout, not a per-admission rebuild of every link's sum.
         let ext_streams = self
-            .pw
             .world
+            .world()
             .net()
             .link_streams(xferopt_net::LinkId(spec.route.wan_link_index()));
+        // Multipath splits the grant evenly across the job's routes; the
+        // tuned primary keeps one share, so its domain shrinks accordingly.
+        let multipath = self.config.topo.as_ref().map_or(1, |t| t.multipath.max(1));
+        let share = (grant.streams / multipath).max(1);
         // Restrict the tuner's domain to the granted reservation:
         // nc ≤ granted / np, so proposals can never oversubscribe.
-        let nc_hi = (grant.streams / spec.np.max(1)).max(1) as i64;
+        let nc_hi = (share / spec.np.max(1)).max(1) as i64;
         let domain = Domain::new(&[(1, nc_hi.min(512))]);
         let cold = vec![spec.cold_start().nc as i64];
         let seed = match &carried {
@@ -869,7 +1103,7 @@ impl<'h> FleetSim<'h> {
                 0.0,
             ),
             _ if self.config.warm_start => self.history.warm_start(
-                spec.route,
+                spec.route.name(),
                 spec.tuner,
                 ext_streams,
                 0.0,
@@ -888,10 +1122,36 @@ impl<'h> FleetSim<'h> {
         }
         let x0 = tuner.initial();
         let restart = carried.is_some();
-        let (tid, admitted_s, attempts, warm_distance, best_mbs, best_params, epochs_done, trace) =
-            match carried {
-                Some(c) => (
+        #[allow(clippy::type_complexity)]
+        let (
+            tid,
+            extra_tids,
+            moved_base,
+            admitted_s,
+            attempts,
+            warm_distance,
+            best_mbs,
+            best_params,
+            epochs_done,
+            trace,
+        ) = match carried {
+            Some(mut c) => {
+                if c.route_name != spec.route.name() {
+                    // Re-routed while queued: fold the abandoned
+                    // transfer's bytes into moved_base and run only the
+                    // remainder on the new route — bytes conserved.
+                    c.moved_base += self.world.world().moved_mb(c.tid);
+                    c.tid = self.world.start_sized_transfer(
+                        &spec.route,
+                        StreamParams::new(1, 1),
+                        (spec.size_mb - c.moved_base).max(0.0),
+                        self.config.noise_sigma,
+                    );
+                }
+                (
                     c.tid,
+                    Vec::new(),
+                    c.moved_base,
                     c.first_admitted_s,
                     c.attempts,
                     c.warm_distance,
@@ -899,14 +1159,20 @@ impl<'h> FleetSim<'h> {
                     c.best_params,
                     c.epochs_done,
                     c.trace,
-                ),
-                None => (
-                    self.pw.start_sized_transfer(
-                        spec.route,
-                        StreamParams::new(1, 1), // placeholder; epoch sets real params
-                        spec.size_mb,
-                        self.config.noise_sigma,
-                    ),
+                )
+            }
+            None => {
+                let (extra_tids, extra_mb) = self.start_multipath_extras(&spec, multipath, share);
+                let tid = self.world.start_sized_transfer(
+                    &spec.route,
+                    StreamParams::new(1, 1), // placeholder; epoch sets real params
+                    spec.size_mb - extra_mb,
+                    self.config.noise_sigma,
+                );
+                (
+                    tid,
+                    extra_tids,
+                    0.0,
                     self.t,
                     0,
                     seed.distance(),
@@ -914,10 +1180,13 @@ impl<'h> FleetSim<'h> {
                     spec.cold_start(),
                     0,
                     Vec::new(),
-                ),
-            };
+                )
+            }
+        };
         let mut job = RunningJob {
             tid,
+            extra_tids,
+            moved_base,
             tuner,
             epoch: None,
             current: x0,
@@ -935,10 +1204,72 @@ impl<'h> FleetSim<'h> {
             degraded: false,
             spec,
         };
-        self.pw.world.set_transfer_tag(job.tid, Some(job.spec.id.0));
+        let w = self.world.world_mut();
+        w.set_transfer_tag(job.tid, Some(job.spec.id.0));
+        for &e in &job.extra_tids {
+            w.set_transfer_tag(e, Some(job.spec.id.0));
+        }
         let params = job.params_for(&job.current.clone());
-        job.epoch = Some(self.pw.world.begin_epoch(job.tid, params, restart));
+        job.epoch = Some(w.begin_epoch(job.tid, params, restart));
         self.running.insert(job.spec.id, job);
+    }
+
+    /// Start the fixed-config extra transfers of a multipath job: one per
+    /// fallback route in the placement's rank order, each carrying an equal
+    /// slice of the job's bytes and one `share`-stream config. Returns the
+    /// transfer ids and the total bytes they carry (the primary runs the
+    /// rest). No-op on the classic world or when the placement has no
+    /// fallback for the pair.
+    fn start_multipath_extras(
+        &mut self,
+        spec: &JobSpec,
+        multipath: u32,
+        share: u32,
+    ) -> (Vec<TransferId>, f64) {
+        if multipath <= 1 {
+            return (Vec::new(), 0.0);
+        }
+        let fallbacks: Vec<JobRoute> = match &self.world {
+            FleetWorld::Classic(_) => Vec::new(),
+            FleetWorld::Planet(pf) => pf
+                .placement
+                .entries
+                .iter()
+                .find(|e| e.routes.iter().any(|r| r == spec.route.name()))
+                .map(|entry| {
+                    entry
+                        .routes
+                        .iter()
+                        .zip(&entry.links)
+                        .filter(|(name, _)| name.as_str() != spec.route.name())
+                        .take(multipath as usize - 1)
+                        .filter_map(|(name, links)| {
+                            pf.pw
+                                .catalog
+                                .route_by_name(name)
+                                .map(|p| JobRoute::new(name.clone(), links.clone(), p))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        };
+        if fallbacks.is_empty() {
+            return (Vec::new(), 0.0);
+        }
+        let slice = spec.size_mb / (fallbacks.len() as f64 + 1.0);
+        let nc = (share / spec.np.max(1)).max(1);
+        let params = StreamParams::new(nc, spec.np);
+        let mut tids = Vec::new();
+        for route in &fallbacks {
+            tids.push(self.world.start_sized_transfer(
+                route,
+                params,
+                slice,
+                self.config.noise_sigma,
+            ));
+        }
+        let extra_mb = slice * tids.len() as f64;
+        (tids, extra_mb)
     }
 
     /// Pull a job off the wire: release its grant, feed the route's breakers
@@ -951,10 +1282,31 @@ impl<'h> FleetSim<'h> {
         self.admission.release(id);
         self.admission_dirty = true;
         // Idle the transfer: zero streams move nothing but keep the byte
-        // counter alive for the resumed attempt.
-        self.pw
-            .world
+        // counter alive for the resumed attempt. Multipath extras are folded
+        // into moved_base and abandoned — a retried job runs single-path.
+        self.world
+            .world_mut()
             .set_params(job.tid, StreamParams::new(0, 1), false);
+        let extras = std::mem::take(&mut job.extra_tids);
+        if !extras.is_empty() {
+            for e in extras {
+                self.world
+                    .world_mut()
+                    .set_params(e, StreamParams::new(0, 1), false);
+                job.moved_base += self.world.world().moved_mb(e);
+            }
+            // The primary transfer was sized to its slice only; fold it too
+            // and re-issue the whole remainder so the abandoned slices'
+            // unmoved bytes are not stranded (byte conservation).
+            job.moved_base += self.world.world().moved_mb(job.tid);
+            job.tid = self.world.start_sized_transfer(
+                &job.spec.route,
+                StreamParams::new(0, 1),
+                (job.spec.size_mb - job.moved_base).max(0.0),
+                self.config.noise_sigma,
+            );
+            self.world.world_mut().set_transfer_tag(job.tid, Some(id.0));
+        }
         let attempts = job.attempts + 1;
         self.supervision.quarantines += 1;
         self.push_event(
@@ -967,7 +1319,7 @@ impl<'h> FleetSim<'h> {
                 job.monitor.collapse_run()
             ),
         );
-        for l in route_links(job.spec.route) {
+        for &l in job.spec.route.links() {
             if let Some(tr) = self.breakers.on_failure(l, self.t) {
                 if tr == "breaker-open" {
                     self.supervision.breaker_trips += 1;
@@ -983,7 +1335,7 @@ impl<'h> FleetSim<'h> {
                 None,
                 "attempts_exhausted".into(),
             );
-            let moved = self.pw.world.moved_mb(job.tid);
+            let moved = moved_total(self.world.world(), &job);
             let elapsed = (self.t - job.admitted_s).max(self.config.tick_s);
             job.attempts = attempts;
             let o = retire(
@@ -1018,6 +1370,8 @@ impl<'h> FleetSim<'h> {
                 QuarantinedJob {
                     carry: JobCarry {
                         tid: job.tid,
+                        moved_base: job.moved_base,
+                        route_name: job.spec.route.name().to_string(),
                         first_admitted_s: job.admitted_s,
                         attempts,
                         best_mbs: job.best_mbs,
@@ -1049,7 +1403,7 @@ impl<'h> FleetSim<'h> {
                 .queued
                 .iter()
                 .enumerate()
-                .filter(|(_, j)| route_links(j.route).contains(&link))
+                .filter(|(_, j)| j.route.links().contains(&link))
                 .min_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.id)))
                 .map(|(i, _)| i);
             let Some(pos) = victim else { continue };
@@ -1069,7 +1423,7 @@ impl<'h> FleetSim<'h> {
                     JobState::Failed,
                     self.t,
                     self.config.tick_s,
-                    &self.pw,
+                    self.world.world(),
                 ),
                 None => never_ran(spec, JobState::Failed),
             };
@@ -1101,7 +1455,7 @@ impl<'h> FleetSim<'h> {
                 "r{}:e{}:m{}:x{}:g{};",
                 id.0,
                 j.epochs_done,
-                json_f64(self.pw.world.moved_mb(j.tid)),
+                json_f64(moved_total(self.world.world(), j)),
                 j.current
                     .iter()
                     .map(|v| v.to_string())
@@ -1121,12 +1475,15 @@ impl<'h> FleetSim<'h> {
         for (id, c) in &self.carry {
             s.push_str(&format!("c{}:a{};", id.0, c.attempts));
         }
-        s.push_str(&format!(
-            "res={},{},{};",
-            self.admission.reserved(0),
-            self.admission.reserved(1),
-            self.admission.reserved(2)
-        ));
+        s.push_str("res=");
+        let nlinks = self.breakers.len();
+        s.push_str(
+            &(0..nlinks)
+                .map(|l| self.admission.reserved(l).to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push(';');
         s.push_str(&format!("brk={};", self.breakers.digest()));
         for (p, n) in &self.admitted_by_class {
             s.push_str(&format!("cls{p}:{n};"));
@@ -1182,11 +1539,11 @@ impl<'h> FleetSim<'h> {
         for id in ids {
             let mut job = self.running.remove(&id).expect("job is running");
             if let Some(es) = job.epoch.take() {
-                let report = self.pw.world.end_epoch(es);
+                let report = self.world.world_mut().end_epoch(es);
                 record_epoch(&mut job, self.t, &report);
             }
             self.admission.release(id);
-            let moved = self.pw.world.moved_mb(job.tid);
+            let moved = moved_total(self.world.world(), &job);
             let elapsed = (self.t - job.admitted_s).max(self.config.tick_s);
             let o = retire(
                 job,
@@ -1207,7 +1564,7 @@ impl<'h> FleetSim<'h> {
                 JobState::Unfinished,
                 self.t,
                 self.config.tick_s,
-                &self.pw,
+                self.world.world(),
             ));
         }
         for spec in std::mem::take(&mut self.queued) {
@@ -1218,7 +1575,7 @@ impl<'h> FleetSim<'h> {
                     JobState::Unfinished,
                     self.t,
                     self.config.tick_s,
-                    &self.pw,
+                    self.world.world(),
                 ),
                 None => never_ran(spec, JobState::Queued),
             };
@@ -1231,8 +1588,8 @@ impl<'h> FleetSim<'h> {
         self.decisions.sort_by_key(|(id, _)| *id);
 
         let telemetry = self
-            .pw
             .world
+            .world_mut()
             .take_telemetry()
             .map(|tel| {
                 tel.epochs()
@@ -1341,6 +1698,15 @@ pub(crate) fn render_checkpoint(
     if let Some(p) = c.faults {
         out.push_str(&format!(",\"faults\":\"{}\"", p.name()));
     }
+    if let Some(tc) = &c.topo {
+        out.push_str(&format!(
+            ",\"topo\":\"{}\",\"topo_k\":{},\"multipath\":{},\"reroute\":{}",
+            tc.preset, tc.k, tc.multipath, tc.reroute
+        ));
+        if let Some(r) = tc.outage_region {
+            out.push_str(&format!(",\"outage_region\":{r}"));
+        }
+    }
     out.push_str(&format!(
         ",\"jobs\":{},\"history_start_len\":{},\"history_appended\":{}}}\n",
         jobs.len(),
@@ -1357,6 +1723,35 @@ pub(crate) fn render_checkpoint(
     out
 }
 
+/// A deterministic planet workload: `n` jobs round-robin over the
+/// placement's pairs, each on its pair's chosen (rank-0 of the re-route
+/// order) route with the searched stream shape. Sizes cycle a small
+/// deterministic grid so admissions and completions interleave.
+///
+/// # Panics
+/// Panics when the placement is empty or references a route missing from
+/// the catalog (both impossible for a table searched on the same planet).
+pub fn topo_workload(placement: &PlacementTable, catalog: &RouteCatalog, n: usize) -> Workload {
+    assert!(!placement.entries.is_empty(), "placement has no pairs");
+    let jobs = (0..n)
+        .map(|i| {
+            let e = &placement.entries[i % placement.entries.len()];
+            let name = e.routes.first().expect("placement entry has a route");
+            let path = catalog
+                .route_by_name(name)
+                .expect("placement route in catalog");
+            let route = JobRoute::new(name.clone(), e.links[0].clone(), path);
+            let size = 30_000.0 + 10_000.0 * ((i * 7 + 3) % 5) as f64;
+            let wave = (i / placement.entries.len()) as f64;
+            JobSpec::new(i as u64, wave * 120.0, size)
+                .with_route(route)
+                .with_np(e.np)
+                .with_max_streams((e.nc * e.np).max(8))
+        })
+        .collect();
+    Workload::new(jobs)
+}
+
 /// Run `workload` under `config`, appending completed jobs to `history`.
 pub fn run_fleet(
     workload: &Workload,
@@ -1366,6 +1761,19 @@ pub fn run_fleet(
     let mut sim = FleetSim::new(workload, config, history);
     while sim.tick() {}
     sim.finish()
+}
+
+/// Total megabytes a job has moved: bytes abandoned on earlier routes plus
+/// every live transfer's counter. On the classic world this is exactly
+/// `moved_mb(tid)` (additive identities), preserving golden bytes.
+fn moved_total(world: &World, job: &RunningJob) -> f64 {
+    job.moved_base
+        + world.moved_mb(job.tid)
+        + job
+            .extra_tids
+            .iter()
+            .map(|&e| world.moved_mb(e))
+            .sum::<f64>()
 }
 
 /// Fold one closed epoch into the job's running statistics.
@@ -1428,9 +1836,9 @@ fn outcome_from_carry(
     state: JobState,
     t: f64,
     tick_s: f64,
-    pw: &PaperWorld,
+    world: &World,
 ) -> JobOutcome {
-    let moved = pw.world.moved_mb(c.tid);
+    let moved = c.moved_base + world.moved_mb(c.tid);
     let elapsed = (t - c.first_admitted_s).max(tick_s);
     let threshold = 0.9 * c.best_mbs;
     let time_to_90_s = c

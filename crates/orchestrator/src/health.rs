@@ -237,6 +237,8 @@ pub struct SupervisionSummary {
     pub breaker_trips: u64,
     /// Checkpoints written during the run.
     pub checkpoints: u64,
+    /// Breaker-aware route hops of requeued jobs (planet fleets only).
+    pub reroutes: u64,
 }
 
 impl SupervisionSummary {
@@ -246,12 +248,18 @@ impl SupervisionSummary {
     }
 
     /// Fixed-format report line (appended to the fleet report when loud).
+    /// The reroute counter only renders when a reroute happened, so classic
+    /// fleets keep their exact pre-topology bytes.
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "supervision quarantines={} requeues={} failed={} shed={} breaker_trips={} checkpoints={}",
             self.quarantines, self.requeues, self.failed, self.shed, self.breaker_trips,
             self.checkpoints,
-        )
+        );
+        if self.reroutes > 0 {
+            s.push_str(&format!(" reroutes={}", self.reroutes));
+        }
+        s
     }
 }
 

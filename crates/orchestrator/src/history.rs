@@ -34,7 +34,6 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use xferopt_scenarios::Route;
 use xferopt_simcore::metrics::json_f64;
 use xferopt_tuners::{Point, TunerKind, WarmStart};
 
@@ -44,8 +43,9 @@ pub const HISTORY_FILE: &str = "history.jsonl";
 /// One completed job's context and outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistoryRecord {
-    /// WAN route the job ran on.
-    pub route: Route,
+    /// Name of the route the job ran on (`"anl->uchicago"` for the classic
+    /// enum routes, a catalog route name like `"use->euw:0"` on topo fleets).
+    pub route: String,
     /// Tuner strategy that produced the optimum.
     pub tuner: TunerKind,
     /// External TCP streams on the route's WAN link at admission time
@@ -65,7 +65,7 @@ pub struct HistoryRecord {
 
 impl HistoryRecord {
     /// Distance to a query context (see the module docs for the metric).
-    pub fn distance(&self, route: Route, tuner: TunerKind, ext_streams: f64, cmp_jobs: f64) -> f64 {
+    pub fn distance(&self, route: &str, tuner: TunerKind, ext_streams: f64, cmp_jobs: f64) -> f64 {
         let mut d = 0.0;
         if self.route != route {
             d += 1000.0;
@@ -88,7 +88,7 @@ impl HistoryRecord {
             .join(",");
         format!(
             "{{\"kind\":\"history\",\"route\":\"{}\",\"tuner\":\"{}\",\"ext_streams\":{},\"cmp_jobs\":{},\"best\":[{}],\"achieved_mbs\":{},\"scenario\":\"{}\"}}",
-            self.route.name(),
+            self.route,
             self.tuner.name(),
             json_f64(self.ext_streams),
             json_f64(self.cmp_jobs),
@@ -103,7 +103,7 @@ impl HistoryRecord {
     pub fn context_key(&self) -> String {
         format!(
             "{}|{}|{}|{}|{}",
-            self.route.name(),
+            self.route,
             self.tuner.name(),
             json_f64(self.ext_streams),
             json_f64(self.cmp_jobs),
@@ -117,11 +117,10 @@ impl HistoryRecord {
         if json_field(line, "kind")? != "history" {
             return None;
         }
-        let route = match json_field(line, "route")? {
-            "anl->uchicago" => Route::UChicago,
-            "anl->tacc" => Route::Tacc,
-            _ => return None,
-        };
+        let route = json_field(line, "route")?.to_string();
+        if route.is_empty() {
+            return None;
+        }
         let tuner: TunerKind = json_field(line, "tuner")?.parse().ok()?;
         let ext_streams: f64 = json_field(line, "ext_streams")?.parse().ok()?;
         let cmp_jobs: f64 = json_field(line, "cmp_jobs")?.parse().ok()?;
@@ -291,7 +290,7 @@ impl HistoryStore {
     /// `None` when the store is empty.
     pub fn nearest(
         &self,
-        route: Route,
+        route: &str,
         tuner: TunerKind,
         ext_streams: f64,
         cmp_jobs: f64,
@@ -330,7 +329,7 @@ impl HistoryStore {
     #[allow(clippy::too_many_arguments)]
     pub fn warm_start(
         &self,
-        route: Route,
+        route: &str,
         tuner: TunerKind,
         ext_streams: f64,
         cmp_jobs: f64,
@@ -374,9 +373,12 @@ pub(crate) fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 mod tests {
     use super::*;
 
-    fn rec(route: Route, tuner: TunerKind, ext: f64, best: Point, mbs: f64) -> HistoryRecord {
+    const UC: &str = "anl->uchicago";
+    const TACC: &str = "anl->tacc";
+
+    fn rec(route: &str, tuner: TunerKind, ext: f64, best: Point, mbs: f64) -> HistoryRecord {
         HistoryRecord {
-            route,
+            route: route.to_string(),
             tuner,
             ext_streams: ext,
             cmp_jobs: 0.0,
@@ -389,7 +391,7 @@ mod tests {
     fn rec_in(scenario: &str, ext: f64, best: Point) -> HistoryRecord {
         HistoryRecord {
             scenario: scenario.to_string(),
-            ..rec(Route::UChicago, TunerKind::Cs, ext, best, 3000.0)
+            ..rec(UC, TunerKind::Cs, ext, best, 3000.0)
         }
     }
 
@@ -397,7 +399,7 @@ mod tests {
     fn json_round_trips() {
         let r = HistoryRecord {
             scenario: "fleet".to_string(),
-            ..rec(Route::Tacc, TunerKind::Nm, 48.5, vec![12, 8], 2210.25)
+            ..rec(TACC, TunerKind::Nm, 48.5, vec![12, 8], 2210.25)
         };
         let line = r.to_json();
         assert!(line.starts_with("{\"kind\":\"history\",\"route\":\"anl->tacc\""));
@@ -419,32 +421,27 @@ mod tests {
 
     #[test]
     fn distance_prefers_same_route_and_similar_load() {
-        let same = rec(Route::UChicago, TunerKind::Cs, 100.0, vec![8], 3000.0);
-        let other_route = rec(Route::Tacc, TunerKind::Cs, 100.0, vec![8], 2000.0);
-        let other_tuner = rec(Route::UChicago, TunerKind::Nm, 100.0, vec![8], 3000.0);
-        let d_same = same.distance(Route::UChicago, TunerKind::Cs, 110.0, 0.0);
-        let d_route = other_route.distance(Route::UChicago, TunerKind::Cs, 110.0, 0.0);
-        let d_tuner = other_tuner.distance(Route::UChicago, TunerKind::Cs, 110.0, 0.0);
+        let same = rec(UC, TunerKind::Cs, 100.0, vec![8], 3000.0);
+        let other_route = rec(TACC, TunerKind::Cs, 100.0, vec![8], 2000.0);
+        let other_tuner = rec(UC, TunerKind::Nm, 100.0, vec![8], 3000.0);
+        let d_same = same.distance(UC, TunerKind::Cs, 110.0, 0.0);
+        let d_route = other_route.distance(UC, TunerKind::Cs, 110.0, 0.0);
+        let d_tuner = other_tuner.distance(UC, TunerKind::Cs, 110.0, 0.0);
         assert!(d_same < d_tuner, "{d_same} vs {d_tuner}");
         assert!(d_tuner < d_route, "{d_tuner} vs {d_route}");
         assert!(d_route >= 1000.0);
         // Exact context match is distance 0.
-        assert_eq!(
-            same.distance(Route::UChicago, TunerKind::Cs, 100.0, 0.0),
-            0.0
-        );
+        assert_eq!(same.distance(UC, TunerKind::Cs, 100.0, 0.0), 0.0);
     }
 
     #[test]
     fn nearest_breaks_ties_on_insertion_order() {
         let mut s = HistoryStore::in_memory();
-        s.append(rec(Route::UChicago, TunerKind::Cs, 0.0, vec![6], 3900.0))
+        s.append(rec(UC, TunerKind::Cs, 0.0, vec![6], 3900.0))
             .unwrap();
-        s.append(rec(Route::UChicago, TunerKind::Cs, 0.0, vec![9], 3800.0))
+        s.append(rec(UC, TunerKind::Cs, 0.0, vec![9], 3800.0))
             .unwrap();
-        let (r, d) = s
-            .nearest(Route::UChicago, TunerKind::Cs, 0.0, 0.0, "")
-            .unwrap();
+        let (r, d) = s.nearest(UC, TunerKind::Cs, 0.0, 0.0, "").unwrap();
         assert_eq!(d, 0.0);
         assert_eq!(r.best, vec![6], "earliest exact match wins");
     }
@@ -457,19 +454,17 @@ mod tests {
         // Both are at the same distance from the query; the same-scenario
         // record must win even though it was inserted later.
         let (r, _) = s
-            .nearest(Route::UChicago, TunerKind::Cs, 4.0, 0.0, "uc-contended")
+            .nearest(UC, TunerKind::Cs, 4.0, 0.0, "uc-contended")
             .unwrap();
         assert_eq!(r.best, vec![9], "same-scenario record wins the tie");
         // Without a scenario in the query the tiebreak is the lexicographic
         // context key ("...|fleet" < "...|uc-contended").
-        let (r, _) = s
-            .nearest(Route::UChicago, TunerKind::Cs, 4.0, 0.0, "")
-            .unwrap();
+        let (r, _) = s.nearest(UC, TunerKind::Cs, 4.0, 0.0, "").unwrap();
         assert_eq!(r.best, vec![6]);
         // Scenario never overrides a genuinely closer record.
         s.append(rec_in("uc-quiet", 4.05, vec![12])).unwrap();
         let (r, _) = s
-            .nearest(Route::UChicago, TunerKind::Cs, 4.05, 0.0, "uc-contended")
+            .nearest(UC, TunerKind::Cs, 4.05, 0.0, "uc-contended")
             .unwrap();
         assert_eq!(r.best, vec![12], "distance dominates the scenario tiebreak");
     }
@@ -480,13 +475,11 @@ mod tests {
         // Two records whose distance to the query is exactly the tuner
         // mismatch penalty (0.5), same scenario class: the smaller context
         // key must win regardless of insertion order.
-        let nm = rec(Route::UChicago, TunerKind::Nm, 3.0, vec![30], 3000.0);
-        let cd = rec(Route::UChicago, TunerKind::Cd, 3.0, vec![20], 3000.0);
+        let nm = rec(UC, TunerKind::Nm, 3.0, vec![30], 3000.0);
+        let cd = rec(UC, TunerKind::Cd, 3.0, vec![20], 3000.0);
         s.append(nm).unwrap();
         s.append(cd).unwrap();
-        let (r, d) = s
-            .nearest(Route::UChicago, TunerKind::Cs, 3.0, 0.0, "")
-            .unwrap();
+        let (r, d) = s.nearest(UC, TunerKind::Cs, 3.0, 0.0, "").unwrap();
         assert_eq!(d, 0.5);
         assert_eq!(
             r.best,
@@ -497,9 +490,7 @@ mod tests {
         let mut s2 = HistoryStore::in_memory();
         s2.append(rec_in("fleet", 3.0, vec![5])).unwrap();
         s2.append(rec_in("fleet", 3.0, vec![8])).unwrap();
-        let (r, _) = s2
-            .nearest(Route::UChicago, TunerKind::Cs, 3.0, 0.0, "fleet")
-            .unwrap();
+        let (r, _) = s2.nearest(UC, TunerKind::Cs, 3.0, 0.0, "fleet").unwrap();
         assert_eq!(r.best, vec![5]);
     }
 
@@ -507,56 +498,24 @@ mod tests {
     fn warm_start_falls_back_to_cold() {
         let mut s = HistoryStore::in_memory();
         assert!(!s
-            .warm_start(
-                Route::UChicago,
-                TunerKind::Cs,
-                0.0,
-                0.0,
-                "",
-                vec![2, 8],
-                2.0
-            )
+            .warm_start(UC, TunerKind::Cs, 0.0, 0.0, "", vec![2, 8], 2.0)
             .is_warm());
-        s.append(rec(Route::Tacc, TunerKind::Cs, 0.0, vec![12, 8], 2100.0))
+        s.append(rec(TACC, TunerKind::Cs, 0.0, vec![12, 8], 2100.0))
             .unwrap();
         // Nearest is on the wrong route: distance 1000 exceeds the cutoff.
-        let w = s.warm_start(
-            Route::UChicago,
-            TunerKind::Cs,
-            0.0,
-            0.0,
-            "",
-            vec![2, 8],
-            2.0,
-        );
+        let w = s.warm_start(UC, TunerKind::Cs, 0.0, 0.0, "", vec![2, 8], 2.0);
         assert!(!w.is_warm());
-        s.append(rec(Route::UChicago, TunerKind::Cs, 3.0, vec![7, 8], 3900.0))
+        s.append(rec(UC, TunerKind::Cs, 3.0, vec![7, 8], 3900.0))
             .unwrap();
-        let w = s.warm_start(
-            Route::UChicago,
-            TunerKind::Cs,
-            3.0,
-            0.0,
-            "",
-            vec![2, 8],
-            2.0,
-        );
+        let w = s.warm_start(UC, TunerKind::Cs, 3.0, 0.0, "", vec![2, 8], 2.0);
         assert!(w.is_warm());
         assert_eq!(w.x0, vec![7, 8]);
         // Dimension mismatch (1-D record, 2-D query) falls back to cold.
         let mut s1 = HistoryStore::in_memory();
-        s1.append(rec(Route::UChicago, TunerKind::Cs, 3.0, vec![7], 3900.0))
+        s1.append(rec(UC, TunerKind::Cs, 3.0, vec![7], 3900.0))
             .unwrap();
         assert!(!s1
-            .warm_start(
-                Route::UChicago,
-                TunerKind::Cs,
-                3.0,
-                0.0,
-                "",
-                vec![2, 8],
-                2.0
-            )
+            .warm_start(UC, TunerKind::Cs, 3.0, 0.0, "", vec![2, 8], 2.0)
             .is_warm());
     }
 
@@ -567,9 +526,9 @@ mod tests {
         {
             let mut s = HistoryStore::open(&dir).unwrap();
             assert!(s.is_empty());
-            s.append(rec(Route::UChicago, TunerKind::Cs, 5.0, vec![8, 8], 3500.0))
+            s.append(rec(UC, TunerKind::Cs, 5.0, vec![8, 8], 3500.0))
                 .unwrap();
-            s.append(rec(Route::Tacc, TunerKind::Nm, 0.0, vec![20, 8], 2300.0))
+            s.append(rec(TACC, TunerKind::Nm, 0.0, vec![20, 8], 2300.0))
                 .unwrap();
         }
         let s = HistoryStore::open(&dir).unwrap();

@@ -22,6 +22,7 @@
 //!                                                              exhausted──▶ Failed
 //! ```
 
+use crate::route::JobRoute;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use xferopt_scenarios::Route;
@@ -100,8 +101,9 @@ pub struct JobSpec {
     pub priority: u32,
     /// Optional completion deadline (absolute fleet time, seconds).
     pub deadline_s: Option<f64>,
-    /// WAN route of the transfer.
-    pub route: Route,
+    /// Route of the transfer (variable-length link list + sim path; classic
+    /// fleets build it from the two-variant [`Route`] enum).
+    pub route: JobRoute,
     /// Per-job online tuner strategy.
     pub tuner: TunerKind,
     /// Fixed parallelism; the tuner drives concurrency over `nc × np`.
@@ -128,7 +130,7 @@ impl JobSpec {
             size_mb,
             priority: 1,
             deadline_s: None,
-            route: Route::UChicago,
+            route: Route::UChicago.into(),
             tuner: TunerKind::Cs,
             np: 8,
             max_streams: 128,
@@ -136,9 +138,10 @@ impl JobSpec {
         }
     }
 
-    /// Replace the route.
-    pub fn with_route(mut self, route: Route) -> Self {
-        self.route = route;
+    /// Replace the route (accepts the classic [`Route`] enum or a full
+    /// [`JobRoute`]).
+    pub fn with_route(mut self, route: impl Into<JobRoute>) -> Self {
+        self.route = route.into();
         self
     }
 

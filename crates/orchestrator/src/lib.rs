@@ -28,19 +28,24 @@ pub mod health;
 pub mod history;
 pub mod job;
 pub mod policy;
+pub mod route;
 pub mod shard;
 pub mod tournament;
 
 pub use admission::{AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
 pub use breaker::{BreakerBoard, BreakerConfig, BreakerState, RouteBreaker};
 pub use checkpoint::{resume_fleet, Checkpoint};
-pub use fleet::{run_fleet, FleetConfig, FleetOutcome, FleetReport, FleetSim, JobOutcome};
+pub use fleet::{
+    run_fleet, topo_workload, FleetConfig, FleetOutcome, FleetReport, FleetSim, JobOutcome,
+    TopoFleetConfig,
+};
 pub use health::{
     HealthConfig, HealthMonitor, HealthState, HealthVerdict, SupervisionEvent, SupervisionSummary,
 };
 pub use history::{HistoryRecord, HistoryStore};
 pub use job::{JobId, JobSpec, JobState, Workload};
 pub use policy::Policy;
+pub use route::JobRoute;
 pub use shard::{resume_fleet_sharded, run_fleet_sharded, ShardPlan, ShardedFleetSim};
 pub use tournament::{
     run_tournament, CellResult, Leaderboard, RankRow, ScenarioPreset, TournamentConfig,

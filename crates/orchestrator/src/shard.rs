@@ -36,7 +36,6 @@
 use std::sync::mpsc;
 use std::thread;
 
-use crate::admission::route_links;
 use crate::checkpoint::{fnv1a, Checkpoint};
 use crate::fleet::{render_checkpoint, FleetConfig, FleetOutcome, FleetParts, FleetSim};
 use crate::history::{HistoryRecord, HistoryStore};
@@ -57,20 +56,27 @@ pub struct ShardPlan {
 impl ShardPlan {
     /// Partition `workload` by link-sharing component.
     ///
-    /// Each job contributes the links of its route keyed by site (sites are
-    /// independent replicas of the 3-link topology, so links on different
-    /// sites never alias). Within today's topology every route crosses the
-    /// shared WAN bottleneck, so components coincide with sites — but the
-    /// rule is stated over links so finer topologies shard for free.
+    /// Each job contributes the actual link list of its route keyed by site
+    /// (sites are independent replicas of the same topology, so links on
+    /// different sites never alias; the site stride is the global
+    /// max-link-index + 1 so keys can never collide across sites). Within the
+    /// classic paper topology every route crosses the shared source NIC, so
+    /// components coincide with sites — multi-hop catalog routes shard by
+    /// whatever the link-sharing graph actually says.
     #[must_use]
     pub fn compute(workload: &Workload) -> ShardPlan {
-        let items: Vec<[usize; 2]> = workload
+        let stride = workload
+            .jobs()
+            .iter()
+            .flat_map(|j| j.route.links().iter().copied())
+            .max()
+            .map_or(1, |m| m + 1);
+        let items: Vec<Vec<usize>> = workload
             .jobs()
             .iter()
             .map(|j| {
-                let [a, b] = route_links(j.route);
-                let base = j.site as usize * 8;
-                [base + a, base + b]
+                let base = j.site as usize * stride;
+                j.route.links().iter().map(|&l| base + l).collect()
             })
             .collect();
         let groups = connected_groups(&items);
@@ -476,6 +482,7 @@ fn merge_parts(submitted: usize, history_appended: usize, parts: Vec<FleetParts>
         merged.supervision.shed += p.supervision.shed;
         merged.supervision.breaker_trips += p.supervision.breaker_trips;
         merged.supervision.checkpoints += p.supervision.checkpoints;
+        merged.supervision.reroutes += p.supervision.reroutes;
         match (&mut merged.metrics, p.metrics) {
             (Some(m), Some(o)) => m.merge(&o),
             (m @ None, Some(o)) => *m = Some(o),
@@ -580,6 +587,27 @@ mod tests {
         }
         // Component order follows first appearance in (arrival, id) order.
         assert_eq!(plan.components()[0].jobs()[0].site, wl.jobs()[0].site);
+    }
+
+    #[test]
+    fn three_hop_route_shards_into_one_component() {
+        use crate::route::JobRoute;
+        // Two jobs on disjoint 3-hop routes plus one bridging route: the
+        // bridge shares link 5 with the first and link 9 with the second, so
+        // all three jobs must land in a single component. Link keys derive
+        // from the actual route link lists, not any `site*8 + link`
+        // arithmetic — link 9 would alias into site 1 under an 8-stride.
+        let a = JobSpec::new(0, 0.0, 100.0).with_route(JobRoute::new("a", vec![0, 5, 7], 0));
+        let b = JobSpec::new(1, 0.0, 100.0).with_route(JobRoute::new("b", vec![1, 9, 11], 1));
+        let bridge = JobSpec::new(2, 0.0, 100.0).with_route(JobRoute::new("c", vec![5, 9], 2));
+        let plan = ShardPlan::compute(&Workload::new(vec![a.clone(), b.clone(), bridge]));
+        assert_eq!(plan.len(), 1, "bridged 3-hop routes form one component");
+        // Without the bridge the two routes are independent components.
+        let plan = ShardPlan::compute(&Workload::new(vec![a.clone(), b.clone()]));
+        assert_eq!(plan.len(), 2);
+        // Same routes on different sites never alias, whatever the links.
+        let plan = ShardPlan::compute(&Workload::new(vec![a, b.with_site(1)]));
+        assert_eq!(plan.len(), 2);
     }
 
     #[test]

@@ -571,7 +571,7 @@ fn run_cell(
         let samples: Vec<(Vec<i64>, f64)> = history
             .records()
             .iter()
-            .filter(|r| r.route == route && r.scenario == preset.name())
+            .filter(|r| r.route == route.name() && r.scenario == preset.name())
             .map(|r| (r.best.clone(), r.achieved_mbs))
             .collect();
         Box::new(HistoryTuner::new(dims.domain(), dims.to_point(x0), 5.0).with_samples(&samples))
@@ -643,7 +643,7 @@ fn run_cell(
     // Fault-free cells contribute to the warm-start store (faulty epochs
     // would poison the surrogate with outage artifacts).
     let record = (best_mbs > 0.0 && fault.is_none()).then(|| HistoryRecord {
-        route,
+        route: route.name().to_string(),
         tuner: kind,
         ext_streams: load.tfr as f64,
         cmp_jobs: load.cmp as f64,

@@ -1,0 +1,33 @@
+//! Planet-scale multi-region topology and offline route/config search.
+//!
+//! The paper's testbed is a 1–2 link pipe; real deployments place transfers
+//! on an N-region planet. This crate supplies the planning layer:
+//!
+//! * [`Planet`] — an inter-region RTT/capacity/loss edge model with preset
+//!   planets (`mesh`, `hub-spoke`, `asymmetric`) and a `.dat`-style loader.
+//! * [`RouteCatalog`] / [`PlanetWorld`] — k-shortest-path route enumeration
+//!   (Yen's algorithm on the net crate's Dijkstra builder) compiled into a
+//!   simulation [`xferopt_transfer::World`] with one [`xferopt_net::Path`]
+//!   per candidate route and one host per region.
+//! * [`search_routes`] — a deterministic offline sweep over candidate route
+//!   sets × stream configs per job class, scored by throughput / t90 proxy /
+//!   Jain fairness with a regional-outage fault-tolerance filter, emitting a
+//!   byte-deterministic [`PlacementTable`] the fleet orchestrator consumes
+//!   to place jobs and re-route them breaker-aware.
+//! * [`outage_plan`] — a regional-outage [`xferopt_simcore::FaultPlan`]
+//!   (link flaps on every edge incident to the region) for chaos runs.
+//!
+//! Everything is deterministic in its inputs: the same planet, `k`, and
+//! search config always produce byte-identical leaderboards and placement
+//! tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod planet;
+pub mod search;
+pub mod world;
+
+pub use planet::{Planet, PlanetError};
+pub use search::{search_routes, PlacementEntry, PlacementTable, SearchConfig};
+pub use world::{outage_plan, region_links, BuiltRoute, PlanetWorld, RouteCatalog};

@@ -126,6 +126,46 @@ if ./target/release/xferopt tournament report --in "$FLEET_TMP/tour-trunc.jsonl"
   echo "tournament report accepted a truncated file"; exit 1
 fi
 
+echo "==> route-search smoke (planet search + placement determinism)"
+cargo test -q --test routes
+./target/release/xferopt routes search --preset mesh \
+  --out "$FLEET_TMP/placement-a.jsonl" > "$FLEET_TMP/routes-a.txt"
+./target/release/xferopt routes search --preset mesh \
+  --out "$FLEET_TMP/placement-b.jsonl" > "$FLEET_TMP/routes-b.txt"
+diff "$FLEET_TMP/routes-a.txt" "$FLEET_TMP/routes-b.txt" \
+  || { echo "routes search leaderboard is not deterministic"; exit 1; }
+diff "$FLEET_TMP/placement-a.jsonl" "$FLEET_TMP/placement-b.jsonl" \
+  || { echo "routes search placement is not deterministic"; exit 1; }
+diff "$FLEET_TMP/routes-a.txt" tests/golden/routes/leaderboard.txt \
+  || { echo "routes search leaderboard drifted from golden"; exit 1; }
+diff "$FLEET_TMP/placement-a.jsonl" tests/golden/routes/placement.jsonl \
+  || { echo "routes search placement drifted from golden"; exit 1; }
+
+echo "==> regional-outage re-route gate (topo fleet moves more bytes rerouting)"
+./target/release/xferopt fleet run --topo mesh --jobs 20 --seed 7 \
+  --outage-region 1 --report-out "$FLEET_TMP/topo-reroute.txt"
+./target/release/xferopt fleet run --topo mesh --jobs 20 --seed 7 \
+  --outage-region 1 --no-reroute --report-out "$FLEET_TMP/topo-fixed.txt"
+grep -q ' reroutes=' "$FLEET_TMP/topo-reroute.txt" \
+  || { echo "outage run never re-routed a job"; exit 1; }
+RMOVED="$(awk '/^summary/ {for (i=1;i<=NF;i++) if ($i ~ /^moved_mb=/) \
+  {sub(/^moved_mb=/, "", $i); print $i}}' "$FLEET_TMP/topo-reroute.txt")"
+FMOVED="$(awk '/^summary/ {for (i=1;i<=NF;i++) if ($i ~ /^moved_mb=/) \
+  {sub(/^moved_mb=/, "", $i); print $i}}' "$FLEET_TMP/topo-fixed.txt")"
+awk -v r="$RMOVED" -v f="$FMOVED" 'BEGIN { exit !(r > f) }' \
+  || { echo "re-routing (${RMOVED} MB) did not beat fixed routes (${FMOVED} MB)"; exit 1; }
+echo "    outage mesh: rerouted ${RMOVED} MB vs fixed ${FMOVED} MB"
+
+echo "==> perf smoke (route search, quick mode)"
+(cd "$FLEET_TMP" && "$OLDPWD/target/release/routes" --quick)
+[ -f "$FLEET_TMP/BENCH_routes.json" ] \
+  || { echo "BENCH_routes.json missing"; exit 1; }
+RGAIN="$(awk -F': ' '/"outage_reroute_gain"/ \
+  {gsub(/[,"]/, "", $2); print $2}' "$FLEET_TMP/BENCH_routes.json")"
+awk -v g="$RGAIN" 'BEGIN { exit !(g > 1.0) }' \
+  || { echo "re-route regression: outage gain ${RGAIN}x <= 1x"; exit 1; }
+echo "    outage re-route gain: ${RGAIN}x"
+
 echo "==> tuner domain-safety proptests (new tuner kinds)"
 cargo test -q -p xferopt-tuners fuzz_new_tuner_kinds_respect_restricted_domains
 cargo test -q -p xferopt-tuners fuzz_every_tuner_domain_safety

@@ -18,8 +18,13 @@
 //!                      [--telemetry-out PATH] [--supervision-out PATH]
 //!                      [--checkpoint-out PATH] [--checkpoint-every TICKS]
 //!                      [--stop-at-tick K]      # simulate a crash
+//!                      [--topo mesh|hub-spoke|asymmetric] [--topo-k K]
+//!                      [--outage-region R] [--multipath M] [--no-reroute]
 //! xferopt fleet resume --checkpoint PATH       # continue a killed run
 //! xferopt fleet report [--history DIR]         # digest a history store
+//! xferopt routes search [--preset mesh|hub-spoke|asymmetric | --dat FILE]
+//!                       [--k N] [--nc-grid 4,8,...] [--np N] [--passes N]
+//!                       [--out PATH]           # placement table JSONL
 //! xferopt tournament run    [--quick] [--seed N] [--epochs N] [--epoch S]
 //!                           [--tuners a,b,...] [--scenarios a,b,...]
 //!                           [--history DIR] [--report-out PATH]
@@ -322,7 +327,8 @@ fn write_fleet_outputs(
 /// `xferopt fleet run`: drive a multi-job fleet through the orchestrator,
 /// optionally under a chaos profile and/or writing periodic checkpoints.
 fn cmd_fleet_run(args: &Args) -> Result<(), String> {
-    use xferopt::orchestrator::{FleetConfig, FleetSim, Workload};
+    use xferopt::orchestrator::{topo_workload, FleetConfig, FleetSim, TopoFleetConfig, Workload};
+    use xferopt::topo::{search_routes, Planet, RouteCatalog, SearchConfig};
 
     let jobs = args.get_parsed("jobs", 10usize)?;
     let seed = args.get_parsed("seed", 7u64)?;
@@ -334,17 +340,66 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be >= 1".into());
     }
-    let workload = match args.get("workload").unwrap_or("synthetic") {
-        "synthetic" => Workload::synthetic_sites(jobs, seed, sites),
-        "contended" => {
+    let topo = match args.get("topo") {
+        None => None,
+        Some(name) => {
+            let planet = Planet::preset(name).map_err(|e| e.to_string())?;
+            let mut tc = TopoFleetConfig::preset(name);
+            tc.k = args.get_parsed("topo-k", tc.k)?;
+            if tc.k == 0 {
+                return Err("--topo-k must be >= 1".into());
+            }
+            tc.outage_region = match args.get("outage-region") {
+                None => None,
+                Some(v) => {
+                    let r: usize = v
+                        .parse()
+                        .map_err(|_| format!("bad value for --outage-region: {v}"))?;
+                    if r >= planet.regions.len() {
+                        return Err(format!(
+                            "--outage-region {r} out of range ({} has {} regions)",
+                            planet.name,
+                            planet.regions.len()
+                        ));
+                    }
+                    Some(r)
+                }
+            };
+            tc.multipath = args.get_parsed("multipath", tc.multipath)?;
+            if tc.multipath == 0 {
+                return Err("--multipath must be >= 1".into());
+            }
+            tc.reroute = !args.has_flag("no-reroute");
+            Some(tc)
+        }
+    };
+    if topo.is_some() && sites > 1 {
+        return Err("--topo replaces --sites (regions come from the planet)".into());
+    }
+    let workload = match (args.get("workload").unwrap_or("synthetic"), &topo) {
+        (_, Some(tc)) => {
+            // A planet fleet always runs the searched-placement workload:
+            // jobs round-robin the placement pairs on their rank-0 routes.
+            let planet = tc.planet();
+            let cfg = SearchConfig {
+                k: tc.k,
+                ..SearchConfig::default()
+            };
+            let placement = search_routes(&planet, &cfg).map_err(|e| e.to_string())?;
+            let catalog = RouteCatalog::enumerate(&planet, tc.k).map_err(|e| e.to_string())?;
+            topo_workload(&placement, &catalog, jobs)
+        }
+        ("topo", None) => return Err("--workload topo needs --topo PRESET".into()),
+        ("synthetic", None) => Workload::synthetic_sites(jobs, seed, sites),
+        ("contended", None) => {
             if sites > 1 {
                 return Err("--sites > 1 requires --workload synthetic".into());
             }
             Workload::contended(jobs)
         }
-        other => {
+        (other, None) => {
             return Err(format!(
-                "unknown workload: {other} (use synthetic|contended)"
+                "unknown workload: {other} (use synthetic|contended|topo)"
             ))
         }
     };
@@ -352,6 +407,9 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
         None => None,
         Some(v) => Some(v.parse::<FaultProfile>()?),
     };
+    if faults.is_some() && topo.is_some() {
+        return Err("--topo uses --outage-region for chaos, not --faults".into());
+    }
     let config = FleetConfig {
         policy: args
             .get("policy")
@@ -365,6 +423,7 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
         link_budget: args.get_parsed("budget", xferopt::orchestrator::DEFAULT_LINK_BUDGET)?,
         warm_start: !args.has_flag("cold"),
         faults,
+        topo,
         ..FleetConfig::default()
     };
     let checkpoint_out = args.get("checkpoint-out").map(str::to_string);
@@ -510,7 +569,7 @@ fn cmd_fleet_report(args: &Args) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join("x");
         table.push_row(vec![
-            r.route.name().to_string(),
+            r.route.clone(),
             r.tuner.name().to_string(),
             format!("{:.0}", r.ext_streams),
             best,
@@ -628,8 +687,65 @@ fn cmd_fleet(sub: &str, args: &Args) -> Result<(), String> {
     }
 }
 
+/// `xferopt routes search`: offline route/config search over a planet.
+/// Renders the leaderboard to stdout and (with `--out`) writes the
+/// byte-deterministic placement table JSONL the fleet consumes.
+fn cmd_routes_search(args: &Args) -> Result<(), String> {
+    use xferopt::topo::{search_routes, Planet, SearchConfig};
+
+    let planet = match args.get("dat") {
+        Some(path) => {
+            if args.get("preset").is_some() {
+                return Err("--dat and --preset are mutually exclusive".into());
+            }
+            let doc =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Planet::from_dat(&doc).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => Planet::preset(args.get("preset").unwrap_or("mesh")).map_err(|e| e.to_string())?,
+    };
+    let defaults = SearchConfig::default();
+    let nc_grid = match args.get("nc-grid") {
+        None => defaults.nc_grid.clone(),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad value in --nc-grid: {s}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    if nc_grid.is_empty() {
+        return Err("--nc-grid must name at least one concurrency".into());
+    }
+    let cfg = SearchConfig {
+        k: args.get_parsed("k", defaults.k)?,
+        nc_grid,
+        np: args.get_parsed("np", defaults.np)?,
+        passes: args.get_parsed("passes", defaults.passes)?,
+    };
+    if cfg.k == 0 {
+        return Err("--k must be >= 1".into());
+    }
+    let table = search_routes(&planet, &cfg).map_err(|e| e.to_string())?;
+    print!("{}", table.render());
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, table.to_jsonl()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("routes: placement table -> {out}");
+    }
+    Ok(())
+}
+
+fn cmd_routes(sub: &str, args: &Args) -> Result<(), String> {
+    match sub {
+        "search" => cmd_routes_search(args),
+        other => Err(format!("unknown routes subcommand: {other} (use search)")),
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: xferopt <run|sweep|compare|telemetry|fleet|tournament> [--flags]\n\
+    "usage: xferopt <run|sweep|compare|telemetry|fleet|routes|tournament> [--flags]\n\
      run:     --route uc|tacc --tuner default|cd|cs|nm|heur1|heur2 --dims nc|ncnp\n\
      \u{20}        --np N --tfr N --cmp N --duration S --epoch S --seed N --csv\n\
      \u{20}        --faults flaky-link|degraded-wan|lossy-tacc\n\
@@ -646,8 +762,12 @@ fn usage() -> &'static str {
      \u{20}            --supervision-out PATH\n\
      \u{20}            --checkpoint-out PATH --checkpoint-every TICKS\n\
      \u{20}            --stop-at-tick K   (simulate a crash; resume later)\n\
+     \u{20}            --topo mesh|hub-spoke|asymmetric --topo-k K\n\
+     \u{20}            --outage-region R --multipath M --no-reroute\n\
      fleet resume: --checkpoint PATH [--shards N] [--history DIR + fleet-run output flags]\n\
      fleet report: --history DIR\n\
+     routes search: --preset mesh|hub-spoke|asymmetric | --dat FILE\n\
+     \u{20}             --k N --nc-grid 4,8,... --np N --passes N --out PATH\n\
      tournament run:    --quick --seed N --epochs N --epoch S\n\
      \u{20}                 --tuners a,b,... --scenarios uc-quiet,uc-contended,tacc-mixed\n\
      \u{20}                 --history DIR --report-out PATH --csv-out PATH\n\
@@ -669,6 +789,10 @@ fn main() -> ExitCode {
         "fleet" => match rest.split_first() {
             Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_fleet(sub, &args)),
             None => Err(format!("fleet needs a subcommand\n{}", usage())),
+        },
+        "routes" => match rest.split_first() {
+            Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_routes(sub, &args)),
+            None => Err(format!("routes needs a subcommand\n{}", usage())),
         },
         "tournament" => match rest.split_first() {
             Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_tournament(sub, &args)),

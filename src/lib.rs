@@ -28,6 +28,11 @@
 //!   per admitted job sharing the simulated links, and a persistent JSONL
 //!   history store that warm-starts new jobs from the nearest historical
 //!   match (`xferopt fleet run`).
+//! * [`topo`] — planet-scale multi-region topology: N-region RTT/capacity/
+//!   loss planets (presets + `.dat` loader), k-shortest-path route
+//!   enumeration, and a deterministic offline route/config search emitting
+//!   byte-stable placement tables the fleet consumes (`xferopt routes
+//!   search`, `xferopt fleet run --topo`).
 //! * [`loopback`] — a real-TCP localhost harness (shaped sockets + CPU hogs)
 //!   so the same tuners can run against a non-simulated objective.
 //! * [`simcore`] — the discrete-event substrate: simulated time, event
@@ -83,6 +88,7 @@ pub use xferopt_net as net;
 pub use xferopt_orchestrator as orchestrator;
 pub use xferopt_scenarios as scenarios;
 pub use xferopt_simcore as simcore;
+pub use xferopt_topo as topo;
 pub use xferopt_transfer as transfer;
 pub use xferopt_tuners as tuners;
 

@@ -1,0 +1,287 @@
+//! Planet-scale route search + topo fleet tests (DESIGN.md §16): golden
+//! leaderboard/placement snapshots, byte-determinism of the offline search,
+//! placement-validity properties, breaker-aware re-routing under a regional
+//! outage, byte conservation across route hops, and crash/resume identity
+//! for a planet fleet.
+//!
+//! The golden files live in `tests/golden/routes/`; re-bless intentional
+//! format changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test routes
+//! ```
+
+use proptest::prelude::*;
+use xferopt::orchestrator::{
+    resume_fleet, run_fleet, topo_workload, Checkpoint, FleetConfig, FleetSim, HistoryStore,
+    JobState, TopoFleetConfig, Workload,
+};
+use xferopt::topo::{search_routes, PlacementTable, Planet, RouteCatalog, SearchConfig};
+
+const PRESETS: [&str; 3] = ["mesh", "hub-spoke", "asymmetric"];
+
+fn check_golden(path: &str, actual: &str, what: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap())
+            .expect("create golden dir");
+        std::fs::write(path, actual).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, golden,
+        "{what} drifted from {path}; if the change is intentional, \
+         re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+fn mesh_placement() -> PlacementTable {
+    let planet = Planet::preset("mesh").expect("mesh preset");
+    search_routes(&planet, &SearchConfig::default()).expect("search succeeds")
+}
+
+/// Planet fleet config over the mesh preset; the workload is the searched
+/// placement's round-robin (same construction as `xferopt fleet run --topo`).
+fn topo_cfg(outage_region: Option<usize>, reroute: bool) -> FleetConfig {
+    let mut tc = TopoFleetConfig::preset("mesh");
+    tc.outage_region = outage_region;
+    tc.reroute = reroute;
+    FleetConfig {
+        seed: 7,
+        horizon_s: 3600.0,
+        topo: Some(tc),
+        ..FleetConfig::default()
+    }
+}
+
+fn topo_wl(jobs: usize) -> Workload {
+    let planet = Planet::preset("mesh").expect("mesh preset");
+    let placement = mesh_placement();
+    let catalog = RouteCatalog::enumerate(&planet, 3).expect("catalog");
+    topo_workload(&placement, &catalog, jobs)
+}
+
+#[test]
+fn golden_routes_leaderboard_and_placement_match_snapshots() {
+    let table = mesh_placement();
+    check_golden(
+        "tests/golden/routes/leaderboard.txt",
+        &table.render(),
+        "route-search leaderboard",
+    );
+    check_golden(
+        "tests/golden/routes/placement.jsonl",
+        &table.to_jsonl(),
+        "placement table",
+    );
+}
+
+#[test]
+fn route_search_is_byte_deterministic_on_every_preset() {
+    for preset in PRESETS {
+        let planet = Planet::preset(preset).expect("preset");
+        let a = search_routes(&planet, &SearchConfig::default()).expect("search");
+        let b = search_routes(&planet, &SearchConfig::default()).expect("search");
+        assert_eq!(a.render(), b.render(), "{preset}: leaderboard bytes");
+        assert_eq!(a.to_jsonl(), b.to_jsonl(), "{preset}: placement bytes");
+        let round =
+            PlacementTable::from_jsonl(&a.to_jsonl()).unwrap_or_else(|e| panic!("{preset}: {e}"));
+        assert_eq!(round, a, "{preset}: JSONL round trip");
+    }
+}
+
+proptest! {
+    /// Placement validity: whatever the planet/k/grid, every entry places an
+    /// ordered region pair on routes that exist in the enumerated catalog
+    /// for that pair (rank order preserved, link lists aligned), with a
+    /// concurrency drawn from the searched grid.
+    #[test]
+    fn searched_placements_only_use_valid_catalog_routes(
+        preset_idx in 0usize..3,
+        k in 1usize..4,
+        np in prop_oneof![Just(4u32), Just(8u32)],
+    ) {
+        let planet = Planet::preset(PRESETS[preset_idx]).expect("preset");
+        let cfg = SearchConfig { k, np, ..SearchConfig::default() };
+        let table = search_routes(&planet, &cfg).expect("search");
+        let catalog = RouteCatalog::enumerate(&planet, k).expect("catalog");
+
+        let n = planet.regions.len();
+        prop_assert_eq!(table.entries.len(), n * (n - 1), "one entry per ordered pair");
+        for e in &table.entries {
+            prop_assert!(!e.routes.is_empty(), "{}: entry has routes", e.pair);
+            prop_assert_eq!(e.routes.len(), e.links.len(), "{}: links aligned", &e.pair);
+            prop_assert!(cfg.nc_grid.contains(&e.nc), "{}: nc {} from grid", e.pair, e.nc);
+            prop_assert_eq!(e.np, np, "{}: np fixed", &e.pair);
+            let candidates = catalog.candidates(e.src, e.dst);
+            for (name, links) in e.routes.iter().zip(&e.links) {
+                let idx = catalog
+                    .route_by_name(name)
+                    .unwrap_or_else(|| panic!("{}: route {name} not in catalog", e.pair));
+                let built = &catalog.routes[idx];
+                prop_assert_eq!((built.src, built.dst), (e.src, e.dst), "route on its pair");
+                prop_assert_eq!(&built.links, links, "{}: link list from catalog", name);
+                prop_assert!(candidates.contains(&idx), "{}: candidate of the pair", name);
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_topo_chaos_report_matches_snapshot() {
+    // Regional outage on the mesh with breaker-aware re-routing enabled:
+    // the fixed report (including the reroutes counter) is the golden.
+    let out = run_fleet(
+        &topo_wl(20),
+        &topo_cfg(Some(1), true),
+        &mut HistoryStore::in_memory(),
+    );
+    check_golden(
+        "tests/golden/routes/chaos_report.txt",
+        &out.report.render(),
+        "topo chaos report",
+    );
+}
+
+#[test]
+fn topo_fleet_is_byte_deterministic() {
+    for outage in [None, Some(1)] {
+        let cfg = topo_cfg(outage, true);
+        let a = run_fleet(&topo_wl(20), &cfg, &mut HistoryStore::in_memory());
+        let b = run_fleet(&topo_wl(20), &cfg, &mut HistoryStore::in_memory());
+        assert_eq!(a.report.render(), b.report.render(), "outage {outage:?}");
+        assert_eq!(a.decisions_jsonl, b.decisions_jsonl, "outage {outage:?}");
+        assert_eq!(
+            a.supervision_jsonl, b.supervision_jsonl,
+            "outage {outage:?}"
+        );
+        assert_eq!(a.metrics_jsonl, b.metrics_jsonl, "outage {outage:?}");
+    }
+}
+
+#[test]
+fn rerouting_beats_fixed_routes_under_a_regional_outage() {
+    // The acceptance claim: under a regional-outage fault plan, re-routing
+    // quarantined jobs onto the placement's next-ranked candidate moves more
+    // bytes than pinning every job to its original route, actually re-routes
+    // at least one job, and never loses bytes across the hop.
+    let wl = topo_wl(20);
+    let rerouted = run_fleet(
+        &wl,
+        &topo_cfg(Some(1), true),
+        &mut HistoryStore::in_memory(),
+    );
+    let fixed = run_fleet(
+        &wl,
+        &topo_cfg(Some(1), false),
+        &mut HistoryStore::in_memory(),
+    );
+
+    assert!(
+        rerouted.report.supervision.reroutes > 0,
+        "outage must force at least one re-route:\n{}",
+        rerouted.report.render()
+    );
+    assert_eq!(fixed.report.supervision.reroutes, 0, "reroute disabled");
+    assert!(
+        rerouted.report.total_moved_mb() > fixed.report.total_moved_mb(),
+        "re-routing must beat fixed routes on moved_mb: {} vs {}\n{}\n{}",
+        rerouted.report.total_moved_mb(),
+        fixed.report.total_moved_mb(),
+        rerouted.report.render(),
+        fixed.report.render()
+    );
+    // Byte conservation: every completed job moved its full size (within
+    // the final-tick rounding the classic fleet also allows), re-routed or
+    // not, and nobody moved more than it was asked to.
+    for o in &rerouted.report.outcomes {
+        if o.state == JobState::Completed {
+            assert!(
+                o.moved_mb >= o.spec.size_mb - 1.0,
+                "job{} completed but lost bytes: {} of {}",
+                o.id,
+                o.moved_mb,
+                o.spec.size_mb
+            );
+        }
+        assert!(
+            o.moved_mb <= o.spec.size_mb + 1.0,
+            "job{} moved more than its size: {} of {}",
+            o.id,
+            o.moved_mb,
+            o.spec.size_mb
+        );
+    }
+}
+
+#[test]
+fn topo_kill_and_resume_is_byte_identical() {
+    // Crash/resume contract extends to planet fleets: checkpoint a chaos run
+    // at tick k (topo header fields round-trip), resume, and reproduce the
+    // uninterrupted run byte for byte.
+    let cfg = topo_cfg(Some(1), true);
+    let wl = topo_wl(12);
+    let full = run_fleet(&wl, &cfg, &mut HistoryStore::in_memory());
+    let total_ticks = {
+        let mut h = HistoryStore::in_memory();
+        let mut sim = FleetSim::new(&wl, &cfg, &mut h);
+        while sim.tick() {}
+        sim.tick_index()
+    };
+    assert!(total_ticks > 3, "probe run too short: {total_ticks} ticks");
+    for k in [1, total_ticks / 3, 2 * total_ticks / 3] {
+        let text = {
+            let mut h = HistoryStore::in_memory();
+            let mut sim = FleetSim::new(&wl, &cfg, &mut h);
+            while sim.tick_index() < k {
+                assert!(sim.tick(), "run ended before kill tick {k}");
+            }
+            sim.checkpoint()
+        };
+        let ck = Checkpoint::parse(&text).unwrap_or_else(|e| panic!("tick {k}: {e}"));
+        let tc = ck.config.topo.as_ref().expect("topo header round-trips");
+        assert_eq!(tc.preset, "mesh", "tick {k}");
+        assert_eq!(tc.outage_region, Some(1), "tick {k}");
+        let resumed = resume_fleet(&ck, &mut HistoryStore::in_memory())
+            .unwrap_or_else(|e| panic!("tick {k}: {e}"));
+        assert_eq!(full.report.render(), resumed.report.render(), "tick {k}");
+        assert_eq!(full.decisions_jsonl, resumed.decisions_jsonl, "tick {k}");
+        assert_eq!(
+            full.supervision_jsonl, resumed.supervision_jsonl,
+            "tick {k}"
+        );
+        assert_eq!(full.metrics_jsonl, resumed.metrics_jsonl, "tick {k}");
+    }
+}
+
+#[test]
+fn multipath_splits_streams_and_still_conserves_bytes() {
+    // Multi-path placement: with --multipath 2 each fresh admission splits
+    // its slice across the top-2 placement routes. All jobs must still
+    // complete with their full sizes accounted for.
+    let mut tc = TopoFleetConfig::preset("mesh");
+    tc.multipath = 2;
+    let cfg = FleetConfig {
+        seed: 7,
+        horizon_s: 3600.0,
+        topo: Some(tc),
+        ..FleetConfig::default()
+    };
+    let out = run_fleet(&topo_wl(10), &cfg, &mut HistoryStore::in_memory());
+    assert_eq!(
+        out.report.count(JobState::Completed),
+        10,
+        "{}",
+        out.report.render()
+    );
+    for o in &out.report.outcomes {
+        assert!(
+            (o.moved_mb - o.spec.size_mb).abs() <= 1.0,
+            "job{}: moved {} of {}",
+            o.id,
+            o.moved_mb,
+            o.spec.size_mb
+        );
+    }
+}

@@ -150,10 +150,13 @@ fn warm_history_beats_cold_cd_on_the_contended_preset() {
         "need ≥20 stored runs, got {}",
         store.len()
     );
-    assert!(store
-        .records()
-        .iter()
-        .all(|r: &HistoryRecord| r.route == Route::UChicago && r.scenario == "uc-contended"));
+    assert!(
+        store
+            .records()
+            .iter()
+            .all(|r: &HistoryRecord| r.route == Route::UChicago.name()
+                && r.scenario == "uc-contended")
+    );
 
     let out = run_tournament(&cfg, &mut store);
     let cell = |name: &str| {
