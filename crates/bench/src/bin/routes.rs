@@ -58,7 +58,7 @@ fn bench_search(preset: &'static str, k: usize, reps: usize) -> SearchRow {
 
 fn topo_fleet(reroute: bool, wl: &Workload) -> f64 {
     let mut tc = TopoFleetConfig::preset("mesh");
-    tc.outage_region = Some(1);
+    tc.outage_regions = vec![1];
     tc.reroute = reroute;
     let cfg = FleetConfig {
         seed: 7,

@@ -331,6 +331,19 @@ impl BreakerBoard {
         }
     }
 
+    /// Links whose breaker is currently open (not admitting), ascending —
+    /// the self-healing governor feeds these into its fault-adjusted
+    /// topology alongside the SLO-degraded links, so a re-search also
+    /// steers around links the breakers have independent evidence against.
+    pub fn open_links(&self) -> Vec<usize> {
+        self.breakers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.state() == BreakerState::Open)
+            .map(|(l, _)| l)
+            .collect()
+    }
+
     /// Total trips across all links.
     pub fn trips(&self) -> u64 {
         self.breakers.iter().map(|b| b.trips()).sum()

@@ -201,22 +201,44 @@ impl Checkpoint {
             Some(name) => Some(name.parse()?),
             None => None,
         };
-        let topo =
-            match json_field(header, "topo") {
-                Some(preset) => Some(crate::fleet::TopoFleetConfig {
+        let topo = match json_field(header, "topo") {
+            Some(preset) => {
+                // Outage regions serialize as a scalar when there is exactly
+                // one (the pre-multi wire form, kept byte-identical) and as a
+                // semicolon-joined string otherwise.
+                let outage_regions = match json_field(header, "outage_region") {
+                    Some(v) => vec![v
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad 'outage_region' in checkpoint header: {e}"))?],
+                    None => match json_field(header, "outage_regions") {
+                        Some(raw) => raw
+                            .split(';')
+                            .filter(|s| !s.is_empty())
+                            .map(|s| s.parse::<usize>())
+                            .collect::<Result<Vec<_>, _>>()
+                            .map_err(|e| {
+                                format!("bad 'outage_regions' in checkpoint header: {e}")
+                            })?,
+                        None => Vec::new(),
+                    },
+                };
+                Some(crate::fleet::TopoFleetConfig {
                     preset: preset.to_string(),
                     k: num("topo_k")? as usize,
-                    outage_region: match json_field(header, "outage_region") {
-                        Some(v) => Some(v.parse::<usize>().map_err(|e| {
-                            format!("bad 'outage_region' in checkpoint header: {e}")
-                        })?),
-                        None => None,
-                    },
+                    outage_regions,
+                    campaign: json_field(header, "campaign").map(str::to_string),
                     multipath: num("multipath")? as u32,
                     reroute: flag("reroute")?,
-                }),
-                None => None,
-            };
+                    selfheal: match json_field(header, "selfheal") {
+                        Some(v) => v
+                            .parse::<bool>()
+                            .map_err(|e| format!("bad 'selfheal' in checkpoint header: {e}"))?,
+                        None => false,
+                    },
+                })
+            }
+            None => None,
+        };
         let config = FleetConfig {
             policy,
             seed: num("seed")? as u64,
@@ -241,15 +263,36 @@ impl Checkpoint {
 
         let mut jobs = Vec::with_capacity(njobs);
         let mut digest: Option<u64> = None;
+        // Exact text preceding the digest line, reconstructed for the
+        // `text_fnv` content check (writer hashes header + job lines, each
+        // newline-terminated).
+        let mut preceding = format!("{header}\n");
         for line in lines {
             match json_field(line, "kind") {
-                Some("fleet-job") => jobs.push(parse_job(line)?),
+                Some("fleet-job") => {
+                    jobs.push(parse_job(line)?);
+                    preceding.push_str(line);
+                    preceding.push('\n');
+                }
                 Some("fleet-digest") => {
                     let hex = json_field(line, "fnv").ok_or("digest line missing 'fnv'")?;
                     digest = Some(
                         u64::from_str_radix(hex, 16)
                             .map_err(|e| format!("bad digest '{hex}': {e}"))?,
                     );
+                    // Content hash over the serialized inputs; absent on
+                    // pre-journal checkpoints (accepted — the state digest
+                    // still guards the replay).
+                    if let Some(hex) = json_field(line, "text_fnv") {
+                        let want = u64::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad text digest '{hex}': {e}"))?;
+                        let got = fnv1a(&preceding);
+                        if got != want {
+                            return Err(format!(
+                                "checkpoint text corrupted: content hash {got:016x} != recorded {want:016x}"
+                            ));
+                        }
+                    }
                 }
                 other => return Err(format!("unexpected checkpoint line kind {other:?}: {line}")),
             }
@@ -271,6 +314,74 @@ impl Checkpoint {
             digest,
         })
     }
+}
+
+/// The result of reading a checkpoint journal: the newest checkpoint block
+/// that still parses and digest-verifies structurally, plus salvage metadata
+/// so callers can report what was dropped.
+#[derive(Debug, Clone)]
+pub struct JournalRead {
+    /// The newest intact checkpoint in the journal.
+    pub checkpoint: Checkpoint,
+    /// Total checkpoint blocks found in the journal (intact or torn).
+    pub blocks_total: usize,
+    /// Blocks newer than the salvaged one that were torn (truncated write,
+    /// flipped bytes) and had to be discarded.
+    pub blocks_dropped: usize,
+}
+
+impl JournalRead {
+    /// True when the journal's newest block was torn and an older one was
+    /// salvaged in its place.
+    pub fn salvaged(&self) -> bool {
+        self.blocks_dropped > 0
+    }
+}
+
+/// Parse a checkpoint **journal**: a file the CLI appends a full checkpoint
+/// block to at every checkpoint interval (rather than rewriting in place,
+/// which risks a torn file if the process dies mid-write).
+///
+/// The journal is split into blocks on `"kind":"fleet-checkpoint"` header
+/// lines; blocks are tried newest-first and the first one that parses wins.
+/// Torn or corrupt trailing blocks are counted in
+/// [`JournalRead::blocks_dropped`] — resume falls back to the longest
+/// digest-consistent prefix instead of refusing outright.
+///
+/// # Errors
+/// Returns an error when the journal holds no parseable checkpoint at all
+/// (every block torn, or the file is not a checkpoint journal).
+pub fn parse_journal(text: &str) -> Result<JournalRead, String> {
+    let mut blocks: Vec<Vec<&str>> = Vec::new();
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        if json_field(line, "kind") == Some("fleet-checkpoint") {
+            blocks.push(vec![line]);
+        } else if let Some(cur) = blocks.last_mut() {
+            cur.push(line);
+        }
+        // Garbage before the first header is ignored: it cannot belong to
+        // any checkpoint block.
+    }
+    if blocks.is_empty() {
+        return Err("journal holds no fleet-checkpoint block".to_string());
+    }
+    let total = blocks.len();
+    let mut last_err = String::new();
+    for (dropped, block) in blocks.iter().rev().enumerate() {
+        match Checkpoint::parse(&block.join("\n")) {
+            Ok(checkpoint) => {
+                return Ok(JournalRead {
+                    checkpoint,
+                    blocks_total: total,
+                    blocks_dropped: dropped,
+                })
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(format!(
+        "journal holds {total} checkpoint block(s) but none parse; newest error: {last_err}"
+    ))
 }
 
 /// Resume a killed fleet run from `ck`: replay ticks `0..ck.tick` with
@@ -413,6 +524,71 @@ mod tests {
         let ck = Checkpoint::parse(&text).unwrap();
         let err = resume_fleet(&ck, &mut HistoryStore::in_memory()).unwrap_err();
         assert!(err.contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn journal_prefers_the_newest_intact_block() {
+        let w = Workload::synthetic(3, 4);
+        let mut h = HistoryStore::in_memory();
+        let mut sim = FleetSim::new(&w, &cfg(), &mut h);
+        for _ in 0..10 {
+            assert!(sim.tick());
+        }
+        let first = sim.checkpoint();
+        for _ in 0..10 {
+            assert!(sim.tick());
+        }
+        let second = sim.checkpoint();
+        let journal = format!("{first}\n{second}\n");
+        let read = parse_journal(&journal).unwrap();
+        assert_eq!(read.blocks_total, 2);
+        assert_eq!(read.blocks_dropped, 0);
+        assert!(!read.salvaged());
+        assert_eq!(read.checkpoint.tick, 20);
+    }
+
+    #[test]
+    fn journal_salvages_the_prefix_when_the_tail_is_torn() {
+        let w = Workload::synthetic(3, 4);
+        let mut h = HistoryStore::in_memory();
+        let mut sim = FleetSim::new(&w, &cfg(), &mut h);
+        for _ in 0..10 {
+            assert!(sim.tick());
+        }
+        let first = sim.checkpoint();
+        for _ in 0..10 {
+            assert!(sim.tick());
+        }
+        let second = sim.checkpoint();
+        // Tear the newest block mid-write: drop its trailing digest line
+        // plus half of its last job line.
+        let torn: String = {
+            let keep = second.len() - second.len() / 3;
+            second[..keep].to_string()
+        };
+        let journal = format!("{first}\n{torn}");
+        let read = parse_journal(&journal).unwrap();
+        assert_eq!(read.blocks_total, 2);
+        assert_eq!(read.blocks_dropped, 1);
+        assert!(read.salvaged());
+        assert_eq!(read.checkpoint.tick, 10);
+        // The salvaged checkpoint still resumes byte-identically.
+        let full = run_fleet(&w, &cfg(), &mut HistoryStore::in_memory());
+        let resumed = resume_fleet(&read.checkpoint, &mut HistoryStore::in_memory()).unwrap();
+        assert_eq!(full.report.render(), resumed.report.render());
+    }
+
+    #[test]
+    fn journal_with_no_intact_block_is_refused() {
+        assert!(parse_journal("")
+            .unwrap_err()
+            .contains("no fleet-checkpoint"));
+        assert!(parse_journal("{\"kind\":\"history\"}\n")
+            .unwrap_err()
+            .contains("no fleet-checkpoint"));
+        let torn = "{\"kind\":\"fleet-checkpoint\",\"version\":1,\"tick\":3";
+        let err = parse_journal(torn).unwrap_err();
+        assert!(err.contains("none parse"), "{err}");
     }
 
     #[test]

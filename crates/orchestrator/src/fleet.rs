@@ -53,7 +53,8 @@ use xferopt_scenarios::{FaultProfile, PaperWorld, Route};
 use xferopt_simcore::metrics::{json_f64, MetricsRegistry};
 use xferopt_simcore::SimDuration;
 use xferopt_topo::{
-    outage_plan, search_routes, PlacementTable, Planet, PlanetWorld, RouteCatalog, SearchConfig,
+    campaign_plan, outage_plan_multi, refine_placement, search_routes, PlacementTable, Planet,
+    PlanetWorld, RouteCatalog, SearchConfig,
 };
 use xferopt_transfer::{EpochReport, EpochStart, StreamParams, TransferId, World};
 use xferopt_tuners::{Domain, OnlineTuner, Point, WarmStart};
@@ -67,14 +68,23 @@ pub struct TopoFleetConfig {
     pub preset: String,
     /// Candidate routes enumerated per ordered region pair.
     pub k: usize,
-    /// Region whose incident links flap dark under the regional-outage
-    /// chaos plan (`None` keeps the planet fault-free).
-    pub outage_region: Option<usize>,
+    /// Regions whose incident links flap dark under the regional-outage
+    /// chaos plan (empty keeps the planet fault-free; multiple regions
+    /// overlap their outages).
+    pub outage_regions: Vec<usize>,
+    /// Scripted multi-phase chaos campaign name (see
+    /// [`xferopt_topo::campaign_plan`]); mutually exclusive with
+    /// `outage_regions`.
+    pub campaign: Option<String>,
     /// Routes one job's streams are split across (1 = single-path).
     pub multipath: u32,
     /// Re-route breaker-blocked requeued jobs onto the placement's
     /// next-ranked candidate (bytes conserved across the hop).
     pub reroute: bool,
+    /// Enable the self-healing control plane (DESIGN.md §17): fleet-level
+    /// SLO tracking, online placement re-search on sustained degradation,
+    /// a fleet-wide retry budget, and brownout shedding.
+    pub selfheal: bool,
 }
 
 impl TopoFleetConfig {
@@ -83,9 +93,11 @@ impl TopoFleetConfig {
         TopoFleetConfig {
             preset: name.to_string(),
             k: 3,
-            outage_region: None,
+            outage_regions: Vec::new(),
+            campaign: None,
             multipath: 1,
             reroute: true,
+            selfheal: false,
         }
     }
 
@@ -136,6 +148,10 @@ pub struct FleetConfig {
     /// Planet-topology settings; `None` keeps the classic paper world (and
     /// its byte-identical goldens).
     pub topo: Option<TopoFleetConfig>,
+    /// Self-healing control-plane knobs (active only when
+    /// `topo.selfheal`). Like `health` and `breaker`, not serialized into
+    /// checkpoints: resume rebuilds the same governor from the same config.
+    pub govern: crate::govern::GovernConfig,
 }
 
 impl Default for FleetConfig {
@@ -156,6 +172,7 @@ impl Default for FleetConfig {
             breaker: BreakerConfig::default(),
             shed_after_s: 300.0,
             topo: None,
+            govern: crate::govern::GovernConfig::default(),
         }
     }
 }
@@ -330,8 +347,25 @@ impl FleetReport {
                 " topo={} k={} multipath={} reroute={}",
                 tc.preset, tc.k, tc.multipath, tc.reroute
             ));
-            if let Some(r) = tc.outage_region {
-                out.push_str(&format!(" outage_region={r}"));
+            if tc.selfheal {
+                out.push_str(" selfheal=true");
+            }
+            if let Some(c) = &tc.campaign {
+                out.push_str(&format!(" campaign={c}"));
+            }
+            // A single outage region keeps the historical `outage_region=`
+            // bytes (golden snapshots); only multi-region runs use the
+            // plural form.
+            match tc.outage_regions.as_slice() {
+                [] => {}
+                [r] => out.push_str(&format!(" outage_region={r}")),
+                rs => out.push_str(&format!(
+                    " outage_regions={}",
+                    rs.iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )),
             }
         }
         out.push('\n');
@@ -479,6 +513,23 @@ impl PlanetFleet {
         }
         None
     }
+}
+
+/// The placement's *chosen* (rank-0) route for the pair owning `route_name`,
+/// when it differs from `route_name` itself — the migration target after an
+/// online re-search refreshed the table.
+fn refreshed_route(pf: &PlanetFleet, route_name: &str) -> Option<JobRoute> {
+    let entry = pf
+        .placement
+        .entries
+        .iter()
+        .find(|e| e.routes.iter().any(|r| r == route_name))?;
+    let name = entry.routes.first()?;
+    if name == route_name {
+        return None;
+    }
+    let path = pf.pw.catalog.route_by_name(name)?;
+    Some(JobRoute::new(name.clone(), entry.links[0].clone(), path))
 }
 
 /// The world a fleet runs against: the classic single-pipe paper testbed or
@@ -638,6 +689,9 @@ pub struct FleetSim<'h> {
     /// golden snapshots).
     admission_dirty: bool,
     last_shed_s: Vec<f64>,
+    /// The self-healing control plane; `Some` only when `topo.selfheal`
+    /// (quiet fleets carry no governor and keep their digests byte-stable).
+    governor: Option<crate::govern::Governor>,
     tick: u64,
     t: f64,
     done: bool,
@@ -715,8 +769,22 @@ impl<'h> FleetSim<'h> {
                 let mut pw =
                     PlanetWorld::new(&planet, tc.k, world_seed).expect("preset planets compile");
                 pw.world.enable_telemetry();
-                if let Some(region) = tc.outage_region {
-                    let plan = outage_plan(&planet, region, world_seed, config.horizon_s);
+                if let Some(name) = &tc.campaign {
+                    assert!(
+                        tc.outage_regions.is_empty(),
+                        "a campaign scripts its own faults; drop --outage-region"
+                    );
+                    let plan = campaign_plan(&planet, name, world_seed, config.horizon_s)
+                        .expect("campaign validated at CLI parse time");
+                    pw.world
+                        .enable_faults_with_policy(plan, config.health.retry);
+                } else if !tc.outage_regions.is_empty() {
+                    let plan = outage_plan_multi(
+                        &planet,
+                        &tc.outage_regions,
+                        world_seed,
+                        config.horizon_s,
+                    );
                     pw.world
                         .enable_faults_with_policy(plan, config.health.retry);
                 }
@@ -724,6 +792,11 @@ impl<'h> FleetSim<'h> {
             }
         };
         let nlinks = world.nlinks();
+        let governor = config
+            .topo
+            .as_ref()
+            .filter(|tc| tc.selfheal)
+            .map(|_| crate::govern::Governor::new(nlinks, &config.govern));
         let mut metrics = MetricsRegistry::new();
         if history.skipped() > 0 {
             metrics
@@ -754,6 +827,7 @@ impl<'h> FleetSim<'h> {
             tick_appends: Vec::new(),
             admission_dirty: true,
             last_shed_s: vec![f64::NEG_INFINITY; nlinks],
+            governor,
             tick: 0,
             t: 0.0,
             done: false,
@@ -778,6 +852,16 @@ impl<'h> FleetSim<'h> {
             FleetWorld::Classic(_) => None,
             FleetWorld::Planet(pf) => Some(&pf.placement),
         }
+    }
+
+    /// Retry-budget snapshot of the self-healing governor as
+    /// `(tokens_available, tokens_consumed, tokens_issued)`; `None` when
+    /// the control plane is off. The budget invariant is
+    /// `consumed <= issued` on every tick.
+    pub fn governor_snapshot(&self) -> Option<(u64, u64, u64)> {
+        self.governor
+            .as_ref()
+            .map(|g| (g.budget.tokens(), g.budget.consumed(), g.budget.issued()))
     }
 
     /// Current fleet time, seconds.
@@ -833,6 +917,10 @@ impl<'h> FleetSim<'h> {
             return false;
         }
         self.tick_appends.clear();
+        // 0. The retry budget replenishes deterministically per tick.
+        if let Some(g) = &mut self.governor {
+            g.budget.tick();
+        }
         // 1. Arrivals (pending is sorted by (arrival, id)).
         while self
             .pending
@@ -844,7 +932,9 @@ impl<'h> FleetSim<'h> {
             self.admission_dirty = true;
         }
         // 1b. Requeues: quarantined jobs whose backoff elapsed rejoin the
-        // queue (in job-id order).
+        // queue (in job-id order). Under the governor each requeue costs a
+        // retry-budget token; jobs the budget cannot cover stay quarantined
+        // and retry on a later tick (the storm cap).
         let due: Vec<JobId> = self
             .quarantined
             .iter()
@@ -852,6 +942,11 @@ impl<'h> FleetSim<'h> {
             .map(|(&id, _)| id)
             .collect();
         for id in due {
+            if let Some(g) = &mut self.governor {
+                if !g.budget.try_take() {
+                    break; // budget exhausted; later ids wait too
+                }
+            }
             let q = self.quarantined.remove(&id).expect("job is quarantined");
             self.supervision.requeues += 1;
             self.push_event(
@@ -893,6 +988,13 @@ impl<'h> FleetSim<'h> {
                     .collect(),
             };
             for (i, next) in moves {
+                // Re-routes are retry-budget actions too: an unpayable hop
+                // waits (the job keeps its blocked route and retries later).
+                if let Some(g) = &mut self.governor {
+                    if !g.budget.try_take() {
+                        break;
+                    }
+                }
                 let id = self.queued[i].id;
                 let detail = format!("{}=>{}", self.queued[i].route.name(), next.name());
                 self.supervision.reroutes += 1;
@@ -1019,6 +1121,23 @@ impl<'h> FleetSim<'h> {
                 let v = job.monitor.observe(report.observed_mbs);
                 (v, job.degraded, job.spec.route.clone(), report.observed_mbs)
             };
+            // Feed the fleet-level SLO monitor: every link this route
+            // crosses saw the epoch's goodput. A zero-goodput epoch is a
+            // "bad" observation; state transitions become `slo` events.
+            if self.governor.is_some() {
+                let bad = observed <= self.config.health.zero_floor_mbs;
+                for &l in route.links() {
+                    let tr = self
+                        .governor
+                        .as_mut()
+                        .expect("checked above")
+                        .slo
+                        .observe(l, bad);
+                    if let Some((from, to)) = tr {
+                        self.push_event("slo", None, Some(l), format!("{from}=>{to}"));
+                    }
+                }
+            }
             match verdict {
                 HealthVerdict::Healthy => {
                     if was_degraded {
@@ -1053,7 +1172,245 @@ impl<'h> FleetSim<'h> {
                 HealthVerdict::Quarantine => self.quarantine(id),
             }
         }
+
+        // 6. Control-plane step: the governor reacts to the SLO picture the
+        // epoch boundaries just painted (no governor → no-op, keeping quiet
+        // fleets byte-identical).
+        self.govern_step();
         true
+    }
+
+    /// End-of-tick self-healing step (active only with `topo.selfheal`):
+    /// on sustained link degradation, re-search placement against the
+    /// fault-adjusted topology and migrate affected jobs; when the retry
+    /// budget is dry under degradation, brown out the lowest-priority
+    /// queued job on a degraded link.
+    fn govern_step(&mut self) {
+        let Some(g) = &self.governor else { return };
+        let degraded = g.slo.degraded_links();
+        if degraded.is_empty() {
+            return;
+        }
+        if g.replan_ready(self.t) {
+            self.replan(&degraded);
+        }
+        let g = self.governor.as_ref().expect("governor present");
+        if g.budget.tokens() == 0 && g.brownout_ready(self.t) {
+            self.brownout(&degraded);
+        }
+    }
+
+    /// Online placement re-search (DESIGN.md §17): shrink the degraded
+    /// inter-region edges of a cloned planet to 2 % capacity, re-run the
+    /// coordinate descent scoped to the pairs whose chosen route crosses a
+    /// degraded link, install the refreshed table, steer queued work onto
+    /// it for free, and migrate running jobs (one retry-budget token each)
+    /// with byte conservation through the carried `moved_base` fold.
+    fn replan(&mut self, degraded: &std::collections::BTreeSet<usize>) {
+        let Some(tc) = self.config.topo.clone() else {
+            return;
+        };
+        // The fault picture: SLO-degraded links plus links whose breaker is
+        // open (independent per-route failure evidence).
+        let mut dead = degraded.clone();
+        dead.extend(self.breakers.open_links());
+        let (adjusted, affected) = {
+            let FleetWorld::Planet(pf) = &self.world else {
+                return;
+            };
+            let planet = &pf.pw.catalog.planet;
+            let nregions = planet.regions.len();
+            let mut adjusted = planet.clone();
+            let mut shrunk = false;
+            for &l in &dead {
+                // NIC links (< nregions) are per-region host capacity, not
+                // planet edges; a re-route cannot dodge an endpoint NIC, so
+                // only inter-region edges are adjusted.
+                if l >= nregions {
+                    adjusted.edges[l - nregions].capacity_mbs *= 0.02;
+                    shrunk = true;
+                }
+            }
+            let affected: Vec<usize> = pf
+                .placement
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.links[0].iter().any(|l| dead.contains(l)))
+                .map(|(i, _)| i)
+                .collect();
+            if !shrunk || affected.is_empty() {
+                return;
+            }
+            (adjusted, affected)
+        };
+        let search_cfg = SearchConfig {
+            k: tc.k,
+            ..SearchConfig::default()
+        };
+        {
+            let FleetWorld::Planet(pf) = &mut self.world else {
+                unreachable!("checked above")
+            };
+            let Ok(refreshed) = refine_placement(&adjusted, &pf.placement, &affected, &search_cfg)
+            else {
+                return; // structural drift cannot happen on a preset planet
+            };
+            pf.placement = refreshed;
+        }
+        self.governor
+            .as_mut()
+            .expect("governor present")
+            .last_replan_s = self.t;
+
+        // Queued jobs have no live transfer yet: steering them onto the
+        // refreshed chosen routes is free (carried bytes are conserved by
+        // the re-admission fold).
+        let updates: Vec<(usize, JobRoute)> = {
+            let FleetWorld::Planet(pf) = &self.world else {
+                unreachable!("checked above")
+            };
+            self.queued
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.route.links().iter().any(|l| dead.contains(l)))
+                .filter_map(|(i, j)| refreshed_route(pf, j.route.name()).map(|r| (i, r)))
+                .collect()
+        };
+        for (i, next) in updates {
+            self.queued[i].route = next;
+            self.admission_dirty = true;
+        }
+
+        // Running jobs on a degraded link migrate onto the refreshed chosen
+        // route, one budget token each (in job-id order; jobs the budget
+        // cannot cover stay put and recover through the per-job watchdogs).
+        let moves: Vec<(JobId, JobRoute)> = {
+            let FleetWorld::Planet(pf) = &self.world else {
+                unreachable!("checked above")
+            };
+            self.running
+                .iter()
+                .filter(|(_, j)| j.spec.route.links().iter().any(|l| dead.contains(l)))
+                .filter_map(|(&id, j)| refreshed_route(pf, j.spec.route.name()).map(|r| (id, r)))
+                .collect()
+        };
+        for (id, next) in moves {
+            if !self
+                .governor
+                .as_mut()
+                .expect("governor present")
+                .budget
+                .try_take()
+            {
+                break;
+            }
+            self.migrate(id, next);
+        }
+    }
+
+    /// Pull a running job off its degraded route and requeue it on `next`:
+    /// the transfer is idled (bytes stay counted), the grant released, and
+    /// the carried stats re-admitted through the same route-change fold a
+    /// breaker-aware re-route uses — byte conservation for free.
+    fn migrate(&mut self, id: JobId, next: JobRoute) {
+        let mut job = self.running.remove(&id).expect("job is running");
+        if let Some(es) = job.epoch.take() {
+            let report = self.world.world_mut().end_epoch(es);
+            record_epoch(&mut job, self.t, &report);
+        }
+        self.admission.release(id);
+        self.admission_dirty = true;
+        self.world
+            .world_mut()
+            .set_params(job.tid, StreamParams::new(0, 1), false);
+        let extras = std::mem::take(&mut job.extra_tids);
+        if !extras.is_empty() {
+            for e in extras {
+                self.world
+                    .world_mut()
+                    .set_params(e, StreamParams::new(0, 1), false);
+                job.moved_base += self.world.world().moved_mb(e);
+            }
+            // See `quarantine`: fold the sliced primary too and re-issue the
+            // whole remainder so abandoned slices are not stranded.
+            job.moved_base += self.world.world().moved_mb(job.tid);
+            job.tid = self.world.start_sized_transfer(
+                &job.spec.route,
+                StreamParams::new(0, 1),
+                (job.spec.size_mb - job.moved_base).max(0.0),
+                self.config.noise_sigma,
+            );
+            self.world.world_mut().set_transfer_tag(job.tid, Some(id.0));
+        }
+        if let Some(log) = job.tuner.audit_log() {
+            if !log.is_empty() {
+                self.decisions.push((id, log.to_jsonl()));
+            }
+        }
+        self.supervision.replans += 1;
+        self.push_event(
+            "replan",
+            Some(id.to_string()),
+            None,
+            format!("{}=>{}", job.spec.route.name(), next.name()),
+        );
+        let mut spec = job.spec;
+        let carry = JobCarry {
+            tid: job.tid,
+            moved_base: job.moved_base,
+            route_name: spec.route.name().to_string(),
+            first_admitted_s: job.admitted_s,
+            attempts: job.attempts,
+            best_mbs: job.best_mbs,
+            best_params: job.best_params,
+            epochs_done: job.epochs_done,
+            trace: std::mem::take(&mut job.trace),
+            warm_distance: job.warm_distance,
+            granted_streams: job.granted_streams,
+        };
+        spec.route = next;
+        self.carry.insert(id, carry);
+        self.queued.push(spec);
+    }
+
+    /// Brownout: with the retry budget dry under sustained degradation, the
+    /// lowest-priority queued job crossing a degraded link is dropped (the
+    /// same victim rule as `shed`, cooldown-gated per the governor config).
+    fn brownout(&mut self, degraded: &std::collections::BTreeSet<usize>) {
+        let victim = self
+            .queued
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.route.links().iter().any(|l| degraded.contains(l)))
+            .min_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.id)))
+            .map(|(i, _)| i);
+        let Some(pos) = victim else { return };
+        let spec = self.queued.remove(pos);
+        self.admission_dirty = true;
+        self.supervision.brownouts += 1;
+        self.push_event(
+            "brownout",
+            Some(spec.id.to_string()),
+            None,
+            format!("priority={}", spec.priority),
+        );
+        let o = match self.carry.remove(&spec.id) {
+            Some(c) => outcome_from_carry(
+                spec,
+                c,
+                JobState::Failed,
+                self.t,
+                self.config.tick_s,
+                self.world.world(),
+            ),
+            None => never_ran(spec, JobState::Failed),
+        };
+        self.outcomes.push(o);
+        self.governor
+            .as_mut()
+            .expect("governor present")
+            .last_brownout_s = self.t;
     }
 
     /// Feed the closed epoch to the tuner and open the next one.
@@ -1215,11 +1572,13 @@ impl<'h> FleetSim<'h> {
     }
 
     /// Start the fixed-config extra transfers of a multipath job: one per
-    /// fallback route in the placement's rank order, each carrying an equal
-    /// slice of the job's bytes and one `share`-stream config. Returns the
-    /// transfer ids and the total bytes they carry (the primary runs the
-    /// rest). No-op on the classic world or when the placement has no
-    /// fallback for the pair.
+    /// fallback route in the placement's rank order, each carrying a slice
+    /// of the job's bytes weighted by the route's search score (bottleneck
+    /// capacity discounted by RTT — a fat slow detour gets more bytes than
+    /// a thin fast hop, but latency still costs), and one `share`-stream
+    /// config. Returns the transfer ids and the total bytes they carry (the
+    /// primary runs the rest). No-op on the classic world or when the
+    /// placement has no fallback for the pair.
     fn start_multipath_extras(
         &mut self,
         spec: &JobSpec,
@@ -1229,46 +1588,62 @@ impl<'h> FleetSim<'h> {
         if multipath <= 1 {
             return (Vec::new(), 0.0);
         }
-        let fallbacks: Vec<JobRoute> = match &self.world {
-            FleetWorld::Classic(_) => Vec::new(),
-            FleetWorld::Planet(pf) => pf
-                .placement
-                .entries
-                .iter()
-                .find(|e| e.routes.iter().any(|r| r == spec.route.name()))
-                .map(|entry| {
-                    entry
-                        .routes
-                        .iter()
-                        .zip(&entry.links)
-                        .filter(|(name, _)| name.as_str() != spec.route.name())
-                        .take(multipath as usize - 1)
-                        .filter_map(|(name, links)| {
-                            pf.pw
-                                .catalog
-                                .route_by_name(name)
-                                .map(|p| JobRoute::new(name.clone(), links.clone(), p))
-                        })
-                        .collect()
-                })
-                .unwrap_or_default(),
+        // `(route, weight)` per fallback, plus the primary's weight.
+        let (fallbacks, primary_w): (Vec<(JobRoute, f64)>, f64) = match &self.world {
+            FleetWorld::Classic(_) => (Vec::new(), 1.0),
+            FleetWorld::Planet(pf) => {
+                let score = |path: usize| {
+                    let r = &pf.pw.catalog.routes[path];
+                    r.bottleneck_mbs / (1.0 + r.rtt_ms / 100.0)
+                };
+                let fb = pf
+                    .placement
+                    .entries
+                    .iter()
+                    .find(|e| e.routes.iter().any(|r| r == spec.route.name()))
+                    .map(|entry| {
+                        entry
+                            .routes
+                            .iter()
+                            .zip(&entry.links)
+                            .filter(|(name, _)| name.as_str() != spec.route.name())
+                            .take(multipath as usize - 1)
+                            .filter_map(|(name, links)| {
+                                pf.pw.catalog.route_by_name(name).map(|p| {
+                                    (JobRoute::new(name.clone(), links.clone(), p), score(p))
+                                })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let pw_w = pf
+                    .pw
+                    .catalog
+                    .route_by_name(spec.route.name())
+                    .map_or(1.0, score);
+                (fb, pw_w)
+            }
         };
         if fallbacks.is_empty() {
             return (Vec::new(), 0.0);
         }
-        let slice = spec.size_mb / (fallbacks.len() as f64 + 1.0);
+        let total_w: f64 = primary_w + fallbacks.iter().map(|(_, w)| w).sum::<f64>();
         let nc = (share / spec.np.max(1)).max(1);
         let params = StreamParams::new(nc, spec.np);
         let mut tids = Vec::new();
-        for route in &fallbacks {
+        let mut extra_mb = 0.0;
+        for (route, w) in &fallbacks {
+            // Conservation by construction: the primary runs
+            // `size_mb - extra_mb`, so the slices always sum to size_mb.
+            let slice = spec.size_mb * w / total_w;
             tids.push(self.world.start_sized_transfer(
                 route,
                 params,
                 slice,
                 self.config.noise_sigma,
             ));
+            extra_mb += slice;
         }
-        let extra_mb = slice * tids.len() as f64;
         (tids, extra_mb)
     }
 
@@ -1488,6 +1863,9 @@ impl<'h> FleetSim<'h> {
         for (p, n) in &self.admitted_by_class {
             s.push_str(&format!("cls{p}:{n};"));
         }
+        if let Some(g) = &self.governor {
+            s.push_str(&format!("gov={};", g.digest()));
+        }
         s.push_str(&format!(
             "out={};dec={};ev={};hist={};sup={}",
             self.outcomes.len(),
@@ -1703,8 +2081,24 @@ pub(crate) fn render_checkpoint(
             ",\"topo\":\"{}\",\"topo_k\":{},\"multipath\":{},\"reroute\":{}",
             tc.preset, tc.k, tc.multipath, tc.reroute
         ));
-        if let Some(r) = tc.outage_region {
-            out.push_str(&format!(",\"outage_region\":{r}"));
+        if tc.selfheal {
+            out.push_str(",\"selfheal\":true");
+        }
+        if let Some(name) = &tc.campaign {
+            out.push_str(&format!(",\"campaign\":\"{name}\""));
+        }
+        // One region keeps the historical scalar field (byte-compatible
+        // with pre-multi-outage checkpoints); several use the plural form.
+        match tc.outage_regions.as_slice() {
+            [] => {}
+            [r] => out.push_str(&format!(",\"outage_region\":{r}")),
+            rs => out.push_str(&format!(
+                ",\"outage_regions\":\"{}\"",
+                rs.iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(";")
+            )),
         }
     }
     out.push_str(&format!(
@@ -1717,8 +2111,14 @@ pub(crate) fn render_checkpoint(
         out.push_str(&crate::checkpoint::job_to_json(j));
         out.push('\n');
     }
+    // Two hashes close two different holes: `fnv` (the live-state digest)
+    // catches replay divergence, while `text_fnv` (over the header + job
+    // lines just written) catches corruption of the serialized inputs
+    // themselves — a flipped byte in a job the replay has not admitted yet
+    // would otherwise slip past the state digest.
+    let text_fnv = crate::checkpoint::fnv1a(&out);
     out.push_str(&format!(
-        "{{\"kind\":\"fleet-digest\",\"fnv\":\"{digest:016x}\"}}\n"
+        "{{\"kind\":\"fleet-digest\",\"fnv\":\"{digest:016x}\",\"text_fnv\":\"{text_fnv:016x}\"}}\n"
     ));
     out
 }

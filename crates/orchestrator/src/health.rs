@@ -239,6 +239,12 @@ pub struct SupervisionSummary {
     pub checkpoints: u64,
     /// Breaker-aware route hops of requeued jobs (planet fleets only).
     pub reroutes: u64,
+    /// Running jobs migrated onto a re-searched placement by the
+    /// self-healing governor (planet fleets with `selfheal` only).
+    pub replans: u64,
+    /// Queued jobs dropped by the governor's brownout (retry budget dry
+    /// under sustained degradation).
+    pub brownouts: u64,
 }
 
 impl SupervisionSummary {
@@ -258,6 +264,12 @@ impl SupervisionSummary {
         );
         if self.reroutes > 0 {
             s.push_str(&format!(" reroutes={}", self.reroutes));
+        }
+        if self.replans > 0 {
+            s.push_str(&format!(" replans={}", self.replans));
+        }
+        if self.brownouts > 0 {
+            s.push_str(&format!(" brownouts={}", self.brownouts));
         }
         s
     }

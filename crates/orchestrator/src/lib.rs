@@ -22,8 +22,10 @@
 
 pub mod admission;
 pub mod breaker;
+pub mod chaos;
 pub mod checkpoint;
 pub mod fleet;
+pub mod govern;
 pub mod health;
 pub mod history;
 pub mod job;
@@ -34,11 +36,13 @@ pub mod tournament;
 
 pub use admission::{AdmissionController, Reservation, DEFAULT_LINK_BUDGET};
 pub use breaker::{BreakerBoard, BreakerConfig, BreakerState, RouteBreaker};
-pub use checkpoint::{resume_fleet, Checkpoint};
+pub use chaos::{run_campaign, CampaignConfig, CampaignOutcome};
+pub use checkpoint::{parse_journal, resume_fleet, Checkpoint, JournalRead};
 pub use fleet::{
     run_fleet, topo_workload, FleetConfig, FleetOutcome, FleetReport, FleetSim, JobOutcome,
     TopoFleetConfig,
 };
+pub use govern::{GovernConfig, Governor, RetryBudget, SloMonitor, SloState};
 pub use health::{
     HealthConfig, HealthMonitor, HealthState, HealthVerdict, SupervisionEvent, SupervisionSummary,
 };

@@ -483,6 +483,8 @@ fn merge_parts(submitted: usize, history_appended: usize, parts: Vec<FleetParts>
         merged.supervision.breaker_trips += p.supervision.breaker_trips;
         merged.supervision.checkpoints += p.supervision.checkpoints;
         merged.supervision.reroutes += p.supervision.reroutes;
+        merged.supervision.replans += p.supervision.replans;
+        merged.supervision.brownouts += p.supervision.brownouts;
         match (&mut merged.metrics, p.metrics) {
             (Some(m), Some(o)) => m.merge(&o),
             (m @ None, Some(o)) => *m = Some(o),

@@ -29,5 +29,8 @@ pub mod search;
 pub mod world;
 
 pub use planet::{Planet, PlanetError};
-pub use search::{search_routes, PlacementEntry, PlacementTable, SearchConfig};
-pub use world::{outage_plan, region_links, BuiltRoute, PlanetWorld, RouteCatalog};
+pub use search::{refine_placement, search_routes, PlacementEntry, PlacementTable, SearchConfig};
+pub use world::{
+    campaign_phases, campaign_plan, outage_plan, outage_plan_multi, region_links, BuiltRoute,
+    PlanetWorld, RouteCatalog, CAMPAIGNS,
+};

@@ -438,6 +438,124 @@ pub fn search_routes(planet: &Planet, cfg: &SearchConfig) -> Result<PlacementTab
     })
 }
 
+/// Online placement re-search: re-run the coordinate descent against a
+/// (possibly fault-adjusted) `planet`, scoped to the `affected` pair
+/// indices only. Unaffected pairs keep their routes and stream configs from
+/// `prev`; every pair's `mbs` is re-allocated under the refined placement.
+///
+/// The planet must have the same structure (regions and edges) as the one
+/// `prev` was searched on — only capacities/latencies may differ — so the
+/// enumerated candidate set is identical and `prev`'s route names resolve.
+/// The fault-tolerance fields (`ft_covered`, `ft_min`) are carried over
+/// from `prev` verbatim: they describe the structural outage coverage,
+/// which a capacity adjustment does not change.
+///
+/// # Errors
+/// Propagates enumeration errors, and reports a route name from `prev`
+/// that the refreshed catalog does not contain (structural drift).
+pub fn refine_placement(
+    planet: &Planet,
+    prev: &PlacementTable,
+    affected: &[usize],
+    cfg: &SearchConfig,
+) -> Result<PlacementTable, PlanetError> {
+    if cfg.nc_grid.is_empty() || cfg.passes == 0 || cfg.np == 0 {
+        return Err(PlanetError(
+            "search needs a non-empty nc grid, np >= 1, and passes >= 1".to_string(),
+        ));
+    }
+    let catalog = RouteCatalog::enumerate(planet, cfg.k)?;
+    let pairs: Vec<(usize, usize)> = catalog.by_pair.keys().copied().collect();
+    if pairs.len() != prev.entries.len() {
+        return Err(PlanetError(format!(
+            "refine: catalog has {} pairs, previous table has {}",
+            pairs.len(),
+            prev.entries.len()
+        )));
+    }
+    let mut assign: Vec<(usize, u32)> = Vec::with_capacity(prev.entries.len());
+    for e in &prev.entries {
+        let chosen = e
+            .routes
+            .first()
+            .ok_or_else(|| PlanetError(format!("refine: pair {} has no chosen route", e.pair)))?;
+        let idx = catalog.route_by_name(chosen).ok_or_else(|| {
+            PlanetError(format!("refine: route {chosen} not in refreshed catalog"))
+        })?;
+        assign.push((idx, e.nc));
+    }
+
+    // Coordinate descent over the affected pairs only, in pair order. No
+    // fault-tolerance filter here: the live topology already *is* the
+    // outage, and the point is to escape it.
+    let (_, mut best_score) = evaluate(&catalog, &assign, cfg.np);
+    for _ in 0..cfg.passes {
+        for &p in affected {
+            let (src, dst) = pairs[p];
+            for &ci in catalog.candidates(src, dst) {
+                for &nc in &cfg.nc_grid {
+                    let prev_assign = assign[p];
+                    if prev_assign == (ci, nc) {
+                        continue;
+                    }
+                    assign[p] = (ci, nc);
+                    let (_, score) = evaluate(&catalog, &assign, cfg.np);
+                    if score > best_score {
+                        best_score = score;
+                    } else {
+                        assign[p] = prev_assign;
+                    }
+                }
+            }
+        }
+    }
+    let (rates, score) = evaluate(&catalog, &assign, cfg.np);
+    let total_mbs: f64 = rates.iter().sum();
+    let jain = jain_index(&rates);
+
+    let affected_set: BTreeSet<usize> = affected.iter().copied().collect();
+    let entries = prev
+        .entries
+        .iter()
+        .enumerate()
+        .map(|(p, old)| {
+            let (chosen, nc) = assign[p];
+            let mut e = old.clone();
+            if affected_set.contains(&p) {
+                let (src, dst) = pairs[p];
+                let mut ranked = vec![chosen];
+                ranked.extend(
+                    catalog
+                        .candidates(src, dst)
+                        .iter()
+                        .copied()
+                        .filter(|&c| c != chosen),
+                );
+                e.routes = ranked
+                    .iter()
+                    .map(|&c| catalog.routes[c].name.clone())
+                    .collect();
+                e.links = ranked
+                    .iter()
+                    .map(|&c| catalog.routes[c].links.clone())
+                    .collect();
+                e.nc = nc;
+            }
+            e.mbs = rates[p];
+            e
+        })
+        .collect();
+    Ok(PlacementTable {
+        planet: prev.planet.clone(),
+        k: cfg.k,
+        entries,
+        total_mbs,
+        jain,
+        ft_min: prev.ft_min,
+        score,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +636,47 @@ mod tests {
             t.entries.iter().any(|e| !e.routes[0].ends_with(":0")),
             "no pair moved off its shortest path"
         );
+    }
+
+    #[test]
+    fn refine_moves_affected_pairs_off_a_collapsed_edge() {
+        let p = Planet::mesh();
+        let cfg = quick_cfg();
+        let base = search_routes(&p, &cfg).unwrap();
+        // Collapse the use-euw transatlantic edge (edge 1) to near zero and
+        // refine every pair whose chosen route crosses it.
+        let dead_link = p.regions.len() + 1;
+        let mut hurt = p.clone();
+        hurt.edges[1].capacity_mbs *= 0.02;
+        let affected: Vec<usize> = base
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.links[0].contains(&dead_link))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!affected.is_empty(), "some pair must use the fat edge");
+        let refined = refine_placement(&hurt, &base, &affected, &cfg).unwrap();
+        assert_eq!(refined.entries.len(), base.entries.len());
+        // Refinement is deterministic and at least one affected pair
+        // escapes the collapsed edge.
+        let again = refine_placement(&hurt, &base, &affected, &cfg).unwrap();
+        assert_eq!(refined.to_jsonl(), again.to_jsonl());
+        assert!(
+            affected
+                .iter()
+                .any(|&i| !refined.entries[i].links[0].contains(&dead_link)),
+            "no affected pair moved off the collapsed edge"
+        );
+        // Unaffected pairs keep their routes and configs.
+        for (i, (r, b)) in refined.entries.iter().zip(&base.entries).enumerate() {
+            if !affected.contains(&i) {
+                assert_eq!(r.routes, b.routes, "pair {}", b.pair);
+                assert_eq!(r.nc, b.nc);
+            }
+            assert_eq!(r.ft_covered, b.ft_covered);
+        }
+        assert_eq!(refined.ft_min, base.ft_min);
     }
 
     #[test]

@@ -191,12 +191,130 @@ pub fn region_links(planet: &Planet, region: usize) -> Vec<usize> {
 /// Panics if `horizon_s` is not strictly positive or `region` is out of
 /// range.
 pub fn outage_plan(planet: &Planet, region: usize, seed: u64, horizon_s: f64) -> FaultPlan {
-    assert!(region < planet.regions.len(), "region out of range");
+    outage_plan_multi(planet, &[region], seed, horizon_s)
+}
+
+/// The multi-region generalization of [`outage_plan`]: the union of every
+/// listed region's incident links flaps dark. Links are deduplicated (two
+/// adjacent outaged regions share an edge) and processed in ascending
+/// order, so the plan for a single region is byte-identical to the one
+/// [`outage_plan`] has always produced.
+///
+/// # Panics
+/// Panics if `horizon_s` is not strictly positive or any region is out of
+/// range.
+pub fn outage_plan_multi(
+    planet: &Planet,
+    regions: &[usize],
+    seed: u64,
+    horizon_s: f64,
+) -> FaultPlan {
+    let mut links = std::collections::BTreeSet::new();
+    for &region in regions {
+        assert!(region < planet.regions.len(), "region out of range");
+        links.extend(region_links(planet, region));
+    }
     let mut plan = FaultPlan::default();
-    for link in region_links(planet, region) {
+    for link in links {
         plan = plan.merge(FaultPlan::flaps(seed, link, horizon_s, 360.0, 150.0));
     }
     plan
+}
+
+/// Names of the built-in chaos campaigns.
+pub const CAMPAIGNS: [&str; 3] = ["rolling-outage", "flapping-links", "nic-degrade"];
+
+/// A scripted multi-phase chaos campaign as a [`FaultPlan`], deterministic
+/// in `(planet, name, seed, horizon_s)`:
+///
+/// - `rolling-outage` — every region in turn goes fully dark (all incident
+///   links flap) for a 300 s window, staggered 600 s apart starting at
+///   t = 300 s.
+/// - `flapping-links` — every other inter-region edge flaps on a seeded
+///   240 s up / 90 s down schedule for the whole horizon.
+/// - `nic-degrade` — the NIC links of the even-indexed regions are
+///   simultaneously degraded to 25 % capacity over `[600, 1500)` s
+///   (correlated host-side brownout).
+///
+/// # Errors
+/// Returns an error naming the valid campaigns on an unknown name.
+pub fn campaign_plan(
+    planet: &Planet,
+    name: &str,
+    seed: u64,
+    horizon_s: f64,
+) -> Result<FaultPlan, PlanetError> {
+    use xferopt_simcore::{FaultEvent, FaultKind, SimDuration, SimTime};
+    let mut plan = FaultPlan::default();
+    match name {
+        "rolling-outage" => {
+            for r in 0..planet.regions.len() {
+                let start = 300 + r as i64 * 600;
+                for link in region_links(planet, r) {
+                    plan.push(FaultEvent::window(
+                        SimTime::from_secs(start),
+                        SimDuration::from_secs(300),
+                        FaultKind::LinkFlap { link },
+                    ));
+                }
+            }
+        }
+        "flapping-links" => {
+            let n = planet.regions.len();
+            for (i, _) in planet.edges.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+                plan = plan.merge(FaultPlan::flaps(seed, n + i, horizon_s, 240.0, 90.0));
+            }
+        }
+        "nic-degrade" => {
+            for r in (0..planet.regions.len()).step_by(2) {
+                plan.push(FaultEvent::window(
+                    SimTime::from_secs(600),
+                    SimDuration::from_secs(900),
+                    FaultKind::LinkDegrade {
+                        link: r,
+                        factor: 0.25,
+                    },
+                ));
+            }
+        }
+        other => {
+            return Err(PlanetError(format!(
+                "unknown campaign '{other}' (expected {})",
+                CAMPAIGNS.join(", ")
+            )))
+        }
+    }
+    Ok(plan)
+}
+
+/// The named phase windows of a campaign, as `(label, start_s, end_s)` in
+/// time order — the scorecard buckets its per-phase stats with these.
+///
+/// # Errors
+/// Returns an error naming the valid campaigns on an unknown name.
+pub fn campaign_phases(
+    planet: &Planet,
+    name: &str,
+    horizon_s: f64,
+) -> Result<Vec<(String, f64, f64)>, PlanetError> {
+    match name {
+        "rolling-outage" => Ok((0..planet.regions.len())
+            .map(|r| {
+                let start = 300.0 + r as f64 * 600.0;
+                (
+                    format!("outage:{}", planet.regions[r]),
+                    start,
+                    start + 300.0,
+                )
+            })
+            .collect()),
+        "flapping-links" => Ok(vec![("flapping".to_string(), 0.0, horizon_s)]),
+        "nic-degrade" => Ok(vec![("nic-degrade".to_string(), 600.0, 1500.0)]),
+        other => Err(PlanetError(format!(
+            "unknown campaign '{other}' (expected {})",
+            CAMPAIGNS.join(", ")
+        ))),
+    }
 }
 
 /// A built planet world: the simulation [`World`], one host per region, and
@@ -320,6 +438,48 @@ mod tests {
                 "link {link} must flap"
             );
         }
+    }
+
+    #[test]
+    fn multi_region_outage_unions_links_and_matches_single_for_one() {
+        let p = Planet::mesh();
+        // One region delegates byte-identically to the original plan shape.
+        assert_eq!(
+            outage_plan_multi(&p, &[2], 7, 3600.0),
+            outage_plan(&p, 2, 7, 3600.0)
+        );
+        // Two regions flap the union of incident links, each exactly once
+        // (regions 0 and 1 share the backbone edge).
+        let plan = outage_plan_multi(&p, &[0, 1], 7, 3600.0);
+        let mut expect = std::collections::BTreeSet::new();
+        expect.extend(region_links(&p, 0));
+        expect.extend(region_links(&p, 1));
+        let mut flapped = std::collections::BTreeSet::new();
+        for e in plan.events() {
+            if let FaultKind::LinkFlap { link } = e.kind {
+                flapped.insert(link);
+            }
+        }
+        assert_eq!(flapped, expect);
+        assert_eq!(plan, outage_plan_multi(&p, &[0, 1], 7, 3600.0));
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_and_phased() {
+        let p = Planet::mesh();
+        for name in CAMPAIGNS {
+            let a = campaign_plan(&p, name, 11, 3600.0).unwrap();
+            let b = campaign_plan(&p, name, 11, 3600.0).unwrap();
+            assert_eq!(a, b, "{name}");
+            assert!(!a.events().is_empty(), "{name}");
+            let phases = campaign_phases(&p, name, 3600.0).unwrap();
+            assert!(!phases.is_empty());
+            for w in phases.windows(2) {
+                assert!(w[0].1 <= w[1].1, "phases out of order for {name}");
+            }
+        }
+        assert!(campaign_plan(&p, "mars", 1, 3600.0).is_err());
+        assert!(campaign_phases(&p, "mars", 3600.0).is_err());
     }
 
     #[test]

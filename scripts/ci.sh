@@ -166,6 +166,59 @@ awk -v g="$RGAIN" 'BEGIN { exit !(g > 1.0) }' \
   || { echo "re-route regression: outage gain ${RGAIN}x <= 1x"; exit 1; }
 echo "    outage re-route gain: ${RGAIN}x"
 
+echo "==> chaos-campaign gate (self-healing control plane scorecard)"
+cargo test -q --test chaos
+./target/release/xferopt chaos run --campaign rolling-outage \
+  --out "$FLEET_TMP/scorecard.txt"
+diff "$FLEET_TMP/scorecard.txt" tests/golden/chaos/rolling_outage_scorecard.txt \
+  || { echo "chaos scorecard drifted from golden"; exit 1; }
+./target/release/xferopt chaos run --campaign rolling-outage \
+  --out "$FLEET_TMP/scorecard-b.txt"
+diff "$FLEET_TMP/scorecard.txt" "$FLEET_TMP/scorecard-b.txt" \
+  || { echo "chaos scorecard is not deterministic"; exit 1; }
+./target/release/xferopt chaos run --campaign rolling-outage --shards 4 \
+  --out "$FLEET_TMP/scorecard-s4.txt"
+diff <(sed 's/ shards=[0-9]*//' "$FLEET_TMP/scorecard.txt") \
+     <(sed 's/ shards=[0-9]*//' "$FLEET_TMP/scorecard-s4.txt") \
+  || { echo "chaos scorecard diverged under --shards 4"; exit 1; }
+# Resilience invariants: completed jobs never lose bytes, retries stay
+# within the governor's budget, and the self-healing fleet moves strictly
+# more MB than both baselines.
+awk '/^total / { for (i=1;i<=NF;i++) {
+       if ($i ~ /^bytes_lost=/) { sub(/^bytes_lost=/, "", $i); if ($i+0 != 0) exit 1 } } }' \
+  "$FLEET_TMP/scorecard.txt" \
+  || { echo "chaos campaign lost bytes"; exit 1; }
+awk '/^total / { u=b=0; for (i=1;i<=NF;i++) {
+       if ($i ~ /^retries_used=/) { sub(/^retries_used=/, "", $i); u=$i+0 }
+       if ($i ~ /^budget=/)       { sub(/^budget=/, "", $i);       b=$i+0 } }
+     if (u > b) exit 1 }' "$FLEET_TMP/scorecard.txt" \
+  || { echo "chaos campaign blew its retry budget"; exit 1; }
+SH_MOVED="$(awk '/^total variant=selfheal / {for (i=1;i<=NF;i++) if ($i ~ /^moved_mb=/) \
+  {sub(/^moved_mb=/, "", $i); print $i}}' "$FLEET_TMP/scorecard.txt")"
+NR_MOVED="$(awk '/^total variant=no-reroute / {for (i=1;i<=NF;i++) if ($i ~ /^moved_mb=/) \
+  {sub(/^moved_mb=/, "", $i); print $i}}' "$FLEET_TMP/scorecard.txt")"
+ST_MOVED="$(awk '/^total variant=static / {for (i=1;i<=NF;i++) if ($i ~ /^moved_mb=/) \
+  {sub(/^moved_mb=/, "", $i); print $i}}' "$FLEET_TMP/scorecard.txt")"
+awk -v s="$SH_MOVED" -v n="$NR_MOVED" -v t="$ST_MOVED" \
+  'BEGIN { exit !(s > n && s > t) }' \
+  || { echo "selfheal (${SH_MOVED} MB) did not beat baselines (${NR_MOVED}/${ST_MOVED} MB)"; exit 1; }
+echo "    rolling outage: selfheal ${SH_MOVED} MB vs no-reroute ${NR_MOVED} MB, static ${ST_MOVED} MB"
+
+echo "==> torn-journal salvage gate (resume falls back to the intact prefix)"
+./target/release/xferopt fleet run --jobs 5 --seed 9 \
+  --checkpoint-out "$FLEET_TMP/ck-journal.jsonl" --checkpoint-every 10 \
+  --stop-at-tick 35
+head -c "$(( $(wc -c < "$FLEET_TMP/ck-journal.jsonl") - 120 ))" \
+  "$FLEET_TMP/ck-journal.jsonl" > "$FLEET_TMP/ck-torn.jsonl"
+./target/release/xferopt fleet resume --checkpoint "$FLEET_TMP/ck-torn.jsonl" \
+  --report-out "$FLEET_TMP/salvaged.txt" 2> "$FLEET_TMP/salvage.err"
+grep -q 'salvaged_ticks=' "$FLEET_TMP/salvage.err" \
+  || { echo "torn journal resumed without reporting salvage"; exit 1; }
+./target/release/xferopt fleet run --jobs 5 --seed 9 \
+  --report-out "$FLEET_TMP/journal-full.txt"
+diff "$FLEET_TMP/journal-full.txt" "$FLEET_TMP/salvaged.txt" \
+  || { echo "salvaged resume diverged from the uninterrupted run"; exit 1; }
+
 echo "==> tuner domain-safety proptests (new tuner kinds)"
 cargo test -q -p xferopt-tuners fuzz_new_tuner_kinds_respect_restricted_domains
 cargo test -q -p xferopt-tuners fuzz_every_tuner_domain_safety

@@ -19,12 +19,17 @@
 //!                      [--checkpoint-out PATH] [--checkpoint-every TICKS]
 //!                      [--stop-at-tick K]      # simulate a crash
 //!                      [--topo mesh|hub-spoke|asymmetric] [--topo-k K]
-//!                      [--outage-region R] [--multipath M] [--no-reroute]
+//!                      [--outage-region R,...] [--campaign NAME]
+//!                      [--multipath M] [--no-reroute] [--selfheal]
 //! xferopt fleet resume --checkpoint PATH       # continue a killed run
+//!                                              # (salvages torn journals)
 //! xferopt fleet report [--history DIR]         # digest a history store
 //! xferopt routes search [--preset mesh|hub-spoke|asymmetric | --dat FILE]
 //!                       [--k N] [--nc-grid 4,8,...] [--np N] [--passes N]
 //!                       [--out PATH]           # placement table JSONL
+//! xferopt chaos run --campaign rolling-outage|flapping-links|nic-degrade
+//!                   [--preset NAME] [--jobs N] [--seed N] [--seeds COUNT]
+//!                   [--horizon S] [--shards N] [--out PATH]  # scorecard
 //! xferopt tournament run    [--quick] [--seed N] [--epochs N] [--epoch S]
 //!                           [--tuners a,b,...] [--scenarios a,b,...]
 //!                           [--history DIR] [--report-out PATH]
@@ -324,6 +329,28 @@ fn write_fleet_outputs(
     Ok(())
 }
 
+/// Append one checkpoint block to the journal at `path`. The run's first
+/// write truncates any stale journal left by a previous run; later writes
+/// append, so a crash mid-write tears at most the newest block and `fleet
+/// resume` salvages the longest intact prefix.
+fn append_checkpoint(path: &str, block: &str, first: &mut bool) -> Result<(), String> {
+    use std::io::Write;
+    let mut opts = std::fs::OpenOptions::new();
+    opts.create(true).write(true);
+    if *first {
+        opts.truncate(true);
+    } else {
+        opts.append(true);
+    }
+    let mut f = opts
+        .open(path)
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    f.write_all(block.as_bytes())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    *first = false;
+    Ok(())
+}
+
 /// `xferopt fleet run`: drive a multi-job fleet through the orchestrator,
 /// optionally under a chaos profile and/or writing periodic checkpoints.
 fn cmd_fleet_run(args: &Args) -> Result<(), String> {
@@ -349,12 +376,14 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
             if tc.k == 0 {
                 return Err("--topo-k must be >= 1".into());
             }
-            tc.outage_region = match args.get("outage-region") {
-                None => None,
-                Some(v) => {
-                    let r: usize = v
+            if let Some(list) = args.get("outage-region") {
+                // Comma-separated region list; each index validated against
+                // the planet.
+                for s in list.split(',') {
+                    let r: usize = s
+                        .trim()
                         .parse()
-                        .map_err(|_| format!("bad value for --outage-region: {v}"))?;
+                        .map_err(|_| format!("bad value for --outage-region: {s}"))?;
                     if r >= planet.regions.len() {
                         return Err(format!(
                             "--outage-region {r} out of range ({} has {} regions)",
@@ -362,14 +391,30 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
                             planet.regions.len()
                         ));
                     }
-                    Some(r)
+                    tc.outage_regions.push(r);
                 }
-            };
+            }
+            if let Some(name) = args.get("campaign") {
+                if !xferopt::topo::CAMPAIGNS.contains(&name) {
+                    return Err(format!(
+                        "unknown campaign: {name} (use {})",
+                        xferopt::topo::CAMPAIGNS.join("|")
+                    ));
+                }
+                if !tc.outage_regions.is_empty() {
+                    return Err("--campaign scripts its own faults; drop --outage-region".into());
+                }
+                tc.campaign = Some(name.to_string());
+            }
             tc.multipath = args.get_parsed("multipath", tc.multipath)?;
             if tc.multipath == 0 {
                 return Err("--multipath must be >= 1".into());
             }
             tc.reroute = !args.has_flag("no-reroute");
+            tc.selfheal = args.has_flag("selfheal");
+            if tc.selfheal && !tc.reroute {
+                return Err("--selfheal needs re-routing; drop --no-reroute".into());
+            }
             Some(tc)
         }
     };
@@ -440,6 +485,7 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
     }
 
     let mut history = open_history(args)?;
+    let mut first_ckpt = true;
     if shards > 1 || sites > 1 {
         // Sharded path: same stepwise checkpoint loop over the component
         // runner (byte-identical output for every --shards value).
@@ -459,16 +505,14 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
                 }
                 if checkpoint_every > 0 && k.is_multiple_of(checkpoint_every) {
                     let path = checkpoint_out.as_deref().expect("checked above");
-                    std::fs::write(path, sim.checkpoint())
-                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    append_checkpoint(path, &sim.checkpoint(), &mut first_ckpt)?;
                     eprintln!("fleet: checkpoint at tick {k} -> {path}");
                 }
             }
         }
         if let Some(stop) = stop_at_tick {
             let path = checkpoint_out.as_deref().expect("checked above");
-            std::fs::write(path, sim.checkpoint())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            append_checkpoint(path, &sim.checkpoint(), &mut first_ckpt)?;
             eprintln!(
                 "fleet: stopped at tick {} (requested {stop}); checkpoint -> {path}",
                 sim.tick_index()
@@ -488,8 +532,7 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
         }
         if checkpoint_every > 0 && k.is_multiple_of(checkpoint_every) {
             let path = checkpoint_out.as_deref().expect("checked above");
-            std::fs::write(path, sim.checkpoint())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            append_checkpoint(path, &sim.checkpoint(), &mut first_ckpt)?;
             eprintln!("fleet: checkpoint at tick {k} -> {path}");
         }
     }
@@ -497,7 +540,7 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
         // Simulated crash: write the final checkpoint and exit without a
         // report (the CI crash/resume gate picks it up with `fleet resume`).
         let path = checkpoint_out.as_deref().expect("checked above");
-        std::fs::write(path, sim.checkpoint()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        append_checkpoint(path, &sim.checkpoint(), &mut first_ckpt)?;
         eprintln!(
             "fleet: stopped at tick {} (requested {stop}); checkpoint -> {path}",
             sim.tick_index()
@@ -512,7 +555,7 @@ fn cmd_fleet_run(args: &Args) -> Result<(), String> {
 /// replayed portion re-derives the killed run's state (verified by digest),
 /// so the final report is byte-identical to an uninterrupted run.
 fn cmd_fleet_resume(args: &Args) -> Result<(), String> {
-    use xferopt::orchestrator::{resume_fleet, resume_fleet_sharded, Checkpoint};
+    use xferopt::orchestrator::{parse_journal, resume_fleet, resume_fleet_sharded};
 
     let path = args
         .get("checkpoint")
@@ -522,7 +565,16 @@ fn cmd_fleet_resume(args: &Args) -> Result<(), String> {
         return Err("--shards must be >= 1".into());
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let ck = Checkpoint::parse(&text)?;
+    // The checkpoint file is a journal of appended blocks; a torn tail
+    // (crash mid-write) falls back to the newest intact block.
+    let read = parse_journal(&text).map_err(|e| format!("{path}: {e}"))?;
+    let ck = read.checkpoint.clone();
+    if read.salvaged() {
+        eprintln!(
+            "fleet: journal tail torn; dropped {} newer block(s), salvaged_ticks={}",
+            read.blocks_dropped, ck.tick
+        );
+    }
     eprintln!(
         "fleet: resuming from {path} (tick {}, t={:.0} s, {} job(s))",
         ck.tick,
@@ -744,8 +796,56 @@ fn cmd_routes(sub: &str, args: &Args) -> Result<(), String> {
     }
 }
 
+/// `xferopt chaos run`: drive a scripted multi-phase fault campaign across
+/// control-plane variants and seeds, emitting the byte-deterministic
+/// resilience scorecard (DESIGN.md §17).
+fn cmd_chaos_run(args: &Args) -> Result<(), String> {
+    use xferopt::orchestrator::{run_campaign, CampaignConfig};
+
+    let campaign = args.get("campaign").ok_or_else(|| {
+        format!(
+            "chaos run needs --campaign NAME (use {})",
+            xferopt::topo::CAMPAIGNS.join("|")
+        )
+    })?;
+    let defaults = CampaignConfig::default();
+    let nseeds = args.get_parsed("seeds", 1u64)?;
+    if nseeds == 0 {
+        return Err("--seeds must be >= 1".into());
+    }
+    let seed0 = args.get_parsed("seed", 7u64)?;
+    let cfg = CampaignConfig {
+        campaign: campaign.to_string(),
+        preset: args.get("preset").unwrap_or(&defaults.preset).to_string(),
+        jobs: args.get_parsed("jobs", defaults.jobs)?,
+        seeds: (0..nseeds).map(|i| seed0 + i).collect(),
+        horizon_s: args.get_parsed("horizon", defaults.horizon_s)?,
+        shards: args.get_parsed("shards", defaults.shards)?,
+    };
+    if cfg.shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    let out = run_campaign(&cfg)?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out.scorecard)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("chaos: wrote scorecard to {path}");
+        }
+        None => print!("{}", out.scorecard),
+    }
+    Ok(())
+}
+
+fn cmd_chaos(sub: &str, args: &Args) -> Result<(), String> {
+    match sub {
+        "run" => cmd_chaos_run(args),
+        other => Err(format!("unknown chaos subcommand: {other} (use run)")),
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: xferopt <run|sweep|compare|telemetry|fleet|routes|tournament> [--flags]\n\
+    "usage: xferopt <run|sweep|compare|telemetry|fleet|routes|chaos|tournament> [--flags]\n\
      run:     --route uc|tacc --tuner default|cd|cs|nm|heur1|heur2 --dims nc|ncnp\n\
      \u{20}        --np N --tfr N --cmp N --duration S --epoch S --seed N --csv\n\
      \u{20}        --faults flaky-link|degraded-wan|lossy-tacc\n\
@@ -763,11 +863,15 @@ fn usage() -> &'static str {
      \u{20}            --checkpoint-out PATH --checkpoint-every TICKS\n\
      \u{20}            --stop-at-tick K   (simulate a crash; resume later)\n\
      \u{20}            --topo mesh|hub-spoke|asymmetric --topo-k K\n\
-     \u{20}            --outage-region R --multipath M --no-reroute\n\
+     \u{20}            --outage-region R[,R...] --campaign NAME --multipath M\n\
+     \u{20}            --no-reroute --selfheal   (self-healing control plane)\n\
      fleet resume: --checkpoint PATH [--shards N] [--history DIR + fleet-run output flags]\n\
      fleet report: --history DIR\n\
      routes search: --preset mesh|hub-spoke|asymmetric | --dat FILE\n\
      \u{20}             --k N --nc-grid 4,8,... --np N --passes N --out PATH\n\
+     chaos run: --campaign rolling-outage|flapping-links|nic-degrade\n\
+     \u{20}         --preset NAME --jobs N --seed N --seeds COUNT --horizon S\n\
+     \u{20}         --shards N --out PATH   (byte-deterministic scorecard)\n\
      tournament run:    --quick --seed N --epochs N --epoch S\n\
      \u{20}                 --tuners a,b,... --scenarios uc-quiet,uc-contended,tacc-mixed\n\
      \u{20}                 --history DIR --report-out PATH --csv-out PATH\n\
@@ -793,6 +897,10 @@ fn main() -> ExitCode {
         "routes" => match rest.split_first() {
             Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_routes(sub, &args)),
             None => Err(format!("routes needs a subcommand\n{}", usage())),
+        },
+        "chaos" => match rest.split_first() {
+            Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_chaos(sub, &args)),
+            None => Err(format!("chaos needs a subcommand\n{}", usage())),
         },
         "tournament" => match rest.split_first() {
             Some((sub, rest2)) => Args::parse(rest2).and_then(|args| cmd_tournament(sub, &args)),

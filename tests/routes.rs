@@ -45,7 +45,7 @@ fn mesh_placement() -> PlacementTable {
 /// placement's round-robin (same construction as `xferopt fleet run --topo`).
 fn topo_cfg(outage_region: Option<usize>, reroute: bool) -> FleetConfig {
     let mut tc = TopoFleetConfig::preset("mesh");
-    tc.outage_region = outage_region;
+    tc.outage_regions = outage_region.into_iter().collect();
     tc.reroute = reroute;
     FleetConfig {
         seed: 7,
@@ -242,7 +242,7 @@ fn topo_kill_and_resume_is_byte_identical() {
         let ck = Checkpoint::parse(&text).unwrap_or_else(|e| panic!("tick {k}: {e}"));
         let tc = ck.config.topo.as_ref().expect("topo header round-trips");
         assert_eq!(tc.preset, "mesh", "tick {k}");
-        assert_eq!(tc.outage_region, Some(1), "tick {k}");
+        assert_eq!(tc.outage_regions, vec![1], "tick {k}");
         let resumed = resume_fleet(&ck, &mut HistoryStore::in_memory())
             .unwrap_or_else(|e| panic!("tick {k}: {e}"));
         assert_eq!(full.report.render(), resumed.report.render(), "tick {k}");

@@ -169,7 +169,21 @@ fn resume_refuses_a_checkpoint_from_a_different_run() {
         assert!(sim.tick());
     }
     let text = sim.checkpoint().replace("\"seed\":7", "\"seed\":8");
-    let ck = Checkpoint::parse(&text).expect("still parses");
+    // First line of defense: the content hash over the serialized inputs
+    // catches the edit at parse time.
+    let err = Checkpoint::parse(&text).expect_err("content hash must catch the edit");
+    assert!(err.contains("text corrupted"), "{err}");
+    // A doctored pre-journal checkpoint (no content hash) parses, but the
+    // replay digest still refuses it.
+    let stripped = text
+        .lines()
+        .map(|l| match l.find(",\"text_fnv\"") {
+            Some(cut) => format!("{}}}", &l[..cut]),
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let ck = Checkpoint::parse(&stripped).expect("still parses without the hash");
     let err = resume_fleet(&ck, &mut HistoryStore::in_memory())
         .expect_err("digest must not match a different seed");
     assert!(err.contains("digest mismatch"), "{err}");
