@@ -67,6 +67,140 @@ struct Cell {
     speedup: f64,
 }
 
+/// `links/2` disjoint two-link islands (NIC + WAN), two paths per island,
+/// `flows` flow groups spread round-robin. Mutations confined to one island
+/// dirty exactly one bottleneck component — the partial-re-solve case.
+fn build_clustered(flows: usize, links: usize) -> (Network, Vec<FlowId>, ChurnTargets) {
+    assert!(links >= 2 && links.is_multiple_of(2), "need 2-link islands");
+    let mut net = Network::new();
+    let mut lids = Vec::new();
+    let mut pids = Vec::new();
+    for c in 0..links / 2 {
+        let nic = net.add_link(Link::new(format!("c{c}-nic"), 5000.0).with_half_streams(16.0));
+        let wan = net.add_link(Link::new(format!("c{c}-wan"), 2500.0));
+        lids.extend([nic, wan]);
+        pids.push(
+            net.add_path(
+                Path::new(format!("c{c}-long"), vec![nic, wan])
+                    .with_rtt_ms(2.0 + c as f64)
+                    .with_loss(1e-5),
+            ),
+        );
+        pids.push(
+            net.add_path(
+                Path::new(format!("c{c}-short"), vec![nic])
+                    .with_rtt_ms(1.0)
+                    .with_loss(1e-5),
+            ),
+        );
+    }
+    let mut fids = vec![Vec::new(); links / 2];
+    let mut all = Vec::new();
+    for f in 0..flows {
+        let p = f % pids.len();
+        let id = net.add_flow(pids[p], 1 + (f % 32) as u32, CongestionControl::HTcp);
+        fids[p / 2].push(id);
+        all.push(id);
+    }
+    (
+        net,
+        all,
+        ChurnTargets {
+            links: lids,
+            paths: pids,
+            cluster_flows: fids,
+        },
+    )
+}
+
+struct ChurnTargets {
+    links: Vec<xferopt_net::LinkId>,
+    paths: Vec<xferopt_net::PathId>,
+    cluster_flows: Vec<Vec<FlowId>>,
+}
+
+struct ChurnCell {
+    flows: usize,
+    links: usize,
+    partial_rounds_per_s: f64,
+    full_rounds_per_s: f64,
+    speedup: f64,
+    solves_per_mutation: f64,
+}
+
+/// One churn round: 4 mutations confined to island `c` (two stream writes,
+/// one link-factor flap, one RTT wiggle), then a read of the mutated
+/// island's flows — the tuner-observes-its-epoch pattern. The read triggers
+/// one `ensure_solved` pass; with dirty sets that pass re-solves only
+/// island `c`, while the `invalidate_all` baseline re-solves the whole
+/// grid — the pre-dirty-set behaviour.
+fn churn_round(net: &mut Network, targets: &ChurnTargets, c: usize, r: usize, full: bool) -> f64 {
+    let cf = &targets.cluster_flows[c];
+    net.set_streams(cf[r % cf.len()], 1 + ((r * 7) % 64) as u32);
+    net.set_streams(cf[(r + 1) % cf.len()], 1 + ((r * 13) % 64) as u32);
+    net.set_link_factor(
+        targets.links[2 * c + 1],
+        if r.is_multiple_of(2) { 0.6 } else { 1.0 },
+    );
+    net.set_rtt_factor(targets.paths[2 * c], 1.0 + (r % 4) as f64 * 0.5);
+    if full {
+        net.invalidate_all();
+    }
+    let mut sink = 0.0;
+    for &id in cf {
+        sink += net.flow_rate(id);
+    }
+    sink
+}
+
+/// Mutation-churn cell: random single-island mutations between reads, with
+/// component-scoped partial re-solve vs forced full re-solve on the same
+/// deterministic tape.
+fn bench_churn(flows: usize, links: usize, rounds: usize, rounds_full: usize) -> ChurnCell {
+    let nclusters = links / 2;
+    // Deterministic LCG cluster picks — identical tape for both engines.
+    let pick = |r: usize| {
+        (r.wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            >> 33)
+            % nclusters
+    };
+
+    let (mut net, _all, targets) = build_clustered(flows, links);
+    let _ = net.allocate(); // warm: partition built, all components solved
+    let solves0 = net.component_solves();
+    let t0 = Instant::now();
+    let mut sink = 0.0;
+    for r in 0..rounds {
+        sink += churn_round(&mut net, &targets, pick(r), r, false);
+    }
+    black_box(sink);
+    let partial_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let mutations = (rounds * 4) as f64;
+    let solves_per_mutation = (net.component_solves() - solves0) as f64 / mutations;
+
+    let (mut net, _all, targets) = build_clustered(flows, links);
+    let _ = net.allocate();
+    let t0 = Instant::now();
+    let mut sink = 0.0;
+    for r in 0..rounds_full {
+        sink += churn_round(&mut net, &targets, pick(r), r, true);
+    }
+    black_box(sink);
+    let full_s = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let partial_rps = rounds as f64 / partial_s;
+    let full_rps = rounds_full as f64 / full_s;
+    ChurnCell {
+        flows,
+        links,
+        partial_rounds_per_s: partial_rps,
+        full_rounds_per_s: full_rps,
+        speedup: partial_rps / full_rps,
+        solves_per_mutation,
+    }
+}
+
 /// One grid cell: `epochs` mutate-then-read-everything rounds on the cached
 /// engine vs `epochs_u` rounds against the uncached baseline.
 fn bench_cell(flows: usize, links: usize, epochs: usize, epochs_u: usize) -> Cell {
@@ -140,6 +274,37 @@ fn main() {
         .map(|c| c.speedup)
         .fold(f64::INFINITY, f64::min);
 
+    // Mutation-churn mode: partial (component-scoped) vs full re-solve.
+    let mut churn_cells = Vec::new();
+    for &flows in &[100usize, 1000] {
+        for &links in &[8usize, 64] {
+            let rounds = if quick { 40 } else { 400 };
+            let rounds_full = if quick {
+                10
+            } else {
+                (40_000 / flows).clamp(10, 400)
+            };
+            let c = bench_churn(flows, links, rounds, rounds_full);
+            eprintln!(
+                "  churn {}f x {}l: partial {:.0} rounds/s, full {:.0} rounds/s, \
+                 speedup {:.1}x, {:.3} solves/mutation",
+                c.flows,
+                c.links,
+                c.partial_rounds_per_s,
+                c.full_rounds_per_s,
+                c.speedup,
+                c.solves_per_mutation
+            );
+            churn_cells.push(c);
+        }
+    }
+    let churn_1000x64 = churn_cells
+        .iter()
+        .find(|c| c.flows == 1000 && c.links == 64)
+        .expect("1000x64 cell present");
+    let churn_speedup = churn_1000x64.speedup;
+    let churn_spm = churn_1000x64.solves_per_mutation;
+
     // Fleet-tick throughput: ten contended jobs, default config, no faults.
     let workload = Workload::contended(10);
     let cfg = FleetConfig::default();
@@ -179,6 +344,28 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"churn\": [\n");
+    for (i, c) in churn_cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"flows\": {}, \"links\": {}, \"partial_rounds_per_s\": {:.1}, \
+             \"full_rounds_per_s\": {:.1}, \"speedup\": {:.2}, \
+             \"solves_per_mutation\": {:.4}}}{}",
+            c.flows,
+            c.links,
+            c.partial_rounds_per_s,
+            c.full_rounds_per_s,
+            c.speedup,
+            c.solves_per_mutation,
+            if i + 1 < churn_cells.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"churn_speedup_1000x64\": {churn_speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"churn_solves_per_mutation_1000x64\": {churn_spm:.4},"
+    );
     let _ = writeln!(
         json,
         "  \"repeated_read_100_flow_speedup\": {speedup_100:.2},"
@@ -196,5 +383,14 @@ fn main() {
     assert!(
         speedup_100 >= 5.0,
         "perf regression: 100-flow repeated-read speedup {speedup_100:.2}x < 5x"
+    );
+    assert!(
+        churn_speedup >= 5.0,
+        "perf regression: 1000x64 churn partial-re-solve speedup {churn_speedup:.2}x < 5x"
+    );
+    assert!(
+        churn_spm < 1.0,
+        "perf regression: 1000x64 churn ran {churn_spm:.4} component solves \
+         per mutation (>= 1 means dirty sets no longer coalesce)"
     );
 }

@@ -7,12 +7,34 @@
 //! stream count, external traffic appeared) and integrate bytes between
 //! changes — the standard fluid discrete-event pattern.
 
-use crate::fairness::{max_min_allocate, max_min_allocate_into, AllocScratch, FlowDemand};
+use crate::components::UnionFind;
+use crate::fairness::{max_min_allocate_into, AllocScratch, FlowDemand};
 use crate::flow::{FlowGroup, FlowId};
 use crate::link::{Link, LinkId, Path, PathId};
 use crate::tcp::{CongestionControl, DEFAULT_MSS_BYTES};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+
+/// Sentinel component id for links no present flow crosses.
+const NO_COMP: usize = usize::MAX;
+
+/// Partition of the present flows (and the links they cross) into
+/// bottleneck-connected components. Progressive filling treats components
+/// independently — freezing a flow in one never changes another's fair
+/// share — so the solver may scope a re-solve to single components.
+/// Components are numbered densely by first appearance in flow-id order,
+/// the same determinism rule as [`crate::components::connected_groups`].
+#[derive(Debug, Clone, Default)]
+struct Partition {
+    /// Component id per link (`NO_COMP` when no present flow crosses it).
+    of_link: Vec<usize>,
+    /// Order positions per component, ascending.
+    flows: Vec<Vec<usize>>,
+    /// Global link ids per component, ascending.
+    links: Vec<Vec<usize>>,
+    /// Component-local index of each global link (`NO_COMP` when flowless).
+    link_local: Vec<usize>,
+}
 
 /// Cached solver state: the last allocation plus every reusable buffer
 /// needed to recompute it without allocating.
@@ -27,17 +49,29 @@ use std::collections::BTreeMap;
 struct AllocCache {
     /// `Network::generation` at the time of the last solve.
     built_gen: u64,
-    /// `Network::membership_gen` at the time the adjacency (scratch +
-    /// per-demand link lists) was last rebuilt.
+    /// `Network::membership_gen` at the time the partition (component ids,
+    /// per-component demand link lists, adjacencies) was last rebuilt.
     adjacency_gen: u64,
     /// Cached rates, parallel to `Network::order`.
     rates: Vec<f64>,
-    /// Reused solver inputs, parallel to `Network::order`.
-    demands: Vec<FlowDemand>,
-    /// Reused effective link capacities, indexed by `LinkId.0`.
-    caps: Vec<f64>,
-    /// Reused progressive-filling working arrays.
-    scratch: AllocScratch,
+    /// Flow ids parallel to `rates` — rates of untouched components are
+    /// carried across membership rebuilds by id, not by position.
+    ids: Vec<FlowId>,
+    /// The component partition the caches below are indexed by.
+    part: Partition,
+    /// Solver inputs per component, parallel to `part.flows` — link indices
+    /// are component-local and fixed at rebuild; weights and demand caps are
+    /// refreshed only when the component is dirty.
+    comp_demands: Vec<Vec<FlowDemand>>,
+    /// Progressive-filling working arrays per component; adjacency built
+    /// once at partition rebuild, reused across re-solves.
+    comp_scratch: Vec<AllocScratch>,
+    /// Components whose inputs may have changed since their last solve.
+    comp_dirty: Vec<bool>,
+    /// Reused per-solve buffers: effective capacities and rates of the
+    /// component being solved.
+    sub_caps: Vec<f64>,
+    sub_rates: Vec<f64>,
 }
 
 /// A network of links, paths, and active flow groups.
@@ -82,8 +116,19 @@ pub struct Network {
     /// Lazily rebuilt allocation state; interior mutability keeps
     /// [`Network::allocate`] a `&self` read.
     cache: RefCell<AllocCache>,
-    /// Number of actual max–min solves performed (cache misses).
+    /// Links touched by mutations since the last solve; at solve time only
+    /// the components containing a dirty link are re-solved. A `RefCell` so
+    /// the `&self` solve path can drain it.
+    dirty_links: RefCell<Vec<usize>>,
+    /// Escape hatch: re-solve every component at the next read (global
+    /// mutations like the MSS, or an explicit [`Network::invalidate_all`]).
+    dirty_all: Cell<bool>,
+    /// Number of solve passes performed (cache misses).
     solves: Cell<u64>,
+    /// Number of per-component solves performed. One solve pass re-solves
+    /// only its dirty components, so under scoped mutation churn this grows
+    /// slower than `components × passes`.
+    comp_solves: Cell<u64>,
 }
 
 impl Network {
@@ -104,6 +149,18 @@ impl Network {
     fn touch_membership(&mut self) {
         self.membership_gen = self.membership_gen.wrapping_add(1);
         self.touch();
+    }
+
+    /// Mark every link of `path` dirty, so the next solve revisits the
+    /// component(s) containing them. A (degenerate) linkless path belongs to
+    /// no link component, so it falls back to dirtying everything.
+    fn mark_path_dirty(&mut self, path: PathId) {
+        let links = &self.paths[path.0].links;
+        if links.is_empty() {
+            self.dirty_all.set(true);
+        } else {
+            self.dirty_links.get_mut().extend(links.iter().map(|l| l.0));
+        }
     }
 
     /// Binary-search `order` for a flow id; `Ok(position)` if present.
@@ -133,6 +190,8 @@ impl Network {
     pub fn set_mss_bytes(&mut self, mss: f64) {
         assert!(mss > 0.0, "MSS must be positive");
         self.mss_bytes = mss;
+        // The MSS feeds every flow's demand cap: all components are stale.
+        self.dirty_all.set(true);
         self.touch();
     }
 
@@ -191,6 +250,7 @@ impl Network {
         // Ids are monotone and never reused: a new flow sorts after every
         // existing one, so `order` stays sorted by appending.
         self.order.push((id, slot));
+        self.mark_path_dirty(path);
         self.touch_membership();
         id
     }
@@ -217,6 +277,7 @@ impl Network {
             // below 2^53 add/subtract without rounding.
             self.link_weight[l.0] += streams as f64 - old as f64;
         }
+        self.mark_path_dirty(path);
         self.touch();
     }
 
@@ -233,6 +294,7 @@ impl Network {
         for &l in &self.paths[group.path.0].links {
             self.link_weight[l.0] -= group.streams as f64;
         }
+        self.mark_path_dirty(group.path);
         self.free.push(slot);
         self.touch_membership();
     }
@@ -327,6 +389,7 @@ impl Network {
             return; // no-op: keep the cached allocation valid
         }
         self.link_factor[id.0] = factor;
+        self.dirty_links.get_mut().push(id.0);
         self.touch();
     }
 
@@ -353,6 +416,9 @@ impl Network {
             return; // no-op: keep the cached allocation valid
         }
         self.rtt_factor[id.0] = factor;
+        // The RTT feeds the demand caps of flows on this path; those flows
+        // live in the component(s) of the path's links.
+        self.mark_path_dirty(id);
         self.touch();
     }
 
@@ -439,69 +505,186 @@ impl Network {
         self.link_weight[id.0]
     }
 
+    /// Compute the bottleneck-component partition of the present flows from
+    /// scratch. Shared by the incremental cache rebuild and the uncached
+    /// reference so both sides group (and therefore solve) identically.
+    fn build_partition(&self) -> Partition {
+        let nlinks = self.links.len();
+        let nflows = self.order.len();
+        // Union the links along each flow's path; extra vertices past
+        // `nlinks` give (degenerate) linkless flows a private component.
+        let mut uf = UnionFind::new(nlinks + nflows);
+        let anchor =
+            |pos: usize, links: &[LinkId]| -> usize { links.first().map_or(nlinks + pos, |l| l.0) };
+        for (pos, &(_, slot)) in self.order.iter().enumerate() {
+            let links = &self.paths[self.group(slot).path.0].links;
+            let a = anchor(pos, links);
+            for &l in links.iter().skip(1) {
+                uf.union(a, l.0);
+            }
+        }
+        // Dense component ids by first appearance in flow (id) order.
+        let mut root_comp = vec![NO_COMP; nlinks + nflows];
+        let mut part = Partition {
+            of_link: vec![NO_COMP; nlinks],
+            flows: Vec::new(),
+            links: Vec::new(),
+            link_local: vec![NO_COMP; nlinks],
+        };
+        for (pos, &(_, slot)) in self.order.iter().enumerate() {
+            let links = &self.paths[self.group(slot).path.0].links;
+            let root = uf.find(anchor(pos, links));
+            let c = match root_comp[root] {
+                NO_COMP => {
+                    root_comp[root] = part.flows.len();
+                    part.flows.push(Vec::new());
+                    part.flows.len() - 1
+                }
+                c => c,
+            };
+            part.flows[c].push(pos);
+            for &l in links {
+                part.of_link[l.0] = c;
+            }
+        }
+        // Component link lists in ascending global order, plus the
+        // global→component-local index map the compacted solves use.
+        part.links = vec![Vec::new(); part.flows.len()];
+        for (l, &c) in part.of_link.iter().enumerate() {
+            if c != NO_COMP {
+                part.link_local[l] = part.links[c].len();
+                part.links[c].push(l);
+            }
+        }
+        part
+    }
+
+    /// Rebuild the cached partition after a membership change, carrying the
+    /// rates of surviving flows across the re-index by flow id.
+    fn rebuild_partition(&self, cache: &mut AllocCache) {
+        let part = self.build_partition();
+        let ncomps = part.flows.len();
+
+        // Carry rates by id: both the old and new id lists are ascending.
+        let old_ids = std::mem::take(&mut cache.ids);
+        let old_rates = std::mem::take(&mut cache.rates);
+        cache.ids = self.order.iter().map(|&(id, _)| id).collect();
+        cache.rates = Vec::with_capacity(cache.ids.len());
+        let mut j = 0;
+        for &id in &cache.ids {
+            while j < old_ids.len() && old_ids[j] < id {
+                j += 1;
+            }
+            if j < old_ids.len() && old_ids[j] == id {
+                cache.rates.push(old_rates[j]);
+            } else {
+                cache.rates.push(0.0);
+            }
+        }
+
+        // Per-component solver inputs: link indices are component-local and
+        // fixed until the next rebuild; weights/caps refresh at solve time.
+        cache.comp_demands.truncate(ncomps);
+        cache.comp_demands.resize_with(ncomps, Vec::new);
+        cache.comp_scratch.truncate(ncomps);
+        cache.comp_scratch.resize_with(ncomps, AllocScratch::new);
+        for c in 0..ncomps {
+            let demands = &mut cache.comp_demands[c];
+            demands.clear();
+            for &pos in &part.flows[c] {
+                let f = self.group(self.order[pos].1);
+                let links = &self.paths[f.path.0].links;
+                demands.push(FlowDemand {
+                    weight: 0.0,
+                    demand_cap: 0.0,
+                    links: links.iter().map(|l| part.link_local[l.0]).collect(),
+                });
+            }
+            cache.comp_scratch[c].rebuild_adjacency(part.links[c].len(), demands);
+        }
+        cache.comp_dirty.clear();
+        cache.comp_dirty.resize(ncomps, false);
+        cache.part = part;
+    }
+
     /// Re-solve the cached allocation if any mutation occurred since the
-    /// last solve. Rebuilds adjacency only when membership changed.
+    /// last solve. Only the components containing a dirty link are
+    /// re-solved; untouched components keep their cached rates (which is
+    /// bit-exact: progressive filling never couples components). Rebuilds
+    /// the partition only when membership changed.
     fn ensure_solved(&self) {
         if self.cache.borrow().built_gen == self.generation {
             return;
         }
         let mut cache = self.cache.borrow_mut();
         let cache = &mut *cache;
+        let mut dirty_links = self.dirty_links.borrow_mut();
 
-        // Effective capacities: derate by multiplexed stream count, then by
-        // the fault factor — identical arithmetic to the uncached path.
-        cache.caps.clear();
-        cache.caps.extend(
-            self.links
-                .iter()
-                .zip(&self.link_weight)
-                .zip(&self.link_factor)
-                .map(|((l, &n), &factor)| l.effective_capacity_mbs(n) * factor),
-        );
-
-        let rebuild_links = cache.adjacency_gen != self.membership_gen;
-        if rebuild_links {
-            // Size the demand vector to the membership, recycling the inner
-            // link lists positionally.
-            cache.demands.truncate(self.order.len());
-            while cache.demands.len() < self.order.len() {
-                cache.demands.push(FlowDemand {
-                    weight: 0.0,
-                    demand_cap: 0.0,
-                    links: Vec::new(),
-                });
+        if cache.adjacency_gen != self.membership_gen {
+            // Components already marked dirty must survive the re-index;
+            // their links re-identify them in the new partition.
+            for (c, d) in cache.comp_dirty.iter().enumerate() {
+                if *d {
+                    dirty_links.extend(cache.part.links[c].iter().copied());
+                }
             }
-        } else {
-            debug_assert_eq!(cache.demands.len(), self.order.len());
-        }
-        for (&(_, slot), d) in self.order.iter().zip(cache.demands.iter_mut()) {
-            let f = self.group(slot);
-            let p = &self.paths[f.path.0];
-            d.weight = f.streams as f64;
-            d.demand_cap = f.demand_mbs(
-                self.effective_rtt_s(f.path),
-                p.loss,
-                p.wmax_bytes,
-                self.mss_bytes,
-            );
-            if rebuild_links {
-                d.links.clear();
-                d.links.extend(p.links.iter().map(|l| l.0));
-            }
-        }
-        if rebuild_links {
-            cache
-                .scratch
-                .rebuild_adjacency(self.links.len(), &cache.demands);
+            self.rebuild_partition(cache);
             cache.adjacency_gen = self.membership_gen;
         }
 
-        max_min_allocate_into(
-            &cache.caps,
-            &cache.demands,
-            &mut cache.scratch,
-            &mut cache.rates,
-        );
+        if self.dirty_all.get() {
+            cache.comp_dirty.iter_mut().for_each(|d| *d = true);
+            self.dirty_all.set(false);
+        } else {
+            for &l in dirty_links.iter() {
+                let c = cache.part.of_link[l];
+                if c != NO_COMP {
+                    cache.comp_dirty[c] = true;
+                }
+            }
+        }
+        dirty_links.clear();
+
+        let AllocCache {
+            rates,
+            part,
+            comp_demands,
+            comp_scratch,
+            comp_dirty,
+            sub_caps,
+            sub_rates,
+            ..
+        } = cache;
+        for (c, dirty) in comp_dirty.iter_mut().enumerate() {
+            if !*dirty {
+                continue;
+            }
+            *dirty = false;
+            // Effective capacities of this component's links: derate by
+            // multiplexed stream count, then by the fault factor —
+            // identical arithmetic to the uncached path.
+            sub_caps.clear();
+            sub_caps.extend(part.links[c].iter().map(|&l| {
+                self.links[l].effective_capacity_mbs(self.link_weight[l]) * self.link_factor[l]
+            }));
+            // Refresh weights and demand caps (link lists are fixed).
+            for (&pos, d) in part.flows[c].iter().zip(comp_demands[c].iter_mut()) {
+                let f = self.group(self.order[pos].1);
+                let p = &self.paths[f.path.0];
+                d.weight = f.streams as f64;
+                d.demand_cap = f.demand_mbs(
+                    self.effective_rtt_s(f.path),
+                    p.loss,
+                    p.wmax_bytes,
+                    self.mss_bytes,
+                );
+            }
+            max_min_allocate_into(sub_caps, &comp_demands[c], &mut comp_scratch[c], sub_rates);
+            for (&pos, &r) in part.flows[c].iter().zip(sub_rates.iter()) {
+                rates[pos] = r;
+            }
+            self.comp_solves.set(self.comp_solves.get() + 1);
+        }
         self.solves.set(self.solves.get() + 1);
         cache.built_gen = self.generation;
     }
@@ -510,6 +693,29 @@ impl Network {
     /// Cached reads do not increment this — the whole point of the engine.
     pub fn allocation_solves(&self) -> u64 {
         self.solves.get()
+    }
+
+    /// Number of *component* solves performed so far: each dirty bottleneck
+    /// component re-solved during a pass counts once. With component-scoped
+    /// invalidation this grows slower than mutations × components — the
+    /// ratio `component_solves / mutations` is the churn-bench gate metric.
+    pub fn component_solves(&self) -> u64 {
+        self.comp_solves.get()
+    }
+
+    /// Number of bottleneck-connected components in the current (cached)
+    /// partition. Solves the cache first if it is stale.
+    pub fn component_count(&self) -> usize {
+        self.ensure_solved();
+        self.cache.borrow().part.flows.len()
+    }
+
+    /// Mark every component dirty so the next read re-solves the whole
+    /// network. This is the full-re-solve baseline for the mutation-churn
+    /// microbenchmark; normal callers never need it.
+    pub fn invalidate_all(&mut self) {
+        self.dirty_all.set(true);
+        self.touch();
     }
 
     /// Current allocation generation: bumped by every mutation that can
@@ -551,33 +757,42 @@ impl Network {
                 streams[l.0] += f.streams as f64;
             }
         }
-        let caps: Vec<f64> = self
-            .links
-            .iter()
-            .zip(&streams)
-            .zip(&self.link_factor)
-            .map(|((l, &n), &factor)| l.effective_capacity_mbs(n) * factor)
-            .collect();
-        let ids: Vec<FlowId> = self.flow_ids();
-        let demands: Vec<FlowDemand> = ids
-            .iter()
-            .map(|id| {
-                let f = self.flow(*id).expect("registered flow");
-                let p = &self.paths[f.path.0];
-                FlowDemand {
-                    weight: f.streams as f64,
-                    demand_cap: f.demand_mbs(
-                        self.effective_rtt_s(f.path),
-                        p.loss,
-                        p.wmax_bytes,
-                        self.mss_bytes,
-                    ),
-                    links: p.links.iter().map(|l| l.0).collect(),
-                }
-            })
-            .collect();
-        let alloc = max_min_allocate(&caps, &demands);
-        ids.into_iter().zip(alloc).collect()
+        let part = self.build_partition();
+        let mut rates = vec![0.0f64; self.order.len()];
+        let mut sub_caps = Vec::new();
+        let mut sub_rates = Vec::new();
+        for c in 0..part.flows.len() {
+            sub_caps.clear();
+            sub_caps.extend(
+                part.links[c].iter().map(|&l| {
+                    self.links[l].effective_capacity_mbs(streams[l]) * self.link_factor[l]
+                }),
+            );
+            let demands: Vec<FlowDemand> = part.flows[c]
+                .iter()
+                .map(|&pos| {
+                    let f = self.group(self.order[pos].1);
+                    let p = &self.paths[f.path.0];
+                    FlowDemand {
+                        weight: f.streams as f64,
+                        demand_cap: f.demand_mbs(
+                            self.effective_rtt_s(f.path),
+                            p.loss,
+                            p.wmax_bytes,
+                            self.mss_bytes,
+                        ),
+                        links: p.links.iter().map(|l| part.link_local[l.0]).collect(),
+                    }
+                })
+                .collect();
+            let mut scratch = AllocScratch::new();
+            scratch.rebuild_adjacency(part.links[c].len(), &demands);
+            max_min_allocate_into(&sub_caps, &demands, &mut scratch, &mut sub_rates);
+            for (&pos, &r) in part.flows[c].iter().zip(sub_rates.iter()) {
+                rates[pos] = r;
+            }
+        }
+        self.order.iter().map(|&(id, _)| id).zip(rates).collect()
     }
 
     /// The max–min fair goodput of a single flow (other flows still

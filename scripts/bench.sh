@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Microbenchmark runner: builds the bench binaries in release mode and
-# runs the allocation-engine benchmark in full mode from the repo root,
-# so BENCH_alloc.json lands next to the other BENCH_* artifacts.
+# runs all three benchmarks (alloc, fleet, routes) in full mode from
+# the repo root, so the BENCH_*.json artifacts land next to each other.
 #
 # Usage: scripts/bench.sh [--quick]
 #
-#   --quick   shrink epoch counts (the CI smoke gate uses this mode)
+#   --quick   shrink sizes and windows (the CI smoke gate uses this mode)
 #
-# The alloc benchmark itself asserts the 100-flow repeated-read speedup
-# is >= 5x, so a perf regression makes this script fail.
+# Each benchmark asserts its own headline gates (alloc: repeated-read
+# speedup >= 5x, churn speedup >= 5x with < 1 component solve per
+# mutation; fleet: 10k-job sharded speedup >= 2x, quiet sweep skipping
+# ticks; routes: outage re-route gain > 1x), so a perf regression makes
+# this script fail.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,8 +20,16 @@ export CARGO_NET_OFFLINE=true
 echo "==> cargo build --release -p xferopt-bench"
 cargo build --release -p xferopt-bench
 
-echo "==> alloc benchmark (cached vs uncached max-min solves)"
+echo "==> alloc benchmark (cached vs uncached max-min solves + mutation churn)"
 ./target/release/alloc "$@"
 
-echo "==> BENCH_alloc.json"
-grep -E '"(repeated_read_100_flow_speedup|solves_per_tick)"' BENCH_alloc.json
+echo "==> fleet benchmark (sharded scaling + quiet skip-ahead sweep)"
+./target/release/fleet "$@"
+
+echo "==> routes benchmark (planet route search + outage re-route)"
+./target/release/routes "$@"
+
+echo "==> headline numbers"
+grep -E '"(repeated_read_100_flow_speedup|solves_per_tick|churn_speedup_1000x64|churn_solves_per_mutation_1000x64)"' BENCH_alloc.json
+grep -E '"(fleet_10k_shard8_speedup|quiet_10k_skipped_ticks)"' BENCH_fleet.json
+grep -E '"outage_reroute_gain"' BENCH_routes.json

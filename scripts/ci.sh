@@ -61,6 +61,17 @@ diff "$FLEET_TMP/a.txt" "$FLEET_TMP/s4a.txt" \
 diff "$FLEET_TMP/m1.txt" "$FLEET_TMP/m8.txt" \
   || { echo "multi-site --shards 8 diverged from --shards 1"; exit 1; }
 
+echo "==> event-step determinism (quiet-tick skip-ahead is a byte-level no-op)"
+cargo test -q --test event_step
+./target/release/xferopt fleet run --jobs 5 --seed 7 --policy sjf \
+  --dense --report-out "$FLEET_TMP/dense.txt"
+diff "$FLEET_TMP/a.txt" "$FLEET_TMP/dense.txt" \
+  || { echo "--dense diverged from the skip-ahead default"; exit 1; }
+./target/release/xferopt fleet run --jobs 9 --seed 7 --policy sjf \
+  --sites 3 --shards 4 --dense --report-out "$FLEET_TMP/m4d.txt"
+diff "$FLEET_TMP/m1.txt" "$FLEET_TMP/m4d.txt" \
+  || { echo "dense --shards 4 diverged from the skip-ahead --shards 1 run"; exit 1; }
+
 echo "==> perf smoke (fleet scaling, quick mode)"
 (cd "$FLEET_TMP" && "$OLDPWD/target/release/fleet" --quick)
 [ -f "$FLEET_TMP/BENCH_fleet.json" ] \
@@ -70,6 +81,11 @@ FSPEEDUP="$(awk -F': ' '/"fleet_10k_shard8_speedup"/ \
 awk -v s="$FSPEEDUP" 'BEGIN { exit !(s >= 2.0) }' \
   || { echo "scaling regression: 10k-job sharded speedup ${FSPEEDUP}x < 2x"; exit 1; }
 echo "    10k-job 8-shard tick-throughput speedup: ${FSPEEDUP}x"
+FSKIP="$(awk -F': ' '/"quiet_10k_skipped_ticks"/ \
+  {gsub(/[,"]/, "", $2); print $2}' "$FLEET_TMP/BENCH_fleet.json")"
+awk -v s="$FSKIP" 'BEGIN { exit !(s > 0) }' \
+  || { echo "skip-ahead regression: quiet 10k sweep skipped ${FSKIP} ticks"; exit 1; }
+echo "    quiet 10k-job sweep: ${FSKIP} ticks skipped"
 
 echo "==> perf smoke (allocation engine, quick mode)"
 # Run inside the temp dir so the quick-mode JSON does not clobber the
@@ -82,6 +98,15 @@ SPEEDUP="$(awk -F': ' '/"repeated_read_100_flow_speedup"/ \
 awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 5.0) }' \
   || { echo "perf regression: 100-flow speedup ${SPEEDUP}x < 5x"; exit 1; }
 echo "    100-flow repeated-read speedup: ${SPEEDUP}x"
+CHURN_SPM="$(awk -F': ' '/"churn_solves_per_mutation_1000x64"/ \
+  {gsub(/[,"]/, "", $2); print $2}' "$FLEET_TMP/BENCH_alloc.json")"
+awk -v s="$CHURN_SPM" 'BEGIN { exit !(s < 1.0) }' \
+  || { echo "churn regression: ${CHURN_SPM} component solves per mutation at 1000 flows (want < 1)"; exit 1; }
+CHURN_SPEEDUP="$(awk -F': ' '/"churn_speedup_1000x64"/ \
+  {gsub(/[,"]/, "", $2); print $2}' "$FLEET_TMP/BENCH_alloc.json")"
+awk -v s="$CHURN_SPEEDUP" 'BEGIN { exit !(s >= 5.0) }' \
+  || { echo "churn regression: 1000x64 partial-vs-full speedup ${CHURN_SPEEDUP}x < 5x"; exit 1; }
+echo "    1000x64 churn: ${CHURN_SPEEDUP}x vs full re-solve, ${CHURN_SPM} solves/mutation"
 
 echo "==> supervision suite (chaos determinism + golden chaos snapshot)"
 cargo test -q --test supervision

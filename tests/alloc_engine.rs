@@ -279,6 +279,163 @@ fn cached_allocation_is_bit_identical_to_reference() {
     let _ = (c, d);
 }
 
+/// Assert cached and uncached agree **bitwise** on every flow — the
+/// component-scoped engine's contract (both sides solve per bottleneck
+/// component, so this holds on any topology, not just single-component).
+fn assert_bits_match(net: &Network, what: &str) {
+    let cached = net.allocate();
+    let reference = net.allocate_uncached();
+    assert_eq!(cached.len(), reference.len(), "{what}: flow sets");
+    for (id, want) in &reference {
+        assert_eq!(
+            cached[id].to_bits(),
+            want.to_bits(),
+            "{what}: flow {id:?} not bit-identical"
+        );
+    }
+}
+
+/// A topology of `clusters` disjoint 2-link islands, each with a 2-link
+/// path and a single-link path — multiple bottleneck components by
+/// construction.
+fn cluster_net(clusters: usize) -> (Network, Vec<LinkId>, Vec<PathId>) {
+    let mut net = Network::new();
+    let mut links = Vec::new();
+    let mut paths = Vec::new();
+    for c in 0..clusters {
+        let a = net.add_link(Link::from_gbps(format!("c{c}-nic"), 40.0).with_half_streams(16.0));
+        let b = net.add_link(Link::from_gbps(format!("c{c}-wan"), 20.0));
+        links.extend([a, b]);
+        paths.push(
+            net.add_path(
+                Path::new(format!("c{c}-long"), vec![a, b])
+                    .with_rtt_ms(2.0 + c as f64)
+                    .with_loss(1e-5),
+            ),
+        );
+        paths.push(
+            net.add_path(
+                Path::new(format!("c{c}-short"), vec![a])
+                    .with_rtt_ms(1.0)
+                    .with_loss(1e-5),
+            ),
+        );
+    }
+    (net, links, paths)
+}
+
+/// Link-factor flaps and flow add/remove across *multiple* components:
+/// every read stays bitwise-identical to the from-scratch reference, a
+/// mutation re-solves only the component it touches, and untouched
+/// components keep their cached rate bits.
+#[test]
+fn multi_component_dirty_solves_are_bit_identical() {
+    let (mut net, links, paths) = cluster_net(3);
+    let mut flows = Vec::new();
+    for c in 0..3 {
+        flows.push(net.add_flow(paths[2 * c], 16, CongestionControl::HTcp));
+        flows.push(net.add_flow(paths[2 * c + 1], 64, CongestionControl::HTcp));
+    }
+    assert_bits_match(&net, "seeded");
+    assert_eq!(net.component_count(), 3, "three disjoint islands");
+
+    // Link-factor flap confined to cluster 0: exactly one component
+    // re-solve per invalidating mutation, other clusters' bits untouched.
+    let before = net.allocate();
+    let comp0 = net.component_solves();
+    for i in 0..10 {
+        net.set_link_factor(links[0], if i % 2 == 0 { 0.5 } else { 1.0 });
+        assert_bits_match(&net, "flap");
+    }
+    assert_eq!(
+        net.component_solves() - comp0,
+        10,
+        "one component solve per flap, not one per component"
+    );
+    let after = net.allocate();
+    for &f in &flows[2..] {
+        assert_eq!(
+            after[&f].to_bits(),
+            before[&f].to_bits(),
+            "untouched component rate drifted"
+        );
+    }
+
+    // Flow add/remove in cluster 1 (membership rebuild + free-list recycle):
+    // bits stay reference-identical and cluster 2 keeps its rates.
+    let extra = net.add_flow(paths[2], 32, CongestionControl::HTcp);
+    assert_bits_match(&net, "add");
+    net.remove_flow(flows[2]);
+    assert_bits_match(&net, "remove");
+    net.remove_flow(extra);
+    let recycled = net.add_flow(paths[3], 8, CongestionControl::HTcp);
+    assert_bits_match(&net, "recycle");
+    let now = net.allocate();
+    for &f in &flows[4..] {
+        assert_eq!(
+            now[&f].to_bits(),
+            before[&f].to_bits(),
+            "cluster 2 rate changed by cluster 1 churn"
+        );
+    }
+
+    // RTT flap in cluster 2, then a full invalidation: still bit-identical.
+    net.set_rtt_factor(paths[4], 3.0);
+    assert_bits_match(&net, "rtt");
+    net.invalidate_all();
+    assert_bits_match(&net, "invalidate_all");
+    let _ = recycled;
+}
+
+proptest! {
+    /// Random mutation tapes over a random number of disjoint clusters:
+    /// the component-scoped cached engine must stay **bitwise** identical
+    /// to the from-scratch reference after every op (strictly stronger
+    /// than the 1e-9 tolerance of the general scenario test above).
+    #[test]
+    fn clustered_mutation_tape_stays_bitwise_identical(
+        clusters in 2usize..5,
+        seeds in prop::collection::vec((0usize..64, 1u32..128), 1..12),
+        ops in prop::collection::vec(arb_op(), 1..40),
+    ) {
+        let (mut net, links, paths) = cluster_net(clusters);
+        let npaths = paths.len();
+        let mut live: Vec<FlowId> = Vec::new();
+        for (p, s) in &seeds {
+            live.push(net.add_flow(paths[p % npaths], *s, CongestionControl::HTcp));
+        }
+        assert_bits_match(&net, "seeded");
+        for op in &ops {
+            match op {
+                Op::AddFlow { path, streams } => {
+                    live.push(net.add_flow(
+                        paths[path % npaths],
+                        *streams,
+                        CongestionControl::HTcp,
+                    ));
+                }
+                Op::RemoveFlow(i) if !live.is_empty() => {
+                    net.remove_flow(live.remove(i % live.len()));
+                }
+                Op::SetStreams { flow, streams } if !live.is_empty() => {
+                    net.set_streams(live[flow % live.len()], *streams);
+                }
+                Op::SetLinkFactor { link, factor } => {
+                    net.set_link_factor(links[link % links.len()], *factor);
+                }
+                Op::SetRttFactor { path, factor } => {
+                    net.set_rtt_factor(paths[path % npaths], *factor);
+                }
+                Op::SetTag { flow, tag } if !live.is_empty() => {
+                    net.set_flow_tag(live[flow % live.len()], Some(*tag));
+                }
+                _ => {}
+            }
+            assert_bits_match(&net, "after op");
+        }
+    }
+}
+
 /// Interleave reads and every kind of mutation: a read immediately after a
 /// mutation must reflect it (the dirty flag never serves a stale solve), and
 /// a read with no intervening mutation must not re-solve.
